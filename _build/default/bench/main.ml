@@ -1,0 +1,151 @@
+(* The benchmark harness: one Bechamel test per table/figure of the paper,
+   measuring the operation that the table/figure times — full compilation,
+   COTE estimation, calibration, greedy compilation — followed by the full
+   experiment tables (the same rows/series `bin/experiments.exe` prints).
+
+     dune exec bench/main.exe            # micro-benchmarks + all experiments
+     dune exec bench/main.exe -- quick   # micro-benchmarks only *)
+
+module O = Qopt_optimizer
+module W = Qopt_workloads
+module E = Qopt_experiments
+open Bechamel
+open Toolkit
+
+let block_of env wl name =
+  (W.Workload.find (E.Common.workload env wl) name).W.Workload.block
+
+(* Representative single queries per figure: Bechamel needs stable,
+   repeatable units of work. *)
+let serial = E.Common.serial
+
+let parallel = E.Common.parallel
+
+let bench_optimize name env block =
+  Test.make ~name (Staged.stage (fun () -> ignore (O.Optimizer.optimize env block)))
+
+let bench_estimate name env block =
+  Test.make ~name (Staged.stage (fun () -> ignore (Cote.Estimator.estimate env block)))
+
+let tests () =
+  let lin = block_of serial "linear" "lin_8_p3" in
+  let star = block_of serial "star" "star_8_p3" in
+  let star_p = block_of parallel "star" "star_8_p3" in
+  let real1 = block_of serial "real1" "r1_q7" in
+  let real1_p = block_of parallel "real1" "r1_q7" in
+  let real2 = block_of serial "real2" "r2_q17" in
+  let tpch = block_of serial "tpch" "tpch_q8" in
+  let tpch_p = block_of parallel "tpch" "tpch_q8" in
+  let rand_p = block_of parallel "random" "rand_q9" in
+  let fig3a = E.Tables_exp.fig3_block ~orderby:false in
+  Test.make_grouped ~name:"qopt"
+    [
+      (* fig2: the timed full compilation whose breakdown the figure shows *)
+      bench_optimize "fig2/compile-real2_s" serial real2;
+      (* fig3: the joins-vs-plans example query *)
+      bench_optimize "fig3/compile-example" serial fig3a;
+      (* fig4: actual compilation vs estimation, per sub-figure *)
+      bench_optimize "fig4a/compile-linear_s" serial lin;
+      bench_estimate "fig4a/estimate-linear_s" serial lin;
+      bench_optimize "fig4b/compile-real2_s" serial real2;
+      bench_estimate "fig4b/estimate-real2_s" serial real2;
+      bench_optimize "fig4c/compile-real1_p" parallel real1_p;
+      bench_estimate "fig4c/estimate-real1_p" parallel real1_p;
+      (* fig5: the plan-count estimation runs *)
+      bench_estimate "fig5ac/estimate-star_s" serial star;
+      bench_estimate "fig5df/estimate-random_p" parallel rand_p;
+      bench_estimate "fig5gi/estimate-real1_p" parallel real1_p;
+      (* fig6: compile + estimate on each workload's representative *)
+      bench_optimize "fig6a/compile-star_s" serial star;
+      bench_estimate "fig6a/estimate-star_s" serial star;
+      bench_optimize "fig6b/compile-real1_s" serial real1;
+      bench_optimize "fig6d/compile-tpch_p" parallel tpch_p;
+      bench_optimize "fig6d/compile-tpch_s" serial tpch;
+      bench_optimize "fig6e/compile-random_p" parallel rand_p;
+      bench_estimate "fig6f/estimate-real1_p" parallel real1_p;
+      (* tab2/tab3: the counting machinery itself *)
+      bench_estimate "tab3/accumulate-star_p" parallel star_p;
+      (* ct: one calibration observation (compile + counters) *)
+      Test.make ~name:"ct/measure-observation"
+        (Staged.stage (fun () ->
+             ignore (Cote.Calibrate.measure ~repeats:1 serial lin)));
+      (* mop: the low-level greedy compile the meta-optimizer starts with *)
+      Test.make ~name:"mop/greedy-real1_s"
+        (Staged.stage (fun () -> ignore (O.Greedy.optimize serial real1)));
+      (* pilot: bound-tracking analysis *)
+      Test.make ~name:"pilot/analyze-real1_s"
+        (Staged.stage (fun () -> ignore (O.Pilot_pass.analyze serial real1)));
+      (* mem: the memory estimate ride-along *)
+      bench_estimate "mem/estimate-star_s" serial star;
+      (* multilevel: piggyback pass *)
+      Test.make ~name:"multilevel/piggyback-star_s"
+        (Staged.stage (fun () ->
+             ignore
+               (Cote.Multi_level.piggyback ~base:O.Knobs.full_bushy
+                  ~levels:E.Multilevel_exp.levels serial star)));
+      (* topn: compile a LIMIT variant *)
+      bench_optimize "topn/compile-limit-star_s" serial
+        (E.Topn_exp.with_limit 10 star);
+      (* mv: optimization with the view candidate set *)
+      Test.make ~name:"mv/compile-views-real1_s"
+        (Staged.stage
+           (let views =
+              E.Mv_exp.views (E.Common.workload serial "real1").W.Workload.schema
+            in
+            fun () -> ignore (O.Optimizer.optimize serial ~views real1)));
+      (* cache: signature computation *)
+      Test.make ~name:"cache/signature-real1_q8"
+        (Staged.stage
+           (let big = block_of serial "real1" "r1_q8" in
+            fun () -> ignore (Cote.Stmt_cache.signature big)));
+      (* ablations *)
+      Test.make ~name:"abl-sep/compound-real1_p"
+        (Staged.stage (fun () ->
+             ignore
+               (Cote.Estimator.estimate
+                  ~options:
+                    { Cote.Accumulate.first_join_only = true; separate_lists = false }
+                  parallel real1_p)));
+      Test.make ~name:"abl-first/every-join-star_s"
+        (Staged.stage (fun () ->
+             ignore
+               (Cote.Estimator.estimate
+                  ~options:
+                    { Cote.Accumulate.first_join_only = false; separate_lists = true }
+                  serial star)));
+    ]
+
+let run_benchmarks () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
+  Benchmark.all cfg instances (tests ())
+
+let report raw =
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  Format.printf "%-36s %16s@." "benchmark" "ns/run";
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Format.printf "%-36s %16.0f@." name est
+      | Some _ | None -> Format.printf "%-36s %16s@." name "-")
+    rows
+
+let () =
+  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  Format.printf "=== Bechamel micro-benchmarks (one per table/figure) ===@.";
+  let raw = run_benchmarks () in
+  report raw;
+  Format.printf "@.";
+  if not quick then begin
+    Format.printf "=== Paper tables and figures ===@.";
+    List.iter
+      (fun (e : E.Registry.t) ->
+        Format.printf "== %s: %s@." e.E.Registry.id e.E.Registry.title;
+        e.E.Registry.run ())
+      E.Registry.all
+  end

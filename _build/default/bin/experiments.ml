@@ -1,0 +1,24 @@
+(* Runs every experiment of the paper reproduction (or a selection given as
+   argv), printing the paper-shaped tables.  `bench/main.exe` wraps the same
+   registry with Bechamel measurements. *)
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: ids when ids <> [] -> ids
+    | _ :: _ | [] -> Qopt_experiments.Registry.ids
+  in
+  List.iter
+    (fun id ->
+      match Qopt_experiments.Registry.find id with
+      | None ->
+        Format.eprintf "unknown experiment %s; known: %s@." id
+          (String.concat ", " Qopt_experiments.Registry.ids);
+        exit 1
+      | Some e ->
+        Format.printf "==============================================@.";
+        Format.printf "== %s: %s@." e.Qopt_experiments.Registry.id
+          e.Qopt_experiments.Registry.title;
+        Format.printf "==============================================@.";
+        e.Qopt_experiments.Registry.run ())
+    requested

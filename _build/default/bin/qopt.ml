@@ -1,0 +1,169 @@
+(* The qopt command-line interface.
+
+   Subcommands:
+     optimize   — compile a query (from a workload, or ad-hoc SQL over a
+                  named schema) and show the plan and counters
+     estimate   — run the COTE on the same query and show the prediction
+     breakdown  — Figure 2-style time breakdown for one query
+     calibrate  — fit and print the time model for an environment
+     experiment — run registered experiments by id
+     list       — list workloads, their queries, and experiment ids *)
+
+module O = Qopt_optimizer
+module W = Qopt_workloads
+module E = Qopt_experiments
+open Cmdliner
+
+let env_of_string = function
+  | "serial" -> Ok O.Env.serial
+  | "parallel" -> Ok (O.Env.parallel ~nodes:4)
+  | s -> Error (`Msg (Printf.sprintf "unknown environment %S (serial|parallel)" s))
+
+let env_conv =
+  Arg.conv
+    ( (fun s -> env_of_string s),
+      fun ppf env -> O.Env.pp ppf env )
+
+let env_term =
+  Arg.(value & opt env_conv O.Env.serial & info [ "e"; "env" ] ~doc:"serial or parallel")
+
+let workload_names =
+  [ "linear"; "star"; "cycle"; "real1"; "real2"; "random"; "tpch"; "calibration" ]
+
+let schema_for env = function
+  | "tpch" -> W.Tpch.schema ~partitioned:(O.Env.is_parallel env)
+  | "warehouse" | "real1" | "real2" | "random" ->
+    W.Warehouse.schema ~partitioned:(O.Env.is_parallel env)
+  | s -> failwith (Printf.sprintf "unknown schema %S (tpch|warehouse)" s)
+
+let resolve_block env ~workload ~query ~sql ~schema =
+  match (sql, workload, query) with
+  | Some text, _, _ ->
+    let schema = schema_for env (Option.value ~default:"warehouse" schema) in
+    Qopt_sql.Binder.parse_and_bind ~name:"adhoc" schema text
+  | None, Some w, Some q ->
+    (W.Workload.find (E.Common.workload env w) q).W.Workload.block
+  | None, _, _ ->
+    failwith "provide either --sql, or --workload and --query (see `qopt list`)"
+
+let workload_term =
+  Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~doc:"workload name")
+
+let query_term =
+  Arg.(value & opt (some string) None & info [ "q"; "query" ] ~doc:"query name")
+
+let sql_term =
+  Arg.(value & opt (some string) None & info [ "sql" ] ~doc:"ad-hoc SQL text")
+
+let schema_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "schema" ] ~doc:"schema for --sql: warehouse (default) or tpch")
+
+let wrap f = try `Ok (f ()) with Failure msg | Invalid_argument msg -> `Error (false, msg)
+
+let optimize_cmd =
+  let run env workload query sql schema =
+    wrap (fun () ->
+        let block = resolve_block env ~workload ~query ~sql ~schema in
+        let r = O.Optimizer.optimize env block in
+        Format.printf "query: %a@." O.Query_block.pp block;
+        (match r.O.Optimizer.best with
+        | None -> Format.printf "no plan found@."
+        | Some p ->
+          Format.printf "best plan: %a@.  cost=%.1f card=%.1f@." O.Plan.pp_compact
+            p p.O.Plan.cost p.O.Plan.card);
+        Format.printf
+          "compile time %.4fs; joins %d; generated plans NLJN=%d MGJN=%d \
+           HSJN=%d; kept %d; entries %d@."
+          r.O.Optimizer.elapsed r.O.Optimizer.joins
+          r.O.Optimizer.generated.O.Memo.nljn r.O.Optimizer.generated.O.Memo.mgjn
+          r.O.Optimizer.generated.O.Memo.hsjn r.O.Optimizer.kept
+          r.O.Optimizer.entries)
+  in
+  Cmd.v (Cmd.info "optimize" ~doc:"Compile a query and show the plan")
+    Term.(ret (const run $ env_term $ workload_term $ query_term $ sql_term $ schema_term))
+
+let estimate_cmd =
+  let run env workload query sql schema =
+    wrap (fun () ->
+        let block = resolve_block env ~workload ~query ~sql ~schema in
+        let model = E.Common.model_for env in
+        let p = Cote.Predict.compile_time ~model env block in
+        let e = p.Cote.Predict.estimate in
+        Format.printf
+          "estimated compile time: %.4fs@.estimated plans: NLJN=%d MGJN=%d \
+           HSJN=%d (joins %d)@.estimation took %.4fs@."
+          p.Cote.Predict.seconds e.Cote.Estimator.nljn e.Cote.Estimator.mgjn
+          e.Cote.Estimator.hsjn e.Cote.Estimator.joins e.Cote.Estimator.elapsed)
+  in
+  Cmd.v (Cmd.info "estimate" ~doc:"Run the COTE on a query")
+    Term.(ret (const run $ env_term $ workload_term $ query_term $ sql_term $ schema_term))
+
+let breakdown_cmd =
+  let run env workload query sql schema =
+    wrap (fun () ->
+        let block = resolve_block env ~workload ~query ~sql ~schema in
+        let r = O.Optimizer.optimize env block in
+        Format.printf "%a@." O.Instrument.pp_breakdown r.O.Optimizer.breakdown)
+  in
+  Cmd.v (Cmd.info "breakdown" ~doc:"Figure 2-style compile-time breakdown")
+    Term.(ret (const run $ env_term $ workload_term $ query_term $ sql_term $ schema_term))
+
+let calibrate_cmd =
+  let run env =
+    wrap (fun () ->
+        let model = E.Common.model_for env in
+        Format.printf "time model (%a): %a@." O.Env.pp env Cote.Time_model.pp model)
+  in
+  Cmd.v (Cmd.info "calibrate" ~doc:"Fit and print the time model")
+    Term.(ret (const run $ env_term))
+
+let experiment_cmd =
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  let run ids =
+    wrap (fun () ->
+        let ids = if ids = [] then E.Registry.ids else ids in
+        List.iter
+          (fun id ->
+            match E.Registry.find id with
+            | None -> failwith (Printf.sprintf "unknown experiment %s" id)
+            | Some e ->
+              Format.printf "== %s: %s@." e.E.Registry.id e.E.Registry.title;
+              e.E.Registry.run ())
+          ids)
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Run experiments by id (default: all)")
+    Term.(ret (const run $ ids))
+
+let list_cmd =
+  let run env =
+    wrap (fun () ->
+        Format.printf "workloads:@.";
+        List.iter
+          (fun name ->
+            let wl = E.Common.workload env name in
+            Format.printf "  %-12s %d queries: %s@." name (W.Workload.size wl)
+              (String.concat ", "
+                 (List.map
+                    (fun (q : W.Workload.query) -> q.W.Workload.q_name)
+                    wl.W.Workload.queries)))
+          workload_names;
+        Format.printf "experiments: %s@." (String.concat ", " E.Registry.ids))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List workloads, queries and experiments")
+    Term.(ret (const run $ env_term))
+
+let () =
+  let info =
+    Cmd.info "qopt" ~version:"1.0.0"
+      ~doc:"Query-optimizer compilation-time estimation (SIGMOD 2003 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            optimize_cmd; estimate_cmd; breakdown_cmd; calibrate_cmd;
+            experiment_cmd; list_cmd;
+          ]))

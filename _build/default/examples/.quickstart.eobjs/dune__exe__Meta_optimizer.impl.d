@@ -1,0 +1,1 @@
+examples/meta_optimizer.ml: Cote Format List Printf Qopt_mop Qopt_optimizer Qopt_workloads

@@ -1,0 +1,1 @@
+examples/meta_optimizer.mli:

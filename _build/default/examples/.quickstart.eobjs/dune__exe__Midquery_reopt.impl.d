@@ -1,0 +1,1 @@
+examples/midquery_reopt.ml: Cote Format List Qopt_optimizer Qopt_workloads

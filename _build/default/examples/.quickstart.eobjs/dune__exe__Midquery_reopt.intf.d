@@ -1,0 +1,1 @@
+examples/midquery_reopt.mli:

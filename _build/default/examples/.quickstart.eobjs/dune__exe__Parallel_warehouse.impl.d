@@ -1,0 +1,1 @@
+examples/parallel_warehouse.ml: Cote Float Format List Qopt_optimizer Qopt_sql Qopt_workloads

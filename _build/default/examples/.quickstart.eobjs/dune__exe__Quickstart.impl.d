@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cote Format Qopt_catalog Qopt_optimizer Qopt_sql

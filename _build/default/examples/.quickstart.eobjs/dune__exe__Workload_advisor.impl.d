@@ -1,0 +1,1 @@
+examples/workload_advisor.ml: Cote Float Format List Qopt_optimizer Qopt_util Qopt_workloads

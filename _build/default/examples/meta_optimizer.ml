@@ -1,0 +1,50 @@
+(* The Figure 1 scenario: a meta-optimizer (MOP) decides per query whether
+   paying for high-level optimization is worth it, by comparing the COTE's
+   compile-time estimate C against the cheap plan's execution estimate E.
+
+     dune exec examples/meta_optimizer.exe *)
+
+module O = Qopt_optimizer
+module W = Qopt_workloads
+module M = Qopt_mop
+
+let () =
+  let env = O.Env.serial in
+  (* Train the time model on the synthetic calibration workload, exactly as
+     a deployment would re-train per release. *)
+  Format.printf "calibrating the time model on %d training queries...@."
+    (W.Workload.size (W.Synthetic.calibration ~partitioned:false));
+  let model =
+    Cote.Calibrate.calibrate env
+      (List.map
+         (fun (q : W.Workload.query) -> q.W.Workload.block)
+         (W.Synthetic.calibration ~partitioned:false).W.Workload.queries)
+  in
+  Format.printf "model: %a@.@." Cote.Time_model.pp model;
+  let cfg = M.Mop.config model in
+  let wl = W.Warehouse.real2_w ~partitioned:false in
+  Format.printf "%-12s %12s %12s  %-11s %s@." "query" "E (exec)" "C (compile)"
+    "decision" "note";
+  let saved = ref 0.0 in
+  List.iter
+    (fun (q : W.Workload.query) ->
+      let o = M.Mop.run cfg env q.W.Workload.block in
+      let note =
+        match (o.M.Mop.decision, o.M.Mop.compile_actual_high) with
+        | M.Mop.Keep_low, _ ->
+          saved := !saved +. o.M.Mop.compile_estimate_high;
+          "skipped high-level optimization"
+        | M.Mop.Reoptimize, Some actual ->
+          Printf.sprintf "reoptimized in %.3fs (COTE said %.3fs)" actual
+            o.M.Mop.compile_estimate_high
+        | M.Mop.Reoptimize, None -> "reoptimized"
+      in
+      Format.printf "%-12s %12.4f %12.4f  %-11s %s@." q.W.Workload.q_name
+        o.M.Mop.exec_estimate_low o.M.Mop.compile_estimate_high
+        (match o.M.Mop.decision with
+        | M.Mop.Keep_low -> "keep low"
+        | M.Mop.Reoptimize -> "reoptimize")
+        note)
+    wl.W.Workload.queries;
+  Format.printf
+    "@.estimated compilation time avoided on skipped queries: %.3fs@." !saved

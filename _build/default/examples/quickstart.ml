@@ -1,0 +1,98 @@
+(* Quickstart: define a schema, write SQL, optimize it, and ask the COTE how
+   long optimization will take — the library's three core moves.
+
+     dune exec examples/quickstart.exe *)
+
+module C = Qopt_catalog
+module O = Qopt_optimizer
+module Sql = Qopt_sql
+
+let () =
+  (* 1. A small schema: two tables with statistics, an index, a foreign
+     key. *)
+  let users =
+    C.Table.make ~rows:1_000_000.0 ~name:"users" ~primary_key:[ "id" ]
+      ~indexes:[ C.Index.make ~unique:true ~name:"users_pk" [ "id" ] ]
+      [
+        C.Column.make ~rows:1_000_000.0 ~distinct:1_000_000.0 "id";
+        C.Column.make ~rows:1_000_000.0 ~distinct:50.0 "country";
+        C.Column.make ~rows:1_000_000.0 ~distinct:100.0 ~lo:1920.0 ~hi:2020.0
+          "birth_year";
+      ]
+  in
+  let orders =
+    C.Table.make ~rows:10_000_000.0 ~name:"orders" ~primary_key:[ "order_id" ]
+      ~indexes:[ C.Index.make ~name:"orders_user" [ "user_id" ] ]
+      [
+        C.Column.make ~rows:10_000_000.0 ~distinct:10_000_000.0 "order_id";
+        C.Column.make ~rows:10_000_000.0 ~distinct:1_000_000.0 "user_id";
+        C.Column.make ~rows:10_000_000.0 ~distinct:3_000.0 "total";
+        C.Column.make ~rows:10_000_000.0 ~distinct:365.0 "day";
+      ]
+  in
+  let items =
+    C.Table.make ~rows:30_000_000.0 ~name:"items" ~primary_key:[ "item_id" ]
+      [
+        C.Column.make ~rows:30_000_000.0 ~distinct:30_000_000.0 "item_id";
+        C.Column.make ~rows:30_000_000.0 ~distinct:10_000_000.0 "order_id";
+        C.Column.make ~rows:30_000_000.0 ~distinct:100_000.0 "product_id";
+        C.Column.make ~rows:30_000_000.0 ~distinct:100.0 "quantity";
+      ]
+  in
+  let schema =
+    C.Schema.of_tables
+      ~fkeys:
+        [
+          C.Fkey.make ~from_table:"orders" ~from_cols:[ "user_id" ]
+            ~to_table:"users" ~to_cols:[ "id" ];
+          C.Fkey.make ~from_table:"items" ~from_cols:[ "order_id" ]
+            ~to_table:"orders" ~to_cols:[ "order_id" ];
+        ]
+      [ users; orders; items ]
+  in
+  (* 2. Parse and bind a query. *)
+  let sql =
+    "SELECT u.country, COUNT(*) FROM users u, orders o, items i WHERE \
+     u.id = o.user_id AND o.order_id = i.order_id AND u.country = 'NZ' AND \
+     o.day >= 180 GROUP BY u.country ORDER BY u.country"
+  in
+  let block = Sql.Binder.parse_and_bind ~name:"quickstart" schema sql in
+  Format.printf "SQL: %s@.@.bound: %a@.@." sql O.Query_block.pp block;
+  (* 3. Optimize for real. *)
+  let result = O.Optimizer.optimize O.Env.serial block in
+  (match result.O.Optimizer.best with
+  | None -> Format.printf "no plan!@."
+  | Some plan ->
+    Format.printf "best plan:@.%a@." O.Plan.pp plan);
+  Format.printf
+    "compilation took %.4fs: %d joins enumerated, %d join plans generated \
+     (NLJN %d, MGJN %d, HSJN %d), %d kept@.@."
+    result.O.Optimizer.elapsed result.O.Optimizer.joins
+    (O.Memo.counts_total result.O.Optimizer.generated)
+    result.O.Optimizer.generated.O.Memo.nljn
+    result.O.Optimizer.generated.O.Memo.mgjn
+    result.O.Optimizer.generated.O.Memo.hsjn result.O.Optimizer.kept;
+  (* 4. The COTE: calibrate a time model once (here on this same tiny
+     query family — real deployments train on a workload), then predict. *)
+  let model =
+    Cote.Calibrate.calibrate O.Env.serial
+      [ block;
+        Sql.Binder.parse_and_bind ~name:"train2" schema
+          "SELECT o.day, COUNT(*) FROM orders o, items i WHERE o.order_id = \
+           i.order_id GROUP BY o.day";
+        Sql.Binder.parse_and_bind ~name:"train3" schema
+          "SELECT u.birth_year, COUNT(*) FROM users u, orders o WHERE u.id = \
+           o.user_id AND u.birth_year >= 1990 GROUP BY u.birth_year ORDER BY \
+           u.birth_year"
+      ]
+  in
+  Format.printf "fitted time model: %a@." Cote.Time_model.pp model;
+  let prediction = Cote.Predict.compile_time ~model O.Env.serial block in
+  Format.printf
+    "COTE predicts %.4fs to compile (actual was %.4fs); estimation itself \
+     took %.4fs (%.1f%% of compilation)@."
+    prediction.Cote.Predict.seconds result.O.Optimizer.elapsed
+    prediction.Cote.Predict.estimate.Cote.Estimator.elapsed
+    (100.0
+    *. prediction.Cote.Predict.estimate.Cote.Estimator.elapsed
+    /. result.O.Optimizer.elapsed)

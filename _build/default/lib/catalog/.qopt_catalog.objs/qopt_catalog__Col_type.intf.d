@@ -1,0 +1,1 @@
+lib/catalog/col_type.mli: Format

@@ -1,0 +1,1 @@
+lib/catalog/column.ml: Col_type Float Format Histogram

@@ -1,0 +1,1 @@
+lib/catalog/column.mli: Col_type Format Histogram

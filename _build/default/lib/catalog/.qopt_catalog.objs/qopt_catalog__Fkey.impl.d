@@ -1,0 +1,1 @@
+lib/catalog/fkey.ml: Format List String

@@ -1,0 +1,1 @@
+lib/catalog/fkey.mli: Format

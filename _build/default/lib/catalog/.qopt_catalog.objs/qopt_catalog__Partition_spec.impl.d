@@ -1,0 +1,1 @@
+lib/catalog/partition_spec.ml: Format List String

@@ -1,0 +1,1 @@
+lib/catalog/schema.ml: Fkey Format List Map Printf String Table

@@ -1,0 +1,1 @@
+lib/catalog/table.ml: Array Column Float Format Index List Partition_spec Printf String

@@ -1,0 +1,1 @@
+lib/catalog/table.mli: Column Format Index Partition_spec

@@ -1,0 +1,27 @@
+type t =
+  | Int
+  | Float
+  | Decimal of int * int
+  | Varchar of int
+  | Char of int
+  | Date
+
+let byte_width = function
+  | Int -> 4
+  | Float -> 8
+  | Decimal (p, _) -> (p / 2) + 1
+  | Varchar n -> (n / 2) + 2 (* average fill plus length word *)
+  | Char n -> n
+  | Date -> 4
+
+let to_string = function
+  | Int -> "INT"
+  | Float -> "FLOAT"
+  | Decimal (p, s) -> Printf.sprintf "DECIMAL(%d,%d)" p s
+  | Varchar n -> Printf.sprintf "VARCHAR(%d)" n
+  | Char n -> Printf.sprintf "CHAR(%d)" n
+  | Date -> "DATE"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b = a = b

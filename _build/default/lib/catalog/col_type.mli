@@ -1,0 +1,21 @@
+(** SQL column types.
+
+    Only what the optimizer needs: a width for costing and a domain class
+    for selectivity defaults. *)
+
+type t =
+  | Int
+  | Float
+  | Decimal of int * int  (** precision, scale *)
+  | Varchar of int  (** maximum length *)
+  | Char of int
+  | Date
+
+val byte_width : t -> int
+(** Storage width used by the cost model (average for varchars). *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

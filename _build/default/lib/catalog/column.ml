@@ -1,0 +1,24 @@
+type t = {
+  name : string;
+  ctype : Col_type.t;
+  distinct : float;
+  null_frac : float;
+  histogram : Histogram.t;
+}
+
+let make ?(ctype = Col_type.Int) ?distinct ?(null_frac = 0.0) ?lo ?hi
+    ?(skewed = false) ~rows name =
+  let distinct = match distinct with Some d -> d | None -> rows in
+  let distinct = Float.max 1.0 (Float.min distinct rows) in
+  let lo = match lo with Some v -> v | None -> 0.0 in
+  let hi = match hi with Some v -> v | None -> lo +. Float.max 1.0 distinct in
+  let histogram =
+    if skewed then Histogram.zipfian ~lo ~hi ~rows ~distinct ()
+    else Histogram.uniform ~lo ~hi ~rows ~distinct ()
+  in
+  { name; ctype; distinct; null_frac; histogram }
+
+let byte_width t = Col_type.byte_width t.ctype
+
+let pp ppf t =
+  Format.fprintf ppf "%s %a (d=%.0f)" t.name Col_type.pp t.ctype t.distinct

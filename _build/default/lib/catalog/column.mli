@@ -1,0 +1,27 @@
+(** Column metadata and statistics. *)
+
+type t = {
+  name : string;
+  ctype : Col_type.t;
+  distinct : float;  (** number of distinct values *)
+  null_frac : float;  (** fraction of NULLs, in [0,1] *)
+  histogram : Histogram.t;
+}
+
+val make :
+  ?ctype:Col_type.t ->
+  ?distinct:float ->
+  ?null_frac:float ->
+  ?lo:float ->
+  ?hi:float ->
+  ?skewed:bool ->
+  rows:float ->
+  string ->
+  t
+(** [make ~rows name] builds a column with a synthetic histogram.  [distinct]
+    defaults to [rows] (a key-like column); the histogram domain defaults to
+    [[0, distinct)]. [skewed] selects a zipfian histogram. *)
+
+val byte_width : t -> int
+
+val pp : Format.formatter -> t -> unit

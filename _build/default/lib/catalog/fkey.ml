@@ -1,0 +1,17 @@
+type t = {
+  from_table : string;
+  from_cols : string list;
+  to_table : string;
+  to_cols : string list;
+}
+
+let make ~from_table ~from_cols ~to_table ~to_cols =
+  if from_cols = [] || List.length from_cols <> List.length to_cols then
+    invalid_arg "Fkey.make: mismatched column lists";
+  { from_table; from_cols; to_table; to_cols }
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s) -> %s(%s)" t.from_table
+    (String.concat "," t.from_cols)
+    t.to_table
+    (String.concat "," t.to_cols)

@@ -1,0 +1,23 @@
+(** Foreign-key relationships.
+
+    The random query generator (Section 5 of the paper) joins tables
+    preferentially along foreign-key to primary-key relationships, so the
+    schema records them explicitly. *)
+
+type t = {
+  from_table : string;
+  from_cols : string list;
+  to_table : string;
+  to_cols : string list;
+}
+
+val make :
+  from_table:string ->
+  from_cols:string list ->
+  to_table:string ->
+  to_cols:string list ->
+  t
+(** Raises [Invalid_argument] if the column lists differ in length or are
+    empty. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,133 @@
+type bucket = {
+  lo : float;
+  hi : float; (* exclusive upper bound except for the last bucket *)
+  b_rows : float;
+  b_distinct : float;
+}
+
+type t = {
+  buckets : bucket array;
+  rows : float;
+  distinct : float;
+}
+
+let rows t = t.rows
+
+let distinct t = t.distinct
+
+let bucket_count t = Array.length t.buckets
+
+let make_buckets ~buckets ~lo ~hi ~rows ~distinct ~weight =
+  (* Never more buckets than distinct values, or empty half-buckets would
+     distort equality selectivities. *)
+  let buckets = max 1 (min buckets (int_of_float distinct)) in
+  let total_weight = ref 0.0 in
+  let weights = Array.init buckets (fun i -> weight i) in
+  Array.iter (fun w -> total_weight := !total_weight +. w) weights;
+  let span = (hi -. lo) /. float_of_int buckets in
+  Array.init buckets (fun i ->
+      let frac = weights.(i) /. !total_weight in
+      {
+        lo = lo +. (span *. float_of_int i);
+        hi = lo +. (span *. float_of_int (i + 1));
+        b_rows = rows *. frac;
+        b_distinct = Float.max 1.0 (distinct *. frac);
+      })
+
+let uniform ?(buckets = 20) ~lo ~hi ~rows ~distinct () =
+  if hi < lo then invalid_arg "Histogram.uniform: hi < lo";
+  {
+    buckets = make_buckets ~buckets ~lo ~hi ~rows ~distinct ~weight:(fun _ -> 1.0);
+    rows;
+    distinct = Float.max 1.0 distinct;
+  }
+
+let zipfian ?(buckets = 20) ?(skew = 1.3) ~lo ~hi ~rows ~distinct () =
+  if hi < lo then invalid_arg "Histogram.zipfian: hi < lo";
+  let weight i = 1.0 /. ((float_of_int (i + 1)) ** skew) in
+  {
+    buckets = make_buckets ~buckets ~lo ~hi ~rows ~distinct ~weight;
+    rows;
+    distinct = Float.max 1.0 distinct;
+  }
+
+let frac_of t rows_matched =
+  if t.rows <= 0.0 then 0.0 else Float.min 1.0 (rows_matched /. t.rows)
+
+let domain t =
+  let n = Array.length t.buckets in
+  (t.buckets.(0).lo, t.buckets.(n - 1).hi)
+
+let sel_eq t v =
+  let lo, hi = domain t in
+  if v < lo || v > hi then
+    (* Value absent from the histogram: fall back to the uniform default, as
+       commercial estimators do rather than predicting an empty result. *)
+    1.0 /. t.distinct
+  else begin
+    let last = Array.length t.buckets - 1 in
+    let matched = ref 0.0 in
+    Array.iteri
+      (fun i b ->
+        (* Half-open buckets; only the last bucket includes its upper
+           bound, so boundary values match exactly one bucket. *)
+        if v >= b.lo && (v < b.hi || (i = last && v = b.hi)) then
+          matched := !matched +. (b.b_rows /. b.b_distinct))
+      t.buckets;
+    (* Clamp: an equality predicate never matches more than one value's
+       share. *)
+    Float.min (frac_of t !matched) 1.0
+  end
+
+let sel_lt t v =
+  let lo, hi = domain t in
+  if v <= lo then 0.02
+  else if v > hi then 0.98
+  else begin
+    let matched = ref 0.0 in
+    Array.iter
+      (fun b ->
+        if v >= b.hi then matched := !matched +. b.b_rows
+        else if v > b.lo then
+          (* Linear interpolation inside the bucket. *)
+          matched := !matched +. (b.b_rows *. ((v -. b.lo) /. (b.hi -. b.lo))))
+      t.buckets;
+    (* Hedge against the empty/full extremes, like the out-of-range cases. *)
+    Float.max 0.02 (Float.min 0.98 (frac_of t !matched))
+  end
+
+let sel_le t v = Float.min 1.0 (sel_lt t v +. sel_eq t v)
+
+let sel_ge t v = Float.max 0.0 (1.0 -. sel_lt t v)
+
+let sel_gt t v = Float.max 0.0 (1.0 -. sel_le t v)
+
+let sel_between t lo hi =
+  if hi < lo then 0.0 else Float.max 0.0 (sel_le t hi -. sel_lt t lo)
+
+let sel_join a b =
+  (* Align buckets over the intersection of the two domains: for each pair of
+     overlapping buckets, matched pairs ~= rows_a * rows_b / max distinct,
+     scaled by the overlap fraction of each bucket. *)
+  let total = ref 0.0 in
+  Array.iter
+    (fun ba ->
+      Array.iter
+        (fun bb ->
+          let lo = Float.max ba.lo bb.lo and hi = Float.min ba.hi bb.hi in
+          if hi > lo then begin
+            let fa = (hi -. lo) /. (ba.hi -. ba.lo) in
+            let fb = (hi -. lo) /. (bb.hi -. bb.lo) in
+            let ra = ba.b_rows *. fa and rb = bb.b_rows *. fb in
+            let da = Float.max 1.0 (ba.b_distinct *. fa) in
+            let db = Float.max 1.0 (bb.b_distinct *. fb) in
+            total := !total +. (ra *. rb /. Float.max da db)
+          end)
+        b.buckets)
+    a.buckets;
+  let cross = a.rows *. b.rows in
+  if cross <= 0.0 then 0.0 else Float.min 1.0 (!total /. cross)
+
+let pp ppf t =
+  Format.fprintf ppf "hist(rows=%.0f distinct=%.0f buckets=%d)" t.rows t.distinct
+    (Array.length t.buckets)

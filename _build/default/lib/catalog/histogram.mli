@@ -1,0 +1,54 @@
+(** Equi-depth histograms over a numeric column domain.
+
+    The execution-cost model recomputes selectivities from histograms for
+    every generated join plan; this is one of the reasons (faithful to real
+    systems, cf. Section 3.1 of the paper) that plan generation, not join
+    enumeration, dominates compilation time. *)
+
+type t
+
+val uniform :
+  ?buckets:int -> lo:float -> hi:float -> rows:float -> distinct:float -> unit -> t
+(** An equi-depth histogram of a uniformly distributed column.  [buckets]
+    defaults to 20. *)
+
+val zipfian :
+  ?buckets:int ->
+  ?skew:float ->
+  lo:float ->
+  hi:float ->
+  rows:float ->
+  distinct:float ->
+  unit ->
+  t
+(** A histogram whose bucket populations decay geometrically, approximating a
+    Zipf-distributed column.  [skew] (default 1.3) > 1 increases skew. *)
+
+val rows : t -> float
+
+val distinct : t -> float
+
+val bucket_count : t -> int
+
+val sel_eq : t -> float -> float
+(** Selectivity of [col = v]: fraction of rows expected to match. *)
+
+val sel_lt : t -> float -> float
+(** Selectivity of [col < v]. *)
+
+val sel_le : t -> float -> float
+
+val sel_gt : t -> float -> float
+
+val sel_ge : t -> float -> float
+
+val sel_between : t -> float -> float -> float
+(** Selectivity of [lo <= col <= hi]. *)
+
+val sel_join : t -> t -> float
+(** Selectivity of an equijoin between two columns, computed by aligning the
+    two histograms bucket by bucket (the per-plan cost model uses this; the
+    simple cardinality model of plan-estimate mode uses [1 / max distinct]
+    instead — see {!Qopt_optimizer.Cardinality}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+type t = {
+  name : string;
+  columns : string list;
+  unique : bool;
+  clustered : bool;
+}
+
+let make ?(unique = false) ?(clustered = false) ~name columns =
+  if columns = [] then invalid_arg "Index.make: empty key";
+  { name; columns; unique; clustered }
+
+let provides_prefix t cols =
+  let rec loop key want =
+    match (key, want) with
+    | _, [] -> true
+    | [], _ :: _ -> false
+    | k :: key', w :: want' -> String.equal k w && loop key' want'
+  in
+  loop t.columns cols
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s)%s" t.name
+    (String.concat "," t.columns)
+    (if t.unique then " unique" else "")

@@ -1,0 +1,22 @@
+(** Secondary and clustering indexes.
+
+    Indexes matter to the estimator in two ways: an index scan is a *natural*
+    source of an order property, and (with DB2's eager order policy, Section 4
+    of the paper) order properties that are not natural are forced with SORTs,
+    which is why the paper observes that the number of indexes does not
+    significantly change the number of generated plans. *)
+
+type t = {
+  name : string;
+  columns : string list;  (** key columns, major to minor *)
+  unique : bool;
+  clustered : bool;
+}
+
+val make : ?unique:bool -> ?clustered:bool -> name:string -> string list -> t
+
+val provides_prefix : t -> string list -> bool
+(** [provides_prefix idx cols] is [true] when scanning [idx] delivers tuples
+    ordered on [cols] (i.e. [cols] is a prefix of the index key). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type kind =
+  | Hash
+  | Range
+
+type t = {
+  kind : kind;
+  keys : string list;
+}
+
+let hash keys =
+  if keys = [] then invalid_arg "Partition_spec.hash: empty keys";
+  { kind = Hash; keys }
+
+let range keys =
+  if keys = [] then invalid_arg "Partition_spec.range: empty keys";
+  { kind = Range; keys }
+
+let equal a b =
+  match (a.kind, b.kind) with
+  | Hash, Hash ->
+    List.sort String.compare a.keys = List.sort String.compare b.keys
+  | Range, Range -> a.keys = b.keys
+  | Hash, Range | Range, Hash -> false
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s)"
+    (match t.kind with Hash -> "hash" | Range -> "range")
+    (String.concat "," t.keys)

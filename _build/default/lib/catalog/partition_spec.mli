@@ -1,0 +1,25 @@
+(** Physical data partitioning for the shared-nothing parallel mode.
+
+    A table in the parallel environment is hash- or range-partitioned across
+    the nodes on a set of key columns (cf. DB2 Parallel Edition, the paper's
+    Section 4).  The partition property of plans derives from these physical
+    specs (lazy generation policy) plus the repartitioning heuristic. *)
+
+type kind =
+  | Hash
+  | Range
+
+type t = {
+  kind : kind;
+  keys : string list;  (** partitioning key columns *)
+}
+
+val hash : string list -> t
+
+val range : string list -> t
+
+val equal : t -> t -> bool
+(** Hash partitions compare keys as sets; range partitions compare the key
+    list in order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+module String_map = Map.Make (String)
+
+type t = {
+  by_name : Table.t String_map.t;
+  order : string list; (* reversed insertion order *)
+  fks : Fkey.t list;
+}
+
+let empty = { by_name = String_map.empty; order = []; fks = [] }
+
+let add_table t (table : Table.t) =
+  if String_map.mem table.name t.by_name then
+    invalid_arg (Printf.sprintf "Schema.add_table: duplicate table %s" table.name);
+  {
+    t with
+    by_name = String_map.add table.name table t.by_name;
+    order = table.name :: t.order;
+  }
+
+let find_table t name = String_map.find name t.by_name
+
+let find_table_opt t name = String_map.find_opt name t.by_name
+
+let mem_table t name = String_map.mem name t.by_name
+
+let add_fkey t (fk : Fkey.t) =
+  let check tbl cols =
+    match find_table_opt t tbl with
+    | None -> invalid_arg (Printf.sprintf "Schema.add_fkey: unknown table %s" tbl)
+    | Some table ->
+      List.iter
+        (fun col ->
+          if not (Table.mem_column table col) then
+            invalid_arg
+              (Printf.sprintf "Schema.add_fkey: unknown column %s.%s" tbl col))
+        cols
+  in
+  check fk.from_table fk.from_cols;
+  check fk.to_table fk.to_cols;
+  { t with fks = fk :: t.fks }
+
+let of_tables ?(fkeys = []) tables =
+  let t = List.fold_left add_table empty tables in
+  List.fold_left add_fkey t fkeys
+
+let tables t = List.rev_map (fun name -> String_map.find name t.by_name) t.order
+
+let table_names t = List.rev t.order
+
+let fkeys t = List.rev t.fks
+
+let fkeys_between t a b =
+  List.filter
+    (fun (fk : Fkey.t) ->
+      (String.equal fk.from_table a && String.equal fk.to_table b)
+      || (String.equal fk.from_table b && String.equal fk.to_table a))
+    (fkeys t)
+
+let pp ppf t =
+  Format.fprintf ppf "schema: %s" (String.concat ", " (table_names t))

@@ -1,0 +1,33 @@
+(** A database schema: tables plus foreign-key relationships. *)
+
+type t
+
+val empty : t
+
+val add_table : t -> Table.t -> t
+(** Raises [Invalid_argument] on duplicate table names. *)
+
+val add_fkey : t -> Fkey.t -> t
+(** Raises [Invalid_argument] if either endpoint table or column is
+    missing. *)
+
+val of_tables : ?fkeys:Fkey.t list -> Table.t list -> t
+
+val find_table : t -> string -> Table.t
+(** Raises [Not_found]. *)
+
+val find_table_opt : t -> string -> Table.t option
+
+val mem_table : t -> string -> bool
+
+val tables : t -> Table.t list
+(** In insertion order. *)
+
+val table_names : t -> string list
+
+val fkeys : t -> Fkey.t list
+
+val fkeys_between : t -> string -> string -> Fkey.t list
+(** Foreign keys linking the two named tables, in either direction. *)
+
+val pp : Format.formatter -> t -> unit

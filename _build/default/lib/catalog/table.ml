@@ -1,0 +1,82 @@
+type t = {
+  name : string;
+  columns : Column.t array;
+  row_count : float;
+  page_count : float;
+  primary_key : string list;
+  indexes : Index.t list;
+  partition : Partition_spec.t option;
+}
+
+let row_width_of columns =
+  Array.fold_left (fun acc c -> acc + Column.byte_width c) 0 columns
+
+let make ?(page_size = 4096) ?(primary_key = []) ?(indexes = []) ?partition
+    ~rows ~name columns =
+  let columns = Array.of_list columns in
+  let known col =
+    Array.exists (fun (c : Column.t) -> String.equal c.name col) columns
+  in
+  List.iter
+    (fun col ->
+      if not (known col) then
+        invalid_arg
+          (Printf.sprintf "Table.make(%s): unknown primary key column %s" name
+             col))
+    primary_key;
+  List.iter
+    (fun (idx : Index.t) ->
+      List.iter
+        (fun col ->
+          if not (known col) then
+            invalid_arg
+              (Printf.sprintf "Table.make(%s): index %s uses unknown column %s"
+                 name idx.name col))
+        idx.columns)
+    indexes;
+  (match partition with
+  | None -> ()
+  | Some (p : Partition_spec.t) ->
+    List.iter
+      (fun col ->
+        if not (known col) then
+          invalid_arg
+            (Printf.sprintf "Table.make(%s): partition key %s unknown" name col))
+      p.keys);
+  let width = max 1 (row_width_of columns) in
+  let rows_per_page = Float.max 1.0 (float_of_int (page_size / width)) in
+  {
+    name;
+    columns;
+    row_count = rows;
+    page_count = Float.max 1.0 (rows /. rows_per_page);
+    primary_key;
+    indexes;
+    partition;
+  }
+
+let find_column t name =
+  let found = ref None in
+  Array.iter
+    (fun (c : Column.t) -> if String.equal c.name name then found := Some c)
+    t.columns;
+  match !found with Some c -> c | None -> raise Not_found
+
+let mem_column t name =
+  Array.exists (fun (c : Column.t) -> String.equal c.name name) t.columns
+
+let column_names t =
+  Array.to_list (Array.map (fun (c : Column.t) -> c.name) t.columns)
+
+let row_width t = row_width_of t.columns
+
+let index_providing t cols =
+  List.find_opt (fun idx -> Index.provides_prefix idx cols) t.indexes
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%.0f rows, %d cols, %d idx%s)" t.name t.row_count
+    (Array.length t.columns)
+    (List.length t.indexes)
+    (match t.partition with
+    | None -> ""
+    | Some p -> Format.asprintf ", part %a" Partition_spec.pp p)

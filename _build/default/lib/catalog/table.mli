@@ -1,0 +1,39 @@
+(** Base tables with statistics, indexes and partitioning. *)
+
+type t = {
+  name : string;
+  columns : Column.t array;
+  row_count : float;
+  page_count : float;
+  primary_key : string list;
+  indexes : Index.t list;
+  partition : Partition_spec.t option;
+}
+
+val make :
+  ?page_size:int ->
+  ?primary_key:string list ->
+  ?indexes:Index.t list ->
+  ?partition:Partition_spec.t ->
+  rows:float ->
+  name:string ->
+  Column.t list ->
+  t
+(** Builds a table; [page_count] is derived from row width and a 4 KiB default
+    page size.  Raises [Invalid_argument] if [primary_key] or an index
+    references an unknown column. *)
+
+val find_column : t -> string -> Column.t
+(** Raises [Not_found]. *)
+
+val mem_column : t -> string -> bool
+
+val column_names : t -> string list
+
+val row_width : t -> int
+(** Sum of column byte widths. *)
+
+val index_providing : t -> string list -> Index.t option
+(** First index whose key has the given columns as a prefix, if any. *)
+
+val pp : Format.formatter -> t -> unit

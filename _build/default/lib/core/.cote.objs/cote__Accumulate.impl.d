@@ -1,0 +1,1 @@
+lib/core/accumulate.ml: Hashtbl List Option Qopt_optimizer Qopt_util

@@ -1,0 +1,1 @@
+lib/core/accumulate.mli: Qopt_optimizer

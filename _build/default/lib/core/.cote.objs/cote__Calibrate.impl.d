@@ -1,0 +1,1 @@
+lib/core/calibrate.ml: Array List Qopt_optimizer Qopt_util Time_model

@@ -1,0 +1,1 @@
+lib/core/calibrate.mli: Qopt_optimizer Time_model

@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Accumulate List Qopt_optimizer Qopt_util

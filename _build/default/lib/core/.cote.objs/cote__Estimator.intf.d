@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Accumulate Qopt_optimizer

@@ -1,0 +1,1 @@
+lib/core/memory_model.ml: Estimator Qopt_optimizer

@@ -1,0 +1,1 @@
+lib/core/memory_model.mli: Qopt_optimizer

@@ -1,0 +1,1 @@
+lib/core/multi_level.ml: Accumulate List Qopt_optimizer Qopt_util

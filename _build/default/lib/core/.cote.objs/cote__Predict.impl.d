@@ -1,0 +1,1 @@
+lib/core/predict.ml: Estimator Qopt_optimizer Time_model

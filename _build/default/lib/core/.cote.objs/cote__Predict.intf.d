@@ -1,0 +1,1 @@
+lib/core/predict.mli: Accumulate Estimator Qopt_optimizer Time_model

@@ -1,0 +1,1 @@
+lib/core/stmt_cache.ml: Format Hashtbl List Printf Qopt_catalog Qopt_optimizer Qopt_util String

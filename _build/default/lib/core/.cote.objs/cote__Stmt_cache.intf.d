@@ -1,0 +1,1 @@
+lib/core/stmt_cache.mli: Qopt_optimizer

@@ -1,0 +1,1 @@
+lib/core/time_model.ml: Estimator Float Format List Qopt_optimizer

@@ -1,0 +1,1 @@
+lib/core/time_model.mli: Estimator Format Qopt_optimizer

@@ -1,0 +1,88 @@
+module O = Qopt_optimizer
+module Timer = Qopt_util.Timer
+
+type estimate = {
+  joins : int;
+  nljn : int;
+  mgjn : int;
+  hsjn : int;
+  scan_plans : int;
+  entries : int;
+  elapsed : float;
+  est_memo_plans : float;
+  mv_tests : int;
+}
+
+let total e = e.nljn + e.mgjn + e.hsjn
+
+let get e = function
+  | O.Join_method.NLJN -> e.nljn
+  | O.Join_method.MGJN -> e.mgjn
+  | O.Join_method.HSJN -> e.hsjn
+
+let zero =
+  {
+    joins = 0;
+    nljn = 0;
+    mgjn = 0;
+    hsjn = 0;
+    scan_plans = 0;
+    entries = 0;
+    elapsed = 0.0;
+    est_memo_plans = 0.0;
+    mv_tests = 0;
+  }
+
+let add a b =
+  {
+    joins = a.joins + b.joins;
+    nljn = a.nljn + b.nljn;
+    mgjn = a.mgjn + b.mgjn;
+    hsjn = a.hsjn + b.hsjn;
+    scan_plans = a.scan_plans + b.scan_plans;
+    entries = a.entries + b.entries;
+    elapsed = a.elapsed +. b.elapsed;
+    est_memo_plans = a.est_memo_plans +. b.est_memo_plans;
+    mv_tests = a.mv_tests + b.mv_tests;
+  }
+
+let run_block ?options ~knobs env block =
+  let memo = O.Memo.create block in
+  let acc = Accumulate.create ?options env memo in
+  O.Enumerator.run ~knobs ~card_of:(Accumulate.card_of acc) memo
+    (Accumulate.consumer acc);
+  (memo, acc)
+
+let estimate_block ?options ~knobs ~n_views env block =
+  let (memo, acc), elapsed =
+    Timer.time (fun () ->
+        let memo, acc = run_block ?options ~knobs env block in
+        (* Mirror the optimizer's permissive fallback when the knobs leave
+           the top table set unreachable. *)
+        if
+          O.Memo.find_opt memo (O.Query_block.all_tables block) = None
+          && O.Query_block.n_quantifiers block > 1
+        then run_block ?options ~knobs:(O.Knobs.permissive knobs) env block
+        else (memo, acc))
+  in
+  let counts = Accumulate.counts acc in
+  let stats = O.Memo.stats memo in
+  {
+    joins = stats.O.Memo.joins_enumerated;
+    nljn = counts.O.Memo.nljn;
+    mgjn = counts.O.Memo.mgjn;
+    hsjn = counts.O.Memo.hsjn;
+    scan_plans = Accumulate.scan_plans acc;
+    entries = O.Memo.n_entries memo;
+    elapsed;
+    est_memo_plans = Accumulate.est_memo_plans acc;
+    mv_tests = O.Memo.n_entries memo * n_views;
+  }
+
+let estimate ?options ?(knobs = O.Knobs.default) ?(views = []) env block =
+  let n_views = List.length views in
+  let result = ref zero in
+  O.Query_block.iter_blocks
+    (fun b -> result := add !result (estimate_block ?options ~knobs ~n_views env b))
+    block;
+  !result

@@ -1,0 +1,38 @@
+(** The COTE front end: runs the shared join enumerator in plan-estimate
+    mode over a query (all blocks) and returns the estimated plan counts.
+
+    This is the paper's headline mechanism: the enumerator is *reused* —
+    every knob, heuristic and constraint applies — while plan generation is
+    bypassed, so estimation costs a few percent of real optimization. *)
+
+module O = Qopt_optimizer
+
+type estimate = {
+  joins : int;  (** joins enumerated in plan-estimate mode *)
+  nljn : int;  (** estimated generated NLJN plans *)
+  mgjn : int;
+  hsjn : int;
+  scan_plans : int;  (** estimated non-join plans *)
+  entries : int;  (** MEMO entries touched *)
+  elapsed : float;  (** wall-clock seconds of the estimation itself *)
+  est_memo_plans : float;  (** estimated plans kept in the MEMO (Sec. 6.2) *)
+  mv_tests : int;
+      (** predicted materialized-view matching tests: MEMO entries x
+          registered views (Sec. 6.2 — view-matching time must be accounted
+          for, and the reused enumerator knows the entry count) *)
+}
+
+val total : estimate -> int
+(** [nljn + mgjn + hsjn]. *)
+
+val get : estimate -> O.Join_method.t -> int
+
+val estimate :
+  ?options:Accumulate.options ->
+  ?knobs:O.Knobs.t ->
+  ?views:O.Mat_view.t list ->
+  O.Env.t ->
+  O.Query_block.t ->
+  estimate
+(** Estimates the query (the block and all its children, like
+    {!O.Optimizer.optimize}).  [knobs] defaults to {!O.Knobs.default}. *)

@@ -1,0 +1,24 @@
+module O = Qopt_optimizer
+
+type report = {
+  est_plans : float;
+  est_bytes : float;
+  actual_plans : int;
+  actual_bytes : float;
+  estimate_seconds : float;
+  optimize_seconds : float;
+}
+
+let analyze ?knobs env block =
+  let est = Estimator.estimate ?knobs env block in
+  let real = O.Optimizer.optimize env ?knobs block in
+  {
+    est_plans = est.Estimator.est_memo_plans;
+    est_bytes = est.Estimator.est_memo_plans *. O.Plan.approx_bytes;
+    actual_plans = real.O.Optimizer.kept;
+    actual_bytes = real.O.Optimizer.memo_bytes;
+    estimate_seconds = est.Estimator.elapsed;
+    optimize_seconds = real.O.Optimizer.elapsed;
+  }
+
+let would_exceed report ~budget_bytes = report.est_bytes > budget_bytes

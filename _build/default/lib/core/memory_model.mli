@@ -1,0 +1,26 @@
+(** Optimizer memory-consumption estimation (Section 6.2).
+
+    "The total amount of memory needed in a MEMO structure can be estimated
+    by summing the length of the interesting property lists of all MEMO
+    entries and multiplying that by the space required per plan.  Note that
+    this is a lower bound of the memory required by an optimizer." *)
+
+module O = Qopt_optimizer
+
+type report = {
+  est_plans : float;  (** estimated kept plans from the property lists *)
+  est_bytes : float;
+  actual_plans : int;  (** plans actually kept by real optimization *)
+  actual_bytes : float;
+  estimate_seconds : float;
+  optimize_seconds : float;
+}
+
+val analyze :
+  ?knobs:O.Knobs.t -> O.Env.t -> O.Query_block.t -> report
+(** Runs the estimator and the real optimizer on the query and compares
+    memory estimates against the real MEMO population. *)
+
+val would_exceed : report -> budget_bytes:float -> bool
+(** The meta-optimizer's memory gate: when even the lower bound exceeds the
+    budget "there is no point in starting optimization at that level". *)

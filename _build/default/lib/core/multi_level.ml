@@ -1,0 +1,109 @@
+module O = Qopt_optimizer
+module Timer = Qopt_util.Timer
+module Bitset = Qopt_util.Bitset
+
+type level = {
+  level_name : string;
+  level_knobs : O.Knobs.t;
+}
+
+type level_counts = {
+  lc_name : string;
+  lc_joins : int;
+  lc_nljn : int;
+  lc_mgjn : int;
+  lc_hsjn : int;
+}
+
+let lc_total lc = lc.lc_nljn + lc.lc_mgjn + lc.lc_hsjn
+
+type slot = {
+  s_level : level;
+  s_counts : O.Memo.counts;
+  mutable s_joins : int;
+}
+
+let event_feasibility ~knobs ~block ~card_of (event : O.Enumerator.join_event) =
+  let s = event.O.Enumerator.left and l = event.O.Enumerator.right in
+  let cartesian_ok =
+    (not event.O.Enumerator.cartesian)
+    || knobs.O.Knobs.allow_cartesian
+    || (knobs.O.Knobs.card1_cartesian
+       && ((Bitset.cardinal s.O.Memo.tables <= knobs.O.Knobs.card1_max_size
+           && card_of s <= knobs.O.Knobs.card1_threshold)
+          || (Bitset.cardinal l.O.Memo.tables <= knobs.O.Knobs.card1_max_size
+             && card_of l <= knobs.O.Knobs.card1_threshold)))
+  in
+  if not cartesian_ok then (false, false)
+  else
+    ( O.Enumerator.direction_feasible ~knobs ~block ~outer:s.O.Memo.tables
+        ~inner:l.O.Memo.tables,
+      O.Enumerator.direction_feasible ~knobs ~block ~outer:l.O.Memo.tables
+        ~inner:s.O.Memo.tables )
+
+let run_block ?options ~base ~slots env block =
+  let memo = O.Memo.create block in
+  let acc = Accumulate.create ?options env memo in
+  let base_consumer = Accumulate.consumer acc in
+  let card_of = Accumulate.card_of acc in
+  let on_join event =
+    (* Lower levels first: their counts must use the input lists *before*
+       this join pollutes the result entry, and the lists of inputs are
+       unaffected by counting. *)
+    List.iter
+      (fun slot ->
+        let left_ok, right_ok =
+          event_feasibility ~knobs:slot.s_level.level_knobs ~block ~card_of event
+        in
+        if left_ok || right_ok then begin
+          slot.s_joins <- slot.s_joins + 1;
+          Accumulate.count_into acc event ~left_ok ~right_ok slot.s_counts
+        end)
+      slots;
+    base_consumer.O.Enumerator.on_join event
+  in
+  O.Enumerator.run ~knobs:base ~card_of memo
+    { base_consumer with O.Enumerator.on_join };
+  ( Accumulate.counts acc,
+    (O.Memo.stats memo).O.Memo.joins_enumerated )
+
+let piggyback ?options ~base ~levels env block =
+  let slots =
+    List.map
+      (fun level -> { s_level = level; s_counts = O.Memo.counts_zero (); s_joins = 0 })
+      levels
+  in
+  let base_counts = O.Memo.counts_zero () in
+  let base_joins = ref 0 in
+  let (), elapsed =
+    Timer.time (fun () ->
+        O.Query_block.iter_blocks
+          (fun b ->
+            let counts, joins = run_block ?options ~base ~slots env b in
+            base_joins := !base_joins + joins;
+            List.iter
+              (fun m ->
+                O.Memo.counts_add base_counts m (O.Memo.counts_get counts m))
+              O.Join_method.all)
+          block)
+  in
+  let results =
+    {
+      lc_name = "base";
+      lc_joins = !base_joins;
+      lc_nljn = base_counts.O.Memo.nljn;
+      lc_mgjn = base_counts.O.Memo.mgjn;
+      lc_hsjn = base_counts.O.Memo.hsjn;
+    }
+    :: List.map
+         (fun slot ->
+           {
+             lc_name = slot.s_level.level_name;
+             lc_joins = slot.s_joins;
+             lc_nljn = slot.s_counts.O.Memo.nljn;
+             lc_mgjn = slot.s_counts.O.Memo.mgjn;
+             lc_hsjn = slot.s_counts.O.Memo.hsjn;
+           })
+         slots
+  in
+  (results, elapsed)

@@ -1,0 +1,38 @@
+(** Piggyback estimation for multiple optimization levels (Section 6.2).
+
+    "It's possible to estimate the compilation time of multiple levels of
+    optimization in a single pass, as long as the search space of the
+    highest level subsumes that of all other levels."  One enumeration at
+    the highest level also accumulates counts for every lower level by
+    checking, per enumerated join, whether the lower level's knobs would
+    have enumerated it.  The property lists are shared (an approximation:
+    a lower level might propagate slightly smaller lists). *)
+
+module O = Qopt_optimizer
+
+type level = {
+  level_name : string;
+  level_knobs : O.Knobs.t;
+}
+
+type level_counts = {
+  lc_name : string;
+  lc_joins : int;
+  lc_nljn : int;
+  lc_mgjn : int;
+  lc_hsjn : int;
+}
+
+val lc_total : level_counts -> int
+
+val piggyback :
+  ?options:Accumulate.options ->
+  base:O.Knobs.t ->
+  levels:level list ->
+  O.Env.t ->
+  O.Query_block.t ->
+  level_counts list * float
+(** Runs one plan-estimate pass at [base] (which must subsume every level)
+    and returns per-level counts — the base level first under the name
+    ["base"] — together with the elapsed estimation time for the whole
+    pass. *)

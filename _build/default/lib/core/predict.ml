@@ -1,0 +1,10 @@
+module O = Qopt_optimizer
+
+type prediction = {
+  seconds : float;
+  estimate : Estimator.estimate;
+}
+
+let compile_time ?options ?knobs ~model env block =
+  let estimate = Estimator.estimate ?options ?knobs env block in
+  { seconds = Time_model.predict model estimate; estimate }

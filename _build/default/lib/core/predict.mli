@@ -1,0 +1,22 @@
+(** The public one-call API: estimate a query's compilation time.
+
+    Combines the plan-count estimator with a fitted time model — the
+    complete COTE of the paper's Figure 1. *)
+
+module O = Qopt_optimizer
+
+type prediction = {
+  seconds : float;  (** predicted compilation time *)
+  estimate : Estimator.estimate;  (** the underlying plan-count estimate *)
+}
+
+val compile_time :
+  ?options:Accumulate.options ->
+  ?knobs:O.Knobs.t ->
+  model:Time_model.t ->
+  O.Env.t ->
+  O.Query_block.t ->
+  prediction
+(** Predicted time to optimize the query at the given level (knobs) in the
+    given environment, using a model fitted by {!Calibrate} for that same
+    environment. *)

@@ -1,0 +1,68 @@
+module O = Qopt_optimizer
+
+type t = {
+  tbl : (string, float) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let pred_sig block p =
+  let col (c : O.Colref.t) =
+    Printf.sprintf "%s.%s"
+      (O.Query_block.quantifier block c.O.Colref.q).O.Quantifier.table
+        .Qopt_catalog.Table.name
+      c.O.Colref.col
+  in
+  match p with
+  | O.Pred.Eq_join (l, r) ->
+    let a = col l and b = col r in
+    if a <= b then Printf.sprintf "J:%s=%s" a b else Printf.sprintf "J:%s=%s" b a
+  | O.Pred.Local_cmp (c, op, _) ->
+    (* Literal values are abstracted away: "similar" queries differ only in
+       constants. *)
+    Printf.sprintf "L:%s%s" (col c)
+      (match op with
+      | O.Pred.Eq -> "="
+      | O.Pred.Lt | O.Pred.Le -> "<"
+      | O.Pred.Gt | O.Pred.Ge -> ">")
+  | O.Pred.Local_in (c, n) -> Printf.sprintf "I:%s:%d" (col c) n
+  | O.Pred.Expensive (ts, _, _) ->
+    Printf.sprintf "X:%s" (Format.asprintf "%a" Qopt_util.Bitset.pp ts)
+
+let rec block_sig (b : O.Query_block.t) =
+  let tables =
+    List.sort String.compare
+      (List.init (O.Query_block.n_quantifiers b) (fun q ->
+           (O.Query_block.quantifier b q).O.Quantifier.table
+             .Qopt_catalog.Table.name))
+  in
+  let preds = List.sort String.compare (List.map (pred_sig b) b.O.Query_block.preds) in
+  let children = List.map block_sig b.O.Query_block.children in
+  Printf.sprintf "[%s|%s|g%d|o%d|n%s|oj%d|{%s}]"
+    (String.concat "," tables) (String.concat ";" preds)
+    (List.length b.O.Query_block.group_by)
+    (List.length b.O.Query_block.order_by)
+    (match b.O.Query_block.first_n with None -> "-" | Some n -> string_of_int n)
+    (List.length b.O.Query_block.outer_joins)
+    (String.concat "" children)
+
+let signature = block_sig
+
+let lookup t block =
+  match Hashtbl.find_opt t.tbl (signature block) with
+  | Some seconds ->
+    t.hits <- t.hits + 1;
+    Some seconds
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let record t block seconds = Hashtbl.replace t.tbl (signature block) seconds
+
+let size t = Hashtbl.length t.tbl
+
+let hits t = t.hits
+
+let misses t = t.misses

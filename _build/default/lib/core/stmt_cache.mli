@@ -1,0 +1,35 @@
+(** The statement-cache baseline (Section 1.2).
+
+    "One straightforward approach to estimating the compilation time is to
+    cache the compilation time for each compiled query in a statement cache
+    and use it as an estimate for subsequent similar queries.  However, this
+    approach may not work well for a variety of complex ad-hoc queries."
+
+    Queries are keyed by a structural signature (tables, predicate shape,
+    grouping/ordering arity, knob-relevant flags); a hit returns the
+    recorded compile time, a miss returns nothing — the cache cannot say
+    anything about a query it has not compiled. *)
+
+module O = Qopt_optimizer
+
+type t
+
+val create : unit -> t
+
+val signature : O.Query_block.t -> string
+(** Structural signature covering the block and its children: sorted base
+    table names, join/local predicate column sets, grouping and ordering
+    arities, LIMIT presence. *)
+
+val lookup : t -> O.Query_block.t -> float option
+(** Recorded compile time for a structurally identical query, if any. *)
+
+val record : t -> O.Query_block.t -> float -> unit
+(** Store a measured compile time. *)
+
+val size : t -> int
+
+val hits : t -> int
+(** Number of successful lookups so far. *)
+
+val misses : t -> int

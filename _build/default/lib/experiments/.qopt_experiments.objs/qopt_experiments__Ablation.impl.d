@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Common Cote Format List Qopt_optimizer Qopt_util Qopt_workloads

@@ -1,0 +1,1 @@
+lib/experiments/coeffs.ml: Common Cote Format List Printf Qopt_optimizer Qopt_util

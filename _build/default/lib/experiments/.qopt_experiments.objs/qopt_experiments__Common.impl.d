@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Cote Hashtbl List Printf Qopt_optimizer Qopt_util Qopt_workloads

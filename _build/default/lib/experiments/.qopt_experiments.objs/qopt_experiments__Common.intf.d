@@ -1,0 +1,1 @@
+lib/experiments/common.mli: Cote Qopt_optimizer Qopt_workloads

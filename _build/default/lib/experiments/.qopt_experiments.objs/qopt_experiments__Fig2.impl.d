@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Common Format List Qopt_optimizer Qopt_util Qopt_workloads

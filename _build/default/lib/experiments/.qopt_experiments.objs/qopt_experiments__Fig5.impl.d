@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Common Cote Format List Printf Qopt_optimizer Qopt_util Qopt_workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Common Cote Format List Printf Qopt_optimizer Qopt_util Qopt_workloads

@@ -1,0 +1,1 @@
+lib/experiments/mop_exp.ml: Common Format List Qopt_mop Qopt_optimizer Qopt_sql Qopt_util Qopt_workloads

@@ -1,0 +1,1 @@
+lib/experiments/mv_exp.ml: Common Cote Float Format List Printf Qopt_catalog Qopt_optimizer Qopt_sql Qopt_util Qopt_workloads String

@@ -1,0 +1,1 @@
+lib/experiments/pilot_exp.ml: Common Format List Qopt_optimizer Qopt_util Qopt_workloads

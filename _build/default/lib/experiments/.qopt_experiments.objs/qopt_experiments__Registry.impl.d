@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablation Cache_exp Coeffs Fig2 Fig4 Fig5 Fig6 List Memory_exp Mop_exp Multilevel_exp Mv_exp Pilot_exp String Tables_exp Topn_exp

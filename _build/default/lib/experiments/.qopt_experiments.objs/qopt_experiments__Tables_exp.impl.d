@@ -1,0 +1,1 @@
+lib/experiments/tables_exp.ml: Common Cote List Qopt_catalog Qopt_optimizer Qopt_util

@@ -1,0 +1,79 @@
+(** Ablations of the COTE's design choices.
+
+    [abl-sep] — independent order/partition lists (Section 3.4) vs compound
+    property vectors: compound is the accuracy baseline, separate lists must
+    be faster (and tend to undercount slightly, as the paper notes).
+
+    [abl-first] — first-join-only property propagation (Section 4 point 4):
+    propagating on every join is the precision baseline; the shortcut must
+    cut estimator time at a small precision cost. *)
+
+module O = Qopt_optimizer
+module W = Qopt_workloads
+module Tablefmt = Qopt_util.Tablefmt
+module Stats = Qopt_util.Stats
+
+let estimate_with options env block = Cote.Estimator.estimate ~options env block
+
+let compare_options ~title ~label_a ~label_b options_a options_b env wl_name =
+  let wl = Common.workload env wl_name in
+  let measured = Common.measure_workload env wl in
+  let t =
+    Tablefmt.create ~title
+      [
+        ("query", Tablefmt.Left);
+        ("actual", Tablefmt.Right);
+        (label_a, Tablefmt.Right);
+        (label_b, Tablefmt.Right);
+        (label_a ^ " err", Tablefmt.Right);
+        (label_b ^ " err", Tablefmt.Right);
+      ]
+  in
+  let time_a = ref 0.0 and time_b = ref 0.0 in
+  let errs_a = ref [] and errs_b = ref [] in
+  List.iter
+    (fun m ->
+      let block = m.Common.m_query.W.Workload.block in
+      let actual = float_of_int (O.Memo.counts_total m.Common.m_real.O.Optimizer.generated) in
+      let ea = estimate_with options_a env block in
+      let eb = estimate_with options_b env block in
+      time_a := !time_a +. ea.Cote.Estimator.elapsed;
+      time_b := !time_b +. eb.Cote.Estimator.elapsed;
+      let va = float_of_int (Cote.Estimator.total ea) in
+      let vb = float_of_int (Cote.Estimator.total eb) in
+      errs_a := (actual, va) :: !errs_a;
+      errs_b := (actual, vb) :: !errs_b;
+      Tablefmt.add_row t
+        [
+          m.Common.m_query.W.Workload.q_name;
+          Tablefmt.fcount actual;
+          Tablefmt.fcount va;
+          Tablefmt.fcount vb;
+          Tablefmt.fpct (Stats.pct_error ~actual ~estimate:va);
+          Tablefmt.fpct (Stats.pct_error ~actual ~estimate:vb);
+        ])
+    measured;
+  Tablefmt.print t;
+  Format.printf "%s: %s, total estimator time %.4fs@." label_a
+    (Common.err_summary !errs_a) !time_a;
+  Format.printf "%s: %s, total estimator time %.4fs@.@." label_b
+    (Common.err_summary !errs_b) !time_b
+
+let run_separate () =
+  compare_options
+    ~title:
+      "abl-sep: separate order/partition lists vs compound vectors (real1_p)"
+    ~label_a:"separate" ~label_b:"compound"
+    { Cote.Accumulate.first_join_only = true; separate_lists = true }
+    { Cote.Accumulate.first_join_only = true; separate_lists = false }
+    Common.parallel "real1"
+
+let run_first_join () =
+  compare_options
+    ~title:
+      "abl-first: first-join-only propagation vs propagate-on-every-join \
+       (linear_s)"
+    ~label_a:"first-only" ~label_b:"every-join"
+    { Cote.Accumulate.first_join_only = true; separate_lists = true }
+    { Cote.Accumulate.first_join_only = false; separate_lists = true }
+    Common.serial "linear"

@@ -1,0 +1,61 @@
+(** Experiment [ct]: the regression coefficients of the time model
+    (Sections 3.5 and 4).
+
+    The paper reports Cm:Cn:Ch = 5:2:4 on the serial version and 6:1:2 on
+    the parallel version — one set per environment, refitted per release.
+    Our absolute ratios differ (different cost model internals) but the
+    shape must hold: coefficients are positive, the fit is tight, and the
+    parallel coefficients differ from the serial ones (plan generation is
+    costlier in parallel). *)
+
+module O = Qopt_optimizer
+module Tablefmt = Qopt_util.Tablefmt
+module Stats = Qopt_util.Stats
+
+let fit_quality env model =
+  let wl = Common.workload env "calibration" in
+  let measured = Common.measure_workload env wl in
+  let actual = List.map (fun m -> m.Common.m_real.O.Optimizer.elapsed) measured in
+  let fitted =
+    List.map
+      (fun m ->
+        Cote.Time_model.predict_counts model
+          ~nljn:(float_of_int m.Common.m_real.O.Optimizer.generated.O.Memo.nljn)
+          ~mgjn:(float_of_int m.Common.m_real.O.Optimizer.generated.O.Memo.mgjn)
+          ~hsjn:(float_of_int m.Common.m_real.O.Optimizer.generated.O.Memo.hsjn)
+          ~joins:(float_of_int m.Common.m_real.O.Optimizer.joins))
+      measured
+  in
+  Stats.r_squared ~actual ~fitted
+
+let run () =
+  let t =
+    Tablefmt.create
+      ~title:
+        "ct: fitted time-model coefficients (paper: Cm:Cn:Ch = 5:2:4 serial, \
+         6:1:2 parallel)"
+      [
+        ("environment", Tablefmt.Left);
+        ("Cn (us/plan)", Tablefmt.Right);
+        ("Cm (us/plan)", Tablefmt.Right);
+        ("Ch (us/plan)", Tablefmt.Right);
+        ("Cm:Cn:Ch", Tablefmt.Right);
+        ("R^2", Tablefmt.Right);
+      ]
+  in
+  List.iter
+    (fun env ->
+      let model = Common.model_for env in
+      let m, n, h = Cote.Time_model.ratios model in
+      Tablefmt.add_row t
+        [
+          Format.asprintf "%a" O.Env.pp env;
+          Printf.sprintf "%.3f" (model.Cote.Time_model.c_nljn *. 1e6);
+          Printf.sprintf "%.3f" (model.Cote.Time_model.c_mgjn *. 1e6);
+          Printf.sprintf "%.3f" (model.Cote.Time_model.c_hsjn *. 1e6);
+          Printf.sprintf "%.1f:%.1f:%.1f" m n h;
+          Printf.sprintf "%.4f" (fit_quality env model);
+        ])
+    [ Common.serial; Common.parallel ];
+  Tablefmt.print t;
+  Format.printf "@."

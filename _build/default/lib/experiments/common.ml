@@ -1,0 +1,132 @@
+module O = Qopt_optimizer
+module W = Qopt_workloads
+module Timer = Qopt_util.Timer
+module Stats = Qopt_util.Stats
+
+let serial = O.Env.serial
+
+let parallel = O.Env.parallel ~nodes:4
+
+type measured = {
+  m_query : W.Workload.query;
+  m_real : O.Optimizer.result;
+  m_est : Cote.Estimator.estimate;
+}
+
+let workload_cache : (string, W.Workload.t) Hashtbl.t = Hashtbl.create 16
+
+let workload env name =
+  let partitioned = O.Env.is_parallel env in
+  let key = name ^ O.Env.suffix env in
+  match Hashtbl.find_opt workload_cache key with
+  | Some w -> w
+  | None ->
+    let w =
+      match name with
+      | "linear" -> W.Synthetic.linear ~partitioned
+      | "star" -> W.Synthetic.star ~partitioned
+      | "cycle" -> W.Synthetic.cycle ~partitioned
+      | "calibration" -> W.Synthetic.calibration ~partitioned
+      | "real1" -> W.Warehouse.real1_w ~partitioned
+      | "real2" -> W.Warehouse.real2_w ~partitioned
+      | "random" ->
+        W.Random_gen.generate ~schema:(W.Warehouse.schema ~partitioned) ()
+      | "tpch" -> W.Tpch.all ~partitioned
+      | "tpch7" -> W.Tpch.longest ~env ~partitioned ()
+      | other -> invalid_arg (Printf.sprintf "Common.workload: unknown %s" other)
+    in
+    Hashtbl.add workload_cache key w;
+    w
+
+(* Median of three runs for short queries, single run for long ones: the
+   long queries are timing-stable, and re-running them would dominate the
+   harness's wall-clock. *)
+let timed_optimize env block =
+  let first = O.Optimizer.optimize env block in
+  if first.O.Optimizer.elapsed >= 0.5 then first
+  else begin
+    let r2 = O.Optimizer.optimize env block in
+    let r3 = O.Optimizer.optimize env block in
+    let med =
+      Stats.median
+        [ first.O.Optimizer.elapsed; r2.O.Optimizer.elapsed; r3.O.Optimizer.elapsed ]
+    in
+    { first with O.Optimizer.elapsed = med }
+  end
+
+let timed_estimate env block =
+  let first = Cote.Estimator.estimate env block in
+  let e2 = Cote.Estimator.estimate env block in
+  let e3 = Cote.Estimator.estimate env block in
+  let med =
+    Stats.median
+      [ first.Cote.Estimator.elapsed; e2.Cote.Estimator.elapsed;
+        e3.Cote.Estimator.elapsed ]
+  in
+  { first with Cote.Estimator.elapsed = med }
+
+let measure_cache : (string, measured list) Hashtbl.t = Hashtbl.create 16
+
+let measure_workload env (w : W.Workload.t) =
+  let key = w.W.Workload.w_name ^ O.Env.suffix env in
+  match Hashtbl.find_opt measure_cache key with
+  | Some m -> m
+  | None ->
+    let m =
+      List.map
+        (fun (q : W.Workload.query) ->
+          {
+            m_query = q;
+            m_real = timed_optimize env q.W.Workload.block;
+            m_est = timed_estimate env q.W.Workload.block;
+          })
+        w.W.Workload.queries
+    in
+    Hashtbl.add measure_cache key m;
+    m
+
+let observations env =
+  let cal = workload env "calibration" in
+  List.map
+    (fun m ->
+      {
+        Cote.Calibrate.obs_nljn =
+          float_of_int m.m_real.O.Optimizer.generated.O.Memo.nljn;
+        obs_mgjn = float_of_int m.m_real.O.Optimizer.generated.O.Memo.mgjn;
+        obs_hsjn = float_of_int m.m_real.O.Optimizer.generated.O.Memo.hsjn;
+        obs_joins = float_of_int m.m_real.O.Optimizer.joins;
+        obs_seconds = m.m_real.O.Optimizer.elapsed;
+        obs_t_nljn = m.m_real.O.Optimizer.breakdown.O.Instrument.s_nljn;
+        obs_t_mgjn = m.m_real.O.Optimizer.breakdown.O.Instrument.s_mgjn;
+        obs_t_hsjn = m.m_real.O.Optimizer.breakdown.O.Instrument.s_hsjn;
+      })
+    (measure_workload env cal)
+
+let model_cache : (string, Cote.Time_model.t) Hashtbl.t = Hashtbl.create 4
+
+let model_for env =
+  let key = "plan" ^ O.Env.suffix env in
+  match Hashtbl.find_opt model_cache key with
+  | Some m -> m
+  | None ->
+    let m = Cote.Calibrate.fit_instrumented (observations env) in
+    Hashtbl.add model_cache key m;
+    m
+
+let joins_model_for env =
+  let key = "joins" ^ O.Env.suffix env in
+  match Hashtbl.find_opt model_cache key with
+  | Some m -> m
+  | None ->
+    let m = Cote.Calibrate.fit_joins_only (observations env) in
+    Hashtbl.add model_cache key m;
+    m
+
+let predicted_seconds env m = Cote.Time_model.predict (model_for env) m.m_est
+
+let suffixed env name = name ^ O.Env.suffix env
+
+let err_summary pairs =
+  Printf.sprintf "mean |err| %.1f%%, max %.1f%%"
+    (Stats.mean_abs_pct_error pairs)
+    (Stats.max_abs_pct_error pairs)

@@ -1,0 +1,49 @@
+(** Figure 4: overhead of compilation-time estimation vs. actual
+    optimization — (a) linear_s, (b) real2_s, (c) real1_p.
+
+    The paper reports estimation costing 1-3% of actual compilation. *)
+
+module O = Qopt_optimizer
+module Tablefmt = Qopt_util.Tablefmt
+module Stats = Qopt_util.Stats
+
+let run_one env wl_name =
+  let wl = Common.workload env wl_name in
+  let measured = Common.measure_workload env wl in
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf "fig4: estimation overhead, %s (paper: 1-3%%)"
+           (Common.suffixed env wl_name))
+      [
+        ("query", Tablefmt.Left);
+        ("actual time", Tablefmt.Right);
+        ("time to estimate", Tablefmt.Right);
+        ("pctg", Tablefmt.Right);
+      ]
+  in
+  let pcts =
+    List.map
+      (fun m ->
+        let actual = m.Common.m_real.O.Optimizer.elapsed in
+        let est = m.Common.m_est.Cote.Estimator.elapsed in
+        let pct = if actual > 0.0 then est /. actual *. 100.0 else 0.0 in
+        Tablefmt.add_row t
+          [
+            m.Common.m_query.Qopt_workloads.Workload.q_name;
+            Tablefmt.fseconds actual;
+            Tablefmt.fseconds est;
+            Tablefmt.fpct pct;
+          ];
+        pct)
+      measured
+  in
+  Tablefmt.print t;
+  Format.printf "overhead: mean %.1f%%, median %.1f%%, max %.1f%%@.@."
+    (Stats.mean pcts) (Stats.median pcts) (Stats.maximum pcts)
+
+let run_a () = run_one Common.serial "linear"
+
+let run_b () = run_one Common.serial "real2"
+
+let run_c () = run_one Common.parallel "real1"

@@ -1,0 +1,66 @@
+(** Figure 6: accuracy of compilation-time estimation — (a) star_s,
+    (b) real1_s, (c) real2_s, (d) tpch_p, (e) random_p, (f) real1_p.
+
+    Paper shape: estimates within ~30% of actual compilation time (larger
+    errors tolerated on real1_p, up to 66%), correctly tracking the trend
+    *within* a star batch — where a joins-only model cannot distinguish the
+    queries at all and is ~20x worse. *)
+
+module O = Qopt_optimizer
+module Tablefmt = Qopt_util.Tablefmt
+module Stats = Qopt_util.Stats
+
+let run_one ?(joins_baseline = false) env wl_name =
+  let wl = Common.workload env wl_name in
+  let measured = Common.measure_workload env wl in
+  let model = Common.model_for env in
+  let joins_model = Common.joins_model_for env in
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf "fig6: compilation time estimation, %s (paper: <~30%% err)"
+           (Common.suffixed env wl_name))
+      ([
+         ("query", Tablefmt.Left);
+         ("actual", Tablefmt.Right);
+         ("estimated", Tablefmt.Right);
+         ("err", Tablefmt.Right);
+       ]
+      @ if joins_baseline then [ ("joins-only est", Tablefmt.Right) ] else [])
+  in
+  let pairs = ref [] and joins_pairs = ref [] in
+  List.iter
+    (fun m ->
+      let actual = m.Common.m_real.O.Optimizer.elapsed in
+      let est = Cote.Time_model.predict model m.Common.m_est in
+      let joins_est = Cote.Time_model.predict joins_model m.Common.m_est in
+      pairs := (actual, est) :: !pairs;
+      joins_pairs := (actual, joins_est) :: !joins_pairs;
+      Tablefmt.add_row t
+        ([
+           m.Common.m_query.Qopt_workloads.Workload.q_name;
+           Tablefmt.fseconds actual;
+           Tablefmt.fseconds est;
+           Tablefmt.fpct (Stats.pct_error ~actual ~estimate:est);
+         ]
+        @ if joins_baseline then [ Tablefmt.fseconds joins_est ] else []))
+    measured;
+  Tablefmt.print t;
+  Format.printf "time estimation: %s@." (Common.err_summary !pairs);
+  if joins_baseline then
+    Format.printf
+      "joins-only baseline: %s (paper: ~20x worse than the plan-level model)@."
+      (Common.err_summary !joins_pairs);
+  Format.printf "@."
+
+let run_a () = run_one ~joins_baseline:true Common.serial "star"
+
+let run_b () = run_one Common.serial "real1"
+
+let run_c () = run_one Common.serial "real2"
+
+let run_d () = run_one Common.parallel "tpch7"
+
+let run_e () = run_one Common.parallel "random"
+
+let run_f () = run_one Common.parallel "real1"

@@ -1,0 +1,54 @@
+(** Experiment [mem]: optimizer memory-consumption estimation (Section 6.2).
+
+    The property-list estimate is a *lower bound* on the real MEMO
+    population; the experiment verifies the bound and its correlation. *)
+
+module O = Qopt_optimizer
+module W = Qopt_workloads
+module Tablefmt = Qopt_util.Tablefmt
+
+let run_one env wl_name =
+  let wl = Common.workload env wl_name in
+  let measured = Common.measure_workload env wl in
+  let t =
+    Tablefmt.create
+      ~title:
+        (Printf.sprintf
+           "mem: MEMO memory estimation, %s (estimate must lower-bound actual)"
+           (Common.suffixed env wl_name))
+      [
+        ("query", Tablefmt.Left);
+        ("est plans", Tablefmt.Right);
+        ("actual plans", Tablefmt.Right);
+        ("est KiB", Tablefmt.Right);
+        ("actual KiB", Tablefmt.Right);
+        ("bound ok", Tablefmt.Left);
+      ]
+  in
+  let ok = ref 0 and total = ref 0 in
+  List.iter
+    (fun m ->
+      let est_plans = m.Common.m_est.Cote.Estimator.est_memo_plans in
+      let actual_plans = m.Common.m_real.O.Optimizer.kept in
+      let est_bytes = est_plans *. O.Plan.approx_bytes in
+      let actual_bytes = m.Common.m_real.O.Optimizer.memo_bytes in
+      incr total;
+      (* "Lower bound" with a small tolerance for the estimator's designed
+         over-counting of shared plans. *)
+      if est_plans <= float_of_int actual_plans *. 1.25 then incr ok;
+      Tablefmt.add_row t
+        [
+          m.Common.m_query.W.Workload.q_name;
+          Tablefmt.fcount est_plans;
+          string_of_int actual_plans;
+          Printf.sprintf "%.1f" (est_bytes /. 1024.0);
+          Printf.sprintf "%.1f" (actual_bytes /. 1024.0);
+          (if est_plans <= float_of_int actual_plans *. 1.25 then "yes" else "NO");
+        ])
+    measured;
+  Tablefmt.print t;
+  Format.printf "bound held (within 25%% tolerance) on %d/%d queries@.@." !ok !total
+
+let run () =
+  run_one Common.serial "star";
+  run_one Common.serial "real1"

@@ -1,0 +1,74 @@
+(** Experiment [multilevel]: piggyback estimation for multiple optimization
+    levels in a single enumeration pass (Section 6.2).
+
+    One pass at the full-bushy level also yields estimates for the default
+    (inner-limited) and left-deep levels; the experiment compares the
+    piggybacked counts against dedicated per-level estimator runs and
+    reports the time saved. *)
+
+module O = Qopt_optimizer
+module W = Qopt_workloads
+module Tablefmt = Qopt_util.Tablefmt
+module Stats = Qopt_util.Stats
+
+let levels =
+  [
+    { Cote.Multi_level.level_name = "L2-default"; level_knobs = O.Knobs.default };
+    { Cote.Multi_level.level_name = "L1-left-deep"; level_knobs = O.Knobs.left_deep };
+  ]
+
+let run () =
+  let env = Common.serial in
+  let wl = Common.workload env "linear" in
+  let t =
+    Tablefmt.create
+      ~title:
+        "multilevel: piggyback vs dedicated estimates (linear_s, base = full \
+         bushy)"
+      [
+        ("query", Tablefmt.Left);
+        ("level", Tablefmt.Left);
+        ("piggyback plans", Tablefmt.Right);
+        ("dedicated plans", Tablefmt.Right);
+        ("err", Tablefmt.Right);
+      ]
+  in
+  let pairs = ref [] in
+  let piggy_time = ref 0.0 and dedicated_time = ref 0.0 in
+  List.iter
+    (fun (q : W.Workload.query) ->
+      let results, elapsed =
+        Cote.Multi_level.piggyback ~base:O.Knobs.full_bushy ~levels env
+          q.W.Workload.block
+      in
+      piggy_time := !piggy_time +. elapsed;
+      List.iter
+        (fun (lc : Cote.Multi_level.level_counts) ->
+          if lc.Cote.Multi_level.lc_name <> "base" then begin
+            let knobs =
+              (List.find
+                 (fun l -> l.Cote.Multi_level.level_name = lc.Cote.Multi_level.lc_name)
+                 levels)
+                .Cote.Multi_level.level_knobs
+            in
+            let dedicated = Cote.Estimator.estimate ~knobs env q.W.Workload.block in
+            dedicated_time := !dedicated_time +. dedicated.Cote.Estimator.elapsed;
+            let piggy = float_of_int (Cote.Multi_level.lc_total lc) in
+            let dedi = float_of_int (Cote.Estimator.total dedicated) in
+            pairs := (dedi, piggy) :: !pairs;
+            Tablefmt.add_row t
+              [
+                q.W.Workload.q_name;
+                lc.Cote.Multi_level.lc_name;
+                Tablefmt.fcount piggy;
+                Tablefmt.fcount dedi;
+                Tablefmt.fpct (Stats.pct_error ~actual:dedi ~estimate:piggy);
+              ]
+          end)
+        results)
+    wl.W.Workload.queries;
+  Tablefmt.print t;
+  Format.printf
+    "piggyback vs dedicated: %s; one-pass time %.3fs vs dedicated lower-level \
+     runs %.3fs (base pass already includes the full-level estimate)@.@."
+    (Common.err_summary !pairs) !piggy_time !dedicated_time

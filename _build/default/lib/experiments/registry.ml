@@ -1,0 +1,38 @@
+type t = {
+  id : string;
+  title : string;
+  run : unit -> unit;
+}
+
+let all =
+  [
+    { id = "tab2"; title = "Table 2: property propagation classes"; run = Tables_exp.run_tab2 };
+    { id = "fig3"; title = "Figure 3: joins vs plans example"; run = Tables_exp.run_fig3 };
+    { id = "fig2"; title = "Figure 2: compilation time breakdown (real2_s)"; run = Fig2.run };
+    { id = "fig4a"; title = "Figure 4(a): estimation overhead, linear_s"; run = Fig4.run_a };
+    { id = "fig4b"; title = "Figure 4(b): estimation overhead, real2_s"; run = Fig4.run_b };
+    { id = "fig4c"; title = "Figure 4(c): estimation overhead, real1_p"; run = Fig4.run_c };
+    { id = "fig5ac"; title = "Figure 5(a-c): plan-count accuracy, star_s"; run = Fig5.run_star };
+    { id = "fig5df"; title = "Figure 5(d-f): plan-count accuracy, random_p"; run = Fig5.run_random };
+    { id = "fig5gi"; title = "Figure 5(g-i): plan-count accuracy, real1_p"; run = Fig5.run_real1 };
+    { id = "fig6a"; title = "Figure 6(a): time estimation, star_s (+ joins-only baseline)"; run = Fig6.run_a };
+    { id = "fig6b"; title = "Figure 6(b): time estimation, real1_s"; run = Fig6.run_b };
+    { id = "fig6c"; title = "Figure 6(c): time estimation, real2_s"; run = Fig6.run_c };
+    { id = "fig6d"; title = "Figure 6(d): time estimation, tpch_p (7 longest)"; run = Fig6.run_d };
+    { id = "fig6e"; title = "Figure 6(e): time estimation, random_p"; run = Fig6.run_e };
+    { id = "fig6f"; title = "Figure 6(f): time estimation, real1_p"; run = Fig6.run_f };
+    { id = "ct"; title = "Section 4: regression coefficients, serial & parallel"; run = Coeffs.run };
+    { id = "mem"; title = "Section 6.2: memory-consumption estimation"; run = Memory_exp.run };
+    { id = "multilevel"; title = "Section 6.2: multi-level piggyback estimation"; run = Multilevel_exp.run };
+    { id = "mop"; title = "Figure 1: meta-optimizer"; run = Mop_exp.run };
+    { id = "pilot"; title = "Section 6.1: pilot-pass pruning analysis"; run = Pilot_exp.run };
+    { id = "topn"; title = "Extension: the pipelinable property under LIMIT (Table 1)"; run = Topn_exp.run };
+    { id = "mv"; title = "Section 6.2: optimization with materialized views"; run = Mv_exp.run };
+    { id = "cache"; title = "Section 1.2: statement-cache baseline vs the COTE"; run = Cache_exp.run };
+    { id = "abl-sep"; title = "Ablation: separate vs compound property lists"; run = Ablation.run_separate };
+    { id = "abl-first"; title = "Ablation: first-join-only propagation"; run = Ablation.run_first_join };
+  ]
+
+let find id = List.find_opt (fun e -> String.equal e.id id) all
+
+let ids = List.map (fun e -> e.id) all

@@ -1,0 +1,15 @@
+(** The experiment registry: every table and figure of the paper, plus the
+    extension experiments, addressable by id. *)
+
+type t = {
+  id : string;
+  title : string;
+  run : unit -> unit;
+}
+
+val all : t list
+(** In presentation order. *)
+
+val find : string -> t option
+
+val ids : string list

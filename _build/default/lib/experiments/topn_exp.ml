@@ -1,0 +1,84 @@
+(** Experiment [topn]: the pipelinable property (Table 1, and the paper's
+    closing "we plan to account for more physical properties in our COTE").
+
+    A LIMIT clause makes pipelinability interesting: plans that can deliver
+    rows without a blocking SORT / hash build survive pruning next to cheaper
+    blocking plans, enlarging the plan space — and the COTE must track the
+    enlargement.  The experiment compares each query against its LIMIT 10
+    variant: generated plans grow, the estimator follows, and the chosen
+    plan becomes pipelinable. *)
+
+module O = Qopt_optimizer
+module W = Qopt_workloads
+module Tablefmt = Qopt_util.Tablefmt
+module Stats = Qopt_util.Stats
+
+(* LIMIT pipelines only when no blocking final operator sits on top, so the
+   comparison strips GROUP BY / ORDER BY from both variants. *)
+let streaming (block : O.Query_block.t) =
+  { block with O.Query_block.group_by = []; order_by = [] }
+
+let with_limit n (block : O.Query_block.t) =
+  {
+    (streaming block) with
+    O.Query_block.first_n = Some n;
+    name = block.O.Query_block.name ^ "_top" ^ string_of_int n;
+  }
+
+let run () =
+  let env = Common.serial in
+  let base_queries =
+    List.filteri (fun i _ -> i mod 3 = 0)
+      (Common.workload env "star").W.Workload.queries
+    @ [ W.Workload.find (Common.workload env "real1") "r1_q3" ]
+  in
+  let t =
+    Tablefmt.create
+      ~title:
+        "topn: the pipelinable property under LIMIT 10 (plan space grows, \
+         estimator tracks, winning plan pipelines)"
+      [
+        ("query", Tablefmt.Left);
+        ("gen plans", Tablefmt.Right);
+        ("gen w/ LIMIT", Tablefmt.Right);
+        ("est w/ LIMIT", Tablefmt.Right);
+        ("err", Tablefmt.Right);
+        ("best pipelines", Tablefmt.Left);
+      ]
+  in
+  let pairs = ref [] in
+  let grew = ref 0 and pipelined = ref 0 and total = ref 0 in
+  List.iter
+    (fun (q : W.Workload.query) ->
+      let base = O.Optimizer.optimize env (streaming q.W.Workload.block) in
+      let limited_block = with_limit 10 q.W.Workload.block in
+      let limited = O.Optimizer.optimize env limited_block in
+      let est = Cote.Estimator.estimate env limited_block in
+      let gen0 = O.Memo.counts_total base.O.Optimizer.generated in
+      let gen1 = O.Memo.counts_total limited.O.Optimizer.generated in
+      let est1 = Cote.Estimator.total est in
+      let pipe =
+        match limited.O.Optimizer.best with
+        | Some p -> O.Plan.pipelinable p
+        | None -> false
+      in
+      incr total;
+      if gen1 > gen0 then incr grew;
+      if pipe then incr pipelined;
+      pairs := (float_of_int gen1, float_of_int est1) :: !pairs;
+      Tablefmt.add_row t
+        [
+          q.W.Workload.q_name;
+          string_of_int gen0;
+          string_of_int gen1;
+          string_of_int est1;
+          Tablefmt.fpct
+            (Stats.pct_error ~actual:(float_of_int gen1) ~estimate:(float_of_int est1));
+          (if pipe then "yes" else "no");
+        ])
+    base_queries;
+  Tablefmt.print t;
+  Format.printf
+    "plan space grew on %d/%d queries; winning plan pipelinable on %d/%d; \
+     estimate vs actual with LIMIT: %s@.@."
+    !grew !total !pipelined !total (Common.err_summary !pairs)

@@ -1,0 +1,1 @@
+lib/mop/levels.ml: Format Qopt_optimizer

@@ -1,0 +1,1 @@
+lib/mop/levels.mli: Format Qopt_optimizer

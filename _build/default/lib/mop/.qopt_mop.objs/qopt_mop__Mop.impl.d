@@ -1,0 +1,1 @@
+lib/mop/mop.ml: Cote Levels Qopt_optimizer Qopt_util

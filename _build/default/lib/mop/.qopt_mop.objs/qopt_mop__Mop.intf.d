@@ -1,0 +1,1 @@
+lib/mop/mop.mli: Cote Levels Qopt_optimizer

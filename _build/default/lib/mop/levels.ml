@@ -1,0 +1,31 @@
+module O = Qopt_optimizer
+
+type t =
+  | L0_greedy
+  | L1_left_deep
+  | L2_default
+  | L3_full_bushy
+
+let all = [ L0_greedy; L1_left_deep; L2_default; L3_full_bushy ]
+
+let name = function
+  | L0_greedy -> "L0-greedy"
+  | L1_left_deep -> "L1-left-deep"
+  | L2_default -> "L2-default"
+  | L3_full_bushy -> "L3-full-bushy"
+
+let knobs = function
+  | L0_greedy -> invalid_arg "Levels.knobs: greedy level has no DP knobs"
+  | L1_left_deep -> O.Knobs.left_deep
+  | L2_default -> O.Knobs.default
+  | L3_full_bushy -> O.Knobs.full_bushy
+
+let rank = function
+  | L0_greedy -> 0
+  | L1_left_deep -> 1
+  | L2_default -> 2
+  | L3_full_bushy -> 3
+
+let subsumed_by a b = rank a <= rank b
+
+let pp ppf t = Format.pp_print_string ppf (name t)

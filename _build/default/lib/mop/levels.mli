@@ -1,0 +1,25 @@
+(** Named optimization levels.
+
+    "Most commercial database systems often have multiple levels of
+    optimization" (Section 1.1): a cheap greedy level plus dynamic
+    programming levels whose knobs carve intermediate search spaces. *)
+
+type t =
+  | L0_greedy  (** polynomial-time greedy join ordering *)
+  | L1_left_deep  (** DP over left-deep trees *)
+  | L2_default  (** DP, bushy, composite inner limited (the paper's setup) *)
+  | L3_full_bushy  (** DP, unrestricted bushy *)
+
+val all : t list
+
+val name : t -> string
+
+val knobs : t -> Qopt_optimizer.Knobs.t
+(** Raises [Invalid_argument] for [L0_greedy], which does not use the DP
+    enumerator. *)
+
+val subsumed_by : t -> t -> bool
+(** [subsumed_by a b]: level [b]'s search space contains level [a]'s —
+    the precondition for piggyback estimation (Section 6.2). *)
+
+val pp : Format.formatter -> t -> unit

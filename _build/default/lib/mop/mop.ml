@@ -1,0 +1,67 @@
+module O = Qopt_optimizer
+module Timer = Qopt_util.Timer
+
+type decision =
+  | Keep_low
+  | Reoptimize
+
+type outcome = {
+  decision : decision;
+  exec_estimate_low : float;
+  compile_estimate_high : float;
+  compile_actual_high : float option;
+  exec_estimate_final : float;
+  elapsed : float;
+}
+
+let cost_to_seconds = 1e-3
+
+type config = {
+  high_level : Levels.t;
+  model : Cote.Time_model.t;
+  margin : float;
+}
+
+let config ?(high_level = Levels.L2_default) ?(margin = 1.0) model =
+  { high_level; model; margin }
+
+let plan_exec_estimate = function
+  | None -> infinity
+  | Some (p : O.Plan.t) -> p.O.Plan.cost *. cost_to_seconds
+
+let run cfg env block =
+  let t0 = Timer.now () in
+  (* Low-level compilation: the greedy optimizer over every block. *)
+  let low_cost = ref 0.0 in
+  O.Query_block.iter_blocks
+    (fun b -> low_cost := !low_cost +. plan_exec_estimate (O.Greedy.optimize env b))
+    block;
+  let exec_estimate_low = !low_cost in
+  (* COTE: compilation-time estimate for the high level. *)
+  let knobs = Levels.knobs cfg.high_level in
+  let prediction = Cote.Predict.compile_time ~knobs ~model:cfg.model env block in
+  let c = prediction.Cote.Predict.seconds in
+  if c < cfg.margin *. exec_estimate_low then begin
+    let result = O.Optimizer.optimize env ~knobs block in
+    {
+      decision = Reoptimize;
+      exec_estimate_low;
+      compile_estimate_high = c;
+      compile_actual_high = Some result.O.Optimizer.elapsed;
+      exec_estimate_final = plan_exec_estimate result.O.Optimizer.best;
+      elapsed = Timer.now () -. t0;
+    }
+  end
+  else
+    {
+      decision = Keep_low;
+      exec_estimate_low;
+      compile_estimate_high = c;
+      compile_actual_high = None;
+      exec_estimate_final = exec_estimate_low;
+      elapsed = Timer.now () -. t0;
+    }
+
+let always_high env ?knobs block =
+  let result = O.Optimizer.optimize env ?knobs block in
+  (result.O.Optimizer.elapsed, plan_exec_estimate result.O.Optimizer.best)

@@ -1,0 +1,44 @@
+(** The meta-optimizer of Figure 1.
+
+    For each query: compile at the low level (greedy), convert the best
+    plan's cost into an execution-time estimate E, ask the COTE for the
+    high level's compilation-time estimate C, and reoptimize at the high
+    level only when C < E — "if C is larger than E, there is no point in
+    further optimization since the query can complete execution by the time
+    high-level optimization finishes". *)
+
+module O = Qopt_optimizer
+
+type decision =
+  | Keep_low  (** C >= E: run the greedy plan as-is *)
+  | Reoptimize  (** C < E: pay for high-level optimization *)
+
+type outcome = {
+  decision : decision;
+  exec_estimate_low : float;  (** E: estimated execution seconds, low plan *)
+  compile_estimate_high : float;  (** C: COTE's estimate for the high level *)
+  compile_actual_high : float option;
+      (** measured high-level compile time (when reoptimized) *)
+  exec_estimate_final : float;  (** estimated execution seconds, final plan *)
+  elapsed : float;  (** total wall-clock spent by the MOP on this query *)
+}
+
+val cost_to_seconds : float
+(** Conversion factor from the cost model's abstract units to estimated
+    execution seconds (1 unit = 1 ms). *)
+
+type config = {
+  high_level : Levels.t;  (** default [L2_default] *)
+  model : Cote.Time_model.t;  (** fitted for the target environment *)
+  margin : float;  (** reoptimize when [C < margin * E]; default 1.0 *)
+}
+
+val config : ?high_level:Levels.t -> ?margin:float -> Cote.Time_model.t -> config
+
+val run : config -> O.Env.t -> O.Query_block.t -> outcome
+(** Drive one query through the Figure 1 flow. *)
+
+val always_high : O.Env.t -> ?knobs:O.Knobs.t -> O.Query_block.t -> float * float
+(** Baseline strategy: compile at the high level unconditionally.  Returns
+    (compile seconds, estimated execution seconds) — used to show the MOP's
+    total-elapsed advantage. *)

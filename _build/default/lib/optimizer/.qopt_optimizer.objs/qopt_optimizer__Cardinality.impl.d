@@ -1,0 +1,1 @@
+lib/optimizer/cardinality.ml: Colref Float List Map Pred Qopt_catalog Qopt_util Quantifier Query_block

@@ -1,0 +1,1 @@
+lib/optimizer/cardinality.mli: Pred Qopt_util Query_block

@@ -1,0 +1,1 @@
+lib/optimizer/colref.ml: Format Hashtbl Int List String

@@ -1,0 +1,1 @@
+lib/optimizer/cost_model.ml: Colref Env Float List Plan Pred Qopt_catalog Qopt_util Quantifier Query_block

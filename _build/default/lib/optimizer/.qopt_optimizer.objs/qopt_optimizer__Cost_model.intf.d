@@ -1,0 +1,1 @@
+lib/optimizer/cost_model.mli: Env Plan Pred Qopt_catalog Qopt_util Query_block

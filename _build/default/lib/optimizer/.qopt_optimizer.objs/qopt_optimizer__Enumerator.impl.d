@@ -1,0 +1,1 @@
+lib/optimizer/enumerator.ml: Knobs List Memo Pred Qopt_util Quantifier Query_block

@@ -1,0 +1,1 @@
+lib/optimizer/enumerator.mli: Knobs Memo Pred Qopt_util Query_block

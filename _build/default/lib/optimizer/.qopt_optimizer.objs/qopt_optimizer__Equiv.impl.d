@@ -1,0 +1,1 @@
+lib/optimizer/equiv.ml: Colref List Map Pred

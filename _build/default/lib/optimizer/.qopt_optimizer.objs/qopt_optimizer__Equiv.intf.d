@@ -1,0 +1,1 @@
+lib/optimizer/equiv.mli: Colref Pred

@@ -1,0 +1,1 @@
+lib/optimizer/greedy.ml: Cardinality Colref Cost_model Env Float Interesting Join_method List Partition_prop Plan Pred Qopt_catalog Qopt_util Quantifier Query_block

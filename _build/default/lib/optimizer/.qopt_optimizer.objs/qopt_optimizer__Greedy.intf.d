@@ -1,0 +1,1 @@
+lib/optimizer/greedy.mli: Env Plan Query_block

@@ -1,0 +1,1 @@
+lib/optimizer/instrument.ml: Float Format Qopt_util

@@ -1,0 +1,1 @@
+lib/optimizer/instrument.mli: Format

@@ -1,0 +1,1 @@
+lib/optimizer/interesting.ml: Colref Equiv List Option Order_prop Partition_prop Pred Qopt_catalog Qopt_util Quantifier Query_block String

@@ -1,0 +1,1 @@
+lib/optimizer/interesting.mli: Equiv Order_prop Partition_prop Pred Qopt_catalog Qopt_util Query_block

@@ -1,0 +1,1 @@
+lib/optimizer/join_method.ml: Format

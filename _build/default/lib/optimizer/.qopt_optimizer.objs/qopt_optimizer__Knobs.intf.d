@@ -1,0 +1,1 @@
+lib/optimizer/knobs.mli: Format

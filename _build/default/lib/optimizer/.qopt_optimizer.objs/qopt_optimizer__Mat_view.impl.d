@@ -1,0 +1,1 @@
+lib/optimizer/mat_view.ml: Cardinality Colref Cost_model Float Format List Pred Qopt_catalog Qopt_util Quantifier Query_block String

@@ -1,0 +1,1 @@
+lib/optimizer/mat_view.mli: Cost_model Format Qopt_util Query_block

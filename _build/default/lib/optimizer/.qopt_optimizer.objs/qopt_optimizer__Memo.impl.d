@@ -1,0 +1,1 @@
+lib/optimizer/memo.ml: Array Cardinality Colref Equiv Hashtbl Interesting Join_method List Order_prop Partition_prop Plan Pred Qopt_util Query_block

@@ -1,0 +1,1 @@
+lib/optimizer/memo.mli: Cardinality Colref Equiv Join_method Order_prop Partition_prop Plan Qopt_util Query_block

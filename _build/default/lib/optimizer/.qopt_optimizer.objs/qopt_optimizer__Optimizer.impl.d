@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.ml: Cost_model Enumerator Equiv Float Instrument Knobs List Memo Option Order_prop Plan Plan_gen Qopt_util Query_block

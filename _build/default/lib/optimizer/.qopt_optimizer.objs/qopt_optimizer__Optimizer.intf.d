@@ -1,0 +1,1 @@
+lib/optimizer/optimizer.mli: Env Instrument Knobs Mat_view Memo Plan Query_block

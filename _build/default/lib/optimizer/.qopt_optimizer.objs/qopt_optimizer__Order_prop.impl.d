@@ -1,0 +1,1 @@
+lib/optimizer/order_prop.ml: Colref Equiv Format List Qopt_util String

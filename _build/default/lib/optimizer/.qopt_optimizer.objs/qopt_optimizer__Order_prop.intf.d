@@ -1,0 +1,1 @@
+lib/optimizer/order_prop.mli: Colref Equiv Format Qopt_util

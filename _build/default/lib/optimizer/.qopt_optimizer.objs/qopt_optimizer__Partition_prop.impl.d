@@ -1,0 +1,1 @@
+lib/optimizer/partition_prop.ml: Colref Equiv Format List Qopt_catalog Qopt_util String

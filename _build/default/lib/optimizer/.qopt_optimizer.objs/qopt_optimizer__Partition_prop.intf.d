@@ -1,0 +1,1 @@
+lib/optimizer/partition_prop.mli: Colref Equiv Format Qopt_catalog Qopt_util

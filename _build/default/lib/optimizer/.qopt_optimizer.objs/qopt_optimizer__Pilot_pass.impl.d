@@ -1,0 +1,1 @@
+lib/optimizer/pilot_pass.ml: Enumerator Greedy Instrument Knobs List Memo Plan Plan_gen

@@ -1,0 +1,1 @@
+lib/optimizer/pilot_pass.mli: Env Knobs Query_block

@@ -1,0 +1,1 @@
+lib/optimizer/plan.ml: Format Hashtbl Join_method List Option Order_prop Partition_prop Pred Qopt_catalog Qopt_util String

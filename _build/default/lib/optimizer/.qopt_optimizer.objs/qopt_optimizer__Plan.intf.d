@@ -1,0 +1,1 @@
+lib/optimizer/plan.mli: Format Join_method Order_prop Partition_prop Pred Qopt_catalog Qopt_util

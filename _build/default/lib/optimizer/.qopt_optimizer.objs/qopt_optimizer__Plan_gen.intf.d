@@ -1,0 +1,1 @@
+lib/optimizer/plan_gen.mli: Enumerator Env Instrument Mat_view Memo Partition_prop Query_block

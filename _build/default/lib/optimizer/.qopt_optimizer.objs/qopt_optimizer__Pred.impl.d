@@ -1,0 +1,1 @@
+lib/optimizer/pred.ml: Colref Format Qopt_util

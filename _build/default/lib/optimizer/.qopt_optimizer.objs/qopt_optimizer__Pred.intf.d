@@ -1,0 +1,1 @@
+lib/optimizer/pred.mli: Colref Format Qopt_util

@@ -1,0 +1,1 @@
+lib/optimizer/quantifier.ml: Format Printf Qopt_catalog Qopt_util

@@ -1,0 +1,1 @@
+lib/optimizer/quantifier.mli: Format Qopt_catalog Qopt_util

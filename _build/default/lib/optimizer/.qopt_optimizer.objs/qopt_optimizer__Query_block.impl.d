@@ -1,0 +1,1 @@
+lib/optimizer/query_block.ml: Array Colref Format List Pred Printf Qopt_catalog Qopt_util Quantifier

@@ -1,0 +1,1 @@
+lib/optimizer/query_block.mli: Colref Format Pred Qopt_catalog Qopt_util Quantifier

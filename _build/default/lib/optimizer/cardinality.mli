@@ -1,0 +1,34 @@
+(** Cardinality estimation for MEMO entries.
+
+    Cardinality is a logical property: it has the same value for every plan
+    of an entry and is computed once per entry (Section 3.2).  Two models are
+    provided:
+
+    - [Full]: the real optimizer's model — histogram-based selectivities,
+      correlation back-off across multiple predicates between the same pair
+      of quantifiers, and unique-key clamping.
+    - [Simple]: the cheap model used in plan-estimate mode — closed-form
+      System-R-style selectivities with no histogram access and no key/FD
+      adjustment.
+
+    Because DB2's enumerator applies cardinality-sensitive heuristics (the
+    card-1 Cartesian rule), the two models can disagree about which joins are
+    enumerated; the paper cites this as the main source of HSJN plan-count
+    error in the parallel workloads (Section 5.2).  [Simple] exists to
+    reproduce exactly that behaviour. *)
+
+module Bitset = Qopt_util.Bitset
+
+type mode =
+  | Full
+  | Simple
+
+val local_selectivity : mode -> Query_block.t -> Pred.t -> float
+(** Selectivity of a non-join predicate. *)
+
+val join_selectivity : mode -> Query_block.t -> Pred.t -> float
+(** Selectivity of an equality join predicate. *)
+
+val of_set : mode -> Query_block.t -> Bitset.t -> float
+(** Estimated output cardinality of the table set with all internal
+    predicates applied.  Always positive. *)

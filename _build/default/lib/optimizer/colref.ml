@@ -1,0 +1,20 @@
+type t = {
+  q : int;
+  col : string;
+}
+
+let make q col = { q; col }
+
+let equal a b = a.q = b.q && String.equal a.col b.col
+
+let compare a b =
+  let c = Int.compare a.q b.q in
+  if c <> 0 then c else String.compare a.col b.col
+
+let hash t = Hashtbl.hash (t.q, t.col)
+
+let pp ppf t = Format.fprintf ppf "Q%d.%s" t.q t.col
+
+let list_equal a b = List.length a = List.length b && List.for_all2 equal a b
+
+let list_mem x l = List.exists (equal x) l

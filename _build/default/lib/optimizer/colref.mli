@@ -1,0 +1,24 @@
+(** References to a column of a specific quantifier (table reference).
+
+    A query joining the same table twice has two quantifiers, so columns are
+    identified by quantifier index, not table name. *)
+
+type t = {
+  q : int;  (** quantifier index within the query block *)
+  col : string;  (** column name in the quantifier's base table *)
+}
+
+val make : int -> string -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [Q3.price]. *)
+
+val list_equal : t list -> t list -> bool
+
+val list_mem : t -> t list -> bool

@@ -1,0 +1,120 @@
+module Bitset = Qopt_util.Bitset
+
+type join_event = {
+  left : Memo.entry;
+  right : Memo.entry;
+  result : Memo.entry;
+  preds : Pred.t list;
+  cartesian : bool;
+  left_outer_ok : bool;
+  right_outer_ok : bool;
+}
+
+type consumer = {
+  on_entry : Memo.entry -> unit;
+  on_join : join_event -> unit;
+}
+
+let direction_feasible ~knobs ~block ~outer ~inner =
+  let quant q = Query_block.quantifier block q in
+  (* Composite-inner limit / left-deep shape. *)
+  let inner_size = Bitset.cardinal inner in
+  (if knobs.Knobs.left_deep_only then inner_size = 1
+   else
+     match knobs.Knobs.max_inner with
+     | None -> true
+     | Some k -> inner_size <= k)
+  (* Every quantifier of the outer must allow the role. *)
+  && Bitset.for_all (fun q -> (quant q).Quantifier.outer_allowed) outer
+  (* The outer cannot need correlation values produced by the inner. *)
+  && Bitset.for_all
+       (fun q -> Bitset.disjoint (quant q).Quantifier.deps inner)
+       outer
+  (* A null-producing side cannot be the outer against its preserved side. *)
+  && List.for_all
+       (fun oj ->
+         not
+           ((not (Bitset.disjoint outer oj.Query_block.oj_null))
+           && not (Bitset.disjoint inner oj.Query_block.oj_preserved)))
+       block.Query_block.outer_joins
+
+(* A composite is valid once every correlated quantifier inside it has all
+   its providers inside as well (singletons are always valid leaves). *)
+let union_valid block union =
+  Bitset.for_all
+    (fun q ->
+      Bitset.subset (Query_block.quantifier block q).Quantifier.deps union)
+    union
+
+let crossing_preds block s l =
+  List.filter (fun p -> Pred.crosses p s l) block.Query_block.preds
+
+let run ~knobs ~card_of memo consumer =
+  let block = Memo.block memo in
+  let stats = Memo.stats memo in
+  let n = Query_block.n_quantifiers block in
+  (* Leaf entries. *)
+  for q = 0 to n - 1 do
+    let entry, created = Memo.find_or_create memo (Bitset.singleton q) in
+    if created then consumer.on_entry entry
+  done;
+  for size = 2 to n do
+    for lsize = 1 to size / 2 do
+      let rsize = size - lsize in
+      let lefts = Memo.entries_of_size memo lsize in
+      let rights = Memo.entries_of_size memo rsize in
+      List.iter
+        (fun (s : Memo.entry) ->
+          List.iter
+            (fun (l : Memo.entry) ->
+              let dedup_ok =
+                lsize <> rsize || Bitset.compare s.Memo.tables l.Memo.tables < 0
+              in
+              if dedup_ok && Bitset.disjoint s.Memo.tables l.Memo.tables then begin
+                let union = Bitset.union s.Memo.tables l.Memo.tables in
+                if union_valid block union then begin
+                  let preds = crossing_preds block s.Memo.tables l.Memo.tables in
+                  let cartesian = preds = [] in
+                  let cartesian_ok =
+                    (not cartesian)
+                    || knobs.Knobs.allow_cartesian
+                    || (knobs.Knobs.card1_cartesian
+                       && ((Bitset.cardinal s.Memo.tables
+                            <= knobs.Knobs.card1_max_size
+                           && card_of s <= knobs.Knobs.card1_threshold)
+                          || (Bitset.cardinal l.Memo.tables
+                              <= knobs.Knobs.card1_max_size
+                             && card_of l <= knobs.Knobs.card1_threshold)))
+                  in
+                  if cartesian_ok then begin
+                    let left_outer_ok =
+                      direction_feasible ~knobs ~block ~outer:s.Memo.tables
+                        ~inner:l.Memo.tables
+                    in
+                    let right_outer_ok =
+                      direction_feasible ~knobs ~block ~outer:l.Memo.tables
+                        ~inner:s.Memo.tables
+                    in
+                    if left_outer_ok || right_outer_ok then begin
+                      let result, created = Memo.find_or_create memo union in
+                      if created then consumer.on_entry result;
+                      stats.Memo.joins_enumerated <-
+                        stats.Memo.joins_enumerated + 1;
+                      consumer.on_join
+                        {
+                          left = s;
+                          right = l;
+                          result;
+                          preds;
+                          cartesian;
+                          left_outer_ok;
+                          right_outer_ok;
+                        }
+                    end
+                  end
+                end
+              end)
+            rights)
+        lefts
+    done
+  done

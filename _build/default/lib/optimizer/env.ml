@@ -1,0 +1,22 @@
+type mode =
+  | Serial
+  | Parallel of int
+
+type t = { mode : mode }
+
+let serial = { mode = Serial }
+
+let parallel ~nodes =
+  if nodes < 2 then invalid_arg "Env.parallel: need at least 2 nodes";
+  { mode = Parallel nodes }
+
+let is_parallel t = match t.mode with Serial -> false | Parallel _ -> true
+
+let nodes t = match t.mode with Serial -> 1 | Parallel n -> n
+
+let suffix t = match t.mode with Serial -> "_s" | Parallel _ -> "_p"
+
+let pp ppf t =
+  match t.mode with
+  | Serial -> Format.pp_print_string ppf "serial"
+  | Parallel n -> Format.fprintf ppf "parallel(%d)" n

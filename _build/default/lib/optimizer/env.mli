@@ -1,0 +1,27 @@
+(** Optimization environment: serial or shared-nothing parallel.
+
+    Mirrors the paper's two DB2 configurations: the serial version keeps the
+    order property only; the parallel version (a shared-nothing system, 4
+    logical nodes in the paper's experiments) keeps order and partition
+    properties as independent lists. *)
+
+type mode =
+  | Serial
+  | Parallel of int  (** number of logical nodes *)
+
+type t = { mode : mode }
+
+val serial : t
+
+val parallel : nodes:int -> t
+(** Raises [Invalid_argument] if [nodes < 2]. *)
+
+val is_parallel : t -> bool
+
+val nodes : t -> int
+(** 1 in serial mode. *)
+
+val suffix : t -> string
+(** ["_s"] or ["_p"], the paper's workload-name postfixes. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,47 @@
+module Cmap = Map.Make (struct
+  type t = Colref.t
+
+  let compare = Colref.compare
+end)
+
+type t = Colref.t Cmap.t
+(* Parent pointers; absence means the column is its own class. Classes are
+   tiny (a handful of join columns), so we skip path compression and keep the
+   structure persistent. *)
+
+let empty = Cmap.empty
+
+let rec repr t c =
+  match Cmap.find_opt c t with
+  | None -> c
+  | Some parent -> repr t parent
+
+let add_eq t a b =
+  let ra = repr t a and rb = repr t b in
+  if Colref.equal ra rb then t
+  else if Colref.compare ra rb < 0 then Cmap.add rb ra t
+  else Cmap.add ra rb t
+
+let same t a b = Colref.equal (repr t a) (repr t b)
+
+let merge a b =
+  (* Replay b's parent edges as equalities into a. *)
+  Cmap.fold (fun child parent acc -> add_eq acc child parent) b a
+
+let of_preds preds =
+  List.fold_left
+    (fun acc p ->
+      match Pred.join_cols p with
+      | Some (l, r) -> add_eq acc l r
+      | None -> acc)
+    empty preds
+
+let normalize_cols t cols =
+  let rec loop seen acc = function
+    | [] -> List.rev acc
+    | c :: rest ->
+      let r = repr t c in
+      if List.exists (Colref.equal r) seen then loop seen acc rest
+      else loop (r :: seen) (r :: acc) rest
+  in
+  loop [] [] cols

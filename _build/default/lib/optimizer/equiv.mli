@@ -1,0 +1,31 @@
+(** Column equivalence classes induced by applied equality predicates.
+
+    "Joins can change property equivalence.  For example, two distinct
+    orders on R.a and on S.a become equivalent after the join predicate
+    R.a = S.a is applied" (Section 3.3).  An [Equiv.t] is the union-find of
+    all equality join predicates internal to a table set; it is a logical
+    property, cached once per MEMO entry. *)
+
+type t
+
+val empty : t
+
+val add_eq : t -> Colref.t -> Colref.t -> t
+(** Declare two columns equal. *)
+
+val repr : t -> Colref.t -> Colref.t
+(** Canonical representative of a column's class (the column itself when it
+    appears in no equality). *)
+
+val same : t -> Colref.t -> Colref.t -> bool
+
+val merge : t -> t -> t
+(** Union of two equivalence relations. *)
+
+val of_preds : Pred.t list -> t
+(** Build from the equality join predicates in the list. *)
+
+val normalize_cols : t -> Colref.t list -> Colref.t list
+(** Maps each column to its representative and removes columns whose class
+    already occurred earlier in the list (a column tied to an earlier sort
+    key adds no ordering information). *)

@@ -1,0 +1,14 @@
+(** A polynomial-time greedy join optimizer — the "low" optimization level.
+
+    Commercial systems pair the expensive dynamic-programming level with a
+    cheap greedy/randomized level (Section 1.1); the meta-optimizer compiles
+    at this level first to obtain an execution-cost estimate E before asking
+    the COTE for the high level's compilation cost C.
+
+    The algorithm is greedy operator ordering: repeatedly merge the pair of
+    connected components whose join yields the smallest intermediate result,
+    picking the cheapest join method for each merge. *)
+
+val optimize : Env.t -> Query_block.t -> Plan.t option
+(** Best-effort greedy plan for the block (children blocks are ignored —
+    drive them through {!Optimizer}).  [None] only for empty blocks. *)

@@ -1,0 +1,107 @@
+module Timer = Qopt_util.Timer
+
+type t = {
+  b_nljn : Timer.bucket;
+  b_mgjn : Timer.bucket;
+  b_hsjn : Timer.bucket;
+  b_save : Timer.bucket;
+  b_card : Timer.bucket;
+  b_scan : Timer.bucket;
+  b_mv : Timer.bucket;
+  mutable total : float;
+}
+
+let create () =
+  {
+    b_nljn = Timer.bucket ();
+    b_mgjn = Timer.bucket ();
+    b_hsjn = Timer.bucket ();
+    b_save = Timer.bucket ();
+    b_card = Timer.bucket ();
+    b_scan = Timer.bucket ();
+    b_mv = Timer.bucket ();
+    total = 0.0;
+  }
+
+let nljn t f = Timer.add_to t.b_nljn f
+
+let mgjn t f = Timer.add_to t.b_mgjn f
+
+let hsjn t f = Timer.add_to t.b_hsjn f
+
+let save t f = Timer.add_to t.b_save f
+
+let card t f = Timer.add_to t.b_card f
+
+let scan t f = Timer.add_to t.b_scan f
+
+let mv t f = Timer.add_to t.b_mv f
+
+let set_total t total = t.total <- total
+
+type snapshot = {
+  s_nljn : float;
+  s_mgjn : float;
+  s_hsjn : float;
+  s_save : float;
+  s_card : float;
+  s_scan : float;
+  s_mv : float;
+  s_other : float;
+  s_total : float;
+}
+
+let snapshot t =
+  let n = Timer.elapsed t.b_nljn
+  and m = Timer.elapsed t.b_mgjn
+  and h = Timer.elapsed t.b_hsjn
+  and s = Timer.elapsed t.b_save
+  and c = Timer.elapsed t.b_card
+  and sc = Timer.elapsed t.b_scan
+  and mv = Timer.elapsed t.b_mv in
+  {
+    s_nljn = n;
+    s_mgjn = m;
+    s_hsjn = h;
+    s_save = s;
+    s_card = c;
+    s_scan = sc;
+    s_mv = mv;
+    s_other = Float.max 0.0 (t.total -. (n +. m +. h +. s +. c +. sc +. mv));
+    s_total = t.total;
+  }
+
+let zero =
+  {
+    s_nljn = 0.0;
+    s_mgjn = 0.0;
+    s_hsjn = 0.0;
+    s_save = 0.0;
+    s_card = 0.0;
+    s_scan = 0.0;
+    s_mv = 0.0;
+    s_other = 0.0;
+    s_total = 0.0;
+  }
+
+let merge a b =
+  {
+    s_nljn = a.s_nljn +. b.s_nljn;
+    s_mgjn = a.s_mgjn +. b.s_mgjn;
+    s_hsjn = a.s_hsjn +. b.s_hsjn;
+    s_save = a.s_save +. b.s_save;
+    s_card = a.s_card +. b.s_card;
+    s_scan = a.s_scan +. b.s_scan;
+    s_mv = a.s_mv +. b.s_mv;
+    s_other = a.s_other +. b.s_other;
+    s_total = a.s_total +. b.s_total;
+  }
+
+let pp_breakdown ppf s =
+  let pct x = if s.s_total <= 0.0 then 0.0 else x /. s.s_total *. 100.0 in
+  Format.fprintf ppf
+    "MGJN %.1f%%  NLJN %.1f%%  HSJN %.1f%%  plan-saving %.1f%%  other %.1f%% \
+     (card %.1f%%, scan %.1f%%, enum/rest %.1f%%)"
+    (pct s.s_mgjn) (pct s.s_nljn) (pct s.s_hsjn) (pct s.s_save)
+    (pct (s.s_card +. s.s_scan +. s.s_mv +. s.s_other))
+    (pct s.s_card) (pct s.s_scan) (pct s.s_other)

@@ -1,0 +1,49 @@
+(** Derivation and retirement of interesting properties.
+
+    Implements the "what's interesting" column of Table 1 of the paper for
+    the order and partition properties: an order is interesting when its
+    columns match the join column of a future join, the grouping attributes,
+    or the ordering attributes; a partition is interesting under the same
+    conditions (range partitions for ordering, hash for joins/grouping).
+
+    Interesting properties "retire" when no remaining operation can use them
+    (Section 3.2): a join-key order retires in a table set once every join
+    predicate over (the equivalence class of) its column is internal to the
+    set; grouping and ordering properties never retire, since they serve the
+    operators above all joins. *)
+
+module Bitset = Qopt_util.Bitset
+
+val orders_for_table : Query_block.t -> int -> Order_prop.t list
+(** Interesting orders pushed down to a single quantifier (DB2's eager
+    policy precomputes exactly this list for base tables, Section 4):
+    one [Join_key] order per join-predicate column of the quantifier, a
+    [Grouping] order on the quantifier's subset of the GROUP BY columns, and
+    an [Ordering] order on the maximal ORDER BY prefix owned by the
+    quantifier. *)
+
+val order_retired :
+  Query_block.t -> Equiv.t -> tables:Bitset.t -> Order_prop.t -> bool
+(** Whether the interesting order is retired for a MEMO entry covering
+    [tables] (see above). *)
+
+val partition_interesting :
+  Query_block.t -> Equiv.t -> tables:Bitset.t -> Partition_prop.t -> bool
+(** Whether a partition property is (still) interesting for the entry: some
+    key column matches a pending join column, a grouping column, or (range
+    only) an ordering column. *)
+
+val physical_partition : Query_block.t -> int -> Partition_prop.t option
+(** The partition property delivered naturally by scanning the quantifier's
+    base table (lazy generation policy). *)
+
+val filter_indexes : Query_block.t -> int -> Qopt_catalog.Index.t list
+(** Indexes of the quantifier's table whose leading column carries an
+    equality or IN local predicate — the access paths the optimizer tries
+    for predicate evaluation (and that the estimator counts as non-join
+    plans). *)
+
+val merge_order : Equiv.t -> Pred.t list -> Order_prop.t option
+(** The canonical sort order a merge join over the given (crossing)
+    equality predicates requires: a [Join_key] order over the predicate
+    columns, normalized under the join's equivalence classes. *)

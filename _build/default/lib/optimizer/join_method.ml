@@ -1,0 +1,21 @@
+type t =
+  | NLJN
+  | MGJN
+  | HSJN
+
+type propagation =
+  | Full
+  | Partial
+  | None_
+
+let all = [ NLJN; MGJN; HSJN ]
+
+let order_propagation = function NLJN -> Full | MGJN -> Partial | HSJN -> None_
+
+let partition_propagation = function NLJN | MGJN | HSJN -> Full
+
+let to_string = function NLJN -> "NLJN" | MGJN -> "MGJN" | HSJN -> "HSJN"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let equal a b = a = b

@@ -1,0 +1,36 @@
+(** Join methods and their property-propagation classes (Table 2).
+
+    {v
+      Join method | Order    | Partition
+      NLJN        | full     | full
+      MGJN        | partial  | full
+      HSJN        | none     | full
+    v}
+
+    A nested-loops join always propagates its outer's order; a sort-merge
+    join only propagates orders on its own join columns (plus coverage); a
+    hash join destroys order.  All methods propagate the partition of the
+    (re)partitioned inputs. *)
+
+type t =
+  | NLJN  (** nested-loops join *)
+  | MGJN  (** sort-merge join *)
+  | HSJN  (** hash join *)
+
+type propagation =
+  | Full
+  | Partial
+  | None_
+
+val all : t list
+(** [[NLJN; MGJN; HSJN]]. *)
+
+val order_propagation : t -> propagation
+
+val partition_propagation : t -> propagation
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

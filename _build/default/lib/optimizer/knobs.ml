@@ -1,0 +1,31 @@
+type t = {
+  allow_cartesian : bool;
+  card1_cartesian : bool;
+  card1_threshold : float;
+  card1_max_size : int;
+  max_inner : int option;
+  left_deep_only : bool;
+}
+
+let default =
+  {
+    allow_cartesian = false;
+    card1_cartesian = true;
+    card1_threshold = 1.5;
+    card1_max_size = 2;
+    max_inner = Some 3;
+    left_deep_only = false;
+  }
+
+let full_bushy = { default with max_inner = None }
+
+let left_deep =
+  { default with left_deep_only = true; max_inner = Some 1; card1_cartesian = true }
+
+let permissive t = { t with allow_cartesian = true; max_inner = None }
+
+let pp ppf t =
+  Format.fprintf ppf "knobs(cart=%b card1=%b inner=%s ld=%b)" t.allow_cartesian
+    t.card1_cartesian
+    (match t.max_inner with None -> "-" | Some k -> string_of_int k)
+    t.left_deep_only

@@ -1,0 +1,47 @@
+(** Enumeration "knobs".
+
+    Commercial optimizers customize dynamic programming with limits that
+    "essentially create many additional intermediate optimization levels"
+    (Section 1.1): composite-inner size caps, Cartesian-product rules,
+    left-deep restrictions.  Because the estimator reuses the join
+    enumerator, all knob effects are reflected in its counts for free —
+    this is the paper's argument for enumerator reuse over closed-form
+    join counting. *)
+
+type t = {
+  allow_cartesian : bool;
+      (** enumerate Cartesian products between unconnected sets *)
+  card1_cartesian : bool;
+      (** DB2 heuristic (Section 4): allow a Cartesian product when one
+          input's estimated cardinality is ~1 — this makes the set of
+          enumerated joins depend on cardinality estimates *)
+  card1_threshold : float;  (** "~1" cutoff, default 1.5 rows *)
+  card1_max_size : int;
+      (** the card-1 rule only applies when the ~1-row input covers at most
+          this many tables (a sanity guard real systems employ: a collapsed
+          cardinality estimate deep in a big composite should not open the
+          floodgates to Cartesian products everywhere) *)
+  max_inner : int option;
+      (** upper bound on composite-inner size (None = unbounded bushy) *)
+  left_deep_only : bool;  (** restrict to left-deep trees *)
+}
+
+val default : t
+(** The configuration the paper's experiments run under: bushy trees "with
+    certain limits on the composite inner size" (Section 5) — composite
+    inner capped at 3 tables, card-1 Cartesian heuristic on. *)
+
+val full_bushy : t
+(** No composite-inner limit. *)
+
+val left_deep : t
+(** Left-deep only, no Cartesian products. *)
+
+val permissive : t -> t
+(** The fallback configuration a real system switches to when the knobs
+    leave a query unplannable (disconnected join graph without Cartesian
+    products, or an over-tight composite-inner limit): Cartesian products
+    on, no inner limit.  Both the optimizer driver and the COTE apply the
+    same fallback, so the estimator keeps tracking the real join stream. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,81 @@
+module Bitset = Qopt_util.Bitset
+module Table = Qopt_catalog.Table
+
+type t = {
+  mv_name : string;
+  mv_block : Query_block.t;
+  mv_rows : float;
+  mv_width : float;
+}
+
+let table_name block q =
+  (Query_block.quantifier block q).Quantifier.table.Table.name
+
+let define ~name block =
+  if Query_block.local_preds block <> [] then
+    invalid_arg "Mat_view.define: views must be join-only (no local predicates)";
+  if block.Query_block.children <> [] || block.Query_block.group_by <> []
+     || block.Query_block.order_by <> []
+  then invalid_arg "Mat_view.define: views must be plain join blocks";
+  let names =
+    List.init (Query_block.n_quantifiers block) (fun q -> table_name block q)
+  in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Mat_view.define: duplicate table names (self-joins unsupported)";
+  {
+    mv_name = name;
+    mv_block = block;
+    mv_rows = Cardinality.of_set Cardinality.Full block (Query_block.all_tables block);
+    mv_width = Cost_model.row_width block (Query_block.all_tables block);
+  }
+
+(* A (table name, column) rendering of a join predicate, canonically
+   ordered, so predicates compare across blocks with different quantifier
+   numbering. *)
+let pred_keys block preds =
+  List.filter_map
+    (fun p ->
+      match Pred.join_cols p with
+      | None -> None
+      | Some (l, r) ->
+        let kl = (table_name block l.Colref.q, l.Colref.col) in
+        let kr = (table_name block r.Colref.q, r.Colref.col) in
+        Some (if kl <= kr then (kl, kr) else (kr, kl)))
+    preds
+
+let matches view block tables =
+  (* Same base-table multiset (view names are unique, so set equality on
+     sorted lists suffices). *)
+  let entry_names =
+    List.sort String.compare
+      (List.map (fun q -> table_name block q) (Bitset.elements tables))
+  in
+  let view_names =
+    List.sort String.compare
+      (List.init
+         (Query_block.n_quantifiers view.mv_block)
+         (fun q -> table_name view.mv_block q))
+  in
+  entry_names = view_names
+  &&
+  (* Every view join predicate appears among the entry's internal
+     predicates. *)
+  let entry_preds =
+    pred_keys block
+      (List.filter
+         (fun p -> Pred.is_join p && Pred.applicable_within p tables)
+         block.Query_block.preds)
+  in
+  List.for_all
+    (fun key -> List.mem key entry_preds)
+    (pred_keys view.mv_block view.mv_block.Query_block.preds)
+
+let substitute_cost params view =
+  let pages = Float.max 1.0 (view.mv_rows *. view.mv_width /. 4096.0) in
+  (pages *. params.Cost_model.io_page /. float_of_int params.Cost_model.nodes)
+  +. (view.mv_rows *. params.Cost_model.cpu_tuple /. float_of_int params.Cost_model.nodes)
+
+let pp ppf t =
+  Format.fprintf ppf "%s over %d tables (%.0f rows)" t.mv_name
+    (Query_block.n_quantifiers t.mv_block)
+    t.mv_rows

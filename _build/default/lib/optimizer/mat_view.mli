@@ -1,0 +1,37 @@
+(** Materialized views and view matching (Section 6.2).
+
+    A materialized view is a precomputed join result over base tables.
+    During optimization every MEMO entry is tested against the registered
+    views; a match contributes a substitute plan that scans the materialized
+    result instead of recomputing the join.  The *matching tests themselves*
+    cost compilation time — the paper's Section 6.2 extension is that a COTE
+    must account for it, which it can: the enumerator knows exactly how many
+    entries (and therefore tests) there are.
+
+    Matching here is structural join-view matching: the view covers exactly
+    the entry's base tables (matched by table name — views over self-joins
+    are not supported) and every join predicate of the view appears among
+    the entry's internal predicates.  Views carry no local predicates, so a
+    match never returns fewer rows than the entry needs. *)
+
+type t = {
+  mv_name : string;
+  mv_block : Query_block.t;  (** the defining query (join-only) *)
+  mv_rows : float;  (** materialized result cardinality *)
+  mv_width : float;  (** materialized row width in bytes *)
+}
+
+val define : name:string -> Query_block.t -> t
+(** Registers a view over the defining block; the materialized size is the
+    full-model cardinality estimate of the block.  Raises [Invalid_argument]
+    if the block has local predicates, children, grouping or ordering, or
+    duplicate table names. *)
+
+val matches : t -> Query_block.t -> Qopt_util.Bitset.t -> bool
+(** [matches view block tables] — does the view compute exactly the join of
+    [tables] (a MEMO entry of [block]) under the entry's predicates? *)
+
+val substitute_cost : Cost_model.params -> t -> float
+(** Cost of scanning the materialized result. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,124 @@
+(** The MEMO structure: one entry per enumerated table set.
+
+    Each entry holds the non-pruned plans (real optimization), cached
+    logical properties (cardinality, column equivalence, applicable
+    interesting orders) and — in plan-estimate mode — the interesting
+    property value lists that the COTE accumulates instead of plans
+    (Section 3.3: "a classical technique of trading space for time").
+
+    Pruning follows the generalized interesting-property rule: a plan is
+    pruned when a cheaper plan satisfies a superset of the applicable
+    interesting orders (and a compatible partition).  This implements the
+    "plan sharing" behaviour the paper identifies as an over-estimation
+    source: a cheap plan ordered on (a,b) also serves requests for (a) and
+    silently absorbs that plan slot. *)
+
+module Bitset = Qopt_util.Bitset
+
+type counts = {
+  mutable nljn : int;
+  mutable mgjn : int;
+  mutable hsjn : int;
+}
+
+val counts_zero : unit -> counts
+
+val counts_total : counts -> int
+
+val counts_get : counts -> Join_method.t -> int
+
+val counts_add : counts -> Join_method.t -> int -> unit
+
+type saved_plan = {
+  sp_plan : Plan.t;
+  sp_osig : int;
+      (** bitmask: which applicable interesting orders the plan satisfies —
+          dominance tests reduce to integer subset checks *)
+  sp_pkey : Colref.t list option;  (** canonical partition key, if any *)
+  sp_pint : bool;  (** whether that partition is interesting here *)
+  sp_pipe : bool;
+      (** pipelinable — only meaningful (and only protected from pruning)
+          when the block is a top-N query *)
+}
+
+type entry = {
+  tables : Bitset.t;
+  mutable saved : saved_plan list;  (** kept (non-pruned) plans, real mode *)
+  mutable card_cache : float option;  (** logical, computed once *)
+  mutable equiv_cache : Equiv.t option;  (** logical, computed once *)
+  mutable app_orders_cache : Order_prop.t list option;
+      (** interesting orders applicable and unretired at this entry *)
+  mutable app_canon_cache : (Order_prop.kind * Colref.t list) list option;
+      (** their canonical column lists, for cheap per-plan signatures *)
+  mutable i_orders : Order_prop.t list;  (** estimate mode: order list *)
+  mutable i_parts : Partition_prop.t list;  (** estimate mode: partitions *)
+  mutable i_pipe : bool;
+      (** estimate mode: a pipelinable plan variant reaches this entry *)
+  mutable propagated_once : bool;
+      (** estimate mode: set after the first join populates the entry, for
+          the first-join-only propagation shortcut (Section 4, point 4) *)
+}
+
+type stats = {
+  mutable entries_created : int;
+  mutable joins_enumerated : int;
+  generated : counts;  (** join plans generated, before pruning *)
+  mutable scan_plans : int;
+  mutable pruned : int;
+}
+
+type t
+
+val create : Query_block.t -> t
+
+val block : t -> Query_block.t
+
+val stats : t -> stats
+
+val find_opt : t -> Bitset.t -> entry option
+
+val find_or_create : t -> Bitset.t -> entry * bool
+(** The boolean is [true] when the entry was just created. *)
+
+val entries_of_size : t -> int -> entry list
+(** Entries covering exactly [k] tables, in creation order. *)
+
+val iter_entries : (entry -> unit) -> t -> unit
+
+val n_entries : t -> int
+
+val equiv_of : t -> entry -> Equiv.t
+(** Column equivalences induced by predicates internal to the entry
+    (cached). *)
+
+val card_of : t -> Cardinality.mode -> entry -> float
+(** Cached cardinality of the entry under the given model.  A MEMO instance
+    is used with a single mode throughout its lifetime. *)
+
+val applicable_orders : t -> entry -> Order_prop.t list
+(** Interesting orders applicable to (and not retired at) the entry, derived
+    from the query block and cached. *)
+
+val plans : entry -> Plan.t list
+(** The kept plans, without their cached signatures. *)
+
+val best_plan : entry -> Plan.t option
+(** Cheapest kept plan regardless of properties. *)
+
+val best_pipelinable_plan : entry -> Plan.t option
+(** Cheapest kept plan that can pipeline (top-N planning). *)
+
+val best_plan_satisfying : t -> entry -> Order_prop.t -> Plan.t option
+(** Cheapest kept plan whose physical order satisfies the interesting
+    order. *)
+
+val insert_plan : t -> entry -> Plan.t -> unit
+(** Insert with dominance pruning (does not touch the [generated]
+    counters — generation sites count). *)
+
+val kept_plans : t -> int
+(** Total kept plans across all entries. *)
+
+val memo_bytes : t -> float
+(** Approximate bytes held in kept plans (for the Section 6.2 memory
+    experiment). *)

@@ -1,0 +1,167 @@
+module Bitset = Qopt_util.Bitset
+module Timer = Qopt_util.Timer
+
+type result = {
+  best : Plan.t option;
+  elapsed : float;
+  joins : int;
+  generated : Memo.counts;
+  scan_plans : int;
+  kept : int;
+  entries : int;
+  pruned : int;
+  breakdown : Instrument.snapshot;
+  memo_bytes : float;
+  mv_tests : int;
+  mv_matches : int;
+}
+
+(* Final SORT / GROUP BY operators on top of the winning join plan.  Their
+   planning cost is negligible (two group-by plans, one sort — part of the
+   "other" slice of Figure 2), but they make [best] a complete plan. *)
+let finish env block (plan : Plan.t) =
+  let params = Cost_model.params env in
+  let equiv = Equiv.of_preds (Query_block.join_preds block) in
+  let width = Cost_model.row_width block plan.Plan.tables in
+  let plan =
+    match block.Query_block.group_by with
+    | [] -> plan
+    | cols ->
+      let grouping = Order_prop.make Grouping cols in
+      let sort_based =
+        if Order_prop.satisfied_by equiv grouping plan.Plan.order then
+          plan.Plan.cost +. (plan.Plan.card *. 0.002)
+        else
+          plan.Plan.cost
+          +. Cost_model.sort params ~rows:plan.Plan.card ~width
+          +. (plan.Plan.card *. 0.002)
+      in
+      let hash_based = plan.Plan.cost +. (plan.Plan.card *. 0.004) in
+      if sort_based <= hash_based then
+        {
+          plan with
+          Plan.op = Plan.Sort plan;
+          order = Order_prop.canonical equiv grouping;
+          cost = sort_based;
+        }
+      else { plan with Plan.op = plan.Plan.op; cost = hash_based; order = [] }
+  in
+  match block.Query_block.order_by with
+  | [] -> plan
+  | cols ->
+    let ordering = Order_prop.make Ordering cols in
+    if Order_prop.satisfied_by equiv ordering plan.Plan.order then plan
+    else
+      {
+        plan with
+        Plan.op = Plan.Sort plan;
+        order = Order_prop.canonical equiv ordering;
+        cost = plan.Plan.cost +. Cost_model.sort params ~rows:plan.Plan.card ~width;
+      }
+
+(* The top-N adjustment: a pipelinable plan under LIMIT n stops early, so
+   only a fraction of its cost is paid. *)
+let topn_adjusted_cost block (p : Plan.t) =
+  match block.Query_block.first_n with
+  | None -> p.Plan.cost
+  | Some n ->
+    if Plan.pipelinable p then
+      let frac = Float.min 1.0 (float_of_int n /. Float.max 1.0 p.Plan.card) in
+      p.Plan.cost *. Float.max 0.05 frac
+    else p.Plan.cost
+
+(* Pick the top plan by its cost *after* the final GROUP BY / ORDER BY
+   operators and the top-N early-termination benefit: for a LIMIT query a
+   pipelinable plan that avoids the final sort can beat a cheaper blocking
+   plan. *)
+let best_for_block env block entry =
+  let best = ref None in
+  List.iter
+    (fun (p : Plan.t) ->
+      let finished = finish env block p in
+      let adjusted = topn_adjusted_cost block finished in
+      match !best with
+      | Some (_, c) when c <= adjusted -> ()
+      | Some _ | None -> best := Some (finished, adjusted))
+    (Memo.plans entry);
+  Option.map fst !best
+
+let run_block ?views env knobs block =
+  let memo = Memo.create block in
+  let instr = Instrument.create () in
+  let gen = Plan_gen.create ?views env memo instr in
+  let consumer = Plan_gen.consumer gen in
+  let (), elapsed =
+    Timer.time (fun () ->
+        Enumerator.run ~knobs ~card_of:(Plan_gen.card_of gen) memo consumer)
+  in
+  Instrument.set_total instr elapsed;
+  let stats = Memo.stats memo in
+  let top = Memo.find_opt memo (Query_block.all_tables block) in
+  let best =
+    match top with
+    | Some entry -> best_for_block env block entry
+    | None -> None
+  in
+  let result =
+    {
+      best;
+      elapsed;
+      joins = stats.Memo.joins_enumerated;
+      generated = stats.Memo.generated;
+      scan_plans = stats.Memo.scan_plans;
+      kept = Memo.kept_plans memo;
+      entries = Memo.n_entries memo;
+      pruned = stats.Memo.pruned;
+      breakdown = Instrument.snapshot instr;
+      memo_bytes = Memo.memo_bytes memo;
+      mv_tests = Plan_gen.mv_tests gen;
+      mv_matches = Plan_gen.mv_matches gen;
+    }
+  in
+  (result, top <> None)
+
+let optimize_block ?views env knobs block =
+  let result, reached_top = run_block ?views env knobs block in
+  if reached_top || Query_block.n_quantifiers block <= 1 then result
+  else begin
+    (* The knobs left the query unplannable (disconnected graph without
+       Cartesian products, or an over-tight inner limit): retry permissively. *)
+    let retry, _ = run_block ?views env (Knobs.permissive knobs) block in
+    retry
+  end
+
+let add_counts (a : Memo.counts) (b : Memo.counts) =
+  {
+    Memo.nljn = a.Memo.nljn + b.Memo.nljn;
+    Memo.mgjn = a.Memo.mgjn + b.Memo.mgjn;
+    Memo.hsjn = a.Memo.hsjn + b.Memo.hsjn;
+  }
+
+let optimize env ?(knobs = Knobs.default) ?views block =
+  let results = ref [] in
+  Query_block.iter_blocks
+    (fun b -> results := optimize_block ?views env knobs b :: !results)
+    block;
+  match !results with
+  | [] -> assert false
+  | top :: rest ->
+    (* [iter_blocks] visits children first, so the last result is the top
+       block's. *)
+    List.fold_left
+      (fun acc r ->
+        {
+          best = acc.best;
+          elapsed = acc.elapsed +. r.elapsed;
+          joins = acc.joins + r.joins;
+          generated = add_counts acc.generated r.generated;
+          scan_plans = acc.scan_plans + r.scan_plans;
+          kept = acc.kept + r.kept;
+          entries = acc.entries + r.entries;
+          pruned = acc.pruned + r.pruned;
+          breakdown = Instrument.merge acc.breakdown r.breakdown;
+          memo_bytes = acc.memo_bytes +. r.memo_bytes;
+          mv_tests = acc.mv_tests + r.mv_tests;
+          mv_matches = acc.mv_matches + r.mv_matches;
+        })
+      top rest

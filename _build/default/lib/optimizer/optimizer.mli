@@ -1,0 +1,34 @@
+(** The optimization driver.
+
+    Runs full dynamic-programming optimization of a query (all blocks,
+    bottom-up), returning the best plan together with everything the
+    experiments need: wall-clock time, the Figure 2 breakdown, enumeration
+    and plan-generation counters, and MEMO size. *)
+
+type result = {
+  best : Plan.t option;  (** best plan of the top block *)
+  elapsed : float;  (** wall-clock seconds, all blocks *)
+  joins : int;  (** joins enumerated *)
+  generated : Memo.counts;  (** join plans generated, before pruning *)
+  scan_plans : int;
+  kept : int;  (** plans held in the MEMO after pruning *)
+  entries : int;
+  pruned : int;
+  breakdown : Instrument.snapshot;
+  memo_bytes : float;
+  mv_tests : int;  (** materialized-view matching tests (§6.2) *)
+  mv_matches : int;
+}
+
+val optimize_block :
+  ?views:Mat_view.t list -> Env.t -> Knobs.t -> Query_block.t -> result
+(** Optimizes a single block, ignoring children.  If the knobs leave the top
+    table set unreachable (e.g. a disconnected join graph without Cartesian
+    products), the block is retried with Cartesian products enabled, as a
+    real system would. *)
+
+val optimize :
+  Env.t -> ?knobs:Knobs.t -> ?views:Mat_view.t list -> Query_block.t -> result
+(** Optimizes the block and all child blocks bottom-up; counters and times
+    are summed, [best] is the top block's plan (with final SORT / GROUP BY
+    operators applied).  [knobs] defaults to {!Knobs.default}. *)

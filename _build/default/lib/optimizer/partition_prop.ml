@@ -1,0 +1,51 @@
+module Bitset = Qopt_util.Bitset
+module Spec = Qopt_catalog.Partition_spec
+
+type kind =
+  | Hash
+  | Range
+
+type t = {
+  keys : Colref.t list;
+  kind : kind;
+}
+
+let hash keys =
+  if keys = [] then invalid_arg "Partition_prop.hash: empty keys";
+  { keys; kind = Hash }
+
+let range keys =
+  if keys = [] then invalid_arg "Partition_prop.range: empty keys";
+  { keys; kind = Range }
+
+let of_spec ~q (spec : Spec.t) =
+  let keys = List.map (fun col -> Colref.make q col) spec.Spec.keys in
+  match spec.Spec.kind with
+  | Spec.Hash -> hash keys
+  | Spec.Range -> range keys
+
+let canonical equiv t =
+  let keys = Equiv.normalize_cols equiv t.keys in
+  match t.kind with
+  | Hash -> List.sort Colref.compare keys
+  | Range -> keys
+
+let equal_under equiv a b =
+  (match (a.kind, b.kind) with
+  | Hash, Hash | Range, Range -> true
+  | Hash, Range | Range, Hash -> false)
+  && Colref.list_equal (canonical equiv a) (canonical equiv b)
+
+let applicable ~tables t =
+  List.for_all (fun (c : Colref.t) -> Bitset.mem c.Colref.q tables) t.keys
+
+let keyed_on equiv t col =
+  List.exists (fun k -> Equiv.same equiv k col) t.keys
+
+let insert_dedup equiv t list =
+  if List.exists (fun x -> equal_under equiv x t) list then list else list @ [ t ]
+
+let pp ppf t =
+  Format.fprintf ppf "%s(%s)"
+    (match t.kind with Hash -> "hash" | Range -> "range")
+    (String.concat "," (List.map (Format.asprintf "%a" Colref.pp) t.keys))

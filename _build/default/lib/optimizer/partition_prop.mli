@@ -1,0 +1,40 @@
+(** The (data) partition physical property for shared-nothing parallelism.
+
+    A partition property records how a plan's rows are distributed across the
+    nodes: hash or range, on a set of key columns (Table 1 of the paper).
+    All three join methods propagate partitions fully (Table 2).  Partition
+    properties are generated *lazily* — from the physical partitioning of
+    base tables — plus the repartitioning heuristic of Section 4. *)
+
+type kind =
+  | Hash
+  | Range
+
+type t = {
+  keys : Colref.t list;
+  kind : kind;
+}
+
+val hash : Colref.t list -> t
+
+val range : Colref.t list -> t
+
+val of_spec : q:int -> Qopt_catalog.Partition_spec.t -> t
+(** Lift a base table's physical partition spec to quantifier [q]'s column
+    references. *)
+
+val canonical : Equiv.t -> t -> Colref.t list
+(** Hash keys are normalized and sorted (set semantics); range keys keep
+    their sequence. *)
+
+val equal_under : Equiv.t -> t -> t -> bool
+
+val applicable : tables:Qopt_util.Bitset.t -> t -> bool
+
+val keyed_on : Equiv.t -> t -> Colref.t -> bool
+(** Whether the given column is one of the partitioning keys (modulo
+    equivalence) — the test driving the repartitioning heuristic. *)
+
+val insert_dedup : Equiv.t -> t -> t list -> t list
+
+val pp : Format.formatter -> t -> unit

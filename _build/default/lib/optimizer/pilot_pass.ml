@@ -1,0 +1,42 @@
+type report = {
+  bound : float;
+  generated : int;
+  prunable : int;
+  fraction : float;
+  kept : int;
+  kept_prunable : int;
+  kept_fraction : float;
+}
+
+let analyze env ?(knobs = Knobs.default) block =
+  let bound =
+    match Greedy.optimize env block with
+    | Some plan -> plan.Plan.cost
+    | None -> infinity
+  in
+  let memo = Memo.create block in
+  let instr = Instrument.create () in
+  let gen = Plan_gen.create ~cost_bound:bound env memo instr in
+  Enumerator.run ~knobs ~card_of:(Plan_gen.card_of gen) memo
+    (Plan_gen.consumer gen);
+  let generated = Memo.counts_total (Memo.stats memo).Memo.generated in
+  let prunable = Plan_gen.bound_prunable gen in
+  let kept = ref 0 and kept_prunable = ref 0 in
+  Memo.iter_entries
+    (fun e ->
+      List.iter
+        (fun (p : Plan.t) ->
+          incr kept;
+          if p.Plan.cost > bound then incr kept_prunable)
+        (Memo.plans e))
+    memo;
+  {
+    bound;
+    generated;
+    prunable;
+    fraction = (if generated = 0 then 0.0 else float_of_int prunable /. float_of_int generated);
+    kept = !kept;
+    kept_prunable = !kept_prunable;
+    kept_fraction =
+      (if !kept = 0 then 0.0 else float_of_int !kept_prunable /. float_of_int !kept);
+  }

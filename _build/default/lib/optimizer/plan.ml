@@ -1,0 +1,117 @@
+module Bitset = Qopt_util.Bitset
+module Index = Qopt_catalog.Index
+
+type t = {
+  op : op;
+  tables : Bitset.t;
+  order : Order_prop.physical;
+  partition : Partition_prop.t option;
+  card : float;
+  cost : float;
+}
+
+and op =
+  | Seq_scan of int
+  | Index_scan of int * Index.t
+  | Mv_scan of string
+  | Sort of t
+  | Repartition of t
+  | Join of Join_method.t * t * t * Pred.t list
+
+let rec n_nodes t =
+  match t.op with
+  | Seq_scan _ | Index_scan _ | Mv_scan _ -> 1
+  | Sort input | Repartition input -> 1 + n_nodes input
+  | Join (_, outer, inner, _) -> 1 + n_nodes outer + n_nodes inner
+
+let rec depth t =
+  match t.op with
+  | Seq_scan _ | Index_scan _ | Mv_scan _ -> 1
+  | Sort input | Repartition input -> 1 + depth input
+  | Join (_, outer, inner, _) -> 1 + max (depth outer) (depth inner)
+
+let rec join_count t =
+  match t.op with
+  | Seq_scan _ | Index_scan _ | Mv_scan _ -> 0
+  | Sort input | Repartition input -> join_count input
+  | Join (_, outer, inner, _) -> 1 + join_count outer + join_count inner
+
+let method_counts t =
+  let counts = Hashtbl.create 4 in
+  let bump m =
+    Hashtbl.replace counts m (1 + Option.value ~default:0 (Hashtbl.find_opt counts m))
+  in
+  let rec walk t =
+    match t.op with
+    | Seq_scan _ | Index_scan _ | Mv_scan _ -> ()
+    | Sort input | Repartition input -> walk input
+    | Join (m, outer, inner, _) ->
+      bump m;
+      walk outer;
+      walk inner
+  in
+  walk t;
+  List.filter_map
+    (fun m ->
+      match Hashtbl.find_opt counts m with None -> None | Some n -> Some (m, n))
+    Join_method.all
+
+let leaves t =
+  let rec walk acc t =
+    match t.op with
+    | Mv_scan _ -> acc
+    | Seq_scan q | Index_scan (q, _) -> q :: acc
+    | Sort input | Repartition input -> walk acc input
+    | Join (_, outer, inner, _) -> walk (walk acc outer) inner
+  in
+  List.rev (walk [] t)
+
+let rec pipelinable t =
+  match t.op with
+  | Seq_scan _ | Index_scan _ | Mv_scan _ -> true
+  | Sort _ -> false
+  | Repartition input -> pipelinable input
+  | Join (m, outer, inner, _) -> begin
+    match m with
+    | Join_method.HSJN -> false
+    | Join_method.NLJN | Join_method.MGJN -> pipelinable outer && pipelinable inner
+  end
+
+let approx_bytes = 256.0
+
+let rec pp_compact ppf t =
+  match t.op with
+  | Mv_scan name -> Format.fprintf ppf "MV[%s]" name
+  | Seq_scan q -> Format.fprintf ppf "Q%d" q
+  | Index_scan (q, idx) -> Format.fprintf ppf "Q%d[%s]" q idx.Index.name
+  | Sort input -> Format.fprintf ppf "SORT(%a)" pp_compact input
+  | Repartition input -> Format.fprintf ppf "REPART(%a)" pp_compact input
+  | Join (m, outer, inner, _) ->
+    Format.fprintf ppf "%a(%a,%a)" Join_method.pp m pp_compact outer pp_compact
+      inner
+
+let pp ppf t =
+  let rec walk indent node =
+    let pad = String.make indent ' ' in
+    (match node.op with
+    | Mv_scan name -> Format.fprintf ppf "%sMVSCAN %s" pad name
+    | Seq_scan q -> Format.fprintf ppf "%sSCAN Q%d" pad q
+    | Index_scan (q, idx) -> Format.fprintf ppf "%sISCAN Q%d %s" pad q idx.Index.name
+    | Sort _ -> Format.fprintf ppf "%sSORT %a" pad Order_prop.pp_physical node.order
+    | Repartition _ ->
+      Format.fprintf ppf "%sREPART %s" pad
+        (match node.partition with
+        | None -> "?"
+        | Some p -> Format.asprintf "%a" Partition_prop.pp p)
+    | Join (m, _, _, preds) ->
+      Format.fprintf ppf "%s%a on [%s]" pad Join_method.pp m
+        (String.concat "; " (List.map (Format.asprintf "%a" Pred.pp) preds)));
+    Format.fprintf ppf "  (card=%.1f cost=%.1f)@." node.card node.cost;
+    match node.op with
+    | Seq_scan _ | Index_scan _ | Mv_scan _ -> ()
+    | Sort input | Repartition input -> walk (indent + 2) input
+    | Join (_, outer, inner, _) ->
+      walk (indent + 2) outer;
+      walk (indent + 2) inner
+  in
+  walk 0 t

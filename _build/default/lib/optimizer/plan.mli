@@ -1,0 +1,58 @@
+(** Physical execution plans.
+
+    A plan node carries the table set it covers, its physical order (the
+    empty list is the paper's "don't care" DC value), its partition (in
+    parallel mode), the estimated output cardinality (a logical property,
+    shared by all plans of a MEMO entry) and the estimated execution cost. *)
+
+module Bitset = Qopt_util.Bitset
+module Index = Qopt_catalog.Index
+
+type t = {
+  op : op;
+  tables : Bitset.t;
+  order : Order_prop.physical;  (** [[]] = unordered / DC *)
+  partition : Partition_prop.t option;  (** [None] in serial mode *)
+  card : float;
+  cost : float;
+}
+
+and op =
+  | Seq_scan of int  (** quantifier id *)
+  | Index_scan of int * Index.t
+  | Mv_scan of string  (** scan of a materialized view, by name (§6.2) *)
+  | Sort of t
+  | Repartition of t
+  | Join of Join_method.t * t * t * Pred.t list
+      (** method, outer, inner, join predicates applied *)
+
+val n_nodes : t -> int
+(** Number of operator nodes in the tree. *)
+
+val depth : t -> int
+
+val join_count : t -> int
+
+val method_counts : t -> (Join_method.t * int) list
+(** How many joins of each method the tree contains. *)
+
+val leaves : t -> int list
+(** Quantifier ids scanned, left to right. *)
+
+val pipelinable : t -> bool
+(** Whether the plan can deliver its first rows without a blocking operator:
+    "no SORTs, builds for hash joins or TEMPs that require full
+    materialization" (Table 1).  Scans pipeline; SORT blocks; hash joins
+    block on their build; nested-loops and (pre-sorted) merge joins pipeline
+    when their inputs do; repartitioning streams. *)
+
+val approx_bytes : float
+(** Approximate memory footprint of one saved plan node, used by the
+    Section 6.2 memory-consumption model ("typically in the order of
+    hundreds of bytes"). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line operator-tree rendering. *)
+
+val pp_compact : Format.formatter -> t -> unit
+(** Single-line rendering, e.g. [MGJN(HSJN(A,B),C)]. *)

@@ -1,0 +1,48 @@
+module Bitset = Qopt_util.Bitset
+
+type cmp_op =
+  | Eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type t =
+  | Eq_join of Colref.t * Colref.t
+  | Local_cmp of Colref.t * cmp_op * float
+  | Local_in of Colref.t * int
+  | Expensive of Bitset.t * float * float
+
+let tables = function
+  | Eq_join (l, r) -> Bitset.add r.q (Bitset.singleton l.q)
+  | Local_cmp (c, _, _) | Local_in (c, _) -> Bitset.singleton c.q
+  | Expensive (ts, _, _) -> ts
+
+let is_join = function
+  | Eq_join (l, r) -> l.q <> r.q
+  | Local_cmp _ | Local_in _ | Expensive _ -> false
+
+let crosses t s l =
+  match t with
+  | Eq_join (a, b) when a.q <> b.q ->
+    (Bitset.mem a.q s && Bitset.mem b.q l)
+    || (Bitset.mem a.q l && Bitset.mem b.q s)
+  | Eq_join _ | Local_cmp _ | Local_in _ | Expensive _ -> false
+
+let applicable_within t set = Bitset.subset (tables t) set
+
+let join_cols = function
+  | Eq_join (l, r) when l.q <> r.q -> Some (l, r)
+  | Eq_join _ | Local_cmp _ | Local_in _ | Expensive _ -> None
+
+let pp_op ppf op =
+  Format.pp_print_string ppf
+    (match op with Eq -> "=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")
+
+let pp ppf = function
+  | Eq_join (l, r) -> Format.fprintf ppf "%a = %a" Colref.pp l Colref.pp r
+  | Local_cmp (c, op, v) ->
+    Format.fprintf ppf "%a %a %g" Colref.pp c pp_op op v
+  | Local_in (c, n) -> Format.fprintf ppf "%a IN (...%d)" Colref.pp c n
+  | Expensive (ts, sel, _) ->
+    Format.fprintf ppf "udf%a sel=%.3f" Bitset.pp ts sel

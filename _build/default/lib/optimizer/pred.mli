@@ -1,0 +1,44 @@
+(** Predicates of a query block.
+
+    Join predicates define the join graph; local predicates feed selectivity
+    estimation; expensive predicates model user-defined functions whose
+    evaluation may be deferred past joins (Table 1 of the paper lists them as
+    a physical property — we cost them but keep order/partition as the two
+    estimated property types, like the DB2 prototype). *)
+
+module Bitset = Qopt_util.Bitset
+
+type cmp_op =
+  | Eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type t =
+  | Eq_join of Colref.t * Colref.t
+      (** equality join predicate between two quantifiers *)
+  | Local_cmp of Colref.t * cmp_op * float
+      (** comparison of a column against a literal *)
+  | Local_in of Colref.t * int  (** [col IN (v1..vn)]; the int is n *)
+  | Expensive of Bitset.t * float * float
+      (** expensive predicate: quantifiers referenced, selectivity, cost per
+          tuple *)
+
+val tables : t -> Bitset.t
+(** Quantifiers referenced by the predicate. *)
+
+val is_join : t -> bool
+(** [true] only for [Eq_join] between distinct quantifiers. *)
+
+val crosses : t -> Bitset.t -> Bitset.t -> bool
+(** [crosses p s l] is [true] when [p] is a join predicate with one side in
+    [s] and the other in [l]. *)
+
+val applicable_within : t -> Bitset.t -> bool
+(** All referenced quantifiers are inside the given set. *)
+
+val join_cols : t -> (Colref.t * Colref.t) option
+(** The two sides of an [Eq_join]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+module Bitset = Qopt_util.Bitset
+module Table = Qopt_catalog.Table
+
+type t = {
+  id : int;
+  table : Table.t;
+  alias : string;
+  deps : Bitset.t;
+  outer_allowed : bool;
+}
+
+let make ?(deps = Bitset.empty) ?(outer_allowed = true) ?alias id table =
+  let alias =
+    match alias with Some a -> a | None -> Printf.sprintf "%s_%d" table.Table.name id
+  in
+  { id; table; alias; deps; outer_allowed }
+
+let pp ppf t =
+  Format.fprintf ppf "Q%d=%s(%s)%s" t.id t.alias t.table.Table.name
+    (if Bitset.is_empty t.deps then ""
+     else Format.asprintf " deps%a" Bitset.pp t.deps)

@@ -1,0 +1,27 @@
+(** Quantifiers: the table references of a query block.
+
+    Besides the base table, a quantifier records the structural constraints
+    that Section 4 of the paper attributes to "outer joins, correlations and
+    subqueries": a dependency set (correlation providers that must sit on the
+    other side before this quantifier can be joined) and whether the
+    quantifier may ever appear on the outer side of a join. *)
+
+module Bitset = Qopt_util.Bitset
+module Table = Qopt_catalog.Table
+
+type t = {
+  id : int;  (** index within the query block *)
+  table : Table.t;
+  alias : string;
+  deps : Bitset.t;
+      (** correlation providers: a composite containing this quantifier is
+          only valid once all of [deps] are in the same composite, and a set
+          needing values from the other side cannot serve as the outer *)
+  outer_allowed : bool;
+      (** [false] for quantifiers (e.g. from scalar subqueries) that can
+          never be on the outer side *)
+}
+
+val make : ?deps:Bitset.t -> ?outer_allowed:bool -> ?alias:string -> int -> Table.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,139 @@
+module Bitset = Qopt_util.Bitset
+module Table = Qopt_catalog.Table
+
+type outer_join = {
+  oj_preserved : Bitset.t;
+  oj_null : Bitset.t;
+}
+
+type t = {
+  name : string;
+  quantifiers : Quantifier.t array;
+  preds : Pred.t list;
+  group_by : Colref.t list;
+  order_by : Colref.t list;
+  outer_joins : outer_join list;
+  children : t list;
+  first_n : int option;
+}
+
+let n_quantifiers t = Array.length t.quantifiers
+
+let quantifier t i = t.quantifiers.(i)
+
+let all_tables t = Bitset.full (n_quantifiers t)
+
+let check_colref t what (c : Colref.t) =
+  if c.q < 0 || c.q >= n_quantifiers t then
+    invalid_arg
+      (Printf.sprintf "Query_block(%s): %s references unknown quantifier Q%d"
+         t.name what c.q);
+  let table = (quantifier t c.q).Quantifier.table in
+  if not (Table.mem_column table c.col) then
+    invalid_arg
+      (Printf.sprintf "Query_block(%s): %s references unknown column %s.%s"
+         t.name what table.Table.name c.col)
+
+let validate t =
+  List.iter
+    (fun p ->
+      match p with
+      | Pred.Eq_join (l, r) ->
+        check_colref t "join predicate" l;
+        check_colref t "join predicate" r
+      | Pred.Local_cmp (c, _, _) | Pred.Local_in (c, _) ->
+        check_colref t "local predicate" c
+      | Pred.Expensive (ts, sel, _) ->
+        if sel <= 0.0 || sel > 1.0 then
+          invalid_arg "Query_block: expensive predicate selectivity out of (0,1]";
+        if not (Bitset.subset ts (all_tables t)) then
+          invalid_arg "Query_block: expensive predicate references unknown quantifier")
+    t.preds;
+  List.iter (check_colref t "GROUP BY") t.group_by;
+  List.iter (check_colref t "ORDER BY") t.order_by;
+  List.iter
+    (fun oj ->
+      if not (Bitset.subset oj.oj_preserved (all_tables t))
+         || not (Bitset.subset oj.oj_null (all_tables t))
+         || not (Bitset.disjoint oj.oj_preserved oj.oj_null)
+      then invalid_arg "Query_block: malformed outer join sides")
+    t.outer_joins;
+  Array.iteri
+    (fun i (q : Quantifier.t) ->
+      if q.Quantifier.id <> i then
+        invalid_arg "Query_block: quantifier ids must match their positions";
+      if not (Bitset.subset q.Quantifier.deps (all_tables t))
+         || Bitset.mem i q.Quantifier.deps
+      then invalid_arg "Query_block: malformed dependency set")
+    t.quantifiers
+
+let make ?(name = "q") ?(group_by = []) ?(order_by = []) ?(outer_joins = [])
+    ?(children = []) ?first_n ~quantifiers ~preds () =
+  (match first_n with
+  | Some n when n <= 0 -> invalid_arg "Query_block: first_n must be positive"
+  | Some _ | None -> ());
+  let t =
+    {
+      name;
+      quantifiers = Array.of_list quantifiers;
+      preds;
+      group_by;
+      order_by;
+      outer_joins;
+      children;
+      first_n;
+    }
+  in
+  validate t;
+  t
+
+let join_preds t = List.filter Pred.is_join t.preds
+
+let local_preds t = List.filter (fun p -> not (Pred.is_join p)) t.preds
+
+let column t (c : Colref.t) =
+  Table.find_column (quantifier t c.q).Quantifier.table c.col
+
+let is_connected t =
+  let n = n_quantifiers t in
+  if n <= 1 then true
+  else begin
+    let reached = ref (Bitset.singleton 0) in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun p ->
+          match Pred.join_cols p with
+          | None -> ()
+          | Some (l, r) ->
+            let has_l = Bitset.mem l.Colref.q !reached in
+            let has_r = Bitset.mem r.Colref.q !reached in
+            if has_l && not has_r then begin
+              reached := Bitset.add r.Colref.q !reached;
+              changed := true
+            end
+            else if has_r && not has_l then begin
+              reached := Bitset.add l.Colref.q !reached;
+              changed := true
+            end)
+        t.preds
+    done;
+    Bitset.cardinal !reached = n
+  end
+
+let rec iter_blocks f t =
+  List.iter (iter_blocks f) t.children;
+  f t
+
+let total_quantifiers t =
+  let n = ref 0 in
+  iter_blocks (fun b -> n := !n + n_quantifiers b) t;
+  !n
+
+let pp ppf t =
+  Format.fprintf ppf "block %s: %d tables, %d preds, %d gb, %d ob, %d oj, %d sub"
+    t.name (n_quantifiers t) (List.length t.preds) (List.length t.group_by)
+    (List.length t.order_by)
+    (List.length t.outer_joins)
+    (List.length t.children)

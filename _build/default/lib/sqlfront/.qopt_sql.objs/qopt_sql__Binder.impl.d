@@ -1,0 +1,1 @@
+lib/sqlfront/binder.ml: Array Ast Float Format Hashtbl List Option Parser Printf Qopt_catalog Qopt_optimizer Qopt_util String

@@ -1,0 +1,1 @@
+lib/sqlfront/binder.mli: Ast Qopt_catalog Qopt_optimizer

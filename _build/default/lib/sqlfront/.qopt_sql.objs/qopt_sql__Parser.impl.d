@@ -1,0 +1,1 @@
+lib/sqlfront/parser.ml: Ast Float Format Lexer List Printf

@@ -1,0 +1,135 @@
+type literal =
+  | Num of float
+  | Str of string
+
+type col = {
+  c_table : string option;
+  c_name : string;
+}
+
+type cmp =
+  | Eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type condition =
+  | Cmp_cols of col * cmp * col
+  | Cmp_lit of col * cmp * literal
+  | In_list of col * literal list
+  | Exists of select
+  | In_subquery of col * select
+
+and table_ref = {
+  t_name : string;
+  t_alias : string option;
+}
+
+and join_kind =
+  | Inner
+  | Left_outer
+
+and join_clause = {
+  j_kind : join_kind;
+  j_table : table_ref;
+  j_on : condition list;
+}
+
+and select = {
+  sel_items : sel_item list;
+  sel_from : table_ref list;
+  sel_joins : join_clause list;
+  sel_where : condition list;
+  sel_group_by : col list;
+  sel_order_by : col list;
+  sel_limit : int option;
+}
+
+and sel_item =
+  | Star
+  | Col_item of col
+  | Agg of string * col
+
+let col ?table name = { c_table = table; c_name = name }
+
+let pp_col ppf c =
+  match c.c_table with
+  | None -> Format.pp_print_string ppf c.c_name
+  | Some t -> Format.fprintf ppf "%s.%s" t c.c_name
+
+let pp_literal ppf = function
+  | Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Format.fprintf ppf "%.0f" f
+    else Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "'%s'" s
+
+let cmp_string = function Eq -> "=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let pp_table_ref ppf t =
+  match t.t_alias with
+  | None -> Format.pp_print_string ppf t.t_name
+  | Some a -> Format.fprintf ppf "%s %s" t.t_name a
+
+let rec pp_condition ppf = function
+  | Cmp_cols (a, op, b) ->
+    Format.fprintf ppf "%a %s %a" pp_col a (cmp_string op) pp_col b
+  | Cmp_lit (c, op, l) ->
+    Format.fprintf ppf "%a %s %a" pp_col c (cmp_string op) pp_literal l
+  | In_list (c, ls) ->
+    Format.fprintf ppf "%a IN (%a)" pp_col c
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_literal)
+      ls
+  | Exists s -> Format.fprintf ppf "EXISTS (%a)" pp_select s
+  | In_subquery (c, s) -> Format.fprintf ppf "%a IN (%a)" pp_col c pp_select s
+
+and pp_sel_item ppf = function
+  | Star -> Format.pp_print_string ppf "*"
+  | Col_item c -> pp_col ppf c
+  | Agg (f, c) -> Format.fprintf ppf "%s(%a)" f pp_col c
+
+and pp_select ppf s =
+  let sep_comma ppf () = Format.pp_print_string ppf ", " in
+  Format.fprintf ppf "SELECT %a FROM %a"
+    (Format.pp_print_list ~pp_sep:sep_comma pp_sel_item)
+    s.sel_items
+    (Format.pp_print_list ~pp_sep:sep_comma pp_table_ref)
+    s.sel_from;
+  List.iter
+    (fun j ->
+      Format.fprintf ppf " %s %a ON %a"
+        (match j.j_kind with Inner -> "JOIN" | Left_outer -> "LEFT JOIN")
+        pp_table_ref j.j_table
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " AND ")
+           pp_condition)
+        j.j_on)
+    s.sel_joins;
+  (match s.sel_where with
+  | [] -> ()
+  | conds ->
+    Format.fprintf ppf " WHERE %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " AND ")
+         pp_condition)
+      conds);
+  (match s.sel_group_by with
+  | [] -> ()
+  | cols ->
+    Format.fprintf ppf " GROUP BY %a"
+      (Format.pp_print_list ~pp_sep:sep_comma pp_col)
+      cols);
+  (match s.sel_order_by with
+  | [] -> ()
+  | cols ->
+    Format.fprintf ppf " ORDER BY %a"
+      (Format.pp_print_list ~pp_sep:sep_comma pp_col)
+      cols);
+  match s.sel_limit with
+  | None -> ()
+  | Some n -> Format.fprintf ppf " LIMIT %d" n
+
+let to_string s = Format.asprintf "%a" pp_select s

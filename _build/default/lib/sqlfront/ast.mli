@@ -1,0 +1,67 @@
+(** Abstract syntax for the supported SQL subset.
+
+    Enough SQL to express every workload shape the paper evaluates:
+    select-project-join blocks with inner and left outer joins, conjunctive
+    WHERE clauses (column-column equality, column-literal comparisons, IN
+    lists), GROUP BY, ORDER BY, and EXISTS / IN subqueries. *)
+
+type literal =
+  | Num of float
+  | Str of string
+
+type col = {
+  c_table : string option;  (** qualifier: table name or alias *)
+  c_name : string;
+}
+
+type cmp =
+  | Eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type condition =
+  | Cmp_cols of col * cmp * col
+      (** column-op-column; equality forms a join predicate *)
+  | Cmp_lit of col * cmp * literal
+  | In_list of col * literal list
+  | Exists of select
+  | In_subquery of col * select
+
+and table_ref = {
+  t_name : string;
+  t_alias : string option;
+}
+
+and join_kind =
+  | Inner
+  | Left_outer
+
+and join_clause = {
+  j_kind : join_kind;
+  j_table : table_ref;
+  j_on : condition list;
+}
+
+and select = {
+  sel_items : sel_item list;
+  sel_from : table_ref list;  (** comma-separated FROM items *)
+  sel_joins : join_clause list;  (** explicit JOIN ... ON clauses *)
+  sel_where : condition list;  (** conjuncts *)
+  sel_group_by : col list;
+  sel_order_by : col list;
+  sel_limit : int option;  (** LIMIT n — a top-N query *)
+}
+
+and sel_item =
+  | Star
+  | Col_item of col
+  | Agg of string * col  (** aggregate function applied to a column *)
+
+val col : ?table:string -> string -> col
+
+val pp_select : Format.formatter -> select -> unit
+(** Prints valid SQL that re-parses to an equal AST. *)
+
+val to_string : select -> string

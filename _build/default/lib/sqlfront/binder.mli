@@ -1,0 +1,19 @@
+(** Name resolution: turns a parsed SELECT into an optimizer query block.
+
+    Quantifiers are numbered in FROM-clause order (comma items first, then
+    JOIN clauses).  LEFT JOIN clauses become outer-join constraints whose
+    preserved side is everything introduced before the clause.  EXISTS / IN
+    subqueries become child blocks, compiled separately like DB2's query
+    blocks; correlated references from a subquery to the parent are dropped
+    from the child (they are parameters there) and recorded as correlation
+    dependencies of the parent quantifiers the subquery constrains. *)
+
+exception Error of string
+
+val bind :
+  ?name:string -> Qopt_catalog.Schema.t -> Ast.select -> Qopt_optimizer.Query_block.t
+(** Raises {!Error} on unknown tables/columns or ambiguous references. *)
+
+val parse_and_bind :
+  ?name:string -> Qopt_catalog.Schema.t -> string -> Qopt_optimizer.Query_block.t
+(** [Parser.parse] followed by [bind]. *)

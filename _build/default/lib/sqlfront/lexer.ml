@@ -1,0 +1,91 @@
+type token =
+  | Ident of string
+  | Number of float
+  | String of string
+  | Kw of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star_tok
+  | Op of string
+  | Eof
+
+exception Error of string * int
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "ORDER"; "BY"; "JOIN"; "LEFT"; "INNER";
+    "OUTER"; "ON"; "AND"; "IN"; "EXISTS"; "AS"; "COUNT"; "SUM"; "MIN"; "MAX";
+    "AVG"; "LIMIT";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let rec loop i acc =
+    if i >= n then List.rev (Eof :: acc)
+    else
+      let c = input.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then loop (i + 1) acc
+      else if c = '(' then loop (i + 1) (Lparen :: acc)
+      else if c = ')' then loop (i + 1) (Rparen :: acc)
+      else if c = ',' then loop (i + 1) (Comma :: acc)
+      else if c = '.' then loop (i + 1) (Dot :: acc)
+      else if c = '*' then loop (i + 1) (Star_tok :: acc)
+      else if c = '=' then loop (i + 1) (Op "=" :: acc)
+      else if c = '<' then
+        if i + 1 < n && input.[i + 1] = '=' then loop (i + 2) (Op "<=" :: acc)
+        else loop (i + 1) (Op "<" :: acc)
+      else if c = '>' then
+        if i + 1 < n && input.[i + 1] = '=' then loop (i + 2) (Op ">=" :: acc)
+        else loop (i + 1) (Op ">" :: acc)
+      else if c = '\'' then begin
+        let rec scan k =
+          if k >= n then raise (Error ("unterminated string literal", i))
+          else if input.[k] = '\'' then k
+          else scan (k + 1)
+        in
+        let stop = scan (i + 1) in
+        loop (stop + 1) (String (String.sub input (i + 1) (stop - i - 1)) :: acc)
+      end
+      else if is_digit c then begin
+        let rec scan k =
+          if k < n && (is_digit input.[k] || input.[k] = '.') then scan (k + 1)
+          else k
+        in
+        let stop = scan i in
+        let text = String.sub input i (stop - i) in
+        match float_of_string_opt text with
+        | Some f -> loop stop (Number f :: acc)
+        | None -> raise (Error (Printf.sprintf "malformed number %S" text, i))
+      end
+      else if is_ident_start c then begin
+        let rec scan k = if k < n && is_ident_char input.[k] then scan (k + 1) else k in
+        let stop = scan i in
+        let text = String.sub input i (stop - i) in
+        let upper = String.uppercase_ascii text in
+        if List.mem upper keywords then loop stop (Kw upper :: acc)
+        else loop stop (Ident (String.lowercase_ascii text) :: acc)
+      end
+      else raise (Error (Printf.sprintf "unexpected character %C" c, i))
+  in
+  loop 0 []
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "ident(%s)" s
+  | Number f -> Format.fprintf ppf "num(%g)" f
+  | String s -> Format.fprintf ppf "str(%s)" s
+  | Kw k -> Format.fprintf ppf "kw(%s)" k
+  | Lparen -> Format.pp_print_string ppf "("
+  | Rparen -> Format.pp_print_string ppf ")"
+  | Comma -> Format.pp_print_string ppf ","
+  | Dot -> Format.pp_print_string ppf "."
+  | Star_tok -> Format.pp_print_string ppf "*"
+  | Op s -> Format.pp_print_string ppf s
+  | Eof -> Format.pp_print_string ppf "<eof>"

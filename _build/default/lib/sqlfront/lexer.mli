@@ -1,0 +1,23 @@
+(** Hand-written SQL lexer. *)
+
+type token =
+  | Ident of string  (** lower-cased identifier *)
+  | Number of float
+  | String of string
+  | Kw of string  (** upper-cased keyword *)
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Star_tok
+  | Op of string  (** comparison operator: [=], [<], [<=], [>], [>=] *)
+  | Eof
+
+exception Error of string * int
+(** Message and character offset. *)
+
+val tokenize : string -> token list
+(** Tokenizes a full statement; keywords are recognized case-insensitively.
+    Raises {!Error} on malformed input. *)
+
+val pp_token : Format.formatter -> token -> unit

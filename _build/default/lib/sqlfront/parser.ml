@@ -1,0 +1,247 @@
+exception Error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    raise
+      (Error
+         (Format.asprintf "expected %s but found %a" what Lexer.pp_token (peek st)))
+
+let expect_kw st kw = expect st (Lexer.Kw kw) kw
+
+let ident st =
+  match peek st with
+  | Lexer.Ident s ->
+    advance st;
+    s
+  | t -> raise (Error (Format.asprintf "expected identifier, found %a" Lexer.pp_token t))
+
+let parse_col st =
+  let first = ident st in
+  match peek st with
+  | Lexer.Dot ->
+    advance st;
+    let second = ident st in
+    { Ast.c_table = Some first; c_name = second }
+  | _ -> { Ast.c_table = None; c_name = first }
+
+let parse_literal st =
+  match peek st with
+  | Lexer.Number f ->
+    advance st;
+    Ast.Num f
+  | Lexer.String s ->
+    advance st;
+    Ast.Str s
+  | t -> raise (Error (Format.asprintf "expected literal, found %a" Lexer.pp_token t))
+
+let cmp_of_op = function
+  | "=" -> Ast.Eq
+  | "<" -> Ast.Lt
+  | "<=" -> Ast.Le
+  | ">" -> Ast.Gt
+  | ">=" -> Ast.Ge
+  | op -> raise (Error (Printf.sprintf "unsupported operator %s" op))
+
+let rec parse_condition st =
+  match peek st with
+  | Lexer.Kw "EXISTS" ->
+    advance st;
+    expect st Lexer.Lparen "(";
+    let sub = parse_select st in
+    expect st Lexer.Rparen ")";
+    Ast.Exists sub
+  | _ -> begin
+    let c = parse_col st in
+    match peek st with
+    | Lexer.Kw "IN" -> begin
+      advance st;
+      expect st Lexer.Lparen "(";
+      match peek st with
+      | Lexer.Kw "SELECT" ->
+        let sub = parse_select st in
+        expect st Lexer.Rparen ")";
+        Ast.In_subquery (c, sub)
+      | _ ->
+        let rec items acc =
+          let l = parse_literal st in
+          match peek st with
+          | Lexer.Comma ->
+            advance st;
+            items (l :: acc)
+          | _ -> List.rev (l :: acc)
+        in
+        let ls = items [] in
+        expect st Lexer.Rparen ")";
+        Ast.In_list (c, ls)
+    end
+    | Lexer.Op op -> begin
+      advance st;
+      match peek st with
+      | Lexer.Ident _ ->
+        let c2 = parse_col st in
+        Ast.Cmp_cols (c, cmp_of_op op, c2)
+      | _ ->
+        let l = parse_literal st in
+        Ast.Cmp_lit (c, cmp_of_op op, l)
+    end
+    | t ->
+      raise
+        (Error (Format.asprintf "expected condition operator, found %a" Lexer.pp_token t))
+  end
+
+and parse_conjuncts st =
+  let first = parse_condition st in
+  let rec loop acc =
+    match peek st with
+    | Lexer.Kw "AND" ->
+      advance st;
+      loop (parse_condition st :: acc)
+    | _ -> List.rev acc
+  in
+  loop [ first ]
+
+and parse_table_ref st =
+  let name = ident st in
+  match peek st with
+  | Lexer.Kw "AS" ->
+    advance st;
+    { Ast.t_name = name; t_alias = Some (ident st) }
+  | Lexer.Ident _ -> { Ast.t_name = name; t_alias = Some (ident st) }
+  | _ -> { Ast.t_name = name; t_alias = None }
+
+and parse_sel_item st =
+  match peek st with
+  | Lexer.Star_tok ->
+    advance st;
+    Ast.Star
+  | Lexer.Kw (("COUNT" | "SUM" | "MIN" | "MAX" | "AVG") as f) ->
+    advance st;
+    expect st Lexer.Lparen "(";
+    let c =
+      match peek st with
+      | Lexer.Star_tok ->
+        advance st;
+        Ast.col "*"
+      | _ -> parse_col st
+    in
+    expect st Lexer.Rparen ")";
+    Ast.Agg (f, c)
+  | _ -> Ast.Col_item (parse_col st)
+
+and parse_select st =
+  expect_kw st "SELECT";
+  let items =
+    let first = parse_sel_item st in
+    let rec loop acc =
+      match peek st with
+      | Lexer.Comma ->
+        advance st;
+        loop (parse_sel_item st :: acc)
+      | _ -> List.rev acc
+    in
+    loop [ first ]
+  in
+  expect_kw st "FROM";
+  let from =
+    let first = parse_table_ref st in
+    let rec loop acc =
+      match peek st with
+      | Lexer.Comma ->
+        advance st;
+        loop (parse_table_ref st :: acc)
+      | _ -> List.rev acc
+    in
+    loop [ first ]
+  in
+  let joins =
+    let rec loop acc =
+      match peek st with
+      | Lexer.Kw "JOIN" | Lexer.Kw "INNER" ->
+        if peek st = Lexer.Kw "INNER" then advance st;
+        expect_kw st "JOIN";
+        let tref = parse_table_ref st in
+        expect_kw st "ON";
+        let on = parse_conjuncts st in
+        loop ({ Ast.j_kind = Ast.Inner; j_table = tref; j_on = on } :: acc)
+      | Lexer.Kw "LEFT" ->
+        advance st;
+        if peek st = Lexer.Kw "OUTER" then advance st;
+        expect_kw st "JOIN";
+        let tref = parse_table_ref st in
+        expect_kw st "ON";
+        let on = parse_conjuncts st in
+        loop ({ Ast.j_kind = Ast.Left_outer; j_table = tref; j_on = on } :: acc)
+      | _ -> List.rev acc
+    in
+    loop []
+  in
+  let where =
+    match peek st with
+    | Lexer.Kw "WHERE" ->
+      advance st;
+      parse_conjuncts st
+    | _ -> []
+  in
+  let parse_col_list () =
+    let first = parse_col st in
+    let rec loop acc =
+      match peek st with
+      | Lexer.Comma ->
+        advance st;
+        loop (parse_col st :: acc)
+      | _ -> List.rev acc
+    in
+    loop [ first ]
+  in
+  let group_by =
+    match peek st with
+    | Lexer.Kw "GROUP" ->
+      advance st;
+      expect_kw st "BY";
+      parse_col_list ()
+    | _ -> []
+  in
+  let order_by =
+    match peek st with
+    | Lexer.Kw "ORDER" ->
+      advance st;
+      expect_kw st "BY";
+      parse_col_list ()
+    | _ -> []
+  in
+  let limit =
+    match peek st with
+    | Lexer.Kw "LIMIT" -> begin
+      advance st;
+      match peek st with
+      | Lexer.Number f when Float.is_integer f && f > 0.0 ->
+        advance st;
+        Some (int_of_float f)
+      | t -> raise (Error (Format.asprintf "expected a positive LIMIT count, found %a" Lexer.pp_token t))
+    end
+    | _ -> None
+  in
+  {
+    Ast.sel_items = items;
+    sel_from = from;
+    sel_joins = joins;
+    sel_where = where;
+    sel_group_by = group_by;
+    sel_order_by = order_by;
+    sel_limit = limit;
+  }
+
+let parse input =
+  let st = { toks = Lexer.tokenize input } in
+  let s = parse_select st in
+  match peek st with
+  | Lexer.Eof -> s
+  | t ->
+    raise (Error (Format.asprintf "trailing input at %a" Lexer.pp_token t))

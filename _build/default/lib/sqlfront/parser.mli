@@ -1,0 +1,7 @@
+(** Recursive-descent parser for the SQL subset of {!Ast}. *)
+
+exception Error of string
+(** Parse error with a human-readable message. *)
+
+val parse : string -> Ast.select
+(** Parses one SELECT statement.  Raises {!Error} or {!Lexer.Error}. *)

@@ -1,0 +1,94 @@
+type t = int
+
+let max_elt = 61
+
+let empty = 0
+
+let is_empty s = s = 0
+
+let check i =
+  if i < 0 || i > max_elt then
+    invalid_arg (Printf.sprintf "Bitset: element %d out of [0,%d]" i max_elt)
+
+let singleton i =
+  check i;
+  1 lsl i
+
+let add i s =
+  check i;
+  s lor (1 lsl i)
+
+let remove i s =
+  check i;
+  s land lnot (1 lsl i)
+
+let mem i s = i >= 0 && i <= max_elt && s land (1 lsl i) <> 0
+
+let union a b = a lor b
+
+let inter a b = a land b
+
+let diff a b = a land lnot b
+
+let subset a b = a land lnot b = 0
+
+let disjoint a b = a land b = 0
+
+let equal a b = a = b
+
+let compare (a : int) (b : int) = Stdlib.compare a b
+
+let hash (s : int) = Hashtbl.hash s
+
+let cardinal s =
+  (* Kernighan's bit-count; sets are small so this beats table lookups. *)
+  let rec loop s n = if s = 0 then n else loop (s land (s - 1)) (n + 1) in
+  loop s 0
+
+let min_elt s =
+  if s = 0 then raise Not_found;
+  let rec loop i = if s land (1 lsl i) <> 0 then i else loop (i + 1) in
+  loop 0
+
+let fold f s init =
+  let rec loop i acc =
+    if i > max_elt || s lsr i = 0 then acc
+    else if s land (1 lsl i) <> 0 then loop (i + 1) (f i acc)
+    else loop (i + 1) acc
+  in
+  loop 0 init
+
+let iter f s = fold (fun i () -> f i) s ()
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list l = List.fold_left (fun s i -> add i s) empty l
+
+let for_all p s = fold (fun i acc -> acc && p i) s true
+
+let exists p s = fold (fun i acc -> acc || p i) s false
+
+let full n =
+  if n < 0 || n > max_elt + 1 then invalid_arg "Bitset.full";
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let iter_subsets s f =
+  (* Enumerates submasks of [s] with the classical [(sub - 1) land s]
+     recurrence, skipping [s] itself and the empty set. *)
+  let rec loop sub =
+    if sub <> 0 then begin
+      if sub <> s then f sub;
+      loop ((sub - 1) land s)
+    end
+  in
+  if s <> 0 then loop ((s - 1) land s)
+
+let to_int s = s
+
+let of_int i =
+  if i < 0 then invalid_arg "Bitset.of_int";
+  i
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat "," (List.map string_of_int (elements s)))

@@ -1,0 +1,81 @@
+(** Small dense bit sets over the integers [0, 61].
+
+    The optimizer uses values of this type to represent sets of quantifiers
+    (table references) of a query block.  Queries with more than 62 table
+    references are outside the scope of dynamic-programming join enumeration
+    (the paper's workloads top out well below 30), so a single immediate
+    integer suffices and keeps MEMO hashing cheap. *)
+
+type t
+(** An immutable set of small integers. *)
+
+val max_elt : int
+(** Largest storable element (61 — the largest power of two that fits a
+    tagged OCaml integer with room for [iter_subsets]'s arithmetic). *)
+
+val empty : t
+
+val is_empty : t -> bool
+
+val singleton : int -> t
+(** [singleton i] is [{i}].  Raises [Invalid_argument] if [i] is out of
+    range. *)
+
+val add : int -> t -> t
+
+val remove : int -> t -> t
+
+val mem : int -> t -> bool
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] is [true] iff every element of [a] is in [b]. *)
+
+val disjoint : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order suitable for canonicalizing unordered pairs of sets. *)
+
+val hash : t -> int
+
+val cardinal : t -> int
+
+val min_elt : t -> int
+(** Raises [Not_found] on the empty set. *)
+
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val of_list : int list -> t
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter : (int -> unit) -> t -> unit
+
+val for_all : (int -> bool) -> t -> bool
+
+val exists : (int -> bool) -> t -> bool
+
+val full : int -> t
+(** [full n] is [{0, .., n-1}]. *)
+
+val iter_subsets : t -> (t -> unit) -> unit
+(** [iter_subsets s f] applies [f] to every non-empty proper subset of [s].
+    Used by exhaustive test oracles; the enumerator itself iterates MEMO
+    entries instead. *)
+
+val to_int : t -> int
+(** The underlying bit pattern (injective); handy as a hash-table key. *)
+
+val of_int : int -> t
+(** Inverse of {!to_int}.  Raises [Invalid_argument] on negative input. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{0,3,5}]. *)

@@ -1,0 +1,96 @@
+let solve a b =
+  let n = Array.length b in
+  if Array.length a <> n then invalid_arg "Regression.solve: shape mismatch";
+  (* Work on copies: callers keep their matrices. *)
+  let m = Array.map Array.copy a in
+  let v = Array.copy b in
+  for col = 0 to n - 1 do
+    (* Partial pivoting. *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs m.(row).(col) > Float.abs m.(!pivot).(col) then pivot := row
+    done;
+    if Float.abs m.(!pivot).(col) < 1e-12 then
+      failwith "Regression.solve: singular matrix";
+    if !pivot <> col then begin
+      let tmp = m.(col) in
+      m.(col) <- m.(!pivot);
+      m.(!pivot) <- tmp;
+      let tv = v.(col) in
+      v.(col) <- v.(!pivot);
+      v.(!pivot) <- tv
+    end;
+    for row = col + 1 to n - 1 do
+      let factor = m.(row).(col) /. m.(col).(col) in
+      if factor <> 0.0 then begin
+        for k = col to n - 1 do
+          m.(row).(k) <- m.(row).(k) -. (factor *. m.(col).(k))
+        done;
+        v.(row) <- v.(row) -. (factor *. v.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let s = ref v.(row) in
+    for k = row + 1 to n - 1 do
+      s := !s -. (m.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !s /. m.(row).(row)
+  done;
+  x
+
+let with_intercept xs =
+  Array.map (fun row -> Array.append [| 1.0 |] row) xs
+
+let normal_equations xs ys =
+  let n_obs = Array.length xs in
+  if n_obs = 0 then invalid_arg "Regression.fit: no observations";
+  if Array.length ys <> n_obs then invalid_arg "Regression.fit: shape mismatch";
+  let n_feat = Array.length xs.(0) in
+  let xtx = Array.make_matrix n_feat n_feat 0.0 in
+  let xty = Array.make n_feat 0.0 in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> n_feat then
+        invalid_arg "Regression.fit: ragged feature rows";
+      for j = 0 to n_feat - 1 do
+        xty.(j) <- xty.(j) +. (row.(j) *. ys.(i));
+        for k = 0 to n_feat - 1 do
+          xtx.(j).(k) <- xtx.(j).(k) +. (row.(j) *. row.(k))
+        done
+      done)
+    xs;
+  (xtx, xty)
+
+let fit ?(intercept = false) xs ys =
+  let xs = if intercept then with_intercept xs else xs in
+  let xtx, xty = normal_equations xs ys in
+  solve xtx xty
+
+let fit_nonneg ?(iters = 500) xs ys =
+  let xtx, xty = normal_equations xs ys in
+  let n = Array.length xty in
+  let c = Array.make n 0.0 in
+  (* Coordinate descent on 1/2 c'XtX c - c'Xty subject to c >= 0: each sweep
+     minimizes one coordinate exactly and clamps at zero. *)
+  for _ = 1 to iters do
+    for j = 0 to n - 1 do
+      if xtx.(j).(j) > 1e-12 then begin
+        let s = ref xty.(j) in
+        for k = 0 to n - 1 do
+          if k <> j then s := !s -. (xtx.(j).(k) *. c.(k))
+        done;
+        c.(j) <- Float.max 0.0 (!s /. xtx.(j).(j))
+      end
+    done
+  done;
+  c
+
+let predict ?(intercept = false) coeffs row =
+  let row = if intercept then Array.append [| 1.0 |] row else row in
+  if Array.length coeffs <> Array.length row then
+    invalid_arg "Regression.predict: shape mismatch";
+  let s = ref 0.0 in
+  Array.iteri (fun i c -> s := !s +. (c *. row.(i))) coeffs;
+  !s

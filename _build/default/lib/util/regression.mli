@@ -1,0 +1,29 @@
+(** Linear least-squares fitting.
+
+    The paper's time model is [T = T_inst * sum_t (C_t * P_t)] (Section 3.5):
+    a linear model through the origin whose coefficients are obtained "by
+    running regression" over a training workload.  This module provides the
+    ordinary least-squares solver plus a non-negative variant, since
+    instruction counts per plan cannot be negative. *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] solves the square linear system [a x = b] by Gaussian
+    elimination with partial pivoting.  Raises [Failure] if the matrix is
+    singular to working precision. *)
+
+val fit : ?intercept:bool -> float array array -> float array -> float array
+(** [fit xs ys] returns the least-squares coefficients [c] minimizing
+    [|Xc - y|^2], where [xs.(i)] is the feature row of observation [i].
+    With [~intercept:true] a constant column is prepended and the intercept
+    is returned as coefficient 0.  Default: no intercept (model through the
+    origin, as in the paper).  Raises [Invalid_argument] on shape mismatch
+    and [Failure] if the normal equations are singular. *)
+
+val fit_nonneg :
+  ?iters:int -> float array array -> float array -> float array
+(** Non-negative least squares by cyclic coordinate descent on the normal
+    equations, clamping at zero.  [iters] defaults to 500 sweeps, ample for
+    the tiny (3-4 coefficient) systems used here. *)
+
+val predict : ?intercept:bool -> float array -> float array -> float
+(** [predict coeffs row] evaluates the fitted model on a feature row. *)

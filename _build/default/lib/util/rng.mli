@@ -1,0 +1,42 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Workload generators must be reproducible across runs and machines, so we
+    carry our own generator instead of depending on [Random]'s global state.
+    The generator is the splitmix64 sequence of Steele, Lea and Flood. *)
+
+type t
+(** A mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a seed. *)
+
+val copy : t -> t
+(** Independent copy of the current state. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)].  Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in [[lo, hi]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k l] draws [min k (length l)] distinct elements of [l],
+    preserving no particular order. *)

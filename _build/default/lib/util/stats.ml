@@ -1,0 +1,56 @@
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let median = function
+  | [] -> 0.0
+  | l ->
+    let arr = Array.of_list l in
+    Array.sort Float.compare arr;
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2)
+    else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+let stddev l =
+  match l with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean l in
+    let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) l) in
+    sqrt var
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: rest -> List.fold_left Float.min x rest
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: rest -> List.fold_left Float.max x rest
+
+let pct_error ~actual ~estimate =
+  if actual = 0.0 then if estimate = 0.0 then 0.0 else Float.infinity
+  else (estimate -. actual) /. actual *. 100.0
+
+let abs_pct_error ~actual ~estimate = Float.abs (pct_error ~actual ~estimate)
+
+let mean_abs_pct_error pairs =
+  mean (List.map (fun (actual, estimate) -> abs_pct_error ~actual ~estimate) pairs)
+
+let max_abs_pct_error = function
+  | [] -> 0.0
+  | pairs ->
+    maximum
+      (List.map (fun (actual, estimate) -> abs_pct_error ~actual ~estimate) pairs)
+
+let r_squared ~actual ~fitted =
+  let m = mean actual in
+  let ss_tot =
+    List.fold_left (fun acc y -> acc +. ((y -. m) *. (y -. m))) 0.0 actual
+  in
+  let ss_res =
+    List.fold_left2
+      (fun acc y f -> acc +. ((y -. f) *. (y -. f)))
+      0.0 actual fitted
+  in
+  if ss_tot = 0.0 then if ss_res = 0.0 then 1.0 else 0.0
+  else 1.0 -. (ss_res /. ss_tot)

@@ -1,0 +1,33 @@
+(** Summary statistics and error metrics used by the experiment harness. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val median : float list -> float
+(** Median; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val minimum : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val maximum : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val pct_error : actual:float -> estimate:float -> float
+(** Signed relative error in percent, [(estimate - actual) / actual * 100].
+    Returns 0 when [actual] is 0 and [estimate] is 0, and +/-infinity when
+    only [actual] is 0. *)
+
+val abs_pct_error : actual:float -> estimate:float -> float
+(** Absolute value of {!pct_error}. *)
+
+val mean_abs_pct_error : (float * float) list -> float
+(** Mean of {!abs_pct_error} over [(actual, estimate)] pairs. *)
+
+val max_abs_pct_error : (float * float) list -> float
+(** Max of {!abs_pct_error} over [(actual, estimate)] pairs; 0 on []. *)
+
+val r_squared : actual:float list -> fitted:float list -> float
+(** Coefficient of determination of [fitted] against [actual]. *)

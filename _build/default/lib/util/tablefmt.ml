@@ -1,0 +1,77 @@
+type align =
+  | Left
+  | Right
+
+type row =
+  | Cells of string list
+  | Sep
+
+type t = {
+  title : string option;
+  cols : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title cols = { title; cols; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.cols then
+    invalid_arg "Tablefmt.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let output ppf t =
+  let headers = List.map fst t.cols in
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i (h, _) ->
+        List.fold_left
+          (fun w row ->
+            match row with
+            | Sep -> w
+            | Cells cells -> max w (String.length (List.nth cells i)))
+          (String.length h) rows)
+      t.cols
+  in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let print_cells cells aligns =
+    let padded = List.map2 (fun (s, a) w -> pad a w s) (List.combine cells aligns) widths in
+    Format.fprintf ppf "| %s |@." (String.concat " | " padded)
+  in
+  let sep_line () =
+    let dashes = List.map (fun w -> String.make w '-') widths in
+    Format.fprintf ppf "+-%s-+@." (String.concat "-+-" dashes)
+  in
+  (match t.title with
+  | None -> ()
+  | Some title -> Format.fprintf ppf "%s@." title);
+  let aligns = List.map snd t.cols in
+  sep_line ();
+  print_cells headers (List.map (fun _ -> Left) t.cols);
+  sep_line ();
+  List.iter
+    (fun row ->
+      match row with
+      | Sep -> sep_line ()
+      | Cells cells -> print_cells cells aligns)
+    rows;
+  sep_line ()
+
+let print t =
+  output Format.std_formatter t;
+  Format.pp_print_newline Format.std_formatter ()
+
+let fseconds s = Printf.sprintf "%.4f" s
+
+let fpct p = Printf.sprintf "%.1f%%" p
+
+let fcount c = Printf.sprintf "%.0f" c

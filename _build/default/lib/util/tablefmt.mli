@@ -1,0 +1,36 @@
+(** Aligned plain-text tables for the experiment harness.
+
+    Every table and figure of the paper is re-emitted as rows of text; this
+    module keeps them readable without depending on anything outside the
+    standard formatter. *)
+
+type align =
+  | Left
+  | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table whose header is the given column names. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row.  Raises [Invalid_argument] on arity mismatch. *)
+
+val add_sep : t -> unit
+(** Appends a horizontal separator row. *)
+
+val output : Format.formatter -> t -> unit
+(** Renders the table with padded, aligned columns. *)
+
+val print : t -> unit
+(** [output] to stdout followed by a newline flush. *)
+
+val fseconds : float -> string
+(** Formats seconds with 4 significant decimals, e.g. ["0.0132"]. *)
+
+val fpct : float -> string
+(** Formats a percentage with one decimal and a [%] sign. *)
+
+val fcount : float -> string
+(** Formats a (possibly fractional) count, rounded to an integer. *)

@@ -1,0 +1,33 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let result = f () in
+  let t1 = now () in
+  (result, t1 -. t0)
+
+let time_median ?(repeats = 3) f =
+  let repeats = max 1 repeats in
+  let result = ref None in
+  let times = ref [] in
+  for _ = 1 to repeats do
+    let r, dt = time f in
+    result := Some r;
+    times := dt :: !times
+  done;
+  match !result with
+  | None -> assert false
+  | Some r -> (r, Stats.median !times)
+
+type bucket = { mutable total : float }
+
+let bucket () = { total = 0.0 }
+
+let add_to b f =
+  let r, dt = time f in
+  b.total <- b.total +. dt;
+  r
+
+let elapsed b = b.total
+
+let reset b = b.total <- 0.0

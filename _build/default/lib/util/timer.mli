@@ -1,0 +1,29 @@
+(** Wall-clock timing helpers.
+
+    All figures in the paper compare wall-clock compilation time against
+    wall-clock estimation time, so the harness times with a monotonic-enough
+    gettimeofday and accumulates per-category buckets (see
+    {!Qopt_optimizer.Instrument}). *)
+
+val now : unit -> float
+(** Seconds since the epoch, sub-microsecond resolution. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] once and returns its result with elapsed seconds. *)
+
+val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
+(** [time_median ~repeats f] runs [f] [repeats] times (default 3) and returns
+    the last result together with the median elapsed time, damping scheduler
+    noise in the experiment harness. *)
+
+type bucket
+(** A mutable accumulator of elapsed seconds. *)
+
+val bucket : unit -> bucket
+
+val add_to : bucket -> (unit -> 'a) -> 'a
+(** Runs the thunk, adding its elapsed time to the bucket. *)
+
+val elapsed : bucket -> float
+
+val reset : bucket -> unit

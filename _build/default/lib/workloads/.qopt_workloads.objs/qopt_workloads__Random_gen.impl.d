@@ -1,0 +1,1 @@
+lib/workloads/random_gen.ml: Array Fun List Option Printf Qopt_catalog Qopt_optimizer Qopt_util String Workload

@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Array List Printf Qopt_catalog Qopt_optimizer Workload

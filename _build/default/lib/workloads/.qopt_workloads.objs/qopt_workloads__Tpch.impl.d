@@ -1,0 +1,1 @@
+lib/workloads/tpch.ml: Float List Qopt_catalog Qopt_optimizer Qopt_sql Workload

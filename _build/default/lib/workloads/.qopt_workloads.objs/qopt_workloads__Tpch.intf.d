@@ -1,0 +1,1 @@
+lib/workloads/tpch.mli: Qopt_catalog Qopt_optimizer Workload

@@ -1,0 +1,1 @@
+lib/workloads/warehouse.ml: List Qopt_catalog Qopt_sql Workload

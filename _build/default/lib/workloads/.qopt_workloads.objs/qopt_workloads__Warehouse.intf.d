@@ -1,0 +1,1 @@
+lib/workloads/warehouse.mli: Qopt_catalog Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: List Qopt_catalog Qopt_optimizer String

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Qopt_catalog Qopt_optimizer

@@ -1,0 +1,215 @@
+module C = Qopt_catalog
+module O = Qopt_optimizer
+
+let max_preds = 5
+
+let batch_sizes = [ 6; 8; 10 ]
+
+(* Secondary join columns j2..j5 have low, decreasing cardinalities; the
+   correlation back-off keeps extra predicates from collapsing intermediate
+   cardinalities below the Cartesian threshold. *)
+let secondary_distinct = [| 0.0; 0.0; 200.0; 100.0; 50.0; 20.0 |]
+
+let jcol k = Printf.sprintf "j%d" k
+
+let make_table ~prefix ~partitioned ~fk_cols ~i rows =
+  let name = Printf.sprintf "%s%d" prefix i in
+  let cols =
+    C.Column.make ~rows ~distinct:rows "pk"
+    :: C.Column.make ~rows ~distinct:rows "j1"
+    :: List.init 4 (fun k ->
+           C.Column.make ~rows ~distinct:secondary_distinct.(k + 2) (jcol (k + 2)))
+    @ [
+        C.Column.make ~rows ~distinct:1000.0 "v1";
+        C.Column.make ~rows ~distinct:10.0 "v2";
+      ]
+    @ fk_cols
+  in
+  let partition =
+    if not partitioned then None
+    else if i mod 2 = 0 then Some (C.Partition_spec.hash [ "j1" ])
+    else Some (C.Partition_spec.hash [ "v1" ])
+  in
+  let indexes =
+    if i mod 2 = 0 then
+      [ C.Index.make ~name:(name ^ "_j1") [ "j1" ];
+        C.Index.make ~name:(name ^ "_j2j1") [ "j2"; "j1" ] ]
+    else []
+  in
+  C.Table.make ~rows ~name ~primary_key:[ "pk" ] ~indexes ?partition cols
+
+let linear_block ~tables ~n ~npred name =
+  let quantifiers = List.mapi (fun i t -> O.Quantifier.make i t) tables in
+  let preds =
+    List.concat
+      (List.init (n - 1) (fun i ->
+           List.init npred (fun k ->
+               let col = if k = 0 then "j1" else jcol (k + 1) in
+               O.Pred.Eq_join (O.Colref.make i col, O.Colref.make (i + 1) col))))
+    @ [
+        (* One local filter at each end of the chain. *)
+        O.Pred.Local_cmp (O.Colref.make 0 "v2", O.Pred.Eq, 3.0);
+        O.Pred.Local_cmp (O.Colref.make (n - 1) "v1", O.Pred.Le, 500.0);
+      ]
+  in
+  O.Query_block.make ~name
+    ~order_by:[ O.Colref.make 0 "v1" ]
+    ~group_by:[ O.Colref.make 0 "j2"; O.Colref.make 1 "v1" ]
+    ~quantifiers ~preds ()
+
+let linear ~partitioned =
+  let queries =
+    List.concat_map
+      (fun n ->
+        let tables =
+          List.init n (fun i ->
+              make_table ~prefix:(Printf.sprintf "l%d_t" n) ~partitioned
+                ~fk_cols:[] ~i
+                (10_000.0 *. float_of_int (1 + i)))
+        in
+        List.init max_preds (fun p ->
+            let npred = p + 1 in
+            let name = Printf.sprintf "lin_%d_p%d" n npred in
+            Workload.query name (linear_block ~tables ~n ~npred name)))
+      batch_sizes
+  in
+  let schema =
+    C.Schema.of_tables
+      (List.concat_map
+         (fun n ->
+           List.init n (fun i ->
+               make_table ~prefix:(Printf.sprintf "l%d_t" n) ~partitioned
+                 ~fk_cols:[] ~i
+                 (10_000.0 *. float_of_int (1 + i))))
+         batch_sizes)
+  in
+  Workload.make ~name:"linear" ~schema queries
+
+let star_tables ~partitioned n =
+  let sat_rows i = 5_000.0 *. float_of_int (1 + i) in
+  let center_fks =
+    List.init (n - 1) (fun i ->
+        C.Column.make ~rows:500_000.0 ~distinct:(sat_rows i)
+          (Printf.sprintf "f%d" (i + 1)))
+  in
+  let center =
+    make_table ~prefix:(Printf.sprintf "s%d_c" n) ~partitioned ~fk_cols:center_fks
+      ~i:0 500_000.0
+  in
+  let sats =
+    List.init (n - 1) (fun i ->
+        make_table ~prefix:(Printf.sprintf "s%d_d" n) ~partitioned ~fk_cols:[]
+          ~i:(i + 1) (sat_rows i))
+  in
+  center :: sats
+
+let star_block ~tables ~n ~npred name =
+  let quantifiers = List.mapi (fun i t -> O.Quantifier.make i t) tables in
+  let preds =
+    List.concat
+      (List.init (n - 1) (fun i ->
+           let sat = i + 1 in
+           O.Pred.Eq_join
+             (O.Colref.make 0 (Printf.sprintf "f%d" sat), O.Colref.make sat "j1")
+           :: List.init (npred - 1) (fun k ->
+                  let col = jcol (k + 2) in
+                  O.Pred.Eq_join (O.Colref.make 0 col, O.Colref.make sat col))))
+    @ [ O.Pred.Local_cmp (O.Colref.make 0 "v2", O.Pred.Eq, 5.0) ]
+  in
+  O.Query_block.make ~name
+    ~order_by:[ O.Colref.make 0 "v1" ]
+    ~group_by:[ O.Colref.make 0 "j2"; O.Colref.make 0 "f1" ]
+    ~quantifiers ~preds ()
+
+let star ~partitioned =
+  let queries =
+    List.concat_map
+      (fun n ->
+        let tables = star_tables ~partitioned n in
+        List.init max_preds (fun p ->
+            let npred = p + 1 in
+            let name = Printf.sprintf "star_%d_p%d" n npred in
+            Workload.query name (star_block ~tables ~n ~npred name)))
+      batch_sizes
+  in
+  let schema =
+    C.Schema.of_tables (List.concat_map (star_tables ~partitioned) batch_sizes)
+  in
+  Workload.make ~name:"star" ~schema queries
+
+let cycle_block ~tables ~n ~npred name =
+  let quantifiers = List.mapi (fun i t -> O.Quantifier.make i t) tables in
+  let chain =
+    List.concat
+      (List.init (n - 1) (fun i ->
+           List.init npred (fun k ->
+               let col = if k = 0 then "j1" else jcol (k + 1) in
+               O.Pred.Eq_join (O.Colref.make i col, O.Colref.make (i + 1) col))))
+  in
+  let closing = O.Pred.Eq_join (O.Colref.make 0 "j3", O.Colref.make (n - 1) "j3") in
+  O.Query_block.make ~name
+    ~order_by:[ O.Colref.make 0 "v1" ]
+    ~quantifiers
+    ~preds:(closing :: chain)
+    ()
+
+let cycle ~partitioned =
+  let mk n npred =
+    let tables =
+      List.init n (fun i ->
+          make_table ~prefix:(Printf.sprintf "c%d_t" n) ~partitioned ~fk_cols:[]
+            ~i
+            (8_000.0 *. float_of_int (1 + i)))
+    in
+    let name = Printf.sprintf "cyc_%d_p%d" n npred in
+    Workload.query name (cycle_block ~tables ~n ~npred name)
+  in
+  let queries = List.concat_map (fun n -> [ mk n 1; mk n 2 ]) batch_sizes in
+  let schema =
+    C.Schema.of_tables
+      (List.concat_map
+         (fun n ->
+           List.init n (fun i ->
+               make_table ~prefix:(Printf.sprintf "c%d_t" n) ~partitioned
+                 ~fk_cols:[] ~i
+                 (8_000.0 *. float_of_int (1 + i))))
+         batch_sizes)
+  in
+  Workload.make ~name:"cycle" ~schema queries
+
+let calibration ~partitioned =
+  let sizes = [ 5; 7; 9 ] in
+  let queries =
+    List.concat_map
+      (fun n ->
+        let lin_tables =
+          List.init n (fun i ->
+              make_table ~prefix:(Printf.sprintf "kl%d_t" n) ~partitioned
+                ~fk_cols:[] ~i
+                (12_000.0 *. float_of_int (1 + i)))
+        in
+        let star_tabs = star_tables ~partitioned n in
+        List.map
+          (fun npred ->
+            let name = Printf.sprintf "cal_lin_%d_p%d" n npred in
+            Workload.query name (linear_block ~tables:lin_tables ~n ~npred name))
+          [ 1; 3; 5 ]
+        @ List.map
+            (fun npred ->
+              let name = Printf.sprintf "cal_star_%d_p%d" n npred in
+              Workload.query name (star_block ~tables:star_tabs ~n ~npred name))
+            [ 2; 4 ]
+        @ [
+            (let name = Printf.sprintf "cal_cyc_%d" n in
+             let tables =
+               List.init n (fun i ->
+                   make_table ~prefix:(Printf.sprintf "kc%d_t" n) ~partitioned
+                     ~fk_cols:[] ~i
+                     (9_000.0 *. float_of_int (1 + i)))
+             in
+             Workload.query name (cycle_block ~tables ~n ~npred:2 name));
+          ])
+      sizes
+  in
+  let schema = C.Schema.empty in
+  Workload.make ~name:"calibration" ~schema queries

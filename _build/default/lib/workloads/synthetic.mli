@@ -1,0 +1,39 @@
+(** The synthetic workloads of Section 5: [linear] and [star] join graphs.
+
+    Each workload is three batches of five queries; a batch joins the same
+    tables (6, 8 or 10) while the number of join predicates per graph edge
+    varies from 1 to 5.  Within a batch the set of enumerated joins is
+    constant, but the extra predicate columns create additional interesting
+    orders — reproducing the paper's point that queries with identical join
+    counts generate very different plan counts (Figures 5 and 6(a)).
+
+    Tables use foreign-key-like join columns (selectivity ~1/rows) so that
+    intermediate cardinalities stay above the card-1 Cartesian threshold,
+    plus low-cardinality secondary join columns for predicates 2..5.
+    In the parallel environment every table is hash-partitioned (the first
+    table of each batch on its primary join column, the rest alternating
+    between join and non-join columns, which exercises both collocated
+    joins and the repartitioning heuristic). *)
+
+val max_preds : int
+(** 5: join predicates per edge range over 1..[max_preds]. *)
+
+val batch_sizes : int list
+(** [[6; 8; 10]]. *)
+
+val linear : partitioned:bool -> Workload.t
+(** 15 queries [lin_<n>_p<k>]: tables chained first-to-last.  Each query
+    carries an ORDER BY on the head table and a GROUP BY on two columns. *)
+
+val star : partitioned:bool -> Workload.t
+(** 15 queries [star_<n>_p<k>]: all satellites join the center table. *)
+
+val cycle : partitioned:bool -> Workload.t
+(** 6 queries [cyc_<n>] (n in [batch_sizes], 2 predicate counts): a chain
+    closed into a ring — the class whose join count is #P-hard to derive in
+    closed form (Section 2.2), handled for free by enumerator reuse. *)
+
+val calibration : partitioned:bool -> Workload.t
+(** A mixed training workload (linear, star and cycle shapes at sizes
+    disjoint from the evaluation batches: 5, 7 and 9 tables) used to fit the
+    time model's coefficients. *)

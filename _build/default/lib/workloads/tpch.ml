@@ -1,0 +1,320 @@
+module C = Qopt_catalog
+module Sql = Qopt_sql
+
+(* Dates are encoded as day numbers in [0, 2557) (1992-01-01 .. 1998-12-31),
+   so date-range predicates stay inside the histogram domains. *)
+let date_lo = 0.0
+
+let date_hi = 2557.0
+
+let col ~rows ?distinct ?skewed ?lo ?hi name =
+  C.Column.make ~rows ?distinct ?skewed ?lo ?hi name
+
+let date_col ~rows name = col ~rows ~distinct:2400.0 ~lo:date_lo ~hi:date_hi name
+
+let schema ~partitioned =
+  let part keys = if partitioned then Some (C.Partition_spec.hash keys) else None in
+  let region =
+    let rows = 5.0 in
+    C.Table.make ~rows ~name:"region" ~primary_key:[ "r_regionkey" ]
+      ?partition:(part [ "r_name" ])
+      [ col ~rows "r_regionkey"; col ~rows ~distinct:5.0 "r_name" ]
+  in
+  let nation =
+    let rows = 25.0 in
+    C.Table.make ~rows ~name:"nation" ~primary_key:[ "n_nationkey" ]
+      ?partition:(part [ "n_name" ])
+      [
+        col ~rows "n_nationkey";
+        col ~rows ~distinct:25.0 "n_name";
+        col ~rows ~distinct:5.0 "n_regionkey";
+      ]
+  in
+  let supplier =
+    let rows = 10_000.0 in
+    C.Table.make ~rows ~name:"supplier" ~primary_key:[ "s_suppkey" ]
+      ?partition:(part [ "s_suppkey" ])
+      ~indexes:[ C.Index.make ~unique:true ~name:"s_pk" [ "s_suppkey" ] ]
+      [
+        col ~rows "s_suppkey";
+        col ~rows ~distinct:25.0 "s_nationkey";
+        col ~rows ~distinct:9_000.0 "s_acctbal";
+        col ~rows ~distinct:10_000.0 "s_name";
+      ]
+  in
+  let customer =
+    let rows = 150_000.0 in
+    C.Table.make ~rows ~name:"customer" ~primary_key:[ "c_custkey" ]
+      ?partition:(part [ "c_custkey" ])
+      ~indexes:[ C.Index.make ~unique:true ~name:"c_pk" [ "c_custkey" ] ]
+      [
+        col ~rows "c_custkey";
+        col ~rows ~distinct:25.0 "c_nationkey";
+        col ~rows ~distinct:5.0 "c_mktsegment";
+        col ~rows ~distinct:140_000.0 "c_acctbal";
+        col ~rows ~distinct:90_000.0 "c_phone";
+      ]
+  in
+  let part_t =
+    let rows = 200_000.0 in
+    C.Table.make ~rows ~name:"part" ~primary_key:[ "p_partkey" ]
+      ?partition:(part [ "p_partkey" ])
+      ~indexes:[ C.Index.make ~unique:true ~name:"p_pk" [ "p_partkey" ] ]
+      [
+        col ~rows "p_partkey";
+        col ~rows ~distinct:25.0 "p_brand";
+        col ~rows ~distinct:150.0 "p_type";
+        col ~rows ~distinct:50.0 ~lo:1.0 ~hi:51.0 "p_size";
+        col ~rows ~distinct:40.0 "p_container";
+        col ~rows ~distinct:5.0 "p_mfgr";
+        col ~rows ~distinct:20_000.0 "p_retailprice";
+      ]
+  in
+  let partsupp =
+    let rows = 800_000.0 in
+    C.Table.make ~rows ~name:"partsupp" ~primary_key:[ "ps_id" ]
+      ?partition:(part [ "ps_partkey" ])
+      ~indexes:[ C.Index.make ~name:"ps_part" [ "ps_partkey" ] ]
+      [
+        col ~rows ~distinct:rows "ps_id";
+        col ~rows ~distinct:200_000.0 "ps_partkey";
+        col ~rows ~distinct:10_000.0 "ps_suppkey";
+        col ~rows ~distinct:100_000.0 "ps_supplycost";
+        col ~rows ~distinct:9_999.0 "ps_availqty";
+      ]
+  in
+  let orders =
+    let rows = 1_500_000.0 in
+    C.Table.make ~rows ~name:"orders" ~primary_key:[ "o_orderkey" ]
+      ?partition:(part [ "o_orderkey" ])
+      ~indexes:
+        [
+          C.Index.make ~unique:true ~name:"o_pk" [ "o_orderkey" ];
+          C.Index.make ~name:"o_cust" [ "o_custkey" ];
+        ]
+      [
+        col ~rows "o_orderkey";
+        col ~rows ~distinct:100_000.0 "o_custkey";
+        date_col ~rows "o_orderdate";
+        col ~rows ~distinct:3.0 "o_orderstatus";
+        col ~rows ~distinct:5.0 "o_orderpriority";
+        col ~rows ~distinct:1_500_000.0 "o_totalprice";
+        col ~rows ~distinct:1.0 "o_shippriority";
+        col ~rows ~distinct:1_000.0 "o_comment";
+      ]
+  in
+  let lineitem =
+    let rows = 6_001_215.0 in
+    C.Table.make ~rows ~name:"lineitem" ~primary_key:[ "l_id" ]
+      ?partition:(part [ "l_orderkey" ])
+      ~indexes:
+        [
+          C.Index.make ~name:"l_order" [ "l_orderkey" ];
+          C.Index.make ~name:"l_part_supp" [ "l_partkey"; "l_suppkey" ];
+          C.Index.make ~name:"l_ship" [ "l_shipdate"; "l_orderkey" ];
+        ]
+      [
+        col ~rows ~distinct:rows "l_id";
+        col ~rows ~distinct:1_500_000.0 "l_orderkey";
+        col ~rows ~distinct:200_000.0 "l_partkey";
+        col ~rows ~distinct:10_000.0 "l_suppkey";
+        date_col ~rows "l_shipdate";
+        date_col ~rows "l_commitdate";
+        date_col ~rows "l_receiptdate";
+        col ~rows ~distinct:50.0 ~lo:1.0 ~hi:51.0 "l_quantity";
+        col ~rows ~distinct:11.0 ~lo:0.0 ~hi:0.11 "l_discount";
+        col ~rows ~distinct:3.0 "l_returnflag";
+        col ~rows ~distinct:2.0 "l_linestatus";
+        col ~rows ~distinct:7.0 "l_shipmode";
+        col ~rows ~distinct:4.0 "l_shipinstruct";
+        col ~rows ~distinct:933_900.0 ~skewed:true "l_extendedprice";
+      ]
+  in
+  let fk from from_col to_ to_col =
+    C.Fkey.make ~from_table:from ~from_cols:[ from_col ] ~to_table:to_
+      ~to_cols:[ to_col ]
+  in
+  C.Schema.of_tables
+    ~fkeys:
+      [
+        fk "nation" "n_regionkey" "region" "r_regionkey";
+        fk "supplier" "s_nationkey" "nation" "n_nationkey";
+        fk "customer" "c_nationkey" "nation" "n_nationkey";
+        fk "partsupp" "ps_partkey" "part" "p_partkey";
+        fk "partsupp" "ps_suppkey" "supplier" "s_suppkey";
+        fk "orders" "o_custkey" "customer" "c_custkey";
+        fk "lineitem" "l_orderkey" "orders" "o_orderkey";
+        fk "lineitem" "l_partkey" "part" "p_partkey";
+        fk "lineitem" "l_suppkey" "supplier" "s_suppkey";
+      ]
+    [ region; nation; supplier; customer; part_t; partsupp; orders; lineitem ]
+
+let q schema name sql =
+  let block = Sql.Binder.parse_and_bind ~name schema sql in
+  Workload.query ~sql name block
+
+let queries schema =
+  [
+    q schema "tpch_q1"
+      "SELECT l.l_returnflag, l.l_linestatus, SUM(l.l_quantity), COUNT(*) \
+       FROM lineitem l WHERE l.l_shipdate <= 2200 GROUP BY l.l_returnflag, \
+       l.l_linestatus ORDER BY l.l_returnflag, l.l_linestatus";
+    q schema "tpch_q2"
+      "SELECT s.s_acctbal, s.s_name, n.n_name, p.p_partkey FROM part p, \
+       supplier s, partsupp ps, nation n, region r WHERE p.p_partkey = \
+       ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey AND p.p_size = 15 AND \
+       p.p_type = 100 AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = \
+       r.r_regionkey AND r.r_name = 'EUROPE' AND ps.ps_supplycost IN (SELECT \
+       MIN(ps2.ps_supplycost) FROM partsupp ps2, supplier s2, nation n2, \
+       region r2 WHERE p.p_partkey = ps2.ps_partkey AND s2.s_suppkey = \
+       ps2.ps_suppkey AND s2.s_nationkey = n2.n_nationkey AND n2.n_regionkey \
+       = r2.r_regionkey AND r2.r_name = 'EUROPE') ORDER BY s.s_acctbal, \
+       n.n_name, s.s_name, p.p_partkey";
+    q schema "tpch_q3"
+      "SELECT l.l_orderkey, SUM(l.l_extendedprice), o.o_orderdate, \
+       o.o_shippriority FROM customer c, orders o, lineitem l WHERE \
+       c.c_mktsegment = 'BUILDING' AND c.c_custkey = o.o_custkey AND \
+       l.l_orderkey = o.o_orderkey AND o.o_orderdate < 1165 AND l.l_shipdate \
+       > 1165 GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority ORDER \
+       BY o.o_orderdate";
+    q schema "tpch_q4"
+      "SELECT o.o_orderpriority, COUNT(*) FROM orders o WHERE o.o_orderdate \
+       >= 450 AND o.o_orderdate < 540 AND EXISTS (SELECT l.l_id FROM \
+       lineitem l WHERE l.l_orderkey = o.o_orderkey AND l.l_commitdate < \
+       l.l_receiptdate) GROUP BY o.o_orderpriority ORDER BY \
+       o.o_orderpriority";
+    q schema "tpch_q5"
+      "SELECT n.n_name, SUM(l.l_extendedprice) FROM customer c, orders o, \
+       lineitem l, supplier s, nation n, region r WHERE c.c_custkey = \
+       o.o_custkey AND l.l_orderkey = o.o_orderkey AND l.l_suppkey = \
+       s.s_suppkey AND c.c_nationkey = s.s_nationkey AND s.s_nationkey = \
+       n.n_nationkey AND n.n_regionkey = r.r_regionkey AND r.r_name = 'ASIA' \
+       AND o.o_orderdate >= 730 AND o.o_orderdate < 1095 GROUP BY n.n_name \
+       ORDER BY n.n_name";
+    q schema "tpch_q6"
+      "SELECT SUM(l.l_extendedprice) FROM lineitem l WHERE l.l_shipdate >= \
+       730 AND l.l_shipdate < 1095 AND l.l_discount >= 0.05 AND l.l_discount \
+       <= 0.07 AND l.l_quantity < 24";
+    q schema "tpch_q7"
+      "SELECT n1.n_name, n2.n_name, SUM(l.l_extendedprice) FROM supplier s, \
+       lineitem l, orders o, customer c, nation n1, nation n2 WHERE \
+       s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey AND \
+       c.c_custkey = o.o_custkey AND s.s_nationkey = n1.n_nationkey AND \
+       c.c_nationkey = n2.n_nationkey AND n1.n_name = 'FRANCE' AND n2.n_name \
+       = 'GERMANY' AND l.l_shipdate >= 1095 AND l.l_shipdate <= 1825 GROUP \
+       BY n1.n_name, n2.n_name ORDER BY n1.n_name, n2.n_name";
+    q schema "tpch_q8"
+      "SELECT o.o_orderdate, SUM(l.l_extendedprice) FROM part p, supplier s, \
+       lineitem l, orders o, customer c, nation n1, nation n2, region r \
+       WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey AND \
+       l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey AND \
+       c.c_nationkey = n1.n_nationkey AND n1.n_regionkey = r.r_regionkey AND \
+       r.r_name = 'AMERICA' AND s.s_nationkey = n2.n_nationkey AND \
+       o.o_orderdate >= 1095 AND o.o_orderdate <= 1825 AND p.p_type = 120 \
+       GROUP BY o.o_orderdate ORDER BY o.o_orderdate";
+    q schema "tpch_q9"
+      "SELECT n.n_name, o.o_orderdate, SUM(l.l_extendedprice) FROM part p, \
+       supplier s, lineitem l, partsupp ps, orders o, nation n WHERE \
+       s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey AND \
+       ps.ps_partkey = l.l_partkey AND p.p_partkey = l.l_partkey AND \
+       o.o_orderkey = l.l_orderkey AND s.s_nationkey = n.n_nationkey AND \
+       p.p_type = 77 GROUP BY n.n_name, o.o_orderdate ORDER BY n.n_name, \
+       o.o_orderdate";
+    q schema "tpch_q10"
+      "SELECT c.c_custkey, n.n_name, SUM(l.l_extendedprice) FROM customer c, \
+       orders o, lineitem l, nation n WHERE c.c_custkey = o.o_custkey AND \
+       l.l_orderkey = o.o_orderkey AND o.o_orderdate >= 800 AND \
+       o.o_orderdate < 890 AND l.l_returnflag = 2 AND c.c_nationkey = \
+       n.n_nationkey GROUP BY c.c_custkey, n.n_name ORDER BY c.c_custkey";
+    q schema "tpch_q11"
+      "SELECT ps.ps_partkey, SUM(ps.ps_supplycost) FROM partsupp ps, \
+       supplier s, nation n WHERE ps.ps_suppkey = s.s_suppkey AND \
+       s.s_nationkey = n.n_nationkey AND n.n_name = 'GERMANY' AND \
+       ps.ps_availqty IN (SELECT SUM(ps2.ps_availqty) FROM partsupp ps2, \
+       supplier s2, nation n2 WHERE ps2.ps_suppkey = s2.s_suppkey AND \
+       s2.s_nationkey = n2.n_nationkey AND n2.n_name = 'GERMANY') GROUP BY \
+       ps.ps_partkey ORDER BY ps.ps_partkey";
+    q schema "tpch_q12"
+      "SELECT l.l_shipmode, COUNT(*) FROM orders o, lineitem l WHERE \
+       o.o_orderkey = l.l_orderkey AND l.l_shipmode IN (3, 5) AND \
+       l.l_commitdate < l.l_receiptdate AND l.l_receiptdate >= 730 AND \
+       l.l_receiptdate < 1095 GROUP BY l.l_shipmode ORDER BY l.l_shipmode";
+    q schema "tpch_q13"
+      "SELECT c.c_custkey, COUNT(*) FROM customer c LEFT JOIN orders o ON \
+       c.c_custkey = o.o_custkey AND o.o_comment = 55 GROUP BY c.c_custkey \
+       ORDER BY c.c_custkey";
+    q schema "tpch_q14"
+      "SELECT SUM(l.l_extendedprice) FROM lineitem l, part p WHERE \
+       l.l_partkey = p.p_partkey AND l.l_shipdate >= 1340 AND l.l_shipdate < \
+       1370";
+    q schema "tpch_q15"
+      "SELECT s.s_suppkey, s.s_name FROM supplier s WHERE s.s_acctbal IN \
+       (SELECT SUM(l.l_extendedprice) FROM lineitem l WHERE l.l_suppkey = \
+       s.s_suppkey AND l.l_shipdate >= 1400 AND l.l_shipdate < 1490) ORDER \
+       BY s.s_suppkey";
+    q schema "tpch_q16"
+      "SELECT p.p_brand, p.p_type, p.p_size, COUNT(ps.ps_suppkey) FROM \
+       partsupp ps, part p WHERE p.p_partkey = ps.ps_partkey AND p.p_brand \
+       >= 10 AND p.p_size IN (1, 9, 14, 19, 23, 36, 45, 49) AND \
+       ps.ps_suppkey IN (SELECT s.s_suppkey FROM supplier s WHERE \
+       s.s_acctbal < 500) GROUP BY p.p_brand, p.p_type, p.p_size ORDER BY \
+       p.p_brand, p.p_type, p.p_size";
+    q schema "tpch_q17"
+      "SELECT SUM(l.l_extendedprice) FROM lineitem l, part p WHERE \
+       p.p_partkey = l.l_partkey AND p.p_brand = 23 AND p.p_container = 17 \
+       AND l.l_quantity IN (SELECT AVG(l2.l_quantity) FROM lineitem l2 WHERE \
+       l2.l_partkey = p.p_partkey)";
+    q schema "tpch_q18"
+      "SELECT c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice, \
+       SUM(l.l_quantity) FROM customer c, orders o, lineitem l WHERE \
+       o.o_orderkey IN (SELECT l2.l_orderkey FROM lineitem l2 WHERE \
+       l2.l_quantity >= 45 GROUP BY l2.l_orderkey) AND c.c_custkey = \
+       o.o_custkey AND o.o_orderkey = l.l_orderkey GROUP BY c.c_custkey, \
+       o.o_orderkey, o.o_orderdate, o.o_totalprice ORDER BY o.o_totalprice, \
+       o.o_orderdate";
+    q schema "tpch_q19"
+      "SELECT SUM(l.l_extendedprice) FROM lineitem l, part p WHERE \
+       p.p_partkey = l.l_partkey AND p.p_brand = 12 AND l.l_quantity >= 1 \
+       AND l.l_quantity <= 11 AND p.p_size >= 1 AND p.p_size <= 5 AND \
+       l.l_shipmode IN (1, 2) AND l.l_shipinstruct = 1";
+    q schema "tpch_q20"
+      "SELECT s.s_name FROM supplier s, nation n WHERE s.s_suppkey IN \
+       (SELECT ps.ps_suppkey FROM partsupp ps WHERE ps.ps_partkey IN (SELECT \
+       p.p_partkey FROM part p WHERE p.p_brand = 7) AND ps.ps_availqty >= \
+       100) AND s.s_nationkey = n.n_nationkey AND n.n_name = 'CANADA' ORDER \
+       BY s.s_name";
+    q schema "tpch_q21"
+      "SELECT s.s_name, COUNT(*) FROM supplier s, lineitem l1, orders o, \
+       nation n WHERE s.s_suppkey = l1.l_suppkey AND o.o_orderkey = \
+       l1.l_orderkey AND o.o_orderstatus = 1 AND l1.l_receiptdate > 1100 \
+       AND EXISTS (SELECT l2.l_id FROM lineitem l2 WHERE l2.l_orderkey = \
+       l1.l_orderkey) AND s.s_nationkey = n.n_nationkey AND n.n_name = \
+       'SAUDI ARABIA' GROUP BY s.s_name ORDER BY s.s_name";
+    q schema "tpch_q22"
+      "SELECT c.c_nationkey, COUNT(*), SUM(c.c_acctbal) FROM customer c \
+       WHERE c.c_acctbal > 7000 AND EXISTS (SELECT o.o_orderkey FROM orders \
+       o WHERE o.o_custkey = c.c_custkey) GROUP BY c.c_nationkey ORDER BY \
+       c.c_nationkey";
+  ]
+
+let all ~partitioned =
+  let schema = schema ~partitioned in
+  Workload.make ~name:"tpch" ~schema (queries schema)
+
+let longest ?(n = 7) ~env ~partitioned () =
+  let wl = all ~partitioned in
+  let timed =
+    List.map
+      (fun (qr : Workload.query) ->
+        let r = Qopt_optimizer.Optimizer.optimize env qr.Workload.block in
+        (r.Qopt_optimizer.Optimizer.elapsed, qr))
+      wl.Workload.queries
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> Float.compare b a) timed in
+  let chosen = List.filteri (fun i _ -> i < n) sorted in
+  (* Keep the original query order for presentation. *)
+  let names = List.map (fun (_, (qr : Workload.query)) -> qr.Workload.q_name) chosen in
+  Workload.make ~name:"tpch7" ~schema:wl.Workload.schema
+    (List.filter
+       (fun (qr : Workload.query) -> List.mem qr.Workload.q_name names)
+       wl.Workload.queries)

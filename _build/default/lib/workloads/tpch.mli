@@ -1,0 +1,21 @@
+(** The TPC-H benchmark workload (Section 5: "we chose from the TPC-H
+    benchmark 7 queries that have the longest compilation time").
+
+    The full scale-factor-1 schema (8 tables with the official row counts)
+    and the join/grouping/ordering structure of all 22 queries, expressed in
+    our SQL subset: multi-block queries appear as main blocks with
+    subquery children; aggregate-only details that do not affect join
+    enumeration (CASE expressions, arithmetic) are elided. *)
+
+val schema : partitioned:bool -> Qopt_catalog.Schema.t
+(** With [~partitioned:true]: lineitem/orders hash-partitioned on orderkey,
+    part/partsupp on partkey, customer/supplier on their keys, nation/region
+    on a non-join attribute. *)
+
+val all : partitioned:bool -> Workload.t
+(** All 22 queries, [tpch_q1] .. [tpch_q22]. *)
+
+val longest :
+  ?n:int -> env:Qopt_optimizer.Env.t -> partitioned:bool -> unit -> Workload.t
+(** The [n] (default 7) queries with the longest measured compilation time
+    in the given environment — the paper's selection criterion. *)

@@ -1,0 +1,462 @@
+module C = Qopt_catalog
+module Sql = Qopt_sql
+
+let col ~rows ?distinct ?skewed ?lo ?hi name =
+  C.Column.make ~rows ?distinct ?skewed ?lo ?hi name
+
+let table ~rows ~name ?partition ?(indexes = []) ~pk cols =
+  C.Table.make ~rows ~name ~primary_key:[ pk ]
+    ~indexes:
+      (C.Index.make ~unique:true ~clustered:true ~name:(name ^ "_pk") [ pk ]
+      :: indexes)
+    ?partition cols
+
+let schema ~partitioned =
+  let part keys = if partitioned then Some (C.Partition_spec.hash keys) else None in
+  let date_dim =
+    let rows = 73_049.0 in
+    table ~rows ~name:"date_dim" ~pk:"d_date_sk" ?partition:(part [ "d_date_sk" ])
+      [
+        col ~rows "d_date_sk";
+        col ~rows ~distinct:200.0 ~lo:1900.0 ~hi:2100.0 "d_year";
+        col ~rows ~distinct:12.0 ~lo:1.0 ~hi:13.0 "d_moy";
+        col ~rows ~distinct:31.0 ~lo:1.0 ~hi:32.0 "d_dom";
+        col ~rows ~distinct:4.0 ~lo:1.0 ~hi:5.0 "d_qoy";
+        col ~rows ~distinct:2400.0 "d_month_seq";
+      ]
+  in
+  let time_dim =
+    let rows = 86_400.0 in
+    table ~rows ~name:"time_dim" ~pk:"t_time_sk" ?partition:(part [ "t_time_sk" ])
+      [
+        col ~rows "t_time_sk";
+        col ~rows ~distinct:24.0 "t_hour";
+        col ~rows ~distinct:60.0 "t_minute";
+      ]
+  in
+  let store =
+    let rows = 1_002.0 in
+    (* Deliberately partitioned on a non-join column: its partition value is
+       never interesting, one of the paper's underestimation sources. *)
+    table ~rows ~name:"store" ~pk:"s_store_sk" ?partition:(part [ "s_state" ])
+      [
+        col ~rows "s_store_sk";
+        col ~rows ~distinct:1002.0 "s_store_name";
+        col ~rows ~distinct:300.0 "s_city";
+        col ~rows ~distinct:50.0 "s_state";
+        col ~rows ~distinct:10.0 "s_market_id";
+      ]
+  in
+  let item =
+    let rows = 204_000.0 in
+    table ~rows ~name:"item" ~pk:"i_item_sk" ?partition:(part [ "i_item_sk" ])
+      ~indexes:[ C.Index.make ~name:"item_cat" [ "i_category_id"; "i_item_sk" ] ]
+      [
+        col ~rows "i_item_sk";
+        col ~rows ~distinct:1000.0 "i_brand_id";
+        col ~rows ~distinct:100.0 "i_class_id";
+        col ~rows ~distinct:20.0 "i_category_id";
+        col ~rows ~distinct:2000.0 "i_manufact_id";
+        col ~rows ~distinct:5000.0 ~skewed:true ~lo:1.0 ~hi:301.0 "i_current_price";
+      ]
+  in
+  let customer =
+    let rows = 1_900_000.0 in
+    table ~rows ~name:"customer" ~pk:"c_customer_sk"
+      ?partition:(part [ "c_customer_sk" ])
+      [
+        col ~rows "c_customer_sk";
+        col ~rows ~distinct:950_000.0 "c_current_addr_sk";
+        col ~rows ~distinct:1_920_800.0 "c_current_cdemo_sk";
+        col ~rows ~distinct:7_200.0 "c_current_hdemo_sk";
+        col ~rows ~distinct:100.0 ~lo:1900.0 ~hi:2000.0 "c_birth_year";
+      ]
+  in
+  let customer_address =
+    let rows = 950_000.0 in
+    table ~rows ~name:"customer_address" ~pk:"ca_address_sk"
+      ?partition:(part [ "ca_address_sk" ])
+      [
+        col ~rows "ca_address_sk";
+        col ~rows ~distinct:8000.0 "ca_city";
+        col ~rows ~distinct:55.0 "ca_state";
+        col ~rows ~distinct:10_000.0 "ca_zip";
+      ]
+  in
+  let customer_demographics =
+    let rows = 1_920_800.0 in
+    table ~rows ~name:"customer_demographics" ~pk:"cd_demo_sk"
+      ?partition:(part [ "cd_demo_sk" ])
+      [
+        col ~rows "cd_demo_sk";
+        col ~rows ~distinct:2.0 "cd_gender";
+        col ~rows ~distinct:7.0 "cd_education";
+        col ~rows ~distinct:5.0 "cd_marital_status";
+      ]
+  in
+  let household_demographics =
+    let rows = 7_200.0 in
+    table ~rows ~name:"household_demographics" ~pk:"hd_demo_sk"
+      ?partition:(part [ "hd_demo_sk" ])
+      [
+        col ~rows "hd_demo_sk";
+        col ~rows ~distinct:20.0 "hd_income_band_sk";
+        col ~rows ~distinct:6.0 "hd_buy_potential";
+        col ~rows ~distinct:10.0 "hd_dep_count";
+      ]
+  in
+  let income_band =
+    let rows = 20.0 in
+    table ~rows ~name:"income_band" ~pk:"ib_income_band_sk"
+      ?partition:(part [ "ib_income_band_sk" ])
+      [ col ~rows "ib_income_band_sk"; col ~rows ~distinct:20.0 "ib_lower_bound" ]
+  in
+  let promotion =
+    let rows = 2_000.0 in
+    (* Second non-join-column partition. *)
+    table ~rows ~name:"promotion" ~pk:"p_promo_sk" ?partition:(part [ "p_category" ])
+      [
+        col ~rows "p_promo_sk";
+        col ~rows ~distinct:2.0 "p_channel_email";
+        col ~rows ~distinct:20.0 "p_category";
+      ]
+  in
+  let warehouse =
+    let rows = 22.0 in
+    table ~rows ~name:"warehouse" ~pk:"w_warehouse_sk"
+      ?partition:(part [ "w_warehouse_sk" ])
+      [ col ~rows "w_warehouse_sk"; col ~rows ~distinct:22.0 "w_state" ]
+  in
+  let ship_mode =
+    let rows = 20.0 in
+    table ~rows ~name:"ship_mode" ~pk:"sm_ship_mode_sk"
+      ?partition:(part [ "sm_ship_mode_sk" ])
+      [ col ~rows "sm_ship_mode_sk"; col ~rows ~distinct:6.0 "sm_type" ]
+  in
+  let reason =
+    let rows = 72.0 in
+    table ~rows ~name:"reason" ~pk:"r_reason_sk" ?partition:(part [ "r_reason_sk" ])
+      [ col ~rows "r_reason_sk"; col ~rows ~distinct:72.0 "r_reason_desc" ]
+  in
+  let store_sales =
+    let rows = 2_880_000.0 in
+    table ~rows ~name:"store_sales" ~pk:"ss_ticket_number"
+      ?partition:(part [ "ss_item_sk" ])
+      ~indexes:
+        [
+          C.Index.make ~name:"ss_item" [ "ss_item_sk" ];
+          C.Index.make ~name:"ss_date_item" [ "ss_sold_date_sk"; "ss_item_sk" ];
+        ]
+      [
+        col ~rows ~distinct:rows "ss_ticket_number";
+        col ~rows ~distinct:73_049.0 "ss_sold_date_sk";
+        col ~rows ~distinct:86_400.0 "ss_sold_time_sk";
+        col ~rows ~distinct:204_000.0 "ss_item_sk";
+        col ~rows ~distinct:1_900_000.0 "ss_customer_sk";
+        col ~rows ~distinct:1_920_800.0 "ss_cdemo_sk";
+        col ~rows ~distinct:7_200.0 "ss_hdemo_sk";
+        col ~rows ~distinct:950_000.0 "ss_addr_sk";
+        col ~rows ~distinct:1_002.0 "ss_store_sk";
+        col ~rows ~distinct:2_000.0 "ss_promo_sk";
+        col ~rows ~distinct:100.0 "ss_quantity";
+        col ~rows ~distinct:20_000.0 ~skewed:true "ss_sales_price";
+        col ~rows ~distinct:10_000.0 ~skewed:true "ss_net_profit";
+      ]
+  in
+  let store_returns =
+    let rows = 288_000.0 in
+    table ~rows ~name:"store_returns" ~pk:"sr_return_id"
+      ?partition:(part [ "sr_item_sk" ])
+      [
+        col ~rows ~distinct:rows "sr_return_id";
+        col ~rows ~distinct:73_049.0 "sr_returned_date_sk";
+        col ~rows ~distinct:204_000.0 "sr_item_sk";
+        col ~rows ~distinct:1_900_000.0 "sr_customer_sk";
+        col ~rows ~distinct:2_880_000.0 "sr_ticket_number";
+        col ~rows ~distinct:72.0 "sr_reason_sk";
+        col ~rows ~distinct:5_000.0 "sr_return_amt";
+      ]
+  in
+  let catalog_sales =
+    let rows = 1_440_000.0 in
+    table ~rows ~name:"catalog_sales" ~pk:"cs_order_number"
+      ?partition:(part [ "cs_item_sk" ])
+      [
+        col ~rows ~distinct:rows "cs_order_number";
+        col ~rows ~distinct:73_049.0 "cs_sold_date_sk";
+        col ~rows ~distinct:204_000.0 "cs_item_sk";
+        col ~rows ~distinct:1_900_000.0 "cs_bill_customer_sk";
+        col ~rows ~distinct:22.0 "cs_warehouse_sk";
+        col ~rows ~distinct:20.0 "cs_ship_mode_sk";
+        col ~rows ~distinct:2_000.0 "cs_promo_sk";
+        col ~rows ~distinct:100.0 "cs_quantity";
+        col ~rows ~distinct:20_000.0 "cs_sales_price";
+      ]
+  in
+  let web_sales =
+    let rows = 720_000.0 in
+    table ~rows ~name:"web_sales" ~pk:"ws_order_number"
+      ?partition:(part [ "ws_sold_date_sk" ])
+      [
+        col ~rows ~distinct:rows "ws_order_number";
+        col ~rows ~distinct:73_049.0 "ws_sold_date_sk";
+        col ~rows ~distinct:204_000.0 "ws_item_sk";
+        col ~rows ~distinct:1_900_000.0 "ws_bill_customer_sk";
+        col ~rows ~distinct:2_000.0 "ws_promo_sk";
+        col ~rows ~distinct:20.0 "ws_ship_mode_sk";
+        col ~rows ~distinct:20_000.0 "ws_sales_price";
+      ]
+  in
+  let inventory =
+    let rows = 783_000.0 in
+    table ~rows ~name:"inventory" ~pk:"inv_id" ?partition:(part [ "inv_item_sk" ])
+      [
+        col ~rows ~distinct:rows "inv_id";
+        col ~rows ~distinct:73_049.0 "inv_date_sk";
+        col ~rows ~distinct:204_000.0 "inv_item_sk";
+        col ~rows ~distinct:22.0 "inv_warehouse_sk";
+        col ~rows ~distinct:1_000.0 "inv_quantity_on_hand";
+      ]
+  in
+  let fk from from_col to_ to_col =
+    C.Fkey.make ~from_table:from ~from_cols:[ from_col ] ~to_table:to_
+      ~to_cols:[ to_col ]
+  in
+  C.Schema.of_tables
+    ~fkeys:
+      [
+        fk "store_sales" "ss_sold_date_sk" "date_dim" "d_date_sk";
+        fk "store_sales" "ss_sold_time_sk" "time_dim" "t_time_sk";
+        fk "store_sales" "ss_item_sk" "item" "i_item_sk";
+        fk "store_sales" "ss_customer_sk" "customer" "c_customer_sk";
+        fk "store_sales" "ss_cdemo_sk" "customer_demographics" "cd_demo_sk";
+        fk "store_sales" "ss_hdemo_sk" "household_demographics" "hd_demo_sk";
+        fk "store_sales" "ss_addr_sk" "customer_address" "ca_address_sk";
+        fk "store_sales" "ss_store_sk" "store" "s_store_sk";
+        fk "store_sales" "ss_promo_sk" "promotion" "p_promo_sk";
+        fk "store_returns" "sr_returned_date_sk" "date_dim" "d_date_sk";
+        fk "store_returns" "sr_item_sk" "item" "i_item_sk";
+        fk "store_returns" "sr_customer_sk" "customer" "c_customer_sk";
+        fk "store_returns" "sr_reason_sk" "reason" "r_reason_sk";
+        fk "catalog_sales" "cs_sold_date_sk" "date_dim" "d_date_sk";
+        fk "catalog_sales" "cs_item_sk" "item" "i_item_sk";
+        fk "catalog_sales" "cs_bill_customer_sk" "customer" "c_customer_sk";
+        fk "catalog_sales" "cs_warehouse_sk" "warehouse" "w_warehouse_sk";
+        fk "catalog_sales" "cs_ship_mode_sk" "ship_mode" "sm_ship_mode_sk";
+        fk "catalog_sales" "cs_promo_sk" "promotion" "p_promo_sk";
+        fk "web_sales" "ws_sold_date_sk" "date_dim" "d_date_sk";
+        fk "web_sales" "ws_item_sk" "item" "i_item_sk";
+        fk "web_sales" "ws_bill_customer_sk" "customer" "c_customer_sk";
+        fk "web_sales" "ws_promo_sk" "promotion" "p_promo_sk";
+        fk "web_sales" "ws_ship_mode_sk" "ship_mode" "sm_ship_mode_sk";
+        fk "inventory" "inv_date_sk" "date_dim" "d_date_sk";
+        fk "inventory" "inv_item_sk" "item" "i_item_sk";
+        fk "inventory" "inv_warehouse_sk" "warehouse" "w_warehouse_sk";
+        fk "customer" "c_current_addr_sk" "customer_address" "ca_address_sk";
+        fk "customer" "c_current_cdemo_sk" "customer_demographics" "cd_demo_sk";
+        fk "customer" "c_current_hdemo_sk" "household_demographics" "hd_demo_sk";
+        fk "household_demographics" "hd_income_band_sk" "income_band"
+          "ib_income_band_sk";
+      ]
+    [
+      date_dim; time_dim; store; item; customer; customer_address;
+      customer_demographics; household_demographics; income_band; promotion;
+      warehouse; ship_mode; reason; store_sales; store_returns; catalog_sales;
+      web_sales; inventory;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let q schema name sql =
+  let block = Sql.Binder.parse_and_bind ~name schema sql in
+  Workload.query ~sql name block
+
+let real1_queries schema =
+  [
+    q schema "r1_q1"
+      "SELECT i.i_category_id, s.s_state, SUM(ss.ss_sales_price) FROM \
+       store_sales ss, date_dim d, store s, item i WHERE ss.ss_sold_date_sk = \
+       d.d_date_sk AND ss.ss_store_sk = s.s_store_sk AND ss.ss_item_sk = \
+       i.i_item_sk AND d.d_year = 2000 AND d.d_moy = 11 AND i.i_category_id = \
+       4 GROUP BY i.i_category_id, s.s_state ORDER BY i.i_category_id, \
+       s.s_state";
+    q schema "r1_q2"
+      "SELECT c.c_birth_year, ca.ca_state, COUNT(*) FROM store_sales ss, \
+       date_dim d, item i, customer c, customer_address ca LEFT JOIN \
+       promotion p ON ss.ss_promo_sk = p.p_promo_sk WHERE ss.ss_sold_date_sk \
+       = d.d_date_sk AND ss.ss_item_sk = i.i_item_sk AND ss.ss_customer_sk = \
+       c.c_customer_sk AND c.c_current_addr_sk = ca.ca_address_sk AND \
+       d.d_year = 1999 AND i.i_class_id = 7 AND ca.ca_state = 'CA' GROUP BY \
+       c.c_birth_year, ca.ca_state ORDER BY c.c_birth_year";
+    (* r1_q3: sales with matching returns, two date-dimension roles. *)
+    q schema "r1_q3"
+      "SELECT i.i_brand_id, r.r_reason_desc, SUM(sr.sr_return_amt) FROM \
+       store_sales ss, store_returns sr, date_dim d1, date_dim d2, item i, \
+       store s, reason r WHERE ss.ss_ticket_number = sr.sr_ticket_number AND \
+       ss.ss_item_sk = sr.sr_item_sk AND ss.ss_sold_date_sk = d1.d_date_sk \
+       AND sr.sr_returned_date_sk = d2.d_date_sk AND ss.ss_item_sk = \
+       i.i_item_sk AND ss.ss_store_sk = s.s_store_sk AND sr.sr_reason_sk = \
+       r.r_reason_sk AND d1.d_year = 2001 AND d2.d_year = 2001 AND \
+       d2.d_moy >= 6 AND s.s_market_id = 5 GROUP BY i.i_brand_id, \
+       r.r_reason_desc ORDER BY i.i_brand_id";
+    q schema "r1_q4"
+      "SELECT w.w_state, i.i_category_id, AVG(inv.inv_quantity_on_hand) FROM \
+       inventory inv, item i, warehouse w, date_dim d WHERE inv.inv_item_sk = \
+       i.i_item_sk AND inv.inv_warehouse_sk = w.w_warehouse_sk AND \
+       inv.inv_date_sk = d.d_date_sk AND d.d_month_seq >= 1200 AND \
+       d.d_month_seq <= 1211 AND i.i_current_price >= 100 GROUP BY w.w_state, \
+       i.i_category_id ORDER BY w.w_state, i.i_category_id";
+    q schema "r1_q5"
+      "SELECT i.i_brand_id, COUNT(*) FROM catalog_sales cs, web_sales ws, \
+       item i, customer c, date_dim d1, date_dim d2, promotion p WHERE \
+       cs.cs_item_sk = i.i_item_sk AND ws.ws_item_sk = i.i_item_sk AND \
+       cs.cs_bill_customer_sk = c.c_customer_sk AND ws.ws_bill_customer_sk = \
+       c.c_customer_sk AND cs.cs_sold_date_sk = d1.d_date_sk AND \
+       ws.ws_sold_date_sk = d2.d_date_sk AND cs.cs_promo_sk = p.p_promo_sk \
+       AND d1.d_year = 2002 AND d2.d_year = 2002 AND p.p_channel_email = 1 \
+       GROUP BY i.i_brand_id ORDER BY i.i_brand_id";
+    q schema "r1_q6"
+      "SELECT c.c_birth_year, COUNT(*) FROM customer c, customer_address ca \
+       WHERE c.c_current_addr_sk = ca.ca_address_sk AND ca.ca_state = 'TX' \
+       AND EXISTS (SELECT ss.ss_ticket_number FROM store_sales ss, date_dim \
+       d WHERE ss.ss_customer_sk = c.c_customer_sk AND ss.ss_sold_date_sk = \
+       d.d_date_sk AND d.d_year = 2001) GROUP BY c.c_birth_year ORDER BY \
+       c.c_birth_year";
+    q schema "r1_q7"
+      "SELECT ib.ib_lower_bound, i.i_category_id, s.s_state, COUNT(*) FROM \
+       store_sales ss, item i, date_dim d, store s, customer c, \
+       customer_address ca, household_demographics hd, income_band ib, \
+       promotion p, customer_demographics cd WHERE ss.ss_item_sk = \
+       i.i_item_sk AND ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_store_sk = \
+       s.s_store_sk AND ss.ss_customer_sk = c.c_customer_sk AND \
+       c.c_current_addr_sk = ca.ca_address_sk AND c.c_current_hdemo_sk = \
+       hd.hd_demo_sk AND hd.hd_income_band_sk = ib.ib_income_band_sk AND \
+       ss.ss_promo_sk = p.p_promo_sk AND c.c_current_cdemo_sk = \
+       cd.cd_demo_sk AND d.d_year = 2000 AND i.i_category_id = 2 AND \
+       cd.cd_gender = 1 AND hd.hd_dep_count >= 2 GROUP BY ib.ib_lower_bound, \
+       i.i_category_id, s.s_state ORDER BY ib.ib_lower_bound";
+    q schema "r1_q8"
+      "SELECT i.i_item_sk, i.i_brand_id, s.s_store_sk, s.s_state, \
+       c.c_customer_sk, d1.d_year, hd.hd_income_band_sk, ca.ca_state, \
+       p.p_category, COUNT(*) FROM store_sales ss, store_returns sr, \
+       catalog_sales cs, date_dim d1, date_dim d2, date_dim d3, item i, \
+       store s, customer c, customer_demographics cd, household_demographics \
+       hd, customer_address ca, promotion p, warehouse w WHERE \
+       ss.ss_ticket_number = sr.sr_ticket_number AND ss.ss_item_sk = \
+       sr.sr_item_sk AND sr.sr_customer_sk = cs.cs_bill_customer_sk AND \
+       cs.cs_item_sk = i.i_item_sk AND ss.ss_item_sk = i.i_item_sk AND \
+       ss.ss_sold_date_sk = d1.d_date_sk AND sr.sr_returned_date_sk = \
+       d2.d_date_sk AND cs.cs_sold_date_sk = d3.d_date_sk AND ss.ss_store_sk \
+       = s.s_store_sk AND ss.ss_customer_sk = c.c_customer_sk AND \
+       c.c_current_cdemo_sk = cd.cd_demo_sk AND c.c_current_hdemo_sk = \
+       hd.hd_demo_sk AND c.c_current_addr_sk = ca.ca_address_sk AND \
+       ss.ss_promo_sk = p.p_promo_sk AND cs.cs_warehouse_sk = \
+       w.w_warehouse_sk AND d1.d_year = 2000 AND d1.d_moy = 12 AND d2.d_year \
+       = 2001 AND d2.d_moy <= 3 AND d3.d_year = 2001 AND i.i_class_id = 5 \
+       AND i.i_current_price >= 50 AND i.i_current_price <= 200 AND \
+       s.s_state = 'CA' AND s.s_market_id = 7 AND cd.cd_gender = 1 AND \
+       cd.cd_education = 3 AND cd.cd_marital_status = 2 AND hd.hd_dep_count \
+       >= 1 AND hd.hd_buy_potential = 4 AND ca.ca_state = 'CA' AND \
+       p.p_channel_email = 1 AND w.w_state = 'CA' AND ss.ss_quantity >= 10 \
+       AND sr.sr_return_amt >= 100 AND cs.cs_quantity >= 5 GROUP BY \
+       i.i_item_sk, i.i_brand_id, s.s_store_sk, s.s_state, c.c_customer_sk, \
+       d1.d_year, hd.hd_income_band_sk, ca.ca_state, p.p_category ORDER BY \
+       i.i_item_sk, s.s_store_sk";
+  ]
+
+let real1_w ~partitioned =
+  let schema = schema ~partitioned in
+  Workload.make ~name:"real1" ~schema (real1_queries schema)
+
+let real2_queries schema =
+  real1_queries schema
+  |> List.map (fun (qr : Workload.query) ->
+         { qr with Workload.q_name = "r2_" ^ qr.Workload.q_name })
+  |> fun base ->
+  base
+  @ [
+      q schema "r2_q9"
+        "SELECT d.d_year, i.i_category_id, SUM(ws.ws_sales_price) FROM \
+         web_sales ws, date_dim d, item i, promotion p, ship_mode sm WHERE \
+         ws.ws_sold_date_sk = d.d_date_sk AND ws.ws_item_sk = i.i_item_sk \
+         AND ws.ws_promo_sk = p.p_promo_sk AND ws.ws_ship_mode_sk = \
+         sm.sm_ship_mode_sk AND d.d_year >= 1999 AND sm.sm_type = 2 GROUP \
+         BY d.d_year, i.i_category_id ORDER BY d.d_year";
+      q schema "r2_q10"
+        "SELECT s.s_city, hd.hd_buy_potential, COUNT(*) FROM store_sales ss, \
+         date_dim d, store s, household_demographics hd, customer c WHERE \
+         ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_store_sk = s.s_store_sk \
+         AND ss.ss_hdemo_sk = hd.hd_demo_sk AND ss.ss_customer_sk = \
+         c.c_customer_sk AND d.d_dom >= 1 AND d.d_dom <= 2 AND \
+         hd.hd_dep_count = 3 AND s.s_city = 'Midway' GROUP BY s.s_city, \
+         hd.hd_buy_potential ORDER BY s.s_city";
+      q schema "r2_q11"
+        "SELECT i.i_manufact_id, SUM(cs.cs_sales_price) FROM catalog_sales \
+         cs, item i, date_dim d, warehouse w, ship_mode sm, promotion p \
+         WHERE cs.cs_item_sk = i.i_item_sk AND cs.cs_sold_date_sk = \
+         d.d_date_sk AND cs.cs_warehouse_sk = w.w_warehouse_sk AND \
+         cs.cs_ship_mode_sk = sm.sm_ship_mode_sk AND cs.cs_promo_sk = \
+         p.p_promo_sk AND d.d_qoy = 2 AND d.d_year = 2001 AND w.w_state = \
+         'TX' GROUP BY i.i_manufact_id ORDER BY i.i_manufact_id";
+      q schema "r2_q12"
+        "SELECT ca.ca_zip, SUM(ws.ws_sales_price) FROM web_sales ws, \
+         customer c, customer_address ca, date_dim d, item i WHERE \
+         ws.ws_bill_customer_sk = c.c_customer_sk AND c.c_current_addr_sk = \
+         ca.ca_address_sk AND ws.ws_sold_date_sk = d.d_date_sk AND \
+         ws.ws_item_sk = i.i_item_sk AND d.d_qoy = 1 AND d.d_year = 2000 \
+         GROUP BY ca.ca_zip ORDER BY ca.ca_zip";
+      q schema "r2_q13"
+        "SELECT c.c_customer_sk, COUNT(*) FROM customer c, \
+         customer_demographics cd, household_demographics hd, income_band \
+         ib, customer_address ca WHERE c.c_current_cdemo_sk = cd.cd_demo_sk \
+         AND c.c_current_hdemo_sk = hd.hd_demo_sk AND hd.hd_income_band_sk \
+         = ib.ib_income_band_sk AND c.c_current_addr_sk = ca.ca_address_sk \
+         AND ib.ib_lower_bound >= 10 AND cd.cd_education >= 4 AND \
+         ca.ca_state = 'WA' AND c.c_customer_sk IN (SELECT \
+         ss.ss_customer_sk FROM store_sales ss, date_dim d WHERE \
+         ss.ss_sold_date_sk = d.d_date_sk AND d.d_year = 2002) GROUP BY \
+         c.c_customer_sk ORDER BY c.c_customer_sk";
+      q schema "r2_q14"
+        "SELECT i.i_class_id, t.t_hour, COUNT(*) FROM store_sales ss, item \
+         i, time_dim t, date_dim d, store s, promotion p WHERE \
+         ss.ss_item_sk = i.i_item_sk AND ss.ss_sold_time_sk = t.t_time_sk \
+         AND ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_store_sk = \
+         s.s_store_sk AND ss.ss_promo_sk = p.p_promo_sk AND t.t_hour >= 8 \
+         AND t.t_hour <= 12 AND d.d_year = 2001 AND p.p_category = 3 GROUP \
+         BY i.i_class_id, t.t_hour ORDER BY i.i_class_id, t.t_hour";
+      q schema "r2_q15"
+        "SELECT i.i_category_id, w.w_state, d.d_moy, \
+         SUM(inv.inv_quantity_on_hand) FROM inventory inv, item i, \
+         warehouse w, date_dim d, catalog_sales cs, ship_mode sm WHERE \
+         inv.inv_item_sk = i.i_item_sk AND inv.inv_warehouse_sk = \
+         w.w_warehouse_sk AND inv.inv_date_sk = d.d_date_sk AND \
+         cs.cs_item_sk = i.i_item_sk AND cs.cs_warehouse_sk = \
+         w.w_warehouse_sk AND cs.cs_ship_mode_sk = sm.sm_ship_mode_sk AND \
+         d.d_year = 2000 AND i.i_brand_id >= 500 GROUP BY i.i_category_id, \
+         w.w_state, d.d_moy ORDER BY i.i_category_id, w.w_state, d.d_moy";
+      q schema "r2_q16"
+        "SELECT c.c_birth_year, COUNT(*) FROM customer c LEFT JOIN \
+         customer_address ca ON c.c_current_addr_sk = ca.ca_address_sk LEFT \
+         JOIN household_demographics hd ON c.c_current_hdemo_sk = \
+         hd.hd_demo_sk WHERE c.c_birth_year >= 1950 AND c.c_birth_year <= \
+         1960 GROUP BY c.c_birth_year ORDER BY c.c_birth_year";
+      q schema "r2_q17"
+        "SELECT i.i_brand_id, d1.d_year, SUM(ss.ss_net_profit) FROM \
+         store_sales ss, store_returns sr, item i, date_dim d1, date_dim \
+         d2, customer c, customer_address ca, store s, reason r WHERE \
+         ss.ss_ticket_number = sr.sr_ticket_number AND ss.ss_item_sk = \
+         sr.sr_item_sk AND ss.ss_item_sk = i.i_item_sk AND \
+         ss.ss_sold_date_sk = d1.d_date_sk AND sr.sr_returned_date_sk = \
+         d2.d_date_sk AND ss.ss_customer_sk = c.c_customer_sk AND \
+         c.c_current_addr_sk = ca.ca_address_sk AND ss.ss_store_sk = \
+         s.s_store_sk AND sr.sr_reason_sk = r.r_reason_sk AND d1.d_year = \
+         1999 AND d2.d_year >= 1999 AND ca.ca_state = 'NY' AND \
+         ss.ss_quantity >= 5 GROUP BY i.i_brand_id, d1.d_year ORDER BY \
+         i.i_brand_id, d1.d_year";
+    ]
+
+let real2_w ~partitioned =
+  let schema = schema ~partitioned in
+  Workload.make ~name:"real2" ~schema (real2_queries schema)

@@ -1,0 +1,23 @@
+(** Stand-ins for the paper's proprietary customer workloads.
+
+    A retail data-warehouse schema (three fact tables, a dozen dimensions —
+    TPC-DS-flavoured, but our own statistics) and two workloads of "complex
+    data warehouse queries with inner joins, outerjoins, aggregations and
+    subqueries" (Section 5):
+
+    - [real1_w]: 8 queries (the paper's real1);
+    - [real2_w]: 17 queries (the paper's real2), whose largest query joins
+      14 tables, carries 21 local predicates and 9 GROUP BY columns that
+      overlap the join columns — matching the complexity the paper quotes.
+
+    All queries are authored as SQL text and compiled through
+    {!Qopt_sql.Binder}, so the workloads also exercise the SQL front end.
+    With [~partitioned:true] the facts are hash-partitioned on join keys and
+    two dimensions deliberately on non-join columns (exercising the
+    repartitioning heuristic and non-interesting partition survival). *)
+
+val schema : partitioned:bool -> Qopt_catalog.Schema.t
+
+val real1_w : partitioned:bool -> Workload.t
+
+val real2_w : partitioned:bool -> Workload.t

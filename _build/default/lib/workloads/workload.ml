@@ -1,0 +1,19 @@
+type query = {
+  q_name : string;
+  block : Qopt_optimizer.Query_block.t;
+  sql : string option;
+}
+
+type t = {
+  w_name : string;
+  schema : Qopt_catalog.Schema.t;
+  queries : query list;
+}
+
+let query ?sql q_name block = { q_name; block; sql }
+
+let make ~name ~schema queries = { w_name = name; schema; queries }
+
+let find t name = List.find (fun q -> String.equal q.q_name name) t.queries
+
+let size t = List.length t.queries

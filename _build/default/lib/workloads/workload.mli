@@ -1,0 +1,29 @@
+(** Workloads: named sets of queries over a schema.
+
+    Mirrors Section 5 of the paper: synthetic [linear] and [star] workloads
+    (batches of 6/8/10 tables, 1-5 join predicates each), two "real
+    customer"-style warehouse workloads ([real1_w], 8 queries; [real2_w],
+    17 queries), a random workload produced by merging simpler queries, and
+    TPC-H.  The [_s] / [_p] postfixes of the paper map to running a workload
+    under {!Qopt_optimizer.Env.serial} or a parallel environment. *)
+
+type query = {
+  q_name : string;
+  block : Qopt_optimizer.Query_block.t;
+  sql : string option;  (** source text when the query was built from SQL *)
+}
+
+type t = {
+  w_name : string;
+  schema : Qopt_catalog.Schema.t;
+  queries : query list;
+}
+
+val query : ?sql:string -> string -> Qopt_optimizer.Query_block.t -> query
+
+val make : name:string -> schema:Qopt_catalog.Schema.t -> query list -> t
+
+val find : t -> string -> query
+(** Raises [Not_found]. *)
+
+val size : t -> int

@@ -1,0 +1,1 @@
+test/helpers.ml: List Printf Qopt_catalog Qopt_optimizer Qopt_util String

@@ -1,0 +1,1 @@
+test/t_bitset.ml: Alcotest Format List QCheck2 QCheck_alcotest Qopt_util

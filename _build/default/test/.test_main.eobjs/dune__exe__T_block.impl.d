@@ -1,0 +1,1 @@
+test/t_block.ml: Alcotest Format Helpers List Qopt_catalog Qopt_optimizer Qopt_util

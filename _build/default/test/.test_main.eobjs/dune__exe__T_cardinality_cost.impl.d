@@ -1,0 +1,1 @@
+test/t_cardinality_cost.ml: Alcotest Float Format Helpers List Printf Qopt_catalog Qopt_optimizer Qopt_util

@@ -1,0 +1,1 @@
+test/t_catalog.ml: Alcotest Float Helpers List Printf Qopt_catalog

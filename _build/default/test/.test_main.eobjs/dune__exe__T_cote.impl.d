@@ -1,0 +1,1 @@
+test/t_cote.ml: Alcotest Cote Float Helpers List Printf Qopt_catalog Qopt_optimizer Qopt_util

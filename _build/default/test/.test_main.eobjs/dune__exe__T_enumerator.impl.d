@@ -1,0 +1,1 @@
+test/t_enumerator.ml: Alcotest Hashtbl Helpers List Printf QCheck2 QCheck_alcotest Qopt_catalog Qopt_optimizer Qopt_util

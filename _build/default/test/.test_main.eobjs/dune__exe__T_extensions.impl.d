@@ -1,0 +1,1 @@
+test/t_extensions.ml: Alcotest Cote Format Helpers Qopt_catalog Qopt_optimizer Qopt_util

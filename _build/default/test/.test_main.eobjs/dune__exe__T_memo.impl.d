@@ -1,0 +1,1 @@
+test/t_memo.ml: Alcotest Helpers List Qopt_optimizer Qopt_util

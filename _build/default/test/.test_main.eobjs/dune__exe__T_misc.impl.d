@@ -1,0 +1,1 @@
+test/t_misc.ml: Alcotest Cote Format Helpers List Printf QCheck2 QCheck_alcotest Qopt_optimizer Qopt_sql String

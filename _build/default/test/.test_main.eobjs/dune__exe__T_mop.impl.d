@@ -1,0 +1,1 @@
+test/t_mop.ml: Alcotest Cote Helpers Qopt_mop Qopt_optimizer

@@ -1,0 +1,1 @@
+test/t_optimizer.ml: Alcotest Float Helpers List Printf Qopt_catalog Qopt_optimizer Qopt_util

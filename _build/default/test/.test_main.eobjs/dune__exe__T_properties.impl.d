@@ -1,0 +1,1 @@
+test/t_properties.ml: Cote Float Helpers List Printf QCheck2 QCheck_alcotest Qopt_optimizer Qopt_util

@@ -1,0 +1,1 @@
+test/t_props.ml: Alcotest Helpers List Qopt_catalog Qopt_optimizer Qopt_util

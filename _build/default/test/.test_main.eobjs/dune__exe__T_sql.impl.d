@@ -1,0 +1,1 @@
+test/t_sql.ml: Alcotest List Qopt_catalog Qopt_optimizer Qopt_sql Qopt_util

@@ -1,0 +1,1 @@
+test/t_topn.ml: Alcotest Cote Float Helpers List Printf Qopt_optimizer Qopt_sql Qopt_util

@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Array Buffer Float Format Fun Helpers List Printf Qopt_util

@@ -1,0 +1,1 @@
+test/t_workloads.ml: Alcotest Cote List Printf Qopt_catalog Qopt_optimizer Qopt_workloads

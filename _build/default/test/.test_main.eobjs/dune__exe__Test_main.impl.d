@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest T_bitset T_block T_cardinality_cost T_catalog T_cote T_enumerator T_extensions T_memo T_misc T_mop T_optimizer T_properties T_props T_sql T_topn T_util T_workloads

@@ -1,0 +1,65 @@
+(* Shared fixtures for the test suites: small schemas and query blocks with
+   hand-checkable structure. *)
+
+module C = Qopt_catalog
+module O = Qopt_optimizer
+module Bitset = Qopt_util.Bitset
+
+let table ?indexes ?partition ?(cols = []) ~rows name =
+  let base =
+    [
+      C.Column.make ~rows ~distinct:rows "pk";
+      C.Column.make ~rows ~distinct:rows "j1";
+      C.Column.make ~rows ~distinct:100.0 "j2";
+      C.Column.make ~rows ~distinct:10.0 "v";
+    ]
+  in
+  C.Table.make ~rows ~name ~primary_key:[ "pk" ] ?indexes ?partition (base @ cols)
+
+(* A linear chain: t0 - t1 - ... - t(n-1), joined on j1, with [extra] extra
+   predicates per edge on j2. *)
+let chain ?(extra = 0) ?(order_by = false) ?(group_by = false) n =
+  let tables =
+    List.init n (fun i -> table ~rows:(1000.0 *. float_of_int (i + 1)) (Printf.sprintf "t%d" i))
+  in
+  let quantifiers = List.mapi (fun i t -> O.Quantifier.make i t) tables in
+  let preds =
+    List.concat
+      (List.init (n - 1) (fun i ->
+           O.Pred.Eq_join (O.Colref.make i "j1", O.Colref.make (i + 1) "j1")
+           :: List.init extra (fun _ ->
+                  O.Pred.Eq_join (O.Colref.make i "j2", O.Colref.make (i + 1) "j2"))))
+  in
+  O.Query_block.make ~name:(Printf.sprintf "chain%d" n)
+    ~order_by:(if order_by then [ O.Colref.make 0 "v" ] else [])
+    ~group_by:(if group_by then [ O.Colref.make 0 "j2" ] else [])
+    ~quantifiers ~preds ()
+
+(* A star: t0 is the center; satellites join t0.j1. *)
+let star_block n =
+  let tables =
+    List.init n (fun i -> table ~rows:(1000.0 *. float_of_int (i + 1)) (Printf.sprintf "s%d" i))
+  in
+  let quantifiers = List.mapi (fun i t -> O.Quantifier.make i t) tables in
+  let preds =
+    List.init (n - 1) (fun i ->
+        O.Pred.Eq_join (O.Colref.make 0 "j1", O.Colref.make (i + 1) "j1"))
+  in
+  O.Query_block.make ~name:(Printf.sprintf "star%d" n) ~quantifiers ~preds ()
+
+let cr = O.Colref.make
+
+let set = Bitset.of_list
+
+(* Standard knobs without the cardinality-sensitive Cartesian heuristic, so
+   real optimization and plan-estimate mode see identical join streams. *)
+let stable_knobs = { O.Knobs.default with O.Knobs.card1_cartesian = false }
+
+let full_bushy_stable =
+  { O.Knobs.full_bushy with O.Knobs.card1_cartesian = false }
+
+(* Substring check for output-format assertions. *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+  m = 0 || loop 0

@@ -1,0 +1,90 @@
+module Bitset = Qopt_util.Bitset
+
+let check = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let t name f = Alcotest.test_case name `Quick f
+
+let basics =
+  [
+    t "empty is empty" (fun () -> check "empty" true (Bitset.is_empty Bitset.empty));
+    t "singleton mem" (fun () ->
+        check "mem 5" true (Bitset.mem 5 (Bitset.singleton 5));
+        check "not mem 4" false (Bitset.mem 4 (Bitset.singleton 5)));
+    t "singleton out of range" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Bitset: element 62 out of [0,61]")
+          (fun () -> ignore (Bitset.singleton 62)));
+    t "add/remove round-trip" (fun () ->
+        let s = Bitset.add 3 (Bitset.add 7 Bitset.empty) in
+        check "mem 3" true (Bitset.mem 3 s);
+        check "gone" false (Bitset.mem 3 (Bitset.remove 3 s));
+        check "7 stays" true (Bitset.mem 7 (Bitset.remove 3 s)));
+    t "cardinal" (fun () ->
+        check_int "3 elements" 3 (Bitset.cardinal (Bitset.of_list [ 0; 5; 9 ])));
+    t "elements sorted" (fun () ->
+        Alcotest.(check (list int))
+          "sorted" [ 1; 4; 8 ]
+          (Bitset.elements (Bitset.of_list [ 8; 1; 4 ])));
+    t "min_elt" (fun () ->
+        check_int "min" 2 (Bitset.min_elt (Bitset.of_list [ 9; 2; 5 ]));
+        Alcotest.check_raises "empty raises" Not_found (fun () ->
+            ignore (Bitset.min_elt Bitset.empty)));
+    t "union inter diff" (fun () ->
+        let a = Bitset.of_list [ 0; 1; 2 ] and b = Bitset.of_list [ 1; 2; 3 ] in
+        Alcotest.(check (list int)) "union" [ 0; 1; 2; 3 ] (Bitset.elements (Bitset.union a b));
+        Alcotest.(check (list int)) "inter" [ 1; 2 ] (Bitset.elements (Bitset.inter a b));
+        Alcotest.(check (list int)) "diff" [ 0 ] (Bitset.elements (Bitset.diff a b)));
+    t "subset / disjoint" (fun () ->
+        check "subset" true (Bitset.subset (Bitset.of_list [ 1 ]) (Bitset.of_list [ 0; 1 ]));
+        check "not subset" false (Bitset.subset (Bitset.of_list [ 2 ]) (Bitset.of_list [ 0; 1 ]));
+        check "disjoint" true (Bitset.disjoint (Bitset.of_list [ 0 ]) (Bitset.of_list [ 1 ]));
+        check "not disjoint" false (Bitset.disjoint (Bitset.of_list [ 0; 1 ]) (Bitset.of_list [ 1 ])));
+    t "full" (fun () ->
+        check_int "cardinal" 5 (Bitset.cardinal (Bitset.full 5));
+        check "has 4" true (Bitset.mem 4 (Bitset.full 5));
+        check "not 5" false (Bitset.mem 5 (Bitset.full 5)));
+    t "iter_subsets enumerates 2^n - 2" (fun () ->
+        let s = Bitset.of_list [ 1; 3; 5; 7 ] in
+        let n = ref 0 in
+        Bitset.iter_subsets s (fun sub ->
+            incr n;
+            Alcotest.(check bool) "proper subset" true
+              (Bitset.subset sub s && not (Bitset.equal sub s) && not (Bitset.is_empty sub)));
+        check_int "count" 14 !n);
+    t "fold sums" (fun () ->
+        check_int "sum" 12 (Bitset.fold ( + ) (Bitset.of_list [ 3; 4; 5 ]) 0));
+    t "to_int/of_int round-trip" (fun () ->
+        let s = Bitset.of_list [ 0; 2; 61 ] in
+        check "roundtrip" true (Bitset.equal s (Bitset.of_int (Bitset.to_int s))));
+    t "pp" (fun () ->
+        Alcotest.(check string) "format" "{0,3}" (Format.asprintf "%a" Bitset.pp (Bitset.of_list [ 3; 0 ])));
+  ]
+
+let gen_set =
+  QCheck2.Gen.map
+    (fun l -> Bitset.of_list (List.map (fun i -> abs i mod 20) l))
+    QCheck2.Gen.(small_list small_int)
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count:300 gen f)
+
+let props =
+  [
+    prop "union commutative" (QCheck2.Gen.pair gen_set gen_set) (fun (a, b) ->
+        Bitset.equal (Bitset.union a b) (Bitset.union b a));
+    prop "inter distributes over union" (QCheck2.Gen.triple gen_set gen_set gen_set)
+      (fun (a, b, c) ->
+        Bitset.equal
+          (Bitset.inter a (Bitset.union b c))
+          (Bitset.union (Bitset.inter a b) (Bitset.inter a c)));
+    prop "diff then union restores superset" (QCheck2.Gen.pair gen_set gen_set)
+      (fun (a, b) -> Bitset.equal (Bitset.union (Bitset.diff a b) (Bitset.inter a b)) a);
+    prop "cardinal = |elements|" gen_set (fun s ->
+        Bitset.cardinal s = List.length (Bitset.elements s));
+    prop "subset iff diff empty" (QCheck2.Gen.pair gen_set gen_set) (fun (a, b) ->
+        Bitset.subset a b = Bitset.is_empty (Bitset.diff a b));
+    prop "disjoint iff inter empty" (QCheck2.Gen.pair gen_set gen_set) (fun (a, b) ->
+        Bitset.disjoint a b = Bitset.is_empty (Bitset.inter a b));
+  ]
+
+let suite = basics @ props

@@ -1,0 +1,156 @@
+(* Colref, Pred, Quantifier, Query_block. *)
+
+module O = Qopt_optimizer
+module Bitset = Qopt_util.Bitset
+
+let t name f = Alcotest.test_case name `Quick f
+
+let cr = Helpers.cr
+
+let colref_tests =
+  [
+    t "equal / compare" (fun () ->
+        Alcotest.(check bool) "equal" true (O.Colref.equal (cr 1 "a") (cr 1 "a"));
+        Alcotest.(check bool) "diff col" false (O.Colref.equal (cr 1 "a") (cr 1 "b"));
+        Alcotest.(check bool) "ordered by quantifier first" true
+          (O.Colref.compare (cr 0 "z") (cr 1 "a") < 0));
+    t "list helpers" (fun () ->
+        Alcotest.(check bool) "mem" true (O.Colref.list_mem (cr 0 "a") [ cr 1 "b"; cr 0 "a" ]);
+        Alcotest.(check bool) "list_equal" true
+          (O.Colref.list_equal [ cr 0 "a"; cr 1 "b" ] [ cr 0 "a"; cr 1 "b" ]);
+        Alcotest.(check bool) "length mismatch" false (O.Colref.list_equal [ cr 0 "a" ] []));
+    t "pp" (fun () ->
+        Alcotest.(check string) "format" "Q2.x" (Format.asprintf "%a" O.Colref.pp (cr 2 "x")));
+  ]
+
+let pred_tests =
+  [
+    t "tables of predicates" (fun () ->
+        Alcotest.(check bool) "join" true
+          (Bitset.equal (O.Pred.tables (O.Pred.Eq_join (cr 0 "a", cr 2 "b"))) (Helpers.set [ 0; 2 ]));
+        Alcotest.(check bool) "local" true
+          (Bitset.equal (O.Pred.tables (O.Pred.Local_in (cr 1 "a", 3))) (Helpers.set [ 1 ])));
+    t "is_join only for cross-quantifier equality" (fun () ->
+        Alcotest.(check bool) "join" true (O.Pred.is_join (O.Pred.Eq_join (cr 0 "a", cr 1 "b")));
+        Alcotest.(check bool) "self-join pred is local" false
+          (O.Pred.is_join (O.Pred.Eq_join (cr 0 "a", cr 0 "b")));
+        Alcotest.(check bool) "cmp" false
+          (O.Pred.is_join (O.Pred.Local_cmp (cr 0 "a", O.Pred.Lt, 1.0))));
+    t "crosses" (fun () ->
+        let p = O.Pred.Eq_join (cr 0 "a", cr 2 "b") in
+        Alcotest.(check bool) "crosses" true (O.Pred.crosses p (Helpers.set [ 0 ]) (Helpers.set [ 2 ]));
+        Alcotest.(check bool) "swapped" true (O.Pred.crosses p (Helpers.set [ 2 ]) (Helpers.set [ 0; 1 ]));
+        Alcotest.(check bool) "same side" false
+          (O.Pred.crosses p (Helpers.set [ 0; 2 ]) (Helpers.set [ 1 ])));
+    t "applicable_within" (fun () ->
+        let p = O.Pred.Eq_join (cr 0 "a", cr 2 "b") in
+        Alcotest.(check bool) "inside" true (O.Pred.applicable_within p (Helpers.set [ 0; 1; 2 ]));
+        Alcotest.(check bool) "outside" false (O.Pred.applicable_within p (Helpers.set [ 0; 1 ])));
+    t "join_cols" (fun () ->
+        Alcotest.(check bool) "some" true
+          (O.Pred.join_cols (O.Pred.Eq_join (cr 0 "a", cr 1 "b")) <> None);
+        Alcotest.(check bool) "none for local" true
+          (O.Pred.join_cols (O.Pred.Local_in (cr 0 "a", 2)) = None));
+  ]
+
+let block_tests =
+  [
+    t "validation rejects unknown quantifier" (fun () ->
+        try
+          ignore
+            (O.Query_block.make ~name:"bad"
+               ~quantifiers:[ O.Quantifier.make 0 (Helpers.table ~rows:1.0 "x") ]
+               ~preds:[ O.Pred.Eq_join (cr 0 "j1", cr 5 "j1") ]
+               ());
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "validation rejects unknown column" (fun () ->
+        try
+          ignore
+            (O.Query_block.make ~name:"bad"
+               ~quantifiers:[ O.Quantifier.make 0 (Helpers.table ~rows:1.0 "x") ]
+               ~preds:[ O.Pred.Local_cmp (cr 0 "nope", O.Pred.Eq, 1.0) ]
+               ());
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "validation rejects overlapping outer join sides" (fun () ->
+        try
+          ignore
+            (O.Query_block.make ~name:"bad"
+               ~quantifiers:
+                 [
+                   O.Quantifier.make 0 (Helpers.table ~rows:1.0 "x");
+                   O.Quantifier.make 1 (Helpers.table ~rows:1.0 "y");
+                 ]
+               ~preds:[]
+               ~outer_joins:
+                 [ { O.Query_block.oj_preserved = Helpers.set [ 0; 1 ]; oj_null = Helpers.set [ 1 ] } ]
+               ());
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "validation rejects self-dependency" (fun () ->
+        try
+          ignore
+            (O.Query_block.make ~name:"bad"
+               ~quantifiers:
+                 [ O.Quantifier.make ~deps:(Helpers.set [ 0 ]) 0 (Helpers.table ~rows:1.0 "x") ]
+               ~preds:[] ());
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "is_connected" (fun () ->
+        Alcotest.(check bool) "chain" true (O.Query_block.is_connected (Helpers.chain 4));
+        let disconnected =
+          O.Query_block.make ~name:"disc"
+            ~quantifiers:
+              [
+                O.Quantifier.make 0 (Helpers.table ~rows:1.0 "x");
+                O.Quantifier.make 1 (Helpers.table ~rows:1.0 "y");
+              ]
+            ~preds:[] ()
+        in
+        Alcotest.(check bool) "no edges" false (O.Query_block.is_connected disconnected));
+    t "join vs local pred split" (fun () ->
+        let b = Helpers.chain ~extra:1 3 in
+        Alcotest.(check int) "joins" 4 (List.length (O.Query_block.join_preds b));
+        Alcotest.(check int) "locals" 0 (List.length (O.Query_block.local_preds b)));
+    t "column resolves stats" (fun () ->
+        let b = Helpers.chain 2 in
+        let c = O.Query_block.column b (cr 1 "j2") in
+        Alcotest.(check (float 0.0)) "distinct" 100.0 c.Qopt_catalog.Column.distinct);
+    t "iter_blocks children first" (fun () ->
+        let child = Helpers.chain 2 in
+        let parent =
+          O.Query_block.make ~name:"p" ~children:[ child ]
+            ~quantifiers:[ O.Quantifier.make 0 (Helpers.table ~rows:1.0 "x") ]
+            ~preds:[] ()
+        in
+        let order = ref [] in
+        O.Query_block.iter_blocks (fun b -> order := b.O.Query_block.name :: !order) parent;
+        Alcotest.(check (list string)) "child first" [ "p"; "chain2" ] !order);
+    t "total_quantifiers sums children" (fun () ->
+        let child = Helpers.chain 2 in
+        let parent =
+          O.Query_block.make ~name:"p" ~children:[ child ]
+            ~quantifiers:[ O.Quantifier.make 0 (Helpers.table ~rows:1.0 "x") ]
+            ~preds:[] ()
+        in
+        Alcotest.(check int) "3 total" 3 (O.Query_block.total_quantifiers parent));
+  ]
+
+let join_method_tests =
+  [
+    t "Table 2 propagation classes" (fun () ->
+        Alcotest.(check bool) "NLJN order full" true
+          (O.Join_method.order_propagation O.Join_method.NLJN = O.Join_method.Full);
+        Alcotest.(check bool) "MGJN order partial" true
+          (O.Join_method.order_propagation O.Join_method.MGJN = O.Join_method.Partial);
+        Alcotest.(check bool) "HSJN order none" true
+          (O.Join_method.order_propagation O.Join_method.HSJN = O.Join_method.None_);
+        List.iter
+          (fun m ->
+            Alcotest.(check bool) "partition full" true
+              (O.Join_method.partition_propagation m = O.Join_method.Full))
+          O.Join_method.all);
+  ]
+
+let suite = colref_tests @ pred_tests @ block_tests @ join_method_tests

@@ -1,0 +1,214 @@
+(* Cardinality estimation (full & simple) and the cost model. *)
+
+module O = Qopt_optimizer
+module Bitset = Qopt_util.Bitset
+
+let t name f = Alcotest.test_case name `Quick f
+
+let cr = Helpers.cr
+
+let near msg expected tolerance actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.4f ~ %.4f" msg actual expected)
+    true
+    (Float.abs (actual -. expected) <= tolerance)
+
+let chain3 = Helpers.chain 3
+
+let card_tests =
+  [
+    t "singleton base cardinality" (fun () ->
+        near "t0 rows" 1000.0 1.0
+          (O.Cardinality.of_set O.Cardinality.Full chain3 (Helpers.set [ 0 ])));
+    t "local equality reduces cardinality" (fun () ->
+        let b =
+          O.Query_block.make ~name:"loc"
+            ~quantifiers:[ O.Quantifier.make 0 (Helpers.table ~rows:1000.0 "x") ]
+            ~preds:[ O.Pred.Local_cmp (cr 0 "j2", O.Pred.Eq, 50.0) ]
+            ()
+        in
+        (* j2 has 100 distinct values. *)
+        near "full" 10.0 1.0 (O.Cardinality.of_set O.Cardinality.Full b (Helpers.set [ 0 ]));
+        near "simple" 10.0 1.0 (O.Cardinality.of_set O.Cardinality.Simple b (Helpers.set [ 0 ])));
+    t "fk-pk style join keeps cardinality near the fact side" (fun () ->
+        (* t0 (1000 rows) joins t1 (2000 rows) on j1 (key-like). *)
+        let card = O.Cardinality.of_set O.Cardinality.Full chain3 (Helpers.set [ 0; 1 ]) in
+        Alcotest.(check bool) "bounded" true (card >= 500.0 && card <= 2100.0));
+    t "join predicate only applies when both sides present" (fun () ->
+        let pair = O.Cardinality.of_set O.Cardinality.Full chain3 (Helpers.set [ 0; 2 ]) in
+        near "cross product" (1000.0 *. 3000.0) 1.0 pair);
+    t "range selectivity differs across modes" (fun () ->
+        let b =
+          O.Query_block.make ~name:"rng"
+            ~quantifiers:[ O.Quantifier.make 0 (Helpers.table ~rows:1000.0 "x") ]
+            ~preds:[ O.Pred.Local_cmp (cr 0 "j2", O.Pred.Le, 90.0) ]
+            ()
+        in
+        let full = O.Cardinality.of_set O.Cardinality.Full b (Helpers.set [ 0 ]) in
+        let simple = O.Cardinality.of_set O.Cardinality.Simple b (Helpers.set [ 0 ]) in
+        near "full interpolates" 900.0 50.0 full;
+        near "simple default" 450.0 1.0 simple);
+    t "correlation back-off: second predicate contributes sqrt" (fun () ->
+        let one = Helpers.chain ~extra:0 2 and two = Helpers.chain ~extra:1 2 in
+        let c1 = O.Cardinality.of_set O.Cardinality.Full one (Helpers.set [ 0; 1 ]) in
+        let c2 = O.Cardinality.of_set O.Cardinality.Full two (Helpers.set [ 0; 1 ]) in
+        (* Second pred on j2 (100 distinct) must shrink the result by ~10x
+           (sqrt back-off), not 100x (independence). *)
+        Alcotest.(check bool) "shrinks" true (c2 < c1);
+        Alcotest.(check bool) "not independent" true (c2 > c1 /. 50.0));
+    t "expensive predicate selectivity applied" (fun () ->
+        let b =
+          O.Query_block.make ~name:"exp"
+            ~quantifiers:[ O.Quantifier.make 0 (Helpers.table ~rows:1000.0 "x") ]
+            ~preds:[ O.Pred.Expensive (Helpers.set [ 0 ], 0.25, 0.1) ]
+            ()
+        in
+        near "quarter" 250.0 1.0 (O.Cardinality.of_set O.Cardinality.Full b (Helpers.set [ 0 ])));
+    t "cardinality always positive" (fun () ->
+        Alcotest.(check bool) "positive" true
+          (O.Cardinality.of_set O.Cardinality.Simple chain3 (O.Query_block.all_tables chain3) > 0.0));
+  ]
+
+let params = O.Cost_model.params O.Env.serial
+
+let pparams = O.Cost_model.params (O.Env.parallel ~nodes:4)
+
+let scan_plan ?(cost = 100.0) ?(card = 1000.0) q =
+  {
+    O.Plan.op = O.Plan.Seq_scan q;
+    tables = Bitset.singleton q;
+    order = [];
+    partition = None;
+    card;
+    cost;
+  }
+
+let ctx_of preds ~inner_card = O.Cost_model.join_context params chain3 ~preds ~inner_card
+
+let cost_tests =
+  [
+    t "seq scan grows with rows" (fun () ->
+        let small = O.Cost_model.seq_scan params (Helpers.table ~rows:1000.0 "s") in
+        let big = O.Cost_model.seq_scan params (Helpers.table ~rows:100000.0 "b") in
+        Alcotest.(check bool) "monotone" true (big > small));
+    t "parallel divides scan cost" (fun () ->
+        let table = Helpers.table ~rows:100000.0 "p" in
+        Alcotest.(check bool) "cheaper per node" true
+          (O.Cost_model.seq_scan pparams table < O.Cost_model.seq_scan params table));
+    t "index scan cheap when selective" (fun () ->
+        let table = Helpers.table ~rows:100000.0 "i" in
+        Alcotest.(check bool) "selective probe wins" true
+          (O.Cost_model.index_scan params table ~sel:0.0001
+          < O.Cost_model.seq_scan params table));
+    t "sort grows superlinearly" (fun () ->
+        let s1 = O.Cost_model.sort params ~rows:10_000.0 ~width:64.0 in
+        let s2 = O.Cost_model.sort params ~rows:100_000.0 ~width:64.0 in
+        Alcotest.(check bool) "10x rows > 10x cost" true (s2 > s1 *. 10.0));
+    t "join costs exceed input costs" (fun () ->
+        let outer = scan_plan 0 and inner = scan_plan 1 in
+        let preds = [ O.Pred.Eq_join (cr 0 "j1", cr 1 "j1") ] in
+        let ctx = ctx_of preds ~inner_card:1000.0 in
+        List.iter
+          (fun cost ->
+            Alcotest.(check bool) "cost > inputs" true (cost > outer.O.Plan.cost +. inner.O.Plan.cost))
+          [
+            O.Cost_model.nljn params chain3 ~ctx ~probe:None ~outer ~inner ~out_card:1000.0;
+            O.Cost_model.mgjn params chain3 ~ctx ~outer ~inner ~out_card:1000.0
+              ~sort_outer:true ~sort_inner:true;
+            O.Cost_model.hsjn params chain3 ~ctx ~outer ~inner ~out_card:1000.0;
+          ]);
+    t "mgjn sort enforcement costs more" (fun () ->
+        let outer = scan_plan ~card:50_000.0 0 and inner = scan_plan ~card:50_000.0 1 in
+        let preds = [ O.Pred.Eq_join (cr 0 "j1", cr 1 "j1") ] in
+        let ctx = ctx_of preds ~inner_card:50_000.0 in
+        let sorted =
+          O.Cost_model.mgjn params chain3 ~ctx ~outer ~inner ~out_card:1000.0
+            ~sort_outer:false ~sort_inner:false
+        in
+        let enforced =
+          O.Cost_model.mgjn params chain3 ~ctx ~outer ~inner ~out_card:1000.0
+            ~sort_outer:true ~sort_inner:true
+        in
+        Alcotest.(check bool) "enforced > natural" true (enforced > sorted));
+    t "index probe beats rescan for big outers" (fun () ->
+        let outer = scan_plan ~card:1_000_000.0 ~cost:10_000.0 0 in
+        let inner = scan_plan ~card:500_000.0 ~cost:50_000.0 1 in
+        let preds = [ O.Pred.Eq_join (cr 0 "j1", cr 1 "j1") ] in
+        let ctx = ctx_of preds ~inner_card:500_000.0 in
+        let without =
+          O.Cost_model.nljn params chain3 ~ctx ~probe:None ~outer ~inner ~out_card:1000.0
+        in
+        let with_probe =
+          O.Cost_model.nljn params chain3 ~ctx ~probe:(Some 0.01) ~outer ~inner
+            ~out_card:1000.0
+        in
+        Alcotest.(check bool) "probe path cheaper or equal" true (with_probe <= without));
+    t "inner_probe_cost requires single inner with matching index" (fun () ->
+        let table =
+          Helpers.table ~rows:1000.0
+            ~indexes:[ Qopt_catalog.Index.make ~name:"ij" [ "j1" ] ]
+            "probe"
+        in
+        let b =
+          O.Query_block.make ~name:"probe"
+            ~quantifiers:
+              [ O.Quantifier.make 0 (Helpers.table ~rows:1000.0 "o"); O.Quantifier.make 1 table ]
+            ~preds:[ O.Pred.Eq_join (cr 0 "j1", cr 1 "j1") ]
+            ()
+        in
+        let preds = b.O.Query_block.preds in
+        Alcotest.(check bool) "available" true
+          (O.Cost_model.inner_probe_cost params b ~preds ~inner_tables:(Helpers.set [ 1 ]) <> None);
+        Alcotest.(check bool) "composite inner: none" true
+          (O.Cost_model.inner_probe_cost params b ~preds ~inner_tables:(Helpers.set [ 0; 1 ]) = None);
+        (* Quantifier 0's table has no index on j1. *)
+        Alcotest.(check bool) "no index: none" true
+          (O.Cost_model.inner_probe_cost params b ~preds ~inner_tables:(Helpers.set [ 0 ]) = None));
+    t "repartition cheaper than broadcast" (fun () ->
+        Alcotest.(check bool) "broadcast multiplies" true
+          (O.Cost_model.repartition pparams ~rows:10_000.0 ~width:64.0
+          < O.Cost_model.broadcast pparams ~rows:10_000.0 ~width:64.0));
+    t "skew factor 1 in serial" (fun () ->
+        let preds = [ O.Pred.Eq_join (cr 0 "j1", cr 1 "j1") ] in
+        let ctx = ctx_of preds ~inner_card:1000.0 in
+        Alcotest.(check (float 0.0)) "serial skew" 1.0 ctx.O.Cost_model.skew);
+    t "row_width sums tables" (fun () ->
+        let w1 = O.Cost_model.row_width chain3 (Helpers.set [ 0 ]) in
+        let w2 = O.Cost_model.row_width chain3 (Helpers.set [ 0; 1 ]) in
+        Alcotest.(check bool) "wider" true (w2 > w1));
+  ]
+
+let plan_tests =
+  [
+    t "plan tree accessors" (fun () ->
+        let s0 = scan_plan 0 and s1 = scan_plan 1 and s2 = scan_plan 2 in
+        let j1 =
+          {
+            O.Plan.op = O.Plan.Join (O.Join_method.HSJN, s0, s1, []);
+            tables = Helpers.set [ 0; 1 ];
+            order = [];
+            partition = None;
+            card = 10.0;
+            cost = 1.0;
+          }
+        in
+        let top =
+          {
+            O.Plan.op = O.Plan.Join (O.Join_method.MGJN, j1, s2, []);
+            tables = Helpers.set [ 0; 1; 2 ];
+            order = [];
+            partition = None;
+            card = 10.0;
+            cost = 2.0;
+          }
+        in
+        Alcotest.(check int) "nodes" 5 (O.Plan.n_nodes top);
+        Alcotest.(check int) "depth" 3 (O.Plan.depth top);
+        Alcotest.(check int) "joins" 2 (O.Plan.join_count top);
+        Alcotest.(check (list int)) "leaves" [ 0; 1; 2 ] (O.Plan.leaves top);
+        Alcotest.(check int) "method counts" 2 (List.length (O.Plan.method_counts top));
+        Alcotest.(check string) "compact" "MGJN(HSJN(Q0,Q1),Q2)"
+          (Format.asprintf "%a" O.Plan.pp_compact top));
+  ]
+
+let suite = card_tests @ cost_tests @ plan_tests

@@ -1,0 +1,173 @@
+module C = Qopt_catalog
+
+let t name f = Alcotest.test_case name `Quick f
+
+let feq = Alcotest.(check (float 1e-9))
+
+let near msg expected tolerance actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.6f within %.3f of %.6f" msg actual tolerance expected)
+    true
+    (Float.abs (actual -. expected) <= tolerance)
+
+let histogram_tests =
+  let h = C.Histogram.uniform ~lo:0.0 ~hi:100.0 ~rows:10_000.0 ~distinct:100.0 () in
+  [
+    t "uniform sel_eq ~ 1/distinct" (fun () ->
+        near "sel_eq" 0.01 0.001 (C.Histogram.sel_eq h 42.0));
+    t "sel_eq out of domain falls back to 1/distinct" (fun () ->
+        feq "fallback" 0.01 (C.Histogram.sel_eq h 1234.0));
+    t "sel_lt midpoint ~ 0.5" (fun () -> near "sel_lt" 0.5 0.02 (C.Histogram.sel_lt h 50.0));
+    t "sel_lt monotone" (fun () ->
+        let prev = ref 0.0 in
+        List.iter
+          (fun v ->
+            let s = C.Histogram.sel_lt h v in
+            Alcotest.(check bool) "monotone" true (s >= !prev);
+            prev := s)
+          [ 5.0; 20.0; 40.0; 60.0; 80.0; 95.0 ]);
+    t "sel_lt hedges out of domain" (fun () ->
+        feq "below" 0.02 (C.Histogram.sel_lt h (-5.0));
+        feq "above" 0.98 (C.Histogram.sel_lt h 200.0));
+    t "le = lt + eq (clamped)" (fun () ->
+        near "le" (C.Histogram.sel_lt h 30.0 +. C.Histogram.sel_eq h 30.0) 1e-9
+          (C.Histogram.sel_le h 30.0));
+    t "ge complements lt" (fun () ->
+        near "ge" (1.0 -. C.Histogram.sel_lt h 30.0) 1e-9 (C.Histogram.sel_ge h 30.0));
+    t "between of full domain ~ 1" (fun () ->
+        near "between" 1.0 0.05 (C.Histogram.sel_between h 0.0 100.0));
+    t "between empty range is 0" (fun () -> feq "empty" 0.0 (C.Histogram.sel_between h 60.0 40.0));
+    t "zipfian head heavier than tail" (fun () ->
+        let z = C.Histogram.zipfian ~lo:0.0 ~hi:100.0 ~rows:10_000.0 ~distinct:100.0 () in
+        Alcotest.(check bool) "head > tail" true
+          (C.Histogram.sel_between z 0.0 10.0 > C.Histogram.sel_between z 90.0 100.0));
+    t "sel_join of key-key join ~ 1/distinct" (fun () ->
+        let a = C.Histogram.uniform ~lo:0.0 ~hi:1000.0 ~rows:1000.0 ~distinct:1000.0 () in
+        let b = C.Histogram.uniform ~lo:0.0 ~hi:1000.0 ~rows:5000.0 ~distinct:1000.0 () in
+        near "sel_join" 0.001 0.0005 (C.Histogram.sel_join a b));
+    t "sel_join disjoint domains is 0" (fun () ->
+        let a = C.Histogram.uniform ~lo:0.0 ~hi:10.0 ~rows:100.0 ~distinct:10.0 () in
+        let b = C.Histogram.uniform ~lo:20.0 ~hi:30.0 ~rows:100.0 ~distinct:10.0 () in
+        feq "disjoint" 0.0 (C.Histogram.sel_join a b));
+    t "bucket count capped by distinct" (fun () ->
+        let small = C.Histogram.uniform ~lo:0.0 ~hi:10.0 ~rows:1000.0 ~distinct:5.0 () in
+        Alcotest.(check int) "buckets" 5 (C.Histogram.bucket_count small);
+        near "sel_eq" 0.2 0.01 (C.Histogram.sel_eq small 3.0));
+  ]
+
+let column_tests =
+  [
+    t "defaults" (fun () ->
+        let c = C.Column.make ~rows:100.0 "x" in
+        feq "distinct defaults to rows" 100.0 c.C.Column.distinct;
+        Alcotest.(check bool) "int type" true (C.Col_type.equal c.C.Column.ctype C.Col_type.Int));
+    t "distinct clamped to rows" (fun () ->
+        let c = C.Column.make ~rows:10.0 ~distinct:100.0 "x" in
+        feq "clamped" 10.0 c.C.Column.distinct);
+    t "col_type widths" (fun () ->
+        Alcotest.(check int) "int" 4 (C.Col_type.byte_width C.Col_type.Int);
+        Alcotest.(check int) "float" 8 (C.Col_type.byte_width C.Col_type.Float);
+        Alcotest.(check int) "char" 10 (C.Col_type.byte_width (C.Col_type.Char 10));
+        Alcotest.(check string) "to_string" "VARCHAR(20)"
+          (C.Col_type.to_string (C.Col_type.Varchar 20)));
+  ]
+
+let index_tests =
+  [
+    t "provides_prefix" (fun () ->
+        let idx = C.Index.make ~name:"i" [ "a"; "b"; "c" ] in
+        Alcotest.(check bool) "full" true (C.Index.provides_prefix idx [ "a"; "b"; "c" ]);
+        Alcotest.(check bool) "prefix" true (C.Index.provides_prefix idx [ "a" ]);
+        Alcotest.(check bool) "not prefix" false (C.Index.provides_prefix idx [ "b" ]);
+        Alcotest.(check bool) "too long" false (C.Index.provides_prefix idx [ "a"; "b"; "c"; "d" ]);
+        Alcotest.(check bool) "empty" true (C.Index.provides_prefix idx []));
+    t "empty key rejected" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Index.make: empty key")
+          (fun () -> ignore (C.Index.make ~name:"i" [])));
+  ]
+
+let partition_tests =
+  [
+    t "hash compares keys as sets" (fun () ->
+        Alcotest.(check bool) "set equal" true
+          (C.Partition_spec.equal (C.Partition_spec.hash [ "a"; "b" ])
+             (C.Partition_spec.hash [ "b"; "a" ])));
+    t "range compares keys in order" (fun () ->
+        Alcotest.(check bool) "order matters" false
+          (C.Partition_spec.equal (C.Partition_spec.range [ "a"; "b" ])
+             (C.Partition_spec.range [ "b"; "a" ])));
+    t "hash <> range" (fun () ->
+        Alcotest.(check bool) "kinds differ" false
+          (C.Partition_spec.equal (C.Partition_spec.hash [ "a" ]) (C.Partition_spec.range [ "a" ])));
+  ]
+
+let table_tests =
+  [
+    t "page count derived from width" (fun () ->
+        let t1 = Helpers.table ~rows:10_000.0 "w" in
+        Alcotest.(check bool) "pages > 1" true (t1.C.Table.page_count > 1.0));
+    t "unknown pk column rejected" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Table.make(bad): unknown primary key column nope")
+          (fun () ->
+            ignore
+              (C.Table.make ~rows:1.0 ~name:"bad" ~primary_key:[ "nope" ]
+                 [ C.Column.make ~rows:1.0 "a" ])));
+    t "unknown index column rejected" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Table.make(bad): index i uses unknown column z")
+          (fun () ->
+            ignore
+              (C.Table.make ~rows:1.0 ~name:"bad"
+                 ~indexes:[ C.Index.make ~name:"i" [ "z" ] ]
+                 [ C.Column.make ~rows:1.0 "a" ])));
+    t "find/mem column" (fun () ->
+        let t1 = Helpers.table ~rows:10.0 "f" in
+        Alcotest.(check bool) "mem" true (C.Table.mem_column t1 "j1");
+        Alcotest.(check string) "find" "j1" (C.Table.find_column t1 "j1").C.Column.name;
+        Alcotest.check_raises "missing" Not_found (fun () ->
+            ignore (C.Table.find_column t1 "zz")));
+    t "index_providing" (fun () ->
+        let t1 =
+          Helpers.table ~rows:10.0 ~indexes:[ C.Index.make ~name:"ix" [ "j1"; "j2" ] ] "ip"
+        in
+        Alcotest.(check bool) "found" true (C.Table.index_providing t1 [ "j1" ] <> None);
+        Alcotest.(check bool) "not found" true (C.Table.index_providing t1 [ "j2" ] = None));
+  ]
+
+let schema_tests =
+  [
+    t "duplicate table rejected" (fun () ->
+        let a = Helpers.table ~rows:1.0 "dup" in
+        Alcotest.check_raises "raises" (Invalid_argument "Schema.add_table: duplicate table dup")
+          (fun () -> ignore (C.Schema.of_tables [ a; a ])));
+    t "find and order" (fun () ->
+        let s = C.Schema.of_tables [ Helpers.table ~rows:1.0 "b"; Helpers.table ~rows:1.0 "a" ] in
+        Alcotest.(check (list string)) "insertion order" [ "b"; "a" ] (C.Schema.table_names s);
+        Alcotest.(check bool) "mem" true (C.Schema.mem_table s "a");
+        Alcotest.(check bool) "not mem" false (C.Schema.mem_table s "zz"));
+    t "fkey validation" (fun () ->
+        let s = C.Schema.of_tables [ Helpers.table ~rows:1.0 "x" ] in
+        Alcotest.check_raises "unknown table" (Invalid_argument "Schema.add_fkey: unknown table y")
+          (fun () ->
+            ignore
+              (C.Schema.add_fkey s
+                 (C.Fkey.make ~from_table:"x" ~from_cols:[ "j1" ] ~to_table:"y" ~to_cols:[ "pk" ]))));
+    t "fkeys_between both directions" (fun () ->
+        let s =
+          C.Schema.of_tables
+            ~fkeys:[ C.Fkey.make ~from_table:"x" ~from_cols:[ "j1" ] ~to_table:"y" ~to_cols:[ "pk" ] ]
+            [ Helpers.table ~rows:1.0 "x"; Helpers.table ~rows:1.0 "y" ]
+        in
+        Alcotest.(check int) "x-y" 1 (List.length (C.Schema.fkeys_between s "x" "y"));
+        Alcotest.(check int) "y-x" 1 (List.length (C.Schema.fkeys_between s "y" "x"));
+        Alcotest.(check int) "x-x" 0 (List.length (C.Schema.fkeys_between s "x" "x")));
+    t "fkey arity mismatch" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Fkey.make: mismatched column lists")
+          (fun () ->
+            ignore (C.Fkey.make ~from_table:"a" ~from_cols:[ "x"; "y" ] ~to_table:"b" ~to_cols:[ "z" ])));
+  ]
+
+let suite =
+  histogram_tests @ column_tests @ index_tests @ partition_tests @ table_tests
+  @ schema_tests

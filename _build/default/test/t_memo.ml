@@ -1,0 +1,150 @@
+(* MEMO: entry management, caching, dominance pruning, plan sharing. *)
+
+module O = Qopt_optimizer
+module Bitset = Qopt_util.Bitset
+
+let t name f = Alcotest.test_case name `Quick f
+
+let cr = Helpers.cr
+
+let block = Helpers.chain ~order_by:true 3
+
+let mk_plan ?(order = []) ?partition ~cost tables =
+  {
+    O.Plan.op = O.Plan.Seq_scan (Bitset.min_elt tables);
+    tables;
+    order;
+    partition;
+    card = 100.0;
+    cost;
+  }
+
+let entry_tests =
+  [
+    t "find_or_create is idempotent" (fun () ->
+        let memo = O.Memo.create block in
+        let e1, created1 = O.Memo.find_or_create memo (Helpers.set [ 0; 1 ]) in
+        let e2, created2 = O.Memo.find_or_create memo (Helpers.set [ 0; 1 ]) in
+        Alcotest.(check bool) "first creates" true created1;
+        Alcotest.(check bool) "second reuses" false created2;
+        Alcotest.(check bool) "same entry" true (e1 == e2);
+        Alcotest.(check int) "one entry" 1 (O.Memo.n_entries memo));
+    t "entries_of_size" (fun () ->
+        let memo = O.Memo.create block in
+        ignore (O.Memo.find_or_create memo (Helpers.set [ 0 ]));
+        ignore (O.Memo.find_or_create memo (Helpers.set [ 1 ]));
+        ignore (O.Memo.find_or_create memo (Helpers.set [ 0; 1 ]));
+        Alcotest.(check int) "two singletons" 2 (List.length (O.Memo.entries_of_size memo 1));
+        Alcotest.(check int) "one pair" 1 (List.length (O.Memo.entries_of_size memo 2));
+        Alcotest.(check int) "no triples" 0 (List.length (O.Memo.entries_of_size memo 3)));
+    t "card_of caches" (fun () ->
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        let c1 = O.Memo.card_of memo O.Cardinality.Full e in
+        let c2 = O.Memo.card_of memo O.Cardinality.Full e in
+        Alcotest.(check (float 0.0)) "same" c1 c2;
+        Alcotest.(check bool) "cached" true (e.O.Memo.card_cache <> None));
+    t "equiv_of reflects internal predicates" (fun () ->
+        let memo = O.Memo.create block in
+        let pair, _ = O.Memo.find_or_create memo (Helpers.set [ 0; 1 ]) in
+        let eq = O.Memo.equiv_of memo pair in
+        Alcotest.(check bool) "0.j1 ~ 1.j1" true (O.Equiv.same eq (cr 0 "j1") (cr 1 "j1"));
+        Alcotest.(check bool) "not 2" false (O.Equiv.same eq (cr 0 "j1") (cr 2 "j1")));
+    t "applicable_orders filters retirement" (fun () ->
+        let memo = O.Memo.create block in
+        let top, _ = O.Memo.find_or_create memo (O.Query_block.all_tables block) in
+        let orders = O.Memo.applicable_orders memo top in
+        (* At the top only the ORDER BY survives (all join keys retired). *)
+        Alcotest.(check int) "one" 1 (List.length orders);
+        Alcotest.(check bool) "is ordering" true
+          ((List.hd orders).O.Order_prop.kind = O.Order_prop.Ordering));
+  ]
+
+let pruning_tests =
+  [
+    t "cheaper DC plan prunes costlier DC plan" (fun () ->
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e (mk_plan ~cost:10.0 (Helpers.set [ 0 ]));
+        O.Memo.insert_plan memo e (mk_plan ~cost:20.0 (Helpers.set [ 0 ]));
+        Alcotest.(check int) "one kept" 1 (List.length (O.Memo.plans e));
+        Alcotest.(check int) "one pruned" 1 (O.Memo.stats memo).O.Memo.pruned);
+    t "new cheaper plan evicts dominated plan" (fun () ->
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e (mk_plan ~cost:20.0 (Helpers.set [ 0 ]));
+        O.Memo.insert_plan memo e (mk_plan ~cost:10.0 (Helpers.set [ 0 ]));
+        Alcotest.(check int) "one kept" 1 (List.length (O.Memo.plans e));
+        Alcotest.(check (float 0.0)) "the cheap one" 10.0
+          (List.hd (O.Memo.plans e)).O.Plan.cost);
+    t "ordered plan survives a cheaper unordered plan" (fun () ->
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        (* t0.v is the ORDER BY column: interesting at every entry with t0. *)
+        O.Memo.insert_plan memo e (mk_plan ~cost:10.0 (Helpers.set [ 0 ]));
+        O.Memo.insert_plan memo e (mk_plan ~order:[ cr 0 "v" ] ~cost:50.0 (Helpers.set [ 0 ]));
+        Alcotest.(check int) "both kept" 2 (List.length (O.Memo.plans e)));
+    t "plan sharing: cheap general order absorbs specific one" (fun () ->
+        (* Orders on (j1) and (j1, v): a cheaper plan ordered on both prunes
+           the plan ordered on j1 alone — the paper's overestimation source. *)
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e
+          (mk_plan ~order:[ cr 0 "j1"; cr 0 "v" ] ~cost:10.0 (Helpers.set [ 0 ]));
+        O.Memo.insert_plan memo e (mk_plan ~order:[ cr 0 "j1" ] ~cost:20.0 (Helpers.set [ 0 ]));
+        Alcotest.(check int) "shared" 1 (List.length (O.Memo.plans e)));
+    t "expensive unordered plan pruned by ordered cheaper plan" (fun () ->
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e (mk_plan ~order:[ cr 0 "v" ] ~cost:10.0 (Helpers.set [ 0 ]));
+        O.Memo.insert_plan memo e (mk_plan ~cost:30.0 (Helpers.set [ 0 ]));
+        Alcotest.(check int) "one kept" 1 (List.length (O.Memo.plans e)));
+    t "interesting partitions keep plans apart" (fun () ->
+        let pblock =
+          Helpers.chain 2
+        in
+        let memo = O.Memo.create pblock in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        let p1 = O.Partition_prop.hash [ cr 0 "j1" ] in
+        (* j1 is the future join column: partition on it is interesting. *)
+        O.Memo.insert_plan memo e (mk_plan ~partition:p1 ~cost:10.0 (Helpers.set [ 0 ]));
+        O.Memo.insert_plan memo e
+          (mk_plan ~partition:(O.Partition_prop.hash [ cr 0 "j2" ]) ~cost:5.0
+             (Helpers.set [ 0 ]));
+        Alcotest.(check int) "both kept" 2 (List.length (O.Memo.plans e)));
+    t "best_plan picks cheapest" (fun () ->
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e (mk_plan ~order:[ cr 0 "v" ] ~cost:50.0 (Helpers.set [ 0 ]));
+        O.Memo.insert_plan memo e (mk_plan ~cost:10.0 (Helpers.set [ 0 ]));
+        match O.Memo.best_plan e with
+        | Some p -> Alcotest.(check (float 0.0)) "cheapest" 10.0 p.O.Plan.cost
+        | None -> Alcotest.fail "expected a plan");
+    t "best_plan_satisfying respects order" (fun () ->
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e (mk_plan ~cost:10.0 (Helpers.set [ 0 ]));
+        O.Memo.insert_plan memo e (mk_plan ~order:[ cr 0 "v" ] ~cost:50.0 (Helpers.set [ 0 ]));
+        let want = O.Order_prop.make O.Order_prop.Ordering [ cr 0 "v" ] in
+        (match O.Memo.best_plan_satisfying memo e want with
+        | Some p -> Alcotest.(check (float 0.0)) "ordered one" 50.0 p.O.Plan.cost
+        | None -> Alcotest.fail "expected ordered plan");
+        let impossible = O.Order_prop.make O.Order_prop.Ordering [ cr 0 "j2" ] in
+        Alcotest.(check bool) "no match" true
+          (O.Memo.best_plan_satisfying memo e impossible = None));
+    t "kept_plans and memo_bytes" (fun () ->
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e (mk_plan ~cost:10.0 (Helpers.set [ 0 ]));
+        Alcotest.(check int) "one" 1 (O.Memo.kept_plans memo);
+        Alcotest.(check (float 0.0)) "bytes" O.Plan.approx_bytes (O.Memo.memo_bytes memo));
+    t "counts helpers" (fun () ->
+        let c = O.Memo.counts_zero () in
+        O.Memo.counts_add c O.Join_method.NLJN 3;
+        O.Memo.counts_add c O.Join_method.MGJN 2;
+        O.Memo.counts_add c O.Join_method.HSJN 1;
+        Alcotest.(check int) "total" 6 (O.Memo.counts_total c);
+        Alcotest.(check int) "get" 2 (O.Memo.counts_get c O.Join_method.MGJN));
+  ]
+
+let suite = entry_tests @ pruning_tests

@@ -1,0 +1,122 @@
+(* Remaining public surface: Env, Knobs, pretty-printers, Predict, and a
+   generative SQL round-trip property. *)
+
+module O = Qopt_optimizer
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env_tests =
+  [
+    t "env basics" (fun () ->
+        Alcotest.(check int) "serial nodes" 1 (O.Env.nodes O.Env.serial);
+        Alcotest.(check int) "parallel nodes" 4 (O.Env.nodes (O.Env.parallel ~nodes:4));
+        Alcotest.(check bool) "is_parallel" true (O.Env.is_parallel (O.Env.parallel ~nodes:2));
+        Alcotest.(check string) "suffix s" "_s" (O.Env.suffix O.Env.serial);
+        Alcotest.(check string) "suffix p" "_p" (O.Env.suffix (O.Env.parallel ~nodes:4)));
+    t "parallel needs 2+ nodes" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Env.parallel: need at least 2 nodes")
+          (fun () -> ignore (O.Env.parallel ~nodes:1)));
+    t "knob presets" (fun () ->
+        Alcotest.(check bool) "default has inner limit" true
+          (O.Knobs.default.O.Knobs.max_inner = Some 3);
+        Alcotest.(check bool) "full bushy unbounded" true
+          (O.Knobs.full_bushy.O.Knobs.max_inner = None);
+        Alcotest.(check bool) "left deep" true O.Knobs.left_deep.O.Knobs.left_deep_only);
+    t "permissive fallback opens the space" (fun () ->
+        let p = O.Knobs.permissive O.Knobs.default in
+        Alcotest.(check bool) "cartesian on" true p.O.Knobs.allow_cartesian;
+        Alcotest.(check bool) "no inner limit" true (p.O.Knobs.max_inner = None));
+  ]
+
+let pp_tests =
+  [
+    t "printers produce non-empty output" (fun () ->
+        let check_nonempty name s =
+          Alcotest.(check bool) (name ^ " non-empty") true (String.length s > 0)
+        in
+        check_nonempty "env" (Format.asprintf "%a" O.Env.pp O.Env.serial);
+        check_nonempty "knobs" (Format.asprintf "%a" O.Knobs.pp O.Knobs.default);
+        check_nonempty "quantifier"
+          (Format.asprintf "%a" O.Quantifier.pp
+             (O.Quantifier.make 0 (Helpers.table ~rows:1.0 "pp")));
+        check_nonempty "block"
+          (Format.asprintf "%a" O.Query_block.pp (Helpers.chain 3));
+        check_nonempty "pred"
+          (Format.asprintf "%a" O.Pred.pp
+             (O.Pred.Eq_join (Helpers.cr 0 "a", Helpers.cr 1 "b")));
+        check_nonempty "order"
+          (Format.asprintf "%a" O.Order_prop.pp
+             (O.Order_prop.make O.Order_prop.Grouping [ Helpers.cr 0 "a" ]));
+        check_nonempty "partition"
+          (Format.asprintf "%a" O.Partition_prop.pp
+             (O.Partition_prop.hash [ Helpers.cr 0 "a" ])));
+    t "plan pp renders the full tree" (fun () ->
+        let r = O.Optimizer.optimize O.Env.serial ~knobs:Helpers.stable_knobs (Helpers.chain 3) in
+        match r.O.Optimizer.best with
+        | Some p ->
+          let s = Format.asprintf "%a" O.Plan.pp p in
+          Alcotest.(check bool) "mentions scans" true (Helpers.contains s "SCAN")
+        | None -> Alcotest.fail "expected plan");
+    t "instrument breakdown pp" (fun () ->
+        let r = O.Optimizer.optimize O.Env.serial (Helpers.chain 3) in
+        let s = Format.asprintf "%a" O.Instrument.pp_breakdown r.O.Optimizer.breakdown in
+        Alcotest.(check bool) "has NLJN" true (Helpers.contains s "NLJN"));
+  ]
+
+let predict_tests =
+  [
+    t "predict composes estimator and model" (fun () ->
+        let model = Cote.Time_model.make ~c_nljn:1e-6 ~c_mgjn:1e-6 ~c_hsjn:1e-6 () in
+        let block = Helpers.chain 4 in
+        let p = Cote.Predict.compile_time ~knobs:Helpers.stable_knobs ~model O.Env.serial block in
+        let e = p.Cote.Predict.estimate in
+        Alcotest.(check (float 1e-12)) "seconds = 1e-6 * total"
+          (1e-6 *. float_of_int (Cote.Estimator.total e))
+          p.Cote.Predict.seconds);
+  ]
+
+(* Generative SQL round-trip: random simple selects must pretty-print to
+   text that reparses to the same pretty-printed text. *)
+let gen_select =
+  QCheck2.Gen.(
+    let ident = oneofl [ "a"; "b"; "c"; "x1"; "col" ] in
+    let tbl = oneofl [ "t"; "u"; "v" ] in
+    let* n_from = int_range 1 3 in
+    let* items = list_size (int_range 1 3) ident in
+    let* wheres = list_size (int_range 0 3) (pair ident (int_range 0 100)) in
+    let* group = list_size (int_range 0 2) ident in
+    let* limit = opt (int_range 1 50) in
+    let from =
+      String.concat ", "
+        (List.init n_from (fun i ->
+             Printf.sprintf "%s f%d" (List.nth [ "t"; "u"; "v" ] (i mod 3)) i))
+    in
+    ignore tbl;
+    let where =
+      match wheres with
+      | [] -> ""
+      | ws ->
+        " WHERE "
+        ^ String.concat " AND "
+            (List.map (fun (c, v) -> Printf.sprintf "f0.%s = %d" c v) ws)
+    in
+    let gb =
+      match group with
+      | [] -> ""
+      | g -> " GROUP BY " ^ String.concat ", " (List.map (fun c -> "f0." ^ c) g)
+    in
+    let lim = match limit with None -> "" | Some n -> Printf.sprintf " LIMIT %d" n in
+    return
+      (Printf.sprintf "SELECT %s FROM %s%s%s%s"
+         (String.concat ", " (List.map (fun c -> "f0." ^ c) items))
+         from where gb lim))
+
+let roundtrip_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name:"random SQL pretty-print round-trips" ~count:200
+       gen_select (fun sql ->
+         let printed = Qopt_sql.Ast.to_string (Qopt_sql.Parser.parse sql) in
+         let reprinted = Qopt_sql.Ast.to_string (Qopt_sql.Parser.parse printed) in
+         String.equal printed reprinted))
+
+let suite = env_tests @ pp_tests @ predict_tests @ [ roundtrip_prop ]

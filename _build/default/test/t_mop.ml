@@ -1,0 +1,75 @@
+(* The meta-optimizer and optimization levels. *)
+
+module O = Qopt_optimizer
+module M = Qopt_mop
+
+let t name f = Alcotest.test_case name `Quick f
+
+let level_tests =
+  [
+    t "levels ordered by subsumption" (fun () ->
+        Alcotest.(check bool) "ld <= default" true
+          (M.Levels.subsumed_by M.Levels.L1_left_deep M.Levels.L2_default);
+        Alcotest.(check bool) "default <= bushy" true
+          (M.Levels.subsumed_by M.Levels.L2_default M.Levels.L3_full_bushy);
+        Alcotest.(check bool) "bushy not <= ld" false
+          (M.Levels.subsumed_by M.Levels.L3_full_bushy M.Levels.L1_left_deep));
+    t "greedy level has no knobs" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Levels.knobs: greedy level has no DP knobs")
+          (fun () -> ignore (M.Levels.knobs M.Levels.L0_greedy)));
+    t "knobs shapes" (fun () ->
+        Alcotest.(check bool) "ld" true (M.Levels.knobs M.Levels.L1_left_deep).O.Knobs.left_deep_only;
+        Alcotest.(check bool) "bushy unbounded" true
+          ((M.Levels.knobs M.Levels.L3_full_bushy).O.Knobs.max_inner = None));
+  ]
+
+(* A cheap model that predicts a fixed cost per plan lets us steer the MOP
+   decision deterministically. *)
+let model_costing seconds_per_plan =
+  Cote.Time_model.make ~c_nljn:seconds_per_plan ~c_mgjn:seconds_per_plan
+    ~c_hsjn:seconds_per_plan ()
+
+let mop_tests =
+  [
+    t "huge compile estimate keeps the low plan" (fun () ->
+        (* 1000 seconds per plan: C is astronomically larger than E. *)
+        let cfg = M.Mop.config (model_costing 1000.0) in
+        let outcome = M.Mop.run cfg O.Env.serial (Helpers.chain 4) in
+        Alcotest.(check bool) "keeps low" true (outcome.M.Mop.decision = M.Mop.Keep_low);
+        Alcotest.(check bool) "no high compile" true (outcome.M.Mop.compile_actual_high = None);
+        Alcotest.(check (float 0.0)) "final = low estimate" outcome.M.Mop.exec_estimate_low
+          outcome.M.Mop.exec_estimate_final);
+    t "negligible compile estimate reoptimizes" (fun () ->
+        let cfg = M.Mop.config (model_costing 1e-12) in
+        let outcome = M.Mop.run cfg O.Env.serial (Helpers.chain 4) in
+        Alcotest.(check bool) "reoptimizes" true (outcome.M.Mop.decision = M.Mop.Reoptimize);
+        Alcotest.(check bool) "high compile measured" true
+          (outcome.M.Mop.compile_actual_high <> None);
+        (* Dynamic programming must not find a worse plan than greedy's. *)
+        Alcotest.(check bool) "final <= low" true
+          (outcome.M.Mop.exec_estimate_final <= outcome.M.Mop.exec_estimate_low *. 1.01));
+    t "margin shifts the threshold" (fun () ->
+        (* Pick a per-plan cost that lands C just above E, then relax with a
+           large margin. *)
+        let block = Helpers.chain 4 in
+        let e =
+          match O.Greedy.optimize O.Env.serial block with
+          | Some p -> p.O.Plan.cost *. M.Mop.cost_to_seconds
+          | None -> Alcotest.fail "greedy failed"
+        in
+        let est = Cote.Estimator.estimate O.Env.serial block in
+        let per_plan = e *. 2.0 /. float_of_int (Cote.Estimator.total est) in
+        let strict = M.Mop.run (M.Mop.config (model_costing per_plan)) O.Env.serial block in
+        Alcotest.(check bool) "strict keeps low" true (strict.M.Mop.decision = M.Mop.Keep_low);
+        let relaxed =
+          M.Mop.run (M.Mop.config ~margin:10.0 (model_costing per_plan)) O.Env.serial block
+        in
+        Alcotest.(check bool) "relaxed reoptimizes" true
+          (relaxed.M.Mop.decision = M.Mop.Reoptimize));
+    t "always_high returns compile time and exec estimate" (fun () ->
+        let compile, exec = M.Mop.always_high O.Env.serial (Helpers.chain 4) in
+        Alcotest.(check bool) "positive" true (compile > 0.0 && exec > 0.0));
+  ]
+
+let suite = level_tests @ mop_tests

@@ -1,0 +1,195 @@
+(* Plan generation, the optimizer driver, greedy, pilot-pass, instrument. *)
+
+module O = Qopt_optimizer
+module Bitset = Qopt_util.Bitset
+
+let t name f = Alcotest.test_case name `Quick f
+
+let cr = Helpers.cr
+
+let optimize ?(env = O.Env.serial) ?(knobs = Helpers.stable_knobs) block =
+  O.Optimizer.optimize env ~knobs block
+
+let plan_gen_tests =
+  [
+    t "scan plans: base + one per interesting order" (fun () ->
+        let block = Helpers.chain ~order_by:true 2 in
+        let r = optimize block in
+        (* Each table: seq scan + Join_key sort; t0 additionally the ORDER BY
+           sort.  (No indexes in the helper tables' defaults here.) *)
+        Alcotest.(check int) "scan plans" 5 r.O.Optimizer.scan_plans);
+    t "serial HSJN count equals feasible directions" (fun () ->
+        let block = Helpers.chain 4 in
+        let memo = O.Memo.create block in
+        let dirs = ref 0 in
+        let consumer =
+          {
+            O.Enumerator.on_entry = (fun _ -> ());
+            O.Enumerator.on_join =
+              (fun ev ->
+                if ev.O.Enumerator.left_outer_ok then incr dirs;
+                if ev.O.Enumerator.right_outer_ok then incr dirs);
+          }
+        in
+        O.Enumerator.run ~knobs:Helpers.stable_knobs
+          ~card_of:(O.Memo.card_of memo O.Cardinality.Full)
+          memo consumer;
+        let r = optimize block in
+        Alcotest.(check int) "hsjn = directions" !dirs r.O.Optimizer.generated.O.Memo.hsjn);
+    t "plan found covers all tables" (fun () ->
+        let block = Helpers.chain 5 in
+        match (optimize block).O.Optimizer.best with
+        | Some p ->
+          Alcotest.(check bool) "covers" true
+            (Bitset.equal p.O.Plan.tables (O.Query_block.all_tables block))
+        | None -> Alcotest.fail "expected plan");
+    t "generated >= kept" (fun () ->
+        let r = optimize (Helpers.chain ~extra:2 5) in
+        Alcotest.(check bool) "generated >= kept" true
+          (O.Memo.counts_total r.O.Optimizer.generated + r.O.Optimizer.scan_plans
+          >= r.O.Optimizer.kept));
+    t "order by forces a final sort when needed" (fun () ->
+        let block = Helpers.chain ~order_by:true 2 in
+        match (optimize block).O.Optimizer.best with
+        | Some p ->
+          let ordering = O.Order_prop.make O.Order_prop.Ordering [ cr 0 "v" ] in
+          Alcotest.(check bool) "order satisfied" true
+            (O.Order_prop.satisfied_by O.Equiv.empty ordering p.O.Plan.order)
+        | None -> Alcotest.fail "expected plan");
+    t "more interesting orders means more generated plans" (fun () ->
+        let plain = optimize (Helpers.chain 4) in
+        let rich = optimize (Helpers.chain ~extra:2 ~order_by:true ~group_by:true 4) in
+        Alcotest.(check bool) "richer query, more plans" true
+          (O.Memo.counts_total rich.O.Optimizer.generated
+          > O.Memo.counts_total plain.O.Optimizer.generated));
+    t "same joins, different plan counts (Figure 3's point)" (fun () ->
+        let a = optimize (Helpers.chain 4) in
+        let b = optimize (Helpers.chain ~order_by:true 4) in
+        Alcotest.(check int) "same joins" a.O.Optimizer.joins b.O.Optimizer.joins;
+        Alcotest.(check bool) "more plans with ORDER BY" true
+          (O.Memo.counts_total b.O.Optimizer.generated
+          > O.Memo.counts_total a.O.Optimizer.generated));
+    t "parallel generates at least as many plans" (fun () ->
+        let block_s = Helpers.chain 4 in
+        let serial = optimize block_s in
+        let parallel = optimize ~env:(O.Env.parallel ~nodes:4) block_s in
+        Alcotest.(check bool) "parallel >= serial" true
+          (O.Memo.counts_total parallel.O.Optimizer.generated
+          >= O.Memo.counts_total serial.O.Optimizer.generated));
+    t "repartition variants appear when partitions miss join columns" (fun () ->
+        let mk part =
+          let tables =
+            List.init 2 (fun i ->
+                Helpers.table ~rows:1000.0
+                  ~partition:(Qopt_catalog.Partition_spec.hash [ part ])
+                  (Printf.sprintf "rp%d" i))
+          in
+          O.Query_block.make ~name:"rp"
+            ~quantifiers:(List.mapi (fun i tb -> O.Quantifier.make i tb) tables)
+            ~preds:[ O.Pred.Eq_join (cr 0 "j1", cr 1 "j1") ]
+            ()
+        in
+        let env = O.Env.parallel ~nodes:4 in
+        let collocated = optimize ~env (mk "j1") in
+        let mispartitioned = optimize ~env (mk "v") in
+        Alcotest.(check bool) "extra plans" true
+          (O.Memo.counts_total mispartitioned.O.Optimizer.generated
+          > O.Memo.counts_total collocated.O.Optimizer.generated));
+  ]
+
+let optimizer_tests =
+  [
+    t "multi-block queries sum counters" (fun () ->
+        let child = Helpers.chain 3 in
+        let parent_quants = [ O.Quantifier.make 0 (Helpers.table ~rows:10.0 "pq") ] in
+        let parent =
+          O.Query_block.make ~name:"parent" ~children:[ child ] ~quantifiers:parent_quants
+            ~preds:[] ()
+        in
+        let whole = optimize parent in
+        let alone = optimize child in
+        Alcotest.(check int) "joins summed" alone.O.Optimizer.joins whole.O.Optimizer.joins;
+        Alcotest.(check bool) "entries include parent's" true
+          (whole.O.Optimizer.entries > alone.O.Optimizer.entries));
+    t "disconnected query falls back to permissive knobs" (fun () ->
+        let quantifiers =
+          [
+            O.Quantifier.make 0 (Helpers.table ~rows:10.0 "d0");
+            O.Quantifier.make 1 (Helpers.table ~rows:10.0 "d1");
+          ]
+        in
+        let block = O.Query_block.make ~name:"disc" ~quantifiers ~preds:[] () in
+        let r = optimize block in
+        Alcotest.(check bool) "planned anyway" true (r.O.Optimizer.best <> None);
+        Alcotest.(check int) "one cartesian join" 1 r.O.Optimizer.joins);
+    t "DP at least as good as greedy under the same search space" (fun () ->
+        let block = Helpers.chain 5 in
+        let dp = optimize ~knobs:Helpers.full_bushy_stable block in
+        match (dp.O.Optimizer.best, O.Greedy.optimize O.Env.serial block) with
+        | Some best, Some greedy ->
+          (* The DP plan additionally carries final operators; compare join
+             trees by stripping the final sort cost conservatively: DP cost
+             must not exceed the greedy cost by more than the finishing
+             overhead. *)
+          Alcotest.(check bool) "dp <= greedy * 1.5" true
+            (best.O.Plan.cost <= greedy.O.Plan.cost *. 1.5)
+        | _ -> Alcotest.fail "expected both plans");
+    t "breakdown buckets sum to at most total" (fun () ->
+        let r = optimize (Helpers.chain ~extra:1 6) in
+        let b = r.O.Optimizer.breakdown in
+        let parts =
+          b.O.Instrument.s_nljn +. b.O.Instrument.s_mgjn +. b.O.Instrument.s_hsjn
+          +. b.O.Instrument.s_save +. b.O.Instrument.s_card +. b.O.Instrument.s_scan
+        in
+        Alcotest.(check bool) "parts <= total" true (parts <= b.O.Instrument.s_total +. 1e-6);
+        Alcotest.(check bool) "other = total - parts" true
+          (Float.abs (b.O.Instrument.s_other -. (b.O.Instrument.s_total -. parts)) < 1e-6));
+    t "instrument merge adds" (fun () ->
+        let a = (optimize (Helpers.chain 3)).O.Optimizer.breakdown in
+        let m = O.Instrument.merge a a in
+        Alcotest.(check (float 1e-12)) "doubled" (a.O.Instrument.s_total *. 2.0)
+          m.O.Instrument.s_total);
+  ]
+
+let greedy_tests =
+  [
+    t "greedy covers all tables with n-1 joins" (fun () ->
+        match O.Greedy.optimize O.Env.serial (Helpers.chain 6) with
+        | Some p ->
+          Alcotest.(check int) "joins" 5 (O.Plan.join_count p);
+          Alcotest.(check int) "leaves" 6 (List.length (O.Plan.leaves p))
+        | None -> Alcotest.fail "expected plan");
+    t "greedy handles single table" (fun () ->
+        match O.Greedy.optimize O.Env.serial (Helpers.chain 1) with
+        | Some p -> Alcotest.(check int) "no joins" 0 (O.Plan.join_count p)
+        | None -> Alcotest.fail "expected plan");
+    t "greedy uses a filtered index access path" (fun () ->
+        let table =
+          Helpers.table ~rows:100_000.0
+            ~indexes:[ Qopt_catalog.Index.make ~name:"ipk" [ "pk" ] ]
+            "gidx"
+        in
+        let block =
+          O.Query_block.make ~name:"gidx"
+            ~quantifiers:[ O.Quantifier.make 0 table ]
+            ~preds:[ O.Pred.Local_cmp (cr 0 "pk", O.Pred.Eq, 7.0) ]
+            ()
+        in
+        match O.Greedy.optimize O.Env.serial block with
+        | Some { O.Plan.op = O.Plan.Index_scan _; _ } -> ()
+        | Some _ -> Alcotest.fail "expected index scan"
+        | None -> Alcotest.fail "expected plan");
+  ]
+
+let pilot_tests =
+  [
+    t "pilot report is consistent" (fun () ->
+        let report = O.Pilot_pass.analyze O.Env.serial (Helpers.chain ~extra:1 5) in
+        Alcotest.(check bool) "bound positive" true (report.O.Pilot_pass.bound > 0.0);
+        Alcotest.(check bool) "prunable <= generated" true
+          (report.O.Pilot_pass.prunable <= report.O.Pilot_pass.generated);
+        Alcotest.(check bool) "fraction in [0,1]" true
+          (report.O.Pilot_pass.fraction >= 0.0 && report.O.Pilot_pass.fraction <= 1.0));
+  ]
+
+let suite = plan_gen_tests @ optimizer_tests @ greedy_tests @ pilot_tests

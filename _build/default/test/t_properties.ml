@@ -1,0 +1,86 @@
+(* Cross-cutting property-based tests on the paper's core invariants. *)
+
+module O = Qopt_optimizer
+module Bitset = Qopt_util.Bitset
+
+let cr = Helpers.cr
+
+let prop name ?(count = 40) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* Generator for small random connected query blocks: a spanning chain plus
+   random extra predicates and optional ORDER BY / GROUP BY. *)
+let gen_block =
+  QCheck2.Gen.(
+    let* n = int_range 2 6 in
+    let* extra = int_range 0 2 in
+    let* order_by = bool in
+    let* group_by = bool in
+    return (Helpers.chain ~extra ~order_by ~group_by n))
+
+let run_real block =
+  O.Optimizer.optimize O.Env.serial ~knobs:Helpers.stable_knobs block
+
+let run_est block =
+  Cote.Estimator.estimate ~knobs:Helpers.stable_knobs O.Env.serial block
+
+let suite =
+  [
+    prop "estimator joins == optimizer joins (same cardinality-free knobs)"
+      gen_block (fun block ->
+        (run_real block).O.Optimizer.joins = (run_est block).Cote.Estimator.joins);
+    prop "serial HSJN estimate is exact" gen_block (fun block ->
+        (run_real block).O.Optimizer.generated.O.Memo.hsjn
+        = (run_est block).Cote.Estimator.hsjn);
+    prop "plan-count estimate within 35% on random chains" gen_block (fun block ->
+        let actual =
+          float_of_int (O.Memo.counts_total (run_real block).O.Optimizer.generated)
+        in
+        let est = float_of_int (Cote.Estimator.total (run_est block)) in
+        actual = 0.0 || Float.abs (est -. actual) /. actual <= 0.35);
+    prop "optimizer always finds a plan on connected blocks" gen_block (fun block ->
+        (run_real block).O.Optimizer.best <> None);
+    prop "best plan covers every quantifier" gen_block (fun block ->
+        match (run_real block).O.Optimizer.best with
+        | None -> false
+        | Some p -> Bitset.equal p.O.Plan.tables (O.Query_block.all_tables block));
+    prop "best plan has n-1 joins (no cartesians on chains)" gen_block (fun block ->
+        match (run_real block).O.Optimizer.best with
+        | None -> false
+        | Some p -> O.Plan.join_count p = O.Query_block.n_quantifiers block - 1);
+    prop "memory estimate tracks kept plans within 2x" gen_block (fun block ->
+        let r = run_real block in
+        let e = run_est block in
+        let est = e.Cote.Estimator.est_memo_plans in
+        let kept = float_of_int r.O.Optimizer.kept in
+        est >= kept /. 2.0 && est <= kept *. 2.0);
+    prop "covers is reflexive" (QCheck2.Gen.int_range 1 3) (fun k ->
+        let o = O.Order_prop.make O.Order_prop.Ordering (List.init k (fun i -> cr 0 (Printf.sprintf "c%d" i))) in
+        O.Order_prop.covers O.Equiv.empty ~base:o ~candidate:o);
+    prop "covers is transitive on prefixes" (QCheck2.Gen.int_range 1 4) (fun k ->
+        let cols = List.init (k + 2) (fun i -> cr 0 (Printf.sprintf "c%d" i)) in
+        let take n = List.filteri (fun i _ -> i < n) cols in
+        let a = O.Order_prop.make O.Order_prop.Ordering (take k) in
+        let b = O.Order_prop.make O.Order_prop.Ordering (take (k + 1)) in
+        let c = O.Order_prop.make O.Order_prop.Ordering (take (k + 2)) in
+        O.Order_prop.covers O.Equiv.empty ~base:a ~candidate:b
+        && O.Order_prop.covers O.Equiv.empty ~base:b ~candidate:c
+        && O.Order_prop.covers O.Equiv.empty ~base:a ~candidate:c);
+    prop "satisfied_by agrees with covers through a physical order"
+      (QCheck2.Gen.int_range 1 3) (fun k ->
+        (* If base ≺ candidate then any physical order satisfying the
+           candidate satisfies the base. *)
+        let cols = List.init (k + 1) (fun i -> cr 0 (Printf.sprintf "c%d" i)) in
+        let base = O.Order_prop.make O.Order_prop.Ordering (List.filteri (fun i _ -> i < k) cols) in
+        let candidate = O.Order_prop.make O.Order_prop.Ordering cols in
+        (not (O.Order_prop.covers O.Equiv.empty ~base ~candidate))
+        || ((not (O.Order_prop.satisfied_by O.Equiv.empty candidate cols))
+           || O.Order_prop.satisfied_by O.Equiv.empty base cols));
+    prop "estimation cheaper than optimization on non-trivial blocks" gen_block
+      (fun block ->
+        let r = run_real block in
+        let e = run_est block in
+        (* Tiny queries can be noisy; only enforce on measurable ones. *)
+        r.O.Optimizer.elapsed < 0.002
+        || e.Cote.Estimator.elapsed < r.O.Optimizer.elapsed);
+  ]

@@ -1,0 +1,230 @@
+(* Equivalence classes, order and partition properties, interestingness. *)
+
+module O = Qopt_optimizer
+module Bitset = Qopt_util.Bitset
+
+let t name f = Alcotest.test_case name `Quick f
+
+let cr = Helpers.cr
+
+let equiv_tests =
+  [
+    t "reflexive repr" (fun () ->
+        Alcotest.(check bool) "self" true
+          (O.Colref.equal (O.Equiv.repr O.Equiv.empty (cr 0 "a")) (cr 0 "a")));
+    t "add_eq links classes" (fun () ->
+        let e = O.Equiv.add_eq O.Equiv.empty (cr 0 "a") (cr 1 "b") in
+        Alcotest.(check bool) "same" true (O.Equiv.same e (cr 0 "a") (cr 1 "b"));
+        Alcotest.(check bool) "other" false (O.Equiv.same e (cr 0 "a") (cr 2 "c")));
+    t "transitivity" (fun () ->
+        let e =
+          O.Equiv.add_eq
+            (O.Equiv.add_eq O.Equiv.empty (cr 0 "a") (cr 1 "b"))
+            (cr 1 "b") (cr 2 "c")
+        in
+        Alcotest.(check bool) "transitive" true (O.Equiv.same e (cr 0 "a") (cr 2 "c")));
+    t "merge unions relations" (fun () ->
+        let e1 = O.Equiv.add_eq O.Equiv.empty (cr 0 "a") (cr 1 "b") in
+        let e2 = O.Equiv.add_eq O.Equiv.empty (cr 1 "b") (cr 2 "c") in
+        let m = O.Equiv.merge e1 e2 in
+        Alcotest.(check bool) "merged" true (O.Equiv.same m (cr 0 "a") (cr 2 "c")));
+    t "of_preds picks up equality joins only" (fun () ->
+        let e =
+          O.Equiv.of_preds
+            [
+              O.Pred.Eq_join (cr 0 "a", cr 1 "b");
+              O.Pred.Local_cmp (cr 2 "c", O.Pred.Eq, 5.0);
+            ]
+        in
+        Alcotest.(check bool) "joined" true (O.Equiv.same e (cr 0 "a") (cr 1 "b")));
+    t "normalize_cols drops equivalent duplicates" (fun () ->
+        let e = O.Equiv.add_eq O.Equiv.empty (cr 0 "a") (cr 1 "b") in
+        Alcotest.(check int) "deduped" 1
+          (List.length (O.Equiv.normalize_cols e [ cr 0 "a"; cr 1 "b" ])));
+  ]
+
+let mk kind cols = O.Order_prop.make kind cols
+
+let order_tests =
+  [
+    t "empty order rejected" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Order_prop.make: empty column list")
+          (fun () -> ignore (mk O.Order_prop.Ordering [])));
+    t "grouping canonicalizes as a sorted set" (fun () ->
+        let a = mk O.Order_prop.Grouping [ cr 1 "b"; cr 0 "a" ] in
+        let b = mk O.Order_prop.Grouping [ cr 0 "a"; cr 1 "b" ] in
+        Alcotest.(check bool) "equal" true (O.Order_prop.equal_under O.Equiv.empty a b));
+    t "ordering is sequence-sensitive" (fun () ->
+        let a = mk O.Order_prop.Ordering [ cr 1 "b"; cr 0 "a" ] in
+        let b = mk O.Order_prop.Ordering [ cr 0 "a"; cr 1 "b" ] in
+        Alcotest.(check bool) "not equal" false (O.Order_prop.equal_under O.Equiv.empty a b));
+    t "equality modulo equivalence" (fun () ->
+        let e = O.Equiv.add_eq O.Equiv.empty (cr 0 "a") (cr 1 "b") in
+        let a = mk O.Order_prop.Join_key [ cr 0 "a" ] in
+        let b = mk O.Order_prop.Join_key [ cr 1 "b" ] in
+        Alcotest.(check bool) "equal under equiv" true (O.Order_prop.equal_under e a b);
+        Alcotest.(check bool) "not without" false (O.Order_prop.equal_under O.Equiv.empty a b));
+    t "satisfied_by prefix" (fun () ->
+        let want = mk O.Order_prop.Ordering [ cr 0 "a" ] in
+        Alcotest.(check bool) "prefix" true
+          (O.Order_prop.satisfied_by O.Equiv.empty want [ cr 0 "a"; cr 0 "b" ]);
+        Alcotest.(check bool) "not prefix" false
+          (O.Order_prop.satisfied_by O.Equiv.empty want [ cr 0 "b"; cr 0 "a" ]);
+        Alcotest.(check bool) "unordered plan" false
+          (O.Order_prop.satisfied_by O.Equiv.empty want []));
+    t "grouping satisfied by any permutation prefix" (fun () ->
+        let want = mk O.Order_prop.Grouping [ cr 0 "a"; cr 0 "b" ] in
+        Alcotest.(check bool) "ab" true
+          (O.Order_prop.satisfied_by O.Equiv.empty want [ cr 0 "a"; cr 0 "b"; cr 0 "c" ]);
+        Alcotest.(check bool) "ba" true
+          (O.Order_prop.satisfied_by O.Equiv.empty want [ cr 0 "b"; cr 0 "a" ]);
+        Alcotest.(check bool) "a-c" false
+          (O.Order_prop.satisfied_by O.Equiv.empty want [ cr 0 "a"; cr 0 "c" ]));
+    t "covers: prefix subsumption for ordering" (fun () ->
+        let base = mk O.Order_prop.Join_key [ cr 0 "a" ] in
+        let candidate = mk O.Order_prop.Ordering [ cr 0 "a"; cr 0 "b" ] in
+        Alcotest.(check bool) "covers" true
+          (O.Order_prop.covers O.Equiv.empty ~base ~candidate);
+        let not_cand = mk O.Order_prop.Ordering [ cr 0 "b"; cr 0 "a" ] in
+        Alcotest.(check bool) "no" false (O.Order_prop.covers O.Equiv.empty ~base ~candidate:not_cand));
+    t "covers: set subsumption for grouping" (fun () ->
+        let base = mk O.Order_prop.Join_key [ cr 0 "b" ] in
+        let candidate = mk O.Order_prop.Grouping [ cr 0 "a"; cr 0 "b" ] in
+        (* b is not a *prefix* of the grouping but is a member of its set. *)
+        Alcotest.(check bool) "set covers" true
+          (O.Order_prop.covers O.Equiv.empty ~base ~candidate));
+    t "insert_dedup merges kinds" (fun () ->
+        let jk = mk O.Order_prop.Join_key [ cr 0 "a" ] in
+        let ob = mk O.Order_prop.Ordering [ cr 0 "a" ] in
+        let l = O.Order_prop.insert_dedup O.Equiv.empty jk [ ob ] in
+        Alcotest.(check int) "one entry" 1 (List.length l);
+        Alcotest.(check bool) "keeps Ordering kind" true
+          ((List.hd l).O.Order_prop.kind = O.Order_prop.Ordering));
+    t "insert_dedup appends new" (fun () ->
+        let a = mk O.Order_prop.Join_key [ cr 0 "a" ] in
+        let b = mk O.Order_prop.Join_key [ cr 0 "b" ] in
+        Alcotest.(check int) "two" 2 (List.length (O.Order_prop.insert_dedup O.Equiv.empty b [ a ])));
+    t "applicable" (fun () ->
+        let o = mk O.Order_prop.Join_key [ cr 2 "a" ] in
+        Alcotest.(check bool) "in" true (O.Order_prop.applicable ~tables:(Helpers.set [ 1; 2 ]) o);
+        Alcotest.(check bool) "out" false (O.Order_prop.applicable ~tables:(Helpers.set [ 0; 1 ]) o));
+  ]
+
+let partition_tests =
+  [
+    t "hash equal as set" (fun () ->
+        let a = O.Partition_prop.hash [ cr 0 "a"; cr 0 "b" ] in
+        let b = O.Partition_prop.hash [ cr 0 "b"; cr 0 "a" ] in
+        Alcotest.(check bool) "equal" true (O.Partition_prop.equal_under O.Equiv.empty a b));
+    t "range sequence-sensitive" (fun () ->
+        let a = O.Partition_prop.range [ cr 0 "a"; cr 0 "b" ] in
+        let b = O.Partition_prop.range [ cr 0 "b"; cr 0 "a" ] in
+        Alcotest.(check bool) "not equal" false (O.Partition_prop.equal_under O.Equiv.empty a b));
+    t "keyed_on modulo equivalence" (fun () ->
+        let e = O.Equiv.add_eq O.Equiv.empty (cr 0 "a") (cr 1 "b") in
+        let p = O.Partition_prop.hash [ cr 0 "a" ] in
+        Alcotest.(check bool) "keyed" true (O.Partition_prop.keyed_on e p (cr 1 "b"));
+        Alcotest.(check bool) "not keyed" false
+          (O.Partition_prop.keyed_on O.Equiv.empty p (cr 1 "b")));
+    t "of_spec lifts to quantifier" (fun () ->
+        let p = O.Partition_prop.of_spec ~q:3 (Qopt_catalog.Partition_spec.hash [ "x" ]) in
+        Alcotest.(check bool) "colref" true
+          (O.Colref.equal (List.hd p.O.Partition_prop.keys) (cr 3 "x")));
+  ]
+
+(* Interesting-property derivation on a 3-table chain with ORDER BY and
+   GROUP BY. *)
+let block = Helpers.chain ~order_by:true ~group_by:true 3
+
+let interesting_tests =
+  [
+    t "orders_for_table: join keys + groupby + orderby" (fun () ->
+        let orders = O.Interesting.orders_for_table block 0 in
+        (* t0: Join_key j1, Grouping j2, Ordering v. *)
+        Alcotest.(check int) "three" 3 (List.length orders));
+    t "orders_for_table: middle table has two join-key uses, one value" (fun () ->
+        let orders = O.Interesting.orders_for_table block 1 in
+        (* t1.j1 appears in two predicates but is one interesting order. *)
+        Alcotest.(check int) "one" 1 (List.length orders));
+    t "join key retires once its predicates are internal" (fun () ->
+        let equiv = O.Equiv.of_preds block.O.Query_block.preds in
+        let jk = mk O.Order_prop.Join_key [ cr 1 "j1" ] in
+        Alcotest.(check bool) "live in {0,1}" false
+          (O.Interesting.order_retired block equiv ~tables:(Helpers.set [ 0; 1 ]) jk);
+        Alcotest.(check bool) "retired in {0,1,2}" true
+          (O.Interesting.order_retired block equiv ~tables:(Helpers.set [ 0; 1; 2 ]) jk));
+    t "groupby/orderby never retire" (fun () ->
+        let equiv = O.Equiv.of_preds block.O.Query_block.preds in
+        let g = mk O.Order_prop.Grouping [ cr 0 "j2" ] in
+        let o = mk O.Order_prop.Ordering [ cr 0 "v" ] in
+        Alcotest.(check bool) "grouping" false
+          (O.Interesting.order_retired block equiv ~tables:(O.Query_block.all_tables block) g);
+        Alcotest.(check bool) "ordering" false
+          (O.Interesting.order_retired block equiv ~tables:(O.Query_block.all_tables block) o));
+    t "retirement respects equivalence" (fun () ->
+        (* After t0.j1 = t1.j1 is applied in {0,1}, an order on t0.j1 is still
+           useful for the future join with t2 through t1.j1's class. *)
+        let equiv = O.Equiv.of_preds block.O.Query_block.preds in
+        let jk = mk O.Order_prop.Join_key [ cr 0 "j1" ] in
+        Alcotest.(check bool) "alive" false
+          (O.Interesting.order_retired block equiv ~tables:(Helpers.set [ 0; 1 ]) jk));
+    t "partition interesting on future join col" (fun () ->
+        let equiv = O.Equiv.of_preds block.O.Query_block.preds in
+        let p = O.Partition_prop.hash [ cr 1 "j1" ] in
+        Alcotest.(check bool) "interesting in {0,1}" true
+          (O.Interesting.partition_interesting block equiv ~tables:(Helpers.set [ 0; 1 ]) p));
+    t "partition on grouping columns stays interesting" (fun () ->
+        let equiv = O.Equiv.of_preds block.O.Query_block.preds in
+        let p = O.Partition_prop.hash [ cr 0 "j2" ] in
+        Alcotest.(check bool) "interesting at top" true
+          (O.Interesting.partition_interesting block equiv
+             ~tables:(O.Query_block.all_tables block) p));
+    t "partition on unused column not interesting" (fun () ->
+        let equiv = O.Equiv.of_preds block.O.Query_block.preds in
+        let p = O.Partition_prop.hash [ cr 1 "pk" ] in
+        Alcotest.(check bool) "boring" false
+          (O.Interesting.partition_interesting block equiv
+             ~tables:(O.Query_block.all_tables block) p));
+    t "range partition interesting for orderby prefix" (fun () ->
+        let equiv = O.Equiv.of_preds block.O.Query_block.preds in
+        let p = O.Partition_prop.range [ cr 0 "v" ] in
+        Alcotest.(check bool) "orderby" true
+          (O.Interesting.partition_interesting block equiv
+             ~tables:(O.Query_block.all_tables block) p));
+    t "merge_order over multiple predicates" (fun () ->
+        let preds =
+          [ O.Pred.Eq_join (cr 0 "j1", cr 1 "j1"); O.Pred.Eq_join (cr 0 "j2", cr 1 "j2") ]
+        in
+        let equiv = O.Equiv.of_preds preds in
+        match O.Interesting.merge_order equiv preds with
+        | Some mo -> Alcotest.(check int) "two cols" 2 (List.length mo.O.Order_prop.cols)
+        | None -> Alcotest.fail "expected merge order");
+    t "merge_order empty for cartesian" (fun () ->
+        Alcotest.(check bool) "none" true (O.Interesting.merge_order O.Equiv.empty [] = None));
+    t "filter_indexes needs leading-column equality" (fun () ->
+        let table =
+          Helpers.table ~rows:100.0
+            ~indexes:[ Qopt_catalog.Index.make ~name:"iv" [ "v"; "j1" ] ]
+            "fi"
+        in
+        let mk_block preds =
+          O.Query_block.make ~name:"fi" ~quantifiers:[ O.Quantifier.make 0 table ] ~preds ()
+        in
+        Alcotest.(check int) "eq on leading" 1
+          (List.length
+             (O.Interesting.filter_indexes
+                (mk_block [ O.Pred.Local_cmp (cr 0 "v", O.Pred.Eq, 1.0) ])
+                0));
+        Alcotest.(check int) "range not enough" 0
+          (List.length
+             (O.Interesting.filter_indexes
+                (mk_block [ O.Pred.Local_cmp (cr 0 "v", O.Pred.Le, 1.0) ])
+                0));
+        Alcotest.(check int) "eq on non-leading" 0
+          (List.length
+             (O.Interesting.filter_indexes
+                (mk_block [ O.Pred.Local_cmp (cr 0 "j1", O.Pred.Eq, 1.0) ])
+                0)));
+  ]
+
+let suite = equiv_tests @ order_tests @ partition_tests @ interesting_tests

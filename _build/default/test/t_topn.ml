@@ -1,0 +1,135 @@
+(* The pipelinable property and top-N (LIMIT) queries. *)
+
+module O = Qopt_optimizer
+module Bitset = Qopt_util.Bitset
+
+let t name f = Alcotest.test_case name `Quick f
+
+let cr = Helpers.cr
+
+let scan q =
+  {
+    O.Plan.op = O.Plan.Seq_scan q;
+    tables = Bitset.singleton q;
+    order = [];
+    partition = None;
+    card = 100.0;
+    cost = 10.0;
+  }
+
+let join m outer inner =
+  {
+    O.Plan.op = O.Plan.Join (m, outer, inner, []);
+    tables = Bitset.union outer.O.Plan.tables inner.O.Plan.tables;
+    order = [];
+    partition = None;
+    card = 100.0;
+    cost = 30.0;
+  }
+
+let sort input = { input with O.Plan.op = O.Plan.Sort input }
+
+let pipelinable_tests =
+  [
+    t "scans pipeline" (fun () ->
+        Alcotest.(check bool) "scan" true (O.Plan.pipelinable (scan 0)));
+    t "sort blocks" (fun () ->
+        Alcotest.(check bool) "sort" false (O.Plan.pipelinable (sort (scan 0))));
+    t "hash join blocks on its build" (fun () ->
+        Alcotest.(check bool) "hsjn" false
+          (O.Plan.pipelinable (join O.Join_method.HSJN (scan 0) (scan 1))));
+    t "nested loops pipelines when inputs do" (fun () ->
+        Alcotest.(check bool) "nljn" true
+          (O.Plan.pipelinable (join O.Join_method.NLJN (scan 0) (scan 1)));
+        Alcotest.(check bool) "nljn over sort" false
+          (O.Plan.pipelinable (join O.Join_method.NLJN (sort (scan 0)) (scan 1))));
+    t "merge join pipelines over pre-sorted inputs" (fun () ->
+        Alcotest.(check bool) "mgjn" true
+          (O.Plan.pipelinable (join O.Join_method.MGJN (scan 0) (scan 1))));
+    t "repartition streams" (fun () ->
+        let p = { (scan 0) with O.Plan.op = O.Plan.Repartition (scan 0) } in
+        Alcotest.(check bool) "repart" true (O.Plan.pipelinable p));
+  ]
+
+let topn_block ?(n = 10) k =
+  let base = Helpers.chain k in
+  { base with O.Query_block.first_n = Some n }
+
+let optimizer_tests =
+  [
+    t "first_n must be positive" (fun () ->
+        try
+          ignore
+            (O.Query_block.make ~name:"bad" ~first_n:0
+               ~quantifiers:[ O.Quantifier.make 0 (Helpers.table ~rows:1.0 "x") ]
+               ~preds:[] ());
+          Alcotest.fail "expected Invalid_argument"
+        with Invalid_argument _ -> ());
+    t "LIMIT query keeps a pipelinable best plan" (fun () ->
+        let r = O.Optimizer.optimize O.Env.serial ~knobs:Helpers.stable_knobs (topn_block 4) in
+        match r.O.Optimizer.best with
+        | Some p -> Alcotest.(check bool) "pipelines" true (O.Plan.pipelinable p)
+        | None -> Alcotest.fail "expected plan");
+    t "pipelinable plans survive cheaper blocking plans" (fun () ->
+        let block = topn_block 3 in
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0; 1 ]) in
+        let pipe_plan = join O.Join_method.NLJN (scan 0) (scan 1) in
+        let blocking = { (join O.Join_method.HSJN (scan 0) (scan 1)) with O.Plan.cost = 5.0 } in
+        O.Memo.insert_plan memo e blocking;
+        O.Memo.insert_plan memo e pipe_plan;
+        Alcotest.(check int) "both kept" 2 (List.length (O.Memo.plans e)));
+    t "without LIMIT the blocking plan prunes the pipelinable one" (fun () ->
+        let block = Helpers.chain 3 in
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0; 1 ]) in
+        let pipe_plan = join O.Join_method.NLJN (scan 0) (scan 1) in
+        let blocking = { (join O.Join_method.HSJN (scan 0) (scan 1)) with O.Plan.cost = 5.0 } in
+        O.Memo.insert_plan memo e blocking;
+        O.Memo.insert_plan memo e pipe_plan;
+        Alcotest.(check int) "one kept" 1 (List.length (O.Memo.plans e)));
+    t "LIMIT enlarges the generated plan space" (fun () ->
+        let base = O.Optimizer.optimize O.Env.serial ~knobs:Helpers.stable_knobs (Helpers.chain 5) in
+        let ltd = O.Optimizer.optimize O.Env.serial ~knobs:Helpers.stable_knobs (topn_block 5) in
+        Alcotest.(check bool) "more or equal plans" true
+          (O.Memo.counts_total ltd.O.Optimizer.generated
+          >= O.Memo.counts_total base.O.Optimizer.generated));
+    t "estimator tracks the LIMIT enlargement" (fun () ->
+        let block = topn_block 5 in
+        let r = O.Optimizer.optimize O.Env.serial ~knobs:Helpers.stable_knobs block in
+        let e = Cote.Estimator.estimate ~knobs:Helpers.stable_knobs O.Env.serial block in
+        let actual = float_of_int (O.Memo.counts_total r.O.Optimizer.generated) in
+        let est = float_of_int (Cote.Estimator.total e) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%g vs %g within 30%%" actual est)
+          true
+          (Float.abs (est -. actual) /. actual <= 0.30));
+    t "best_pipelinable_plan" (fun () ->
+        let block = topn_block 3 in
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e { (sort (scan 0)) with O.Plan.order = [ cr 0 "j1" ] };
+        Alcotest.(check bool) "none yet" true (O.Memo.best_pipelinable_plan e = None);
+        O.Memo.insert_plan memo e (scan 0);
+        Alcotest.(check bool) "found" true (O.Memo.best_pipelinable_plan e <> None));
+  ]
+
+let sql_tests =
+  [
+    t "LIMIT parses and binds to first_n" (fun () ->
+        let ast = Qopt_sql.Parser.parse "SELECT a FROM t LIMIT 10" in
+        Alcotest.(check bool) "parsed" true (ast.Qopt_sql.Ast.sel_limit = Some 10));
+    t "LIMIT round-trips through the pretty printer" (fun () ->
+        let sql = "SELECT a FROM t WHERE a = 1 LIMIT 5" in
+        let printed = Qopt_sql.Ast.to_string (Qopt_sql.Parser.parse sql) in
+        Alcotest.(check bool) "mentions LIMIT" true (Helpers.contains printed "LIMIT 5");
+        Alcotest.(check bool) "reparses" true
+          ((Qopt_sql.Parser.parse printed).Qopt_sql.Ast.sel_limit = Some 5));
+    t "LIMIT rejects junk" (fun () ->
+        try
+          ignore (Qopt_sql.Parser.parse "SELECT a FROM t LIMIT x");
+          Alcotest.fail "expected Parser.Error"
+        with Qopt_sql.Parser.Error _ -> ());
+  ]
+
+let suite = pipelinable_tests @ optimizer_tests @ sql_tests

@@ -1,0 +1,184 @@
+(* Rng, Stats, Regression, Timer, Tablefmt. *)
+
+module Rng = Qopt_util.Rng
+module Stats = Qopt_util.Stats
+module Regression = Qopt_util.Regression
+module Timer = Qopt_util.Timer
+module Tablefmt = Qopt_util.Tablefmt
+
+let t name f = Alcotest.test_case name `Quick f
+
+let feq = Alcotest.(check (float 1e-9))
+
+let feq_loose = Alcotest.(check (float 1e-6))
+
+let rng_tests =
+  [
+    t "rng deterministic for equal seeds" (fun () ->
+        let a = Rng.create 7 and b = Rng.create 7 in
+        for _ = 1 to 50 do
+          Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+        done);
+    t "rng differs across seeds" (fun () ->
+        let a = Rng.create 1 and b = Rng.create 2 in
+        Alcotest.(check bool) "different" true (Rng.int64 a <> Rng.int64 b));
+    t "int respects bound" (fun () ->
+        let r = Rng.create 3 in
+        for _ = 1 to 1000 do
+          let v = Rng.int r 17 in
+          Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+        done);
+    t "int rejects non-positive bound" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Rng.int: bound must be positive")
+          (fun () -> ignore (Rng.int (Rng.create 1) 0)));
+    t "int_range inclusive" (fun () ->
+        let r = Rng.create 4 in
+        let seen_lo = ref false and seen_hi = ref false in
+        for _ = 1 to 2000 do
+          let v = Rng.int_range r 2 4 in
+          if v = 2 then seen_lo := true;
+          if v = 4 then seen_hi := true;
+          Alcotest.(check bool) "in range" true (v >= 2 && v <= 4)
+        done;
+        Alcotest.(check bool) "hits lo" true !seen_lo;
+        Alcotest.(check bool) "hits hi" true !seen_hi);
+    t "float in [0,bound)" (fun () ->
+        let r = Rng.create 5 in
+        for _ = 1 to 1000 do
+          let v = Rng.float r 2.5 in
+          Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+        done);
+    t "shuffle preserves multiset" (fun () ->
+        let r = Rng.create 6 in
+        let arr = Array.init 30 Fun.id in
+        Rng.shuffle r arr;
+        let sorted = Array.copy arr in
+        Array.sort compare sorted;
+        Alcotest.(check (array int)) "same elements" (Array.init 30 Fun.id) sorted);
+    t "sample distinct" (fun () ->
+        let r = Rng.create 8 in
+        let s = Rng.sample r 5 [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+        Alcotest.(check int) "size" 5 (List.length s);
+        Alcotest.(check int) "distinct" 5 (List.length (List.sort_uniq compare s)));
+    t "copy forks the stream" (fun () ->
+        let a = Rng.create 9 in
+        ignore (Rng.int64 a);
+        let b = Rng.copy a in
+        Alcotest.(check int64) "same next" (Rng.int64 a) (Rng.int64 b));
+  ]
+
+let stats_tests =
+  [
+    t "mean" (fun () -> feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]));
+    t "mean empty" (fun () -> feq "mean []" 0.0 (Stats.mean []));
+    t "median odd" (fun () -> feq "median" 3.0 (Stats.median [ 5.0; 3.0; 1.0 ]));
+    t "median even" (fun () -> feq "median" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]));
+    t "stddev of constants is 0" (fun () -> feq "sd" 0.0 (Stats.stddev [ 2.0; 2.0; 2.0 ]));
+    t "stddev known" (fun () -> feq_loose "sd" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ]));
+    t "min/max" (fun () ->
+        feq "min" 1.0 (Stats.minimum [ 3.0; 1.0; 2.0 ]);
+        feq "max" 3.0 (Stats.maximum [ 3.0; 1.0; 2.0 ]));
+    t "pct_error signed" (fun () ->
+        feq "over" 50.0 (Stats.pct_error ~actual:2.0 ~estimate:3.0);
+        feq "under" (-50.0) (Stats.pct_error ~actual:2.0 ~estimate:1.0));
+    t "pct_error zero actual" (fun () ->
+        feq "both zero" 0.0 (Stats.pct_error ~actual:0.0 ~estimate:0.0);
+        Alcotest.(check bool) "inf" true
+          (Float.is_integer (Stats.pct_error ~actual:0.0 ~estimate:1.0) = false
+          || Stats.pct_error ~actual:0.0 ~estimate:1.0 = Float.infinity));
+    t "mean/max abs pct error" (fun () ->
+        let pairs = [ (2.0, 3.0); (2.0, 1.0) ] in
+        feq "mean" 50.0 (Stats.mean_abs_pct_error pairs);
+        feq "max" 50.0 (Stats.max_abs_pct_error pairs));
+    t "r_squared perfect fit" (fun () ->
+        feq "r2" 1.0 (Stats.r_squared ~actual:[ 1.0; 2.0; 3.0 ] ~fitted:[ 1.0; 2.0; 3.0 ]));
+    t "r_squared mean-only fit" (fun () ->
+        feq "r2" 0.0 (Stats.r_squared ~actual:[ 1.0; 2.0; 3.0 ] ~fitted:[ 2.0; 2.0; 2.0 ]));
+  ]
+
+let regression_tests =
+  [
+    t "solve 2x2" (fun () ->
+        let x = Regression.solve [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] [| 5.0; 10.0 |] in
+        feq_loose "x0" 1.0 x.(0);
+        feq_loose "x1" 3.0 x.(1));
+    t "solve singular raises" (fun () ->
+        Alcotest.check_raises "singular" (Failure "Regression.solve: singular matrix")
+          (fun () ->
+            ignore (Regression.solve [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] [| 1.0; 2.0 |])));
+    t "fit recovers planted coefficients" (fun () ->
+        let coeffs = [| 2.5; -1.0; 0.5 |] in
+        let xs =
+          Array.init 20 (fun i ->
+              [| float_of_int (i + 1); float_of_int ((i * 3) mod 7); float_of_int ((i * 5) mod 11) |])
+        in
+        let ys = Array.map (fun row -> Regression.predict coeffs row) xs in
+        let fitted = Regression.fit xs ys in
+        Array.iteri (fun i c -> feq_loose (Printf.sprintf "c%d" i) c fitted.(i)) coeffs);
+    t "fit with intercept" (fun () ->
+        let xs = Array.init 10 (fun i -> [| float_of_int i |]) in
+        let ys = Array.map (fun row -> 3.0 +. (2.0 *. row.(0))) xs in
+        let fitted = Regression.fit ~intercept:true xs ys in
+        feq_loose "intercept" 3.0 fitted.(0);
+        feq_loose "slope" 2.0 fitted.(1));
+    t "fit_nonneg clamps negatives" (fun () ->
+        (* True model has a negative coefficient; NNLS must return >= 0. *)
+        let xs = Array.init 15 (fun i -> [| float_of_int (i + 1); float_of_int (15 - i) |]) in
+        let ys = Array.map (fun row -> (2.0 *. row.(0)) -. (0.5 *. row.(1))) xs in
+        let fitted = Regression.fit_nonneg xs ys in
+        Alcotest.(check bool) "nonneg" true (fitted.(0) >= 0.0 && fitted.(1) >= 0.0));
+    t "fit_nonneg recovers nonneg model" (fun () ->
+        let xs = Array.init 15 (fun i -> [| float_of_int (i + 1); float_of_int ((i * 2) mod 5) |]) in
+        let ys = Array.map (fun row -> (1.5 *. row.(0)) +. (0.25 *. row.(1))) xs in
+        let fitted = Regression.fit_nonneg xs ys in
+        feq_loose "c0" 1.5 fitted.(0);
+        Alcotest.(check (float 1e-3)) "c1" 0.25 fitted.(1));
+    t "predict shape mismatch" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Regression.predict: shape mismatch")
+          (fun () -> ignore (Regression.predict [| 1.0 |] [| 1.0; 2.0 |])));
+  ]
+
+let timer_tests =
+  [
+    t "time returns result" (fun () ->
+        let r, dt = Timer.time (fun () -> 41 + 1) in
+        Alcotest.(check int) "result" 42 r;
+        Alcotest.(check bool) "nonneg" true (dt >= 0.0));
+    t "bucket accumulates" (fun () ->
+        let b = Timer.bucket () in
+        let x = Timer.add_to b (fun () -> 7) in
+        ignore (Timer.add_to b (fun () -> 8));
+        Alcotest.(check int) "result" 7 x;
+        Alcotest.(check bool) "elapsed >= 0" true (Timer.elapsed b >= 0.0);
+        Timer.reset b;
+        Alcotest.(check (float 0.0)) "reset" 0.0 (Timer.elapsed b));
+    t "time_median result" (fun () ->
+        let r, dt = Timer.time_median ~repeats:3 (fun () -> "x") in
+        Alcotest.(check string) "result" "x" r;
+        Alcotest.(check bool) "nonneg" true (dt >= 0.0));
+  ]
+
+let tablefmt_tests =
+  [
+    t "renders aligned table" (fun () ->
+        let tbl = Tablefmt.create [ ("name", Tablefmt.Left); ("n", Tablefmt.Right) ] in
+        Tablefmt.add_row tbl [ "a"; "1" ];
+        Tablefmt.add_row tbl [ "long"; "22" ];
+        let buf = Buffer.create 64 in
+        let ppf = Format.formatter_of_buffer buf in
+        Tablefmt.output ppf tbl;
+        Format.pp_print_flush ppf ();
+        let s = Buffer.contents buf in
+        Alcotest.(check bool) "has padded cell" true
+          (Helpers.contains s "| a    |  1 |"));
+    t "arity mismatch raises" (fun () ->
+        let tbl = Tablefmt.create [ ("a", Tablefmt.Left) ] in
+        Alcotest.check_raises "raises" (Invalid_argument "Tablefmt.add_row: arity mismatch")
+          (fun () -> Tablefmt.add_row tbl [ "x"; "y" ]));
+    t "formatters" (fun () ->
+        Alcotest.(check string) "seconds" "0.1235" (Tablefmt.fseconds 0.12345);
+        Alcotest.(check string) "pct" "12.3%" (Tablefmt.fpct 12.34);
+        Alcotest.(check string) "count" "42" (Tablefmt.fcount 42.4));
+  ]
+
+let suite = rng_tests @ stats_tests @ regression_tests @ timer_tests @ tablefmt_tests

@@ -1,0 +1,170 @@
+(* Workloads: structure, determinism, and compilability of the smaller
+   queries. *)
+
+module O = Qopt_optimizer
+module W = Qopt_workloads
+
+let t name f = Alcotest.test_case name `Quick f
+
+let names (wl : W.Workload.t) =
+  List.map (fun (q : W.Workload.query) -> q.W.Workload.q_name) wl.W.Workload.queries
+
+let structure_tests =
+  [
+    t "linear has 3 batches of 5" (fun () ->
+        Alcotest.(check int) "15 queries" 15 (W.Workload.size (W.Synthetic.linear ~partitioned:false)));
+    t "star has 3 batches of 5" (fun () ->
+        Alcotest.(check int) "15 queries" 15 (W.Workload.size (W.Synthetic.star ~partitioned:false)));
+    t "cycle workload size" (fun () ->
+        Alcotest.(check int) "6 queries" 6 (W.Workload.size (W.Synthetic.cycle ~partitioned:false)));
+    t "calibration workload size" (fun () ->
+        Alcotest.(check int) "18 queries" 18
+          (W.Workload.size (W.Synthetic.calibration ~partitioned:false)));
+    t "real1 has 8, real2 has 17 (the paper's sizes)" (fun () ->
+        Alcotest.(check int) "real1" 8 (W.Workload.size (W.Warehouse.real1_w ~partitioned:false));
+        Alcotest.(check int) "real2" 17 (W.Workload.size (W.Warehouse.real2_w ~partitioned:false)));
+    t "query names unique" (fun () ->
+        List.iter
+          (fun wl ->
+            let ns = names wl in
+            Alcotest.(check int) wl.W.Workload.w_name (List.length ns)
+              (List.length (List.sort_uniq compare ns)))
+          [
+            W.Synthetic.linear ~partitioned:false;
+            W.Warehouse.real2_w ~partitioned:false;
+            W.Tpch.all ~partitioned:false;
+          ]);
+    t "all workload blocks are connected" (fun () ->
+        List.iter
+          (fun wl ->
+            List.iter
+              (fun (q : W.Workload.query) ->
+                O.Query_block.iter_blocks
+                  (fun b ->
+                    Alcotest.(check bool)
+                      (q.W.Workload.q_name ^ "/" ^ b.O.Query_block.name)
+                      true (O.Query_block.is_connected b))
+                  q.W.Workload.block)
+              wl.W.Workload.queries)
+          [
+            W.Synthetic.linear ~partitioned:false;
+            W.Synthetic.star ~partitioned:false;
+            W.Synthetic.cycle ~partitioned:false;
+            W.Warehouse.real1_w ~partitioned:false;
+            W.Tpch.all ~partitioned:false;
+          ]);
+    t "r1_q8 matches the paper's showcase complexity" (fun () ->
+        let q = W.Workload.find (W.Warehouse.real1_w ~partitioned:false) "r1_q8" in
+        let b = q.W.Workload.block in
+        Alcotest.(check int) "14 tables" 14 (O.Query_block.n_quantifiers b);
+        Alcotest.(check int) "9 group-by columns" 9 (List.length b.O.Query_block.group_by);
+        let locals = List.length (O.Query_block.local_preds b) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d local predicates (>= 21)" locals)
+          true (locals >= 21));
+    t "within a star batch the join count is constant" (fun () ->
+        let wl = W.Synthetic.star ~partitioned:false in
+        let joins name =
+          (O.Optimizer.optimize O.Env.serial (W.Workload.find wl name).W.Workload.block)
+            .O.Optimizer.joins
+        in
+        let base = joins "star_6_p1" in
+        List.iter
+          (fun p -> Alcotest.(check int) ("p" ^ string_of_int p) base (joins (Printf.sprintf "star_6_p%d" p)))
+          [ 2; 3; 4; 5 ]);
+    t "parallel variants carry partitions" (fun () ->
+        let wl = W.Synthetic.star ~partitioned:true in
+        let q = W.Workload.find wl "star_6_p1" in
+        let table = (O.Query_block.quantifier q.W.Workload.block 0).O.Quantifier.table in
+        Alcotest.(check bool) "partitioned" true (table.Qopt_catalog.Table.partition <> None));
+  ]
+
+let tpch_tests =
+  [
+    t "tpch has 22 queries" (fun () ->
+        Alcotest.(check int) "22" 22 (W.Workload.size (W.Tpch.all ~partitioned:false)));
+    t "tpch schema has the SF-1 row counts" (fun () ->
+        let s = W.Tpch.schema ~partitioned:false in
+        let rows name = (Qopt_catalog.Schema.find_table s name).Qopt_catalog.Table.row_count in
+        Alcotest.(check (float 0.0)) "region" 5.0 (rows "region");
+        Alcotest.(check (float 0.0)) "nation" 25.0 (rows "nation");
+        Alcotest.(check (float 0.0)) "lineitem" 6_001_215.0 (rows "lineitem");
+        Alcotest.(check (float 0.0)) "orders" 1_500_000.0 (rows "orders"));
+    t "q2 carries its correlated subquery as a child" (fun () ->
+        let q = W.Workload.find (W.Tpch.all ~partitioned:false) "tpch_q2" in
+        Alcotest.(check int) "1 child" 1 (List.length q.W.Workload.block.O.Query_block.children));
+    t "q20 nests two levels of subqueries" (fun () ->
+        let q = W.Workload.find (W.Tpch.all ~partitioned:false) "tpch_q20" in
+        let depth = ref 0 in
+        O.Query_block.iter_blocks (fun _ -> incr depth) q.W.Workload.block;
+        Alcotest.(check int) "3 blocks" 3 !depth);
+    t "longest returns the requested count" (fun () ->
+        let wl = W.Tpch.longest ~n:7 ~env:O.Env.serial ~partitioned:false () in
+        Alcotest.(check int) "7 queries" 7 (W.Workload.size wl));
+    t "every tpch query compiles" (fun () ->
+        List.iter
+          (fun (q : W.Workload.query) ->
+            let r = O.Optimizer.optimize O.Env.serial q.W.Workload.block in
+            Alcotest.(check bool) (q.W.Workload.q_name ^ " planned") true
+              (r.O.Optimizer.best <> None))
+          (W.Tpch.all ~partitioned:false).W.Workload.queries);
+  ]
+
+let random_tests =
+  [
+    t "random generation is deterministic per seed" (fun () ->
+        let schema = W.Warehouse.schema ~partitioned:false in
+        let a = W.Random_gen.generate ~seed:11 ~count:5 ~schema () in
+        let b = W.Random_gen.generate ~seed:11 ~count:5 ~schema () in
+        List.iter2
+          (fun (qa : W.Workload.query) (qb : W.Workload.query) ->
+            Alcotest.(check int) "same size"
+              (O.Query_block.total_quantifiers qa.W.Workload.block)
+              (O.Query_block.total_quantifiers qb.W.Workload.block);
+            Alcotest.(check int) "same preds"
+              (List.length qa.W.Workload.block.O.Query_block.preds)
+              (List.length qb.W.Workload.block.O.Query_block.preds))
+          a.W.Workload.queries b.W.Workload.queries);
+    t "seeds differ" (fun () ->
+        let schema = W.Warehouse.schema ~partitioned:false in
+        let a = W.Random_gen.generate ~seed:1 ~count:6 ~schema () in
+        let b = W.Random_gen.generate ~seed:2 ~count:6 ~schema () in
+        let sig_of wl =
+          List.map
+            (fun (q : W.Workload.query) ->
+              ( O.Query_block.total_quantifiers q.W.Workload.block,
+                List.length q.W.Workload.block.O.Query_block.preds ))
+            wl.W.Workload.queries
+        in
+        Alcotest.(check bool) "different" true (sig_of a <> sig_of b));
+    t "complexity grows with index" (fun () ->
+        let schema = W.Warehouse.schema ~partitioned:false in
+        let wl = W.Random_gen.generate ~seed:42 ~count:8 ~complexity:10 ~schema () in
+        let sizes =
+          List.map
+            (fun (q : W.Workload.query) -> O.Query_block.total_quantifiers q.W.Workload.block)
+            wl.W.Workload.queries
+        in
+        Alcotest.(check bool) "last >= first" true
+          (List.nth sizes 7 >= List.nth sizes 0));
+    t "generated queries compile and estimate" (fun () ->
+        let schema = W.Warehouse.schema ~partitioned:false in
+        let wl = W.Random_gen.generate ~seed:7 ~count:4 ~complexity:6 ~schema () in
+        List.iter
+          (fun (q : W.Workload.query) ->
+            let r = O.Optimizer.optimize O.Env.serial q.W.Workload.block in
+            let e = Cote.Estimator.estimate O.Env.serial q.W.Workload.block in
+            Alcotest.(check bool) "planned" true (r.O.Optimizer.best <> None);
+            Alcotest.(check bool) "estimated" true (Cote.Estimator.total e >= 0))
+          wl.W.Workload.queries);
+  ]
+
+let workload_api_tests =
+  [
+    t "find" (fun () ->
+        let wl = W.Synthetic.linear ~partitioned:false in
+        Alcotest.(check string) "found" "lin_6_p1" (W.Workload.find wl "lin_6_p1").W.Workload.q_name;
+        Alcotest.check_raises "missing" Not_found (fun () -> ignore (W.Workload.find wl "nope")));
+  ]
+
+let suite = structure_tests @ tpch_tests @ random_tests @ workload_api_tests

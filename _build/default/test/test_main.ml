@@ -1,0 +1,21 @@
+let () =
+  Alcotest.run "qopt"
+    [
+      ("bitset", T_bitset.suite);
+      ("util", T_util.suite);
+      ("catalog", T_catalog.suite);
+      ("sql", T_sql.suite);
+      ("props", T_props.suite);
+      ("block", T_block.suite);
+      ("cardinality-cost", T_cardinality_cost.suite);
+      ("memo", T_memo.suite);
+      ("enumerator", T_enumerator.suite);
+      ("optimizer", T_optimizer.suite);
+      ("cote", T_cote.suite);
+      ("workloads", T_workloads.suite);
+      ("mop", T_mop.suite);
+      ("topn", T_topn.suite);
+      ("extensions", T_extensions.suite);
+      ("misc", T_misc.suite);
+      ("properties", T_properties.suite);
+    ]
