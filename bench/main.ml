@@ -4,11 +4,18 @@
    experiment tables (the same rows/series `bin/experiments.exe` prints).
 
      dune exec bench/main.exe            # micro-benchmarks + all experiments
-     dune exec bench/main.exe -- quick   # micro-benchmarks only *)
+     dune exec bench/main.exe -- quick   # micro-benchmarks only
+
+   Pass --metrics (or --metrics=json) to collect Qopt_obs metrics during
+   the run and dump the registry at the end.  The obs/* benchmark pair
+   measures the same compile with collection off and on — the "off" row
+   must match the plain fig benchmarks (the disabled switch is a load and
+   branch per call site). *)
 
 module O = Qopt_optimizer
 module W = Qopt_workloads
 module E = Qopt_experiments
+module Obs = Qopt_obs
 open Bechamel
 open Toolkit
 
@@ -113,6 +120,16 @@ let tests () =
                   ~options:
                     { Cote.Accumulate.first_join_only = false; separate_lists = true }
                   serial star)));
+      (* obs: the metrics-collection overhead pair.  Each run forces the
+         switch so the pair is comparable regardless of --metrics. *)
+      Test.make ~name:"obs/compile-metrics-off"
+        (Staged.stage (fun () ->
+             Obs.Control.with_enabled false (fun () ->
+                 ignore (O.Optimizer.optimize serial real1))));
+      Test.make ~name:"obs/compile-metrics-on"
+        (Staged.stage (fun () ->
+             Obs.Control.with_enabled true (fun () ->
+                 ignore (O.Optimizer.optimize serial real1))));
     ]
 
 let run_benchmarks () =
@@ -136,7 +153,15 @@ let report raw =
     rows
 
 let () =
-  let quick = Array.length Sys.argv > 1 && Sys.argv.(1) = "quick" in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let metrics =
+    if List.mem "--metrics=json" args then Some "json"
+    else if List.mem "--metrics" args || List.mem "--metrics=text" args then
+      Some "text"
+    else None
+  in
+  if metrics <> None then Obs.Control.set_enabled true;
   Format.printf "=== Bechamel micro-benchmarks (one per table/figure) ===@.";
   let raw = run_benchmarks () in
   report raw;
@@ -148,4 +173,12 @@ let () =
         Format.printf "== %s: %s@." e.E.Registry.id e.E.Registry.title;
         e.E.Registry.run ())
       E.Registry.all
-  end
+  end;
+  match metrics with
+  | None -> ()
+  | Some "json" ->
+    Obs.Control.set_enabled false;
+    print_endline (Obs.Registry.to_json Obs.Registry.default)
+  | Some _ ->
+    Obs.Control.set_enabled false;
+    Obs.Registry.pp_text Format.std_formatter Obs.Registry.default

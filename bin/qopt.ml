@@ -12,6 +12,7 @@
 module O = Qopt_optimizer
 module W = Qopt_workloads
 module E = Qopt_experiments
+module Obs = Qopt_obs
 open Cmdliner
 
 let env_of_string = function
@@ -63,11 +64,46 @@ let schema_term =
 
 let wrap f = try `Ok (f ()) with Failure msg | Invalid_argument msg -> `Error (false, msg)
 
+(* --metrics[=json]: enable Qopt_obs collection around the run and dump the
+   default registry afterwards. *)
+let metrics_term =
+  Arg.(
+    value
+    & opt ~vopt:(Some "text") (some string) None
+    & info [ "metrics" ] ~docv:"FORMAT"
+        ~doc:"Collect optimizer metrics and dump the registry after the run \
+              (text or json)")
+
+let with_metrics metrics f =
+  match metrics with
+  | None -> f ()
+  | Some fmt ->
+    if fmt <> "text" && fmt <> "json" then
+      failwith (Printf.sprintf "unknown metrics format %S (text|json)" fmt);
+    Obs.Control.set_enabled true;
+    let finish () =
+      Obs.Control.set_enabled false;
+      match fmt with
+      | "json" -> print_endline (Obs.Registry.to_json Obs.Registry.default)
+      | _ -> Obs.Registry.pp_text Format.std_formatter Obs.Registry.default
+    in
+    Fun.protect ~finally:finish f
+
 let optimize_cmd =
-  let run env workload query sql schema =
+  let run env workload query sql schema metrics =
     wrap (fun () ->
+      with_metrics metrics (fun () ->
         let block = resolve_block env ~workload ~query ~sql ~schema in
+        let cache = Cote.Stmt_cache.create () in
+        ignore (Cote.Stmt_cache.lookup cache block);
         let r = O.Optimizer.optimize env block in
+        (* Under --metrics, run the complete production pipeline so the
+           dump covers the COTE and cache metrics too: estimate alongside
+           the compile, then record the observed time. *)
+        if metrics <> None then begin
+          ignore (Cote.Estimator.estimate env block);
+          Cote.Stmt_cache.record cache block r.O.Optimizer.elapsed
+        end;
         Format.printf "query: %a@." O.Query_block.pp block;
         (match r.O.Optimizer.best with
         | None -> Format.printf "no plan found@."
@@ -80,14 +116,18 @@ let optimize_cmd =
           r.O.Optimizer.elapsed r.O.Optimizer.joins
           r.O.Optimizer.generated.O.Memo.nljn r.O.Optimizer.generated.O.Memo.mgjn
           r.O.Optimizer.generated.O.Memo.hsjn r.O.Optimizer.kept
-          r.O.Optimizer.entries)
+          r.O.Optimizer.entries))
   in
   Cmd.v (Cmd.info "optimize" ~doc:"Compile a query and show the plan")
-    Term.(ret (const run $ env_term $ workload_term $ query_term $ sql_term $ schema_term))
+    Term.(
+      ret
+        (const run $ env_term $ workload_term $ query_term $ sql_term
+       $ schema_term $ metrics_term))
 
 let estimate_cmd =
-  let run env workload query sql schema =
+  let run env workload query sql schema metrics =
     wrap (fun () ->
+      with_metrics metrics (fun () ->
         let block = resolve_block env ~workload ~query ~sql ~schema in
         let model = E.Common.model_for env in
         let p = Cote.Predict.compile_time ~model env block in
@@ -96,20 +136,27 @@ let estimate_cmd =
           "estimated compile time: %.4fs@.estimated plans: NLJN=%d MGJN=%d \
            HSJN=%d (joins %d)@.estimation took %.4fs@."
           p.Cote.Predict.seconds e.Cote.Estimator.nljn e.Cote.Estimator.mgjn
-          e.Cote.Estimator.hsjn e.Cote.Estimator.joins e.Cote.Estimator.elapsed)
+          e.Cote.Estimator.hsjn e.Cote.Estimator.joins e.Cote.Estimator.elapsed))
   in
   Cmd.v (Cmd.info "estimate" ~doc:"Run the COTE on a query")
-    Term.(ret (const run $ env_term $ workload_term $ query_term $ sql_term $ schema_term))
+    Term.(
+      ret
+        (const run $ env_term $ workload_term $ query_term $ sql_term
+       $ schema_term $ metrics_term))
 
 let breakdown_cmd =
-  let run env workload query sql schema =
+  let run env workload query sql schema metrics =
     wrap (fun () ->
+      with_metrics metrics (fun () ->
         let block = resolve_block env ~workload ~query ~sql ~schema in
         let r = O.Optimizer.optimize env block in
-        Format.printf "%a@." O.Instrument.pp_breakdown r.O.Optimizer.breakdown)
+        Format.printf "%a@." O.Instrument.pp_breakdown r.O.Optimizer.breakdown))
   in
   Cmd.v (Cmd.info "breakdown" ~doc:"Figure 2-style compile-time breakdown")
-    Term.(ret (const run $ env_term $ workload_term $ query_term $ sql_term $ schema_term))
+    Term.(
+      ret
+        (const run $ env_term $ workload_term $ query_term $ sql_term
+       $ schema_term $ metrics_term))
 
 let calibrate_cmd =
   let run env =

@@ -1,5 +1,32 @@
 module O = Qopt_optimizer
 module Timer = Qopt_util.Timer
+module Obs = Qopt_obs
+
+(* Process-wide estimation metrics (no-ops unless Qopt_obs is enabled). *)
+let m_runs = Obs.Registry.counter Obs.Registry.default "estimator.runs"
+
+let m_est_nljn = Obs.Registry.counter Obs.Registry.default "estimator.est_plans.nljn"
+
+let m_est_mgjn = Obs.Registry.counter Obs.Registry.default "estimator.est_plans.mgjn"
+
+let m_est_hsjn = Obs.Registry.counter Obs.Registry.default "estimator.est_plans.hsjn"
+
+let m_elapsed_s = Obs.Registry.histogram Obs.Registry.default "estimator.elapsed_s"
+
+let m_overhead = Obs.Registry.gauge Obs.Registry.default "estimator.overhead_pct"
+
+(* The headline COTE claim: estimation must be a tiny fraction of full
+   compilation.  Estimation seconds over compile seconds, cumulated across
+   the process — meaningful once both have run at least once. *)
+let update_overhead () =
+  if !Obs.Control.on then begin
+    let compile_s =
+      Obs.Histo.sum
+        (Obs.Registry.histogram Obs.Registry.default "optimizer.compile_s")
+    in
+    if compile_s > 0.0 then
+      Obs.Gauge.set m_overhead (Obs.Histo.sum m_elapsed_s /. compile_s *. 100.0)
+  end
 
 type estimate = {
   joins : int;
@@ -85,4 +112,11 @@ let estimate ?options ?(knobs = O.Knobs.default) ?(views = []) env block =
   O.Query_block.iter_blocks
     (fun b -> result := add !result (estimate_block ?options ~knobs ~n_views env b))
     block;
-  !result
+  let r = !result in
+  Obs.Counter.incr m_runs;
+  Obs.Counter.add m_est_nljn r.nljn;
+  Obs.Counter.add m_est_mgjn r.mgjn;
+  Obs.Counter.add m_est_hsjn r.hsjn;
+  Obs.Histo.observe m_elapsed_s r.elapsed;
+  update_overhead ();
+  r

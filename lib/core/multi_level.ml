@@ -1,6 +1,12 @@
 module O = Qopt_optimizer
 module Timer = Qopt_util.Timer
 module Bitset = Qopt_util.Bitset
+module Obs = Qopt_obs
+
+(* Multi-level piggyback metrics (no-ops unless Qopt_obs is enabled). *)
+let m_runs = Obs.Registry.counter Obs.Registry.default "multilevel.piggyback_runs"
+
+let m_levels = Obs.Registry.histogram Obs.Registry.default "multilevel.levels_per_run"
 
 type level = {
   level_name : string;
@@ -68,6 +74,8 @@ let run_block ?options ~base ~slots env block =
     (O.Memo.stats memo).O.Memo.joins_enumerated )
 
 let piggyback ?options ~base ~levels env block =
+  Obs.Counter.incr m_runs;
+  Obs.Histo.observe m_levels (float_of_int (List.length levels));
   let slots =
     List.map
       (fun level -> { s_level = level; s_counts = O.Memo.counts_zero (); s_joins = 0 })

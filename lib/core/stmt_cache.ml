@@ -1,4 +1,22 @@
 module O = Qopt_optimizer
+module Obs = Qopt_obs
+
+(* Process-wide cache metrics, shared by every cache instance (no-ops
+   unless Qopt_obs is enabled). *)
+let m_hits = Obs.Registry.counter Obs.Registry.default "stmt_cache.hits"
+
+let m_misses = Obs.Registry.counter Obs.Registry.default "stmt_cache.misses"
+
+let m_size = Obs.Registry.gauge Obs.Registry.default "stmt_cache.size"
+
+let m_hit_rate = Obs.Registry.gauge Obs.Registry.default "stmt_cache.hit_rate_pct"
+
+let update_hit_rate () =
+  if !Obs.Control.on then begin
+    let h = Obs.Counter.value m_hits and m = Obs.Counter.value m_misses in
+    if h + m > 0 then
+      Obs.Gauge.set m_hit_rate (float_of_int h /. float_of_int (h + m) *. 100.0)
+  end
 
 type t = {
   tbl : (string, float) Hashtbl.t;
@@ -54,12 +72,18 @@ let lookup t block =
   match Hashtbl.find_opt t.tbl (signature block) with
   | Some seconds ->
     t.hits <- t.hits + 1;
+    Obs.Counter.incr m_hits;
+    update_hit_rate ();
     Some seconds
   | None ->
     t.misses <- t.misses + 1;
+    Obs.Counter.incr m_misses;
+    update_hit_rate ();
     None
 
-let record t block seconds = Hashtbl.replace t.tbl (signature block) seconds
+let record t block seconds =
+  Hashtbl.replace t.tbl (signature block) seconds;
+  Obs.Gauge.set m_size (float_of_int (Hashtbl.length t.tbl))
 
 let size t = Hashtbl.length t.tbl
 

@@ -1,5 +1,13 @@
 module O = Qopt_optimizer
 module Timer = Qopt_util.Timer
+module Obs = Qopt_obs
+
+(* Meta-optimizer metrics: which level each query ended on, and how often
+   the COTE gate escalated to the expensive level (no-ops unless Qopt_obs
+   is enabled). *)
+let m_keep_low = Obs.Registry.counter Obs.Registry.default "mop.decision.keep_low"
+
+let m_escalations = Obs.Registry.counter Obs.Registry.default "mop.decision.reoptimize"
 
 type decision =
   | Keep_low
@@ -42,6 +50,7 @@ let run cfg env block =
   let prediction = Cote.Predict.compile_time ~knobs ~model:cfg.model env block in
   let c = prediction.Cote.Predict.seconds in
   if c < cfg.margin *. exec_estimate_low then begin
+    Obs.Counter.incr m_escalations;
     let result = O.Optimizer.optimize env ~knobs block in
     {
       decision = Reoptimize;
@@ -52,7 +61,8 @@ let run cfg env block =
       elapsed = Timer.now () -. t0;
     }
   end
-  else
+  else begin
+    Obs.Counter.incr m_keep_low;
     {
       decision = Keep_low;
       exec_estimate_low;
@@ -61,6 +71,7 @@ let run cfg env block =
       exec_estimate_final = exec_estimate_low;
       elapsed = Timer.now () -. t0;
     }
+  end
 
 let always_high env ?knobs block =
   let result = O.Optimizer.optimize env ?knobs block in

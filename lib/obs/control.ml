@@ -1,0 +1,10 @@
+let on = ref false
+
+let enabled () = !on
+
+let set_enabled b = on := b
+
+let with_enabled b f =
+  let saved = !on in
+  on := b;
+  Fun.protect ~finally:(fun () -> on := saved) f

@@ -1,0 +1,17 @@
+(** The global collection switch.
+
+    Metrics are disabled by default; every recording operation checks [on]
+    first, so a disabled run costs one load and branch per call site.
+    Span timers created with [~always:true] (the Figure-2 instrumentation)
+    ignore the switch — their cost is part of what they measure. *)
+
+val on : bool ref
+(** Exposed as a ref so hot paths can inline the check. *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+
+val with_enabled : bool -> (unit -> 'a) -> 'a
+(** Run a thunk with the switch forced to the given value, restoring the
+    previous value afterwards (also on exceptions). *)

@@ -1,0 +1,16 @@
+type t = {
+  name : string;
+  mutable value : int;
+}
+
+let make name = { name; value = 0 }
+
+let name t = t.name
+
+let incr t = if !Control.on then t.value <- t.value + 1
+
+let add t n = if !Control.on then t.value <- t.value + n
+
+let value t = t.value
+
+let reset t = t.value <- 0

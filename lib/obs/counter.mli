@@ -1,0 +1,19 @@
+(** Monotonic integer counter. *)
+
+type t
+
+val make : string -> t
+(** Standalone constructor; use {!Registry.counter} for named, exported
+    metrics. *)
+
+val name : t -> string
+
+val incr : t -> unit
+(** No-op while {!Control.on} is false. *)
+
+val add : t -> int -> unit
+(** No-op while {!Control.on} is false. *)
+
+val value : t -> int
+
+val reset : t -> unit

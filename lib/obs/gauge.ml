@@ -1,0 +1,23 @@
+type t = {
+  name : string;
+  mutable value : float;
+  mutable is_set : bool;
+}
+
+let make name = { name; value = 0.0; is_set = false }
+
+let name t = t.name
+
+let set t v =
+  if !Control.on then begin
+    t.value <- v;
+    t.is_set <- true
+  end
+
+let value t = t.value
+
+let is_set t = t.is_set
+
+let reset t =
+  t.value <- 0.0;
+  t.is_set <- false

@@ -1,0 +1,17 @@
+(** Last-value float gauge. *)
+
+type t
+
+val make : string -> t
+
+val name : t -> string
+
+val set : t -> float -> unit
+(** No-op while {!Control.on} is false. *)
+
+val value : t -> float
+(** 0.0 until first set. *)
+
+val is_set : t -> bool
+
+val reset : t -> unit

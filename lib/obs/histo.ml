@@ -1,0 +1,83 @@
+let n_buckets = 256
+
+(* Bucket 0 holds non-positive values; buckets 1..255 are log-scale with
+   four buckets per octave, centered so bucket of 1.0 sits mid-range. *)
+let mid = 128
+
+let sub_per_octave = 4.0
+
+let index_of v =
+  if v <= 0.0 then 0
+  else
+    let i = mid + int_of_float (Float.floor (Float.log2 v *. sub_per_octave)) in
+    if i < 1 then 1 else if i > n_buckets - 1 then n_buckets - 1 else i
+
+(* Geometric midpoint of bucket [i]. *)
+let representative i =
+  if i = 0 then 0.0
+  else Float.pow 2.0 ((float_of_int (i - mid) +. 0.5) /. sub_per_octave)
+
+type t = {
+  name : string;
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let make name =
+  {
+    name;
+    buckets = Array.make n_buckets 0;
+    count = 0;
+    sum = 0.0;
+    min = infinity;
+    max = neg_infinity;
+  }
+
+let name t = t.name
+
+let observe t v =
+  if !Control.on then begin
+    let i = index_of v in
+    t.buckets.(i) <- t.buckets.(i) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v
+  end
+
+let count t = t.count
+
+let sum t = t.sum
+
+let min_value t = if t.count = 0 then Float.nan else t.min
+
+let max_value t = if t.count = 0 then Float.nan else t.max
+
+let mean t = if t.count = 0 then Float.nan else t.sum /. float_of_int t.count
+
+let quantile t q =
+  if t.count = 0 then Float.nan
+  else begin
+    let target =
+      let r = int_of_float (Float.ceil (q *. float_of_int t.count)) in
+      if r < 1 then 1 else if r > t.count then t.count else r
+    in
+    let rec walk i cum =
+      let cum = cum + t.buckets.(i) in
+      if cum >= target || i = n_buckets - 1 then i else walk (i + 1) cum
+    in
+    let i = walk 0 0 in
+    (* Clamp the bucket midpoint to the observed range so single-observation
+       and extreme quantiles stay honest. *)
+    Float.min t.max (Float.max t.min (representative i))
+  end
+
+let reset t =
+  Array.fill t.buckets 0 n_buckets 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.min <- infinity;
+  t.max <- neg_infinity

@@ -1,0 +1,35 @@
+(** Log-scale histogram with approximate quantiles.
+
+    Values are bucketed at four buckets per octave (relative resolution
+    ~19%) over [2^-32, 2^32]; non-positive values land in a dedicated
+    underflow bucket.  Exact [count], [sum], [min] and [max] are kept on
+    the side, so means are exact and only quantiles are approximate. *)
+
+type t
+
+val make : string -> t
+
+val name : t -> string
+
+val observe : t -> float -> unit
+(** No-op while {!Control.on} is false. *)
+
+val count : t -> int
+
+val sum : t -> float
+
+val min_value : t -> float
+(** [nan] when empty. *)
+
+val max_value : t -> float
+(** [nan] when empty. *)
+
+val mean : t -> float
+(** [nan] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0,1]: the representative value of the bucket
+    holding the rank-[q] observation; [nan] when empty.  Accurate to the
+    bucket resolution. *)
+
+val reset : t -> unit

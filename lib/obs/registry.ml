@@ -1,0 +1,244 @@
+module Tablefmt = Qopt_util.Tablefmt
+
+type metric =
+  | M_counter of Counter.t
+  | M_gauge of Gauge.t
+  | M_histo of Histo.t
+  | M_span of Span.t
+
+type t = {
+  r_name : string;
+  metrics : (string, metric) Hashtbl.t;
+}
+
+let create ?(name = "registry") () = { r_name = name; metrics = Hashtbl.create 64 }
+
+let default = create ~name:"qopt" ()
+
+let name t = t.r_name
+
+let find_or_create t key ~kind ~make ~extract =
+  match Hashtbl.find_opt t.metrics key with
+  | None ->
+    let m = make key in
+    Hashtbl.add t.metrics key (kind m);
+    m
+  | Some existing -> (
+    match extract existing with
+    | Some m -> m
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Qopt_obs.Registry: %S already registered with another kind" key))
+
+let counter t key =
+  find_or_create t key
+    ~kind:(fun c -> M_counter c)
+    ~make:Counter.make
+    ~extract:(function M_counter c -> Some c | _ -> None)
+
+let gauge t key =
+  find_or_create t key
+    ~kind:(fun g -> M_gauge g)
+    ~make:Gauge.make
+    ~extract:(function M_gauge g -> Some g | _ -> None)
+
+let histogram t key =
+  find_or_create t key
+    ~kind:(fun h -> M_histo h)
+    ~make:Histo.make
+    ~extract:(function M_histo h -> Some h | _ -> None)
+
+let span t key =
+  find_or_create t key
+    ~kind:(fun s -> M_span s)
+    ~make:(Span.make ~always:false)
+    ~extract:(function M_span s -> Some s | _ -> None)
+
+let counter_value t key =
+  match Hashtbl.find_opt t.metrics key with
+  | Some (M_counter c) -> Counter.value c
+  | Some _ | None -> 0
+
+let gauge_value t key =
+  match Hashtbl.find_opt t.metrics key with
+  | Some (M_gauge g) -> Gauge.value g
+  | Some _ | None -> 0.0
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | M_counter c -> Counter.reset c
+      | M_gauge g -> Gauge.reset g
+      | M_histo h -> Histo.reset h
+      | M_span s -> Span.reset s)
+    t.metrics
+
+let sorted_metrics t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k m acc -> (k, m) :: acc) t.metrics [])
+
+(* ------------------------------------------------------------------ *)
+(* Text sink                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fnum v =
+  if Float.is_nan v then "-"
+  else if Float.abs v >= 1000.0 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let pp_text ppf t =
+  let metrics = sorted_metrics t in
+  let pick f = List.filter_map (fun (k, m) -> f k m) metrics in
+  let counters = pick (fun k -> function M_counter c -> Some (k, c) | _ -> None) in
+  let gauges = pick (fun k -> function M_gauge g -> Some (k, g) | _ -> None) in
+  let histos = pick (fun k -> function M_histo h -> Some (k, h) | _ -> None) in
+  let spans = pick (fun k -> function M_span s -> Some (k, s) | _ -> None) in
+  let right = Tablefmt.Right and left = Tablefmt.Left in
+  if counters <> [] then begin
+    let tbl =
+      Tablefmt.create
+        ~title:(Printf.sprintf "%s counters" t.r_name)
+        [ ("counter", left); ("value", right) ]
+    in
+    List.iter
+      (fun (k, c) -> Tablefmt.add_row tbl [ k; string_of_int (Counter.value c) ])
+      counters;
+    Tablefmt.output ppf tbl
+  end;
+  if gauges <> [] then begin
+    let tbl =
+      Tablefmt.create
+        ~title:(Printf.sprintf "%s gauges" t.r_name)
+        [ ("gauge", left); ("value", right) ]
+    in
+    List.iter (fun (k, g) -> Tablefmt.add_row tbl [ k; fnum (Gauge.value g) ]) gauges;
+    Tablefmt.output ppf tbl
+  end;
+  if histos <> [] then begin
+    let tbl =
+      Tablefmt.create
+        ~title:(Printf.sprintf "%s histograms" t.r_name)
+        [
+          ("histogram", left); ("count", right); ("sum", right); ("min", right);
+          ("mean", right); ("p50", right); ("p95", right); ("p99", right);
+          ("max", right);
+        ]
+    in
+    List.iter
+      (fun (k, h) ->
+        Tablefmt.add_row tbl
+          [
+            k;
+            string_of_int (Histo.count h);
+            fnum (Histo.sum h);
+            fnum (Histo.min_value h);
+            fnum (Histo.mean h);
+            fnum (Histo.quantile h 0.50);
+            fnum (Histo.quantile h 0.95);
+            fnum (Histo.quantile h 0.99);
+            fnum (Histo.max_value h);
+          ])
+      histos;
+    Tablefmt.output ppf tbl
+  end;
+  if spans <> [] then begin
+    let tbl =
+      Tablefmt.create
+        ~title:(Printf.sprintf "%s spans" t.r_name)
+        [ ("span", left); ("count", right); ("total_s", right); ("self_s", right) ]
+    in
+    List.iter
+      (fun (k, s) ->
+        Tablefmt.add_row tbl
+          [
+            k; string_of_int (Span.count s);
+            Printf.sprintf "%.6f" (Span.total s);
+            Printf.sprintf "%.6f" (Span.self s);
+          ])
+      spans;
+    Tablefmt.output ppf tbl
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSON sink (hand-rolled: the library stays dependency-free)          *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no NaN / Infinity literals. *)
+let json_float v =
+  if Float.is_nan v || v = infinity || v = neg_infinity then "null"
+  else Printf.sprintf "%.9g" v
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let metrics = sorted_metrics t in
+  let obj buf_fields =
+    "{" ^ String.concat "," buf_fields ^ "}"
+  in
+  let section kind f =
+    let fields =
+      List.filter_map
+        (fun (k, m) ->
+          Option.map (fun body -> Printf.sprintf "\"%s\":%s" (json_escape k) body) (f m))
+        metrics
+    in
+    Printf.sprintf "\"%s\":%s" kind (obj fields)
+  in
+  Buffer.add_char buf '{';
+  Buffer.add_string buf (Printf.sprintf "\"registry\":\"%s\"," (json_escape t.r_name));
+  Buffer.add_string buf
+    (section "counters" (function
+      | M_counter c -> Some (string_of_int (Counter.value c))
+      | _ -> None));
+  Buffer.add_char buf ',';
+  Buffer.add_string buf
+    (section "gauges" (function
+      | M_gauge g -> Some (json_float (Gauge.value g))
+      | _ -> None));
+  Buffer.add_char buf ',';
+  Buffer.add_string buf
+    (section "histograms" (function
+      | M_histo h ->
+        Some
+          (obj
+             [
+               Printf.sprintf "\"count\":%d" (Histo.count h);
+               Printf.sprintf "\"sum\":%s" (json_float (Histo.sum h));
+               Printf.sprintf "\"min\":%s" (json_float (Histo.min_value h));
+               Printf.sprintf "\"mean\":%s" (json_float (Histo.mean h));
+               Printf.sprintf "\"p50\":%s" (json_float (Histo.quantile h 0.50));
+               Printf.sprintf "\"p95\":%s" (json_float (Histo.quantile h 0.95));
+               Printf.sprintf "\"p99\":%s" (json_float (Histo.quantile h 0.99));
+               Printf.sprintf "\"max\":%s" (json_float (Histo.max_value h));
+             ])
+      | _ -> None));
+  Buffer.add_char buf ',';
+  Buffer.add_string buf
+    (section "spans" (function
+      | M_span s ->
+        Some
+          (obj
+             [
+               Printf.sprintf "\"count\":%d" (Span.count s);
+               Printf.sprintf "\"total_s\":%s" (json_float (Span.total s));
+               Printf.sprintf "\"self_s\":%s" (json_float (Span.self s));
+             ])
+      | _ -> None));
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -1,0 +1,43 @@
+(** A named collection of metrics with find-or-create access and text /
+    JSON export.
+
+    Lookups hash on the metric name, so hot paths fetch their handles once
+    (typically at module initialization) and then touch the metric
+    directly.  [default] is the process-wide registry every built-in
+    optimizer metric registers in; the [--metrics] flag of [qopt] and
+    [bench] dumps it after a run. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val default : t
+
+val name : t -> string
+
+val counter : t -> string -> Counter.t
+(** Find-or-create.  Raises [Invalid_argument] if the name is already
+    registered as a different metric kind. *)
+
+val gauge : t -> string -> Gauge.t
+
+val histogram : t -> string -> Histo.t
+
+val span : t -> string -> Span.t
+(** Registered spans respect the {!Control.on} switch. *)
+
+val counter_value : t -> string -> int
+(** 0 when the counter does not exist — convenient for tests and sinks. *)
+
+val gauge_value : t -> string -> float
+
+val reset : t -> unit
+(** Zero every registered metric (registration is kept). *)
+
+val pp_text : Format.formatter -> t -> unit
+(** One {!Qopt_util.Tablefmt} table per metric kind, names sorted. *)
+
+val to_json : t -> string
+(** Compact single-object JSON document:
+    [{"registry":..., "counters":{...}, "gauges":{...},
+      "histograms":{...}, "spans":{...}}]. *)

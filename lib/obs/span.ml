@@ -1,0 +1,50 @@
+module Timer = Qopt_util.Timer
+
+type t = {
+  name : string;
+  always : bool;
+  mutable total : float;
+  mutable child : float;
+  mutable count : int;
+}
+
+(* The dynamic nesting stack; the optimizer is single-threaded. *)
+let stack : t list ref = ref []
+
+let make ?(always = false) name = { name; always; total = 0.0; child = 0.0; count = 0 }
+
+let name t = t.name
+
+let record t dt =
+  t.total <- t.total +. dt;
+  t.count <- t.count + 1;
+  match !stack with
+  | parent :: _ when parent != t -> parent.child <- parent.child +. dt
+  | _ -> ()
+
+let time t f =
+  if not (t.always || !Control.on) then f ()
+  else begin
+    let saved = !stack in
+    stack := t :: saved;
+    let t0 = Timer.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = Timer.now () -. t0 in
+        stack := saved;
+        record t dt)
+      f
+  end
+
+let add t dt = if t.always || !Control.on then record t dt
+
+let total t = t.total
+
+let self t = Float.max 0.0 (t.total -. t.child)
+
+let count t = t.count
+
+let reset t =
+  t.total <- 0.0;
+  t.child <- 0.0;
+  t.count <- 0

@@ -1,0 +1,39 @@
+(** Nestable wall-clock span timers.
+
+    A span accumulates inclusive elapsed time over [time] calls.  Spans
+    nest dynamically: while one span is timing, time spent in any span
+    entered inside it is also attributed to the outer span's child total,
+    so [self] reports exclusive time.  Nesting is tracked on a single
+    global stack (the optimizer is single-threaded).
+
+    Spans created with [~always:true] record regardless of the
+    {!Control.on} switch — used by the Figure-2 instrumentation, whose
+    timing is part of the optimizer's own accounting, not an optional
+    metric. *)
+
+type t
+
+val make : ?always:bool -> string -> t
+(** [always] defaults to [false]. *)
+
+val name : t -> string
+
+val time : t -> (unit -> 'a) -> 'a
+(** Runs the thunk, adding its elapsed time to the span (and to the
+    enclosing span's child total).  When disabled, runs the thunk
+    untimed.  Exception-safe: the nesting stack is restored and elapsed
+    time recorded even if the thunk raises. *)
+
+val total : t -> float
+(** Inclusive seconds. *)
+
+val self : t -> float
+(** Exclusive seconds: [total] minus time spent in spans nested inside. *)
+
+val count : t -> int
+
+val add : t -> float -> unit
+(** Add pre-measured seconds (no nesting bookkeeping); respects the
+    [always] flag like {!time}. *)
+
+val reset : t -> unit

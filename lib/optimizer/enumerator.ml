@@ -1,4 +1,14 @@
 module Bitset = Qopt_util.Bitset
+module Obs = Qopt_obs
+
+(* Process-wide enumeration metrics (no-ops unless Qopt_obs is enabled). *)
+let m_subsets = Obs.Registry.counter Obs.Registry.default "enumerator.subsets"
+
+let m_pairs = Obs.Registry.counter Obs.Registry.default "enumerator.pairs_considered"
+
+let m_pruned = Obs.Registry.counter Obs.Registry.default "enumerator.pairs_pruned"
+
+let m_joins = Obs.Registry.counter Obs.Registry.default "enumerator.joins_feasible"
 
 type join_event = {
   left : Memo.entry;
@@ -56,7 +66,10 @@ let run ~knobs ~card_of memo consumer =
   (* Leaf entries. *)
   for q = 0 to n - 1 do
     let entry, created = Memo.find_or_create memo (Bitset.singleton q) in
-    if created then consumer.on_entry entry
+    if created then begin
+      Obs.Counter.incr m_subsets;
+      consumer.on_entry entry
+    end
   done;
   for size = 2 to n do
     for lsize = 1 to size / 2 do
@@ -67,6 +80,8 @@ let run ~knobs ~card_of memo consumer =
         (fun (s : Memo.entry) ->
           List.iter
             (fun (l : Memo.entry) ->
+              Obs.Counter.incr m_pairs;
+              let feasible = ref false in
               let dedup_ok =
                 lsize <> rsize || Bitset.compare s.Memo.tables l.Memo.tables < 0
               in
@@ -96,8 +111,13 @@ let run ~knobs ~card_of memo consumer =
                         ~inner:s.Memo.tables
                     in
                     if left_outer_ok || right_outer_ok then begin
+                      feasible := true;
+                      Obs.Counter.incr m_joins;
                       let result, created = Memo.find_or_create memo union in
-                      if created then consumer.on_entry result;
+                      if created then begin
+                        Obs.Counter.incr m_subsets;
+                        consumer.on_entry result
+                      end;
                       stats.Memo.joins_enumerated <-
                         stats.Memo.joins_enumerated + 1;
                       consumer.on_join
@@ -113,7 +133,8 @@ let run ~knobs ~card_of memo consumer =
                     end
                   end
                 end
-              end)
+              end;
+              if not !feasible then Obs.Counter.incr m_pruned)
             rights)
         lefts
     done

@@ -1,41 +1,46 @@
-module Timer = Qopt_util.Timer
+module Span = Qopt_obs.Span
 
+(* Each bucket is an always-on span: Figure-2 accounting is a consumer of
+   the Qopt_obs span primitive, so buckets nest correctly with any
+   registry-level spans around the compile. *)
 type t = {
-  b_nljn : Timer.bucket;
-  b_mgjn : Timer.bucket;
-  b_hsjn : Timer.bucket;
-  b_save : Timer.bucket;
-  b_card : Timer.bucket;
-  b_scan : Timer.bucket;
-  b_mv : Timer.bucket;
+  b_nljn : Span.t;
+  b_mgjn : Span.t;
+  b_hsjn : Span.t;
+  b_save : Span.t;
+  b_card : Span.t;
+  b_scan : Span.t;
+  b_mv : Span.t;
   mutable total : float;
 }
 
+let bucket name = Span.make ~always:true ("instrument." ^ name)
+
 let create () =
   {
-    b_nljn = Timer.bucket ();
-    b_mgjn = Timer.bucket ();
-    b_hsjn = Timer.bucket ();
-    b_save = Timer.bucket ();
-    b_card = Timer.bucket ();
-    b_scan = Timer.bucket ();
-    b_mv = Timer.bucket ();
+    b_nljn = bucket "nljn";
+    b_mgjn = bucket "mgjn";
+    b_hsjn = bucket "hsjn";
+    b_save = bucket "save";
+    b_card = bucket "card";
+    b_scan = bucket "scan";
+    b_mv = bucket "mv";
     total = 0.0;
   }
 
-let nljn t f = Timer.add_to t.b_nljn f
+let nljn t f = Span.time t.b_nljn f
 
-let mgjn t f = Timer.add_to t.b_mgjn f
+let mgjn t f = Span.time t.b_mgjn f
 
-let hsjn t f = Timer.add_to t.b_hsjn f
+let hsjn t f = Span.time t.b_hsjn f
 
-let save t f = Timer.add_to t.b_save f
+let save t f = Span.time t.b_save f
 
-let card t f = Timer.add_to t.b_card f
+let card t f = Span.time t.b_card f
 
-let scan t f = Timer.add_to t.b_scan f
+let scan t f = Span.time t.b_scan f
 
-let mv t f = Timer.add_to t.b_mv f
+let mv t f = Span.time t.b_mv f
 
 let set_total t total = t.total <- total
 
@@ -52,13 +57,13 @@ type snapshot = {
 }
 
 let snapshot t =
-  let n = Timer.elapsed t.b_nljn
-  and m = Timer.elapsed t.b_mgjn
-  and h = Timer.elapsed t.b_hsjn
-  and s = Timer.elapsed t.b_save
-  and c = Timer.elapsed t.b_card
-  and sc = Timer.elapsed t.b_scan
-  and mv = Timer.elapsed t.b_mv in
+  let n = Span.total t.b_nljn
+  and m = Span.total t.b_mgjn
+  and h = Span.total t.b_hsjn
+  and s = Span.total t.b_save
+  and c = Span.total t.b_card
+  and sc = Span.total t.b_scan
+  and mv = Span.total t.b_mv in
   {
     s_nljn = n;
     s_mgjn = m;

@@ -1,4 +1,16 @@
 module Bitset = Qopt_util.Bitset
+module Obs = Qopt_obs
+
+(* Process-wide MEMO metrics (no-ops unless Qopt_obs is enabled). *)
+let m_entries = Obs.Registry.counter Obs.Registry.default "memo.entries"
+
+let m_inserted = Obs.Registry.counter Obs.Registry.default "memo.plans_inserted"
+
+let m_pruned = Obs.Registry.counter Obs.Registry.default "memo.plans_pruned"
+
+let m_list_len = Obs.Registry.histogram Obs.Registry.default "memo.plan_list_len"
+
+let m_order_len = Obs.Registry.histogram Obs.Registry.default "memo.order_list_len"
 
 type counts = {
   mutable nljn : int;
@@ -101,6 +113,7 @@ let find_or_create t set =
     let size = Bitset.cardinal set in
     t.by_size.(size) := e :: !(t.by_size.(size));
     t.sts.entries_created <- t.sts.entries_created + 1;
+    Obs.Counter.incr m_entries;
     (e, true)
 
 let entries_of_size t k =
@@ -258,14 +271,25 @@ let dominates a b =
 
 let insert_plan t e plan =
   let sp = signature t e plan in
-  if List.exists (fun kept -> dominates kept sp) e.saved then
-    t.sts.pruned <- t.sts.pruned + 1
-  else begin
-    let survivors, dropped =
-      List.partition (fun kept -> not (dominates sp kept)) e.saved
-    in
-    t.sts.pruned <- t.sts.pruned + List.length dropped;
-    e.saved <- sp :: survivors
+  Obs.Counter.incr m_inserted;
+  (if List.exists (fun kept -> dominates kept sp) e.saved then begin
+     t.sts.pruned <- t.sts.pruned + 1;
+     Obs.Counter.incr m_pruned
+   end
+   else begin
+     let survivors, dropped =
+       List.partition (fun kept -> not (dominates sp kept)) e.saved
+     in
+     t.sts.pruned <- t.sts.pruned + List.length dropped;
+     Obs.Counter.add m_pruned (List.length dropped);
+     e.saved <- sp :: survivors
+   end);
+  if !Obs.Control.on then begin
+    (* Property-list growth: kept-plan list and interesting-order list
+       lengths after this insertion. *)
+    Obs.Histo.observe m_list_len (float_of_int (List.length e.saved));
+    Obs.Histo.observe m_order_len
+      (float_of_int (List.length (applicable_orders t e)))
   end
 
 let kept_plans t =

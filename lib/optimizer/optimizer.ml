@@ -1,5 +1,17 @@
 module Bitset = Qopt_util.Bitset
 module Timer = Qopt_util.Timer
+module Obs = Qopt_obs
+
+(* Process-wide compile metrics (no-ops unless Qopt_obs is enabled). *)
+let m_queries = Obs.Registry.counter Obs.Registry.default "optimizer.queries"
+
+let m_compile_s = Obs.Registry.histogram Obs.Registry.default "optimizer.compile_s"
+
+let m_span = Obs.Registry.span Obs.Registry.default "optimizer.compile"
+
+let m_memo_bytes = Obs.Registry.gauge Obs.Registry.default "optimizer.memo_bytes"
+
+let m_retries = Obs.Registry.counter Obs.Registry.default "optimizer.retries"
 
 type result = {
   best : Plan.t option;
@@ -93,9 +105,11 @@ let run_block ?views env knobs block =
   let consumer = Plan_gen.consumer gen in
   let (), elapsed =
     Timer.time (fun () ->
-        Enumerator.run ~knobs ~card_of:(Plan_gen.card_of gen) memo consumer)
+        Obs.Span.time m_span (fun () ->
+            Enumerator.run ~knobs ~card_of:(Plan_gen.card_of gen) memo consumer))
   in
   Instrument.set_total instr elapsed;
+  Obs.Histo.observe m_compile_s elapsed;
   let stats = Memo.stats memo in
   let top = Memo.find_opt memo (Query_block.all_tables block) in
   let best =
@@ -127,6 +141,7 @@ let optimize_block ?views env knobs block =
   else begin
     (* The knobs left the query unplannable (disconnected graph without
        Cartesian products, or an over-tight inner limit): retry permissively. *)
+    Obs.Counter.incr m_retries;
     let retry, _ = run_block ?views env (Knobs.permissive knobs) block in
     retry
   end
@@ -139,29 +154,34 @@ let add_counts (a : Memo.counts) (b : Memo.counts) =
   }
 
 let optimize env ?(knobs = Knobs.default) ?views block =
+  Obs.Counter.incr m_queries;
   let results = ref [] in
   Query_block.iter_blocks
     (fun b -> results := optimize_block ?views env knobs b :: !results)
     block;
-  match !results with
-  | [] -> assert false
-  | top :: rest ->
-    (* [iter_blocks] visits children first, so the last result is the top
-       block's. *)
-    List.fold_left
-      (fun acc r ->
-        {
-          best = acc.best;
-          elapsed = acc.elapsed +. r.elapsed;
-          joins = acc.joins + r.joins;
-          generated = add_counts acc.generated r.generated;
-          scan_plans = acc.scan_plans + r.scan_plans;
-          kept = acc.kept + r.kept;
-          entries = acc.entries + r.entries;
-          pruned = acc.pruned + r.pruned;
-          breakdown = Instrument.merge acc.breakdown r.breakdown;
-          memo_bytes = acc.memo_bytes +. r.memo_bytes;
-          mv_tests = acc.mv_tests + r.mv_tests;
-          mv_matches = acc.mv_matches + r.mv_matches;
-        })
-      top rest
+  let result =
+    match !results with
+    | [] -> assert false
+    | top :: rest ->
+      (* [iter_blocks] visits children first, so the last result is the top
+         block's. *)
+      List.fold_left
+        (fun acc r ->
+          {
+            best = acc.best;
+            elapsed = acc.elapsed +. r.elapsed;
+            joins = acc.joins + r.joins;
+            generated = add_counts acc.generated r.generated;
+            scan_plans = acc.scan_plans + r.scan_plans;
+            kept = acc.kept + r.kept;
+            entries = acc.entries + r.entries;
+            pruned = acc.pruned + r.pruned;
+            breakdown = Instrument.merge acc.breakdown r.breakdown;
+            memo_bytes = acc.memo_bytes +. r.memo_bytes;
+            mv_tests = acc.mv_tests + r.mv_tests;
+            mv_matches = acc.mv_matches + r.mv_matches;
+          })
+        top rest
+  in
+  Obs.Gauge.set m_memo_bytes result.memo_bytes;
+  result

@@ -1,5 +1,23 @@
 module Bitset = Qopt_util.Bitset
 module Table = Qopt_catalog.Table
+module Obs = Qopt_obs
+
+(* Process-wide plan-generation metrics (no-ops unless Qopt_obs is
+   enabled). *)
+let m_nljn = Obs.Registry.counter Obs.Registry.default "plan_gen.plans.nljn"
+
+let m_mgjn = Obs.Registry.counter Obs.Registry.default "plan_gen.plans.mgjn"
+
+let m_hsjn = Obs.Registry.counter Obs.Registry.default "plan_gen.plans.hsjn"
+
+let m_scan = Obs.Registry.counter Obs.Registry.default "plan_gen.plans.scan"
+
+let m_cost = Obs.Registry.counter Obs.Registry.default "plan_gen.cost_calls"
+
+let m_of_method = function
+  | Join_method.NLJN -> m_nljn
+  | Join_method.MGJN -> m_mgjn
+  | Join_method.HSJN -> m_hsjn
 
 type t = {
   env : Env.t;
@@ -140,6 +158,8 @@ let scan_plans t (entry : Memo.entry) =
       (Interesting.filter_indexes t.block q)
   in
   let plans = (base :: eager) @ filter_scans in
+  Obs.Counter.add m_scan (List.length plans);
+  Obs.Counter.add m_cost (List.length plans);
   (Memo.stats t.memo).Memo.scan_plans <-
     (Memo.stats t.memo).Memo.scan_plans + List.length plans;
   Instrument.save t.instr (fun () ->
@@ -180,6 +200,7 @@ let parallel_adjust t equiv ~preds ~(outer : Plan.t) ~(inner : Plan.t) =
 let join_plan t equiv ~ctx ?(probe = None) ~method_ ~(outer : Plan.t)
     ~(inner : Plan.t) ~preds ~out_card ~order ~sort_outer ~sort_inner () =
   let partition, transfer = parallel_adjust t equiv ~preds ~outer ~inner in
+  Obs.Counter.incr m_cost;
   let cost =
     match method_ with
     | Join_method.NLJN ->
@@ -315,6 +336,7 @@ let gen_direction t event ~(x : Memo.entry) ~(y : Memo.entry) =
           base @ extra)
     in
     Memo.counts_add stats.Memo.generated Join_method.NLJN (List.length nljn_plans);
+    Obs.Counter.add (m_of_method Join_method.NLJN) (List.length nljn_plans);
     (* MGJN: partial propagation — the canonical merge order plus covering
        outer orders. *)
     let mgjn_plans =
@@ -378,6 +400,7 @@ let gen_direction t event ~(x : Memo.entry) ~(y : Memo.entry) =
               natural @ enforced @ extra)
     in
     Memo.counts_add stats.Memo.generated Join_method.MGJN (List.length mgjn_plans);
+    Obs.Counter.add (m_of_method Join_method.MGJN) (List.length mgjn_plans);
     (* HSJN: no order propagation — a single unordered plan. *)
     let hsjn_plans =
       Instrument.hsjn t.instr (fun () ->
@@ -400,6 +423,7 @@ let gen_direction t event ~(x : Memo.entry) ~(y : Memo.entry) =
           base @ extra)
     in
     Memo.counts_add stats.Memo.generated Join_method.HSJN (List.length hsjn_plans);
+    Obs.Counter.add (m_of_method Join_method.HSJN) (List.length hsjn_plans);
     nljn_plans @ mgjn_plans @ hsjn_plans
 
 let on_join t (event : Enumerator.join_event) =

@@ -1,0 +1,179 @@
+(* SQL round-trips: a generated corpus of query texts is lexed, parsed and
+   bound against a catalog, and each result is matched against the
+   corresponding hand-built [Helpers] query block.  Structural equality is
+   checked through [Cote.Stmt_cache.signature] (tables, predicate shapes,
+   grouping/ordering arity, LIMIT) plus direct field comparisons. *)
+
+module Sql = Qopt_sql
+module O = Qopt_optimizer
+module C = Qopt_catalog
+module SC = Cote.Stmt_cache
+
+let t name f = Alcotest.test_case name `Quick f
+
+(* The same tables [Helpers.chain] / [Helpers.star_block] build their blocks
+   from, exposed as a catalog the binder can resolve against. *)
+let schema =
+  lazy
+    (let mk prefix i =
+       Helpers.table ~rows:(1000.0 *. float_of_int (i + 1))
+         (Printf.sprintf "%s%d" prefix i)
+     in
+     C.Schema.of_tables
+       (List.init 6 (mk "t") @ List.init 6 (mk "s")))
+
+let bind sql = Sql.Binder.parse_and_bind (Lazy.force schema) sql
+
+let check_matches msg ~sql ~expected =
+  let bound = bind sql in
+  Alcotest.(check string)
+    (msg ^ ": signature")
+    (SC.signature expected) (SC.signature bound);
+  Alcotest.(check int)
+    (msg ^ ": quantifiers")
+    (O.Query_block.n_quantifiers expected)
+    (O.Query_block.n_quantifiers bound);
+  Alcotest.(check int)
+    (msg ^ ": predicates")
+    (List.length expected.O.Query_block.preds)
+    (List.length bound.O.Query_block.preds);
+  Alcotest.(check int)
+    (msg ^ ": group-by arity")
+    (List.length expected.O.Query_block.group_by)
+    (List.length bound.O.Query_block.group_by);
+  Alcotest.(check int)
+    (msg ^ ": order-by arity")
+    (List.length expected.O.Query_block.order_by)
+    (List.length bound.O.Query_block.order_by);
+  bound
+
+(* SQL text generators mirroring the Helpers builders. *)
+let chain_sql ?(extra = 0) ?(order_by = false) ?(group_by = false) n =
+  let from =
+    String.concat ", " (List.init n (fun i -> Printf.sprintf "t%d" i))
+  in
+  let preds =
+    List.concat
+      (List.init (n - 1) (fun i ->
+           Printf.sprintf "t%d.j1 = t%d.j1" i (i + 1)
+           :: List.init extra (fun _ ->
+                  Printf.sprintf "t%d.j2 = t%d.j2" i (i + 1))))
+  in
+  Printf.sprintf "SELECT * FROM %s WHERE %s%s%s" from
+    (String.concat " AND " preds)
+    (if group_by then " GROUP BY t0.j2" else "")
+    (if order_by then " ORDER BY t0.v" else "")
+
+let star_sql n =
+  let from =
+    String.concat ", " (List.init n (fun i -> Printf.sprintf "s%d" i))
+  in
+  let preds =
+    List.init (n - 1) (fun i -> Printf.sprintf "s0.j1 = s%d.j1" (i + 1))
+  in
+  Printf.sprintf "SELECT * FROM %s WHERE %s" from (String.concat " AND " preds)
+
+let corpus_tests =
+  [
+    t "chains of 2..6 tables round-trip" (fun () ->
+        for n = 2 to 6 do
+          ignore
+            (check_matches
+               (Printf.sprintf "chain%d" n)
+               ~sql:(chain_sql n) ~expected:(Helpers.chain n))
+        done);
+    t "chains with doubled join edges round-trip" (fun () ->
+        for n = 2 to 5 do
+          ignore
+            (check_matches
+               (Printf.sprintf "chain%d+extra" n)
+               ~sql:(chain_sql ~extra:1 n)
+               ~expected:(Helpers.chain ~extra:1 n))
+        done);
+    t "stars of 3..6 tables round-trip" (fun () ->
+        for n = 3 to 6 do
+          ignore
+            (check_matches
+               (Printf.sprintf "star%d" n)
+               ~sql:(star_sql n) ~expected:(Helpers.star_block n))
+        done);
+    t "GROUP BY and ORDER BY variants round-trip" (fun () ->
+        ignore
+          (check_matches "chain4 grouped" ~sql:(chain_sql ~group_by:true 4)
+             ~expected:(Helpers.chain ~group_by:true 4));
+        ignore
+          (check_matches "chain4 ordered" ~sql:(chain_sql ~order_by:true 4)
+             ~expected:(Helpers.chain ~order_by:true 4));
+        ignore
+          (check_matches "chain4 both"
+             ~sql:(chain_sql ~group_by:true ~order_by:true 4)
+             ~expected:(Helpers.chain ~group_by:true ~order_by:true 4)));
+  ]
+
+let surface_tests =
+  [
+    t "comma joins and JOIN..ON spell the same block" (fun () ->
+        let comma = bind (chain_sql 3) in
+        let ansi =
+          bind "SELECT * FROM t0 JOIN t1 ON t0.j1 = t1.j1 JOIN t2 ON t1.j1 = t2.j1"
+        in
+        Alcotest.(check string) "signature" (SC.signature comma) (SC.signature ansi));
+    t "LIMIT becomes first_n" (fun () ->
+        let b = bind (chain_sql 3 ^ " LIMIT 10") in
+        Alcotest.(check (option int)) "first_n" (Some 10) b.O.Query_block.first_n;
+        (* And it is part of the structural signature. *)
+        let plain = bind (chain_sql 3) in
+        Alcotest.(check bool) "limit changes the signature" false
+          (String.equal (SC.signature b) (SC.signature plain)));
+    t "local predicates bind with literals abstracted" (fun () ->
+        let sql = chain_sql 3 ^ " AND t0.v <= 10" in
+        let expected =
+          let b = Helpers.chain 3 in
+          O.Query_block.make ~name:"chain3+local"
+            ~quantifiers:
+              (List.init 3 (fun i -> O.Query_block.quantifier b i))
+            ~preds:
+              (b.O.Query_block.preds
+              @ [ O.Pred.Local_cmp (Helpers.cr 0 "v", O.Pred.Le, 10.0) ])
+            ()
+        in
+        ignore (check_matches "chain3+local" ~sql ~expected));
+    t "EXISTS subquery becomes a child block" (fun () ->
+        let b =
+          bind
+            "SELECT * FROM t0, t1 WHERE t0.j1 = t1.j1 AND EXISTS (SELECT s0.pk FROM s0 WHERE s0.j1 = t0.j1)"
+        in
+        Alcotest.(check int) "children" 1
+          (List.length b.O.Query_block.children));
+  ]
+
+(* The strongest equivalence check: the optimizer must not be able to tell
+   the SQL-derived block from the hand-built one. *)
+let optimize_equivalence_tests =
+  [
+    t "bound and hand-built blocks optimize identically" (fun () ->
+        List.iter
+          (fun (sql, expected) ->
+            let bound = bind sql in
+            let opt b =
+              O.Optimizer.optimize O.Env.serial ~knobs:Helpers.stable_knobs b
+            in
+            let rb = opt bound and re = opt expected in
+            Alcotest.(check int) "joins" re.O.Optimizer.joins rb.O.Optimizer.joins;
+            Alcotest.(check int) "entries" re.O.Optimizer.entries
+              rb.O.Optimizer.entries;
+            Alcotest.(check int) "kept" re.O.Optimizer.kept rb.O.Optimizer.kept;
+            let ce p =
+              match p.O.Optimizer.best with
+              | Some plan -> plan.O.Plan.cost
+              | None -> Alcotest.fail "no plan"
+            in
+            Alcotest.(check (float 1e-6)) "best cost" (ce re) (ce rb))
+          [
+            (chain_sql 4, Helpers.chain 4);
+            (chain_sql ~extra:1 ~group_by:true 4, Helpers.chain ~extra:1 ~group_by:true 4);
+            (star_sql 5, Helpers.star_block 5);
+          ]);
+  ]
+
+let suite = corpus_tests @ surface_tests @ optimize_equivalence_tests

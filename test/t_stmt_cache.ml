@@ -1,0 +1,200 @@
+(* The statement-cache baseline (Section 1.2): structural signatures,
+   hit/miss accounting, and the abstraction boundary — which queries are
+   "similar" enough to share a cached compile time, and which must not
+   collide. *)
+
+module O = Qopt_optimizer
+module Obs = Qopt_obs
+module SC = Cote.Stmt_cache
+
+let t name f = Alcotest.test_case name `Quick f
+
+let sig_eq = Alcotest.(check string) "signatures equal"
+
+let sig_ne msg a b =
+  if String.equal a b then
+    Alcotest.failf "%s: signatures unexpectedly collide: %s" msg a
+
+(* ------------------------------------------------------------------ *)
+(* Accounting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let accounting_tests =
+  [
+    t "miss then record then hit" (fun () ->
+        let cache = SC.create () in
+        let q = Helpers.chain 3 in
+        Alcotest.(check (option (float 0.0))) "cold miss" None (SC.lookup cache q);
+        SC.record cache q 0.125;
+        Alcotest.(check (option (float 0.0)))
+          "hit returns the recorded time" (Some 0.125) (SC.lookup cache q);
+        Alcotest.(check int) "hits" 1 (SC.hits cache);
+        Alcotest.(check int) "misses" 1 (SC.misses cache);
+        Alcotest.(check int) "size" 1 (SC.size cache));
+    t "re-recording replaces, not duplicates" (fun () ->
+        let cache = SC.create () in
+        let q = Helpers.chain 3 in
+        SC.record cache q 0.1;
+        SC.record cache q 0.2;
+        Alcotest.(check int) "size" 1 (SC.size cache);
+        Alcotest.(check (option (float 0.0)))
+          "latest time wins" (Some 0.2) (SC.lookup cache q));
+    t "distinct queries occupy distinct slots" (fun () ->
+        let cache = SC.create () in
+        SC.record cache (Helpers.chain 3) 0.1;
+        SC.record cache (Helpers.chain 4) 0.2;
+        SC.record cache (Helpers.star_block 4) 0.3;
+        Alcotest.(check int) "size" 3 (SC.size cache));
+    t "obs counters track hits, misses and size" (fun () ->
+        Obs.Control.with_enabled true (fun () ->
+            let reg = Obs.Registry.default in
+            let h0 = Obs.Registry.counter_value reg "stmt_cache.hits" in
+            let m0 = Obs.Registry.counter_value reg "stmt_cache.misses" in
+            let cache = SC.create () in
+            let q = Helpers.chain 3 in
+            ignore (SC.lookup cache q);
+            SC.record cache q 0.1;
+            ignore (SC.lookup cache q);
+            ignore (SC.lookup cache q);
+            Alcotest.(check int) "hits delta" 2
+              (Obs.Registry.counter_value reg "stmt_cache.hits" - h0);
+            Alcotest.(check int) "misses delta" 1
+              (Obs.Registry.counter_value reg "stmt_cache.misses" - m0);
+            Alcotest.(check (float 0.0)) "size gauge" 1.0
+              (Obs.Registry.gauge_value reg "stmt_cache.size")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Signature invariance: what counts as "the same query"               *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild a block with its quantifier list permuted and every predicate's
+   quantifier indices remapped accordingly.  A structural signature must not
+   depend on the arbitrary order quantifiers come in. *)
+let permute_block perm (b : O.Query_block.t) =
+  let n = O.Query_block.n_quantifiers b in
+  assert (Array.length perm = n);
+  (* perm.(new_index) = old_index; inverse maps old -> new. *)
+  let inv = Array.make n 0 in
+  Array.iteri (fun new_i old_i -> inv.(old_i) <- new_i) perm;
+  let quantifiers =
+    List.init n (fun new_i ->
+        let old_q = O.Query_block.quantifier b perm.(new_i) in
+        O.Quantifier.make new_i old_q.O.Quantifier.table)
+  in
+  let recol (c : O.Colref.t) = O.Colref.make inv.(c.O.Colref.q) c.O.Colref.col in
+  let repred = function
+    | O.Pred.Eq_join (l, r) -> O.Pred.Eq_join (recol l, recol r)
+    | O.Pred.Local_cmp (c, op, v) -> O.Pred.Local_cmp (recol c, op, v)
+    | O.Pred.Local_in (c, k) -> O.Pred.Local_in (recol c, k)
+    | O.Pred.Expensive (ts, s, c) ->
+      O.Pred.Expensive
+        (Qopt_util.Bitset.of_list
+           (List.map (fun q -> inv.(q)) (Qopt_util.Bitset.elements ts)),
+         s, c)
+  in
+  O.Query_block.make ~name:(b.O.Query_block.name ^ "-permuted")
+    ~group_by:(List.map recol b.O.Query_block.group_by)
+    ~order_by:(List.map recol b.O.Query_block.order_by)
+    ?first_n:b.O.Query_block.first_n ~quantifiers
+    ~preds:(List.map repred b.O.Query_block.preds)
+    ()
+
+let with_local preds b =
+  let open O.Query_block in
+  make ~name:b.name ~group_by:b.group_by ~order_by:b.order_by
+    ?first_n:b.first_n
+    ~quantifiers:(List.init (n_quantifiers b) (quantifier b))
+    ~preds:(b.preds @ preds) ()
+
+let invariance_tests =
+  [
+    t "signature survives quantifier reordering" (fun () ->
+        let b = Helpers.chain ~extra:1 ~group_by:true ~order_by:true 5 in
+        List.iter
+          (fun perm -> sig_eq (SC.signature b) (SC.signature (permute_block perm b)))
+          [ [| 4; 3; 2; 1; 0 |]; [| 2; 0; 4; 1; 3 |]; [| 1; 0; 2; 4; 3 |] ]);
+    t "a reordered query is a cache hit" (fun () ->
+        let cache = SC.create () in
+        let b = Helpers.star_block 5 in
+        SC.record cache b 0.5;
+        Alcotest.(check (option (float 0.0)))
+          "permuted lookup hits" (Some 0.5)
+          (SC.lookup cache (permute_block [| 3; 1; 4; 0; 2 |] b)));
+    t "literal values are abstracted away" (fun () ->
+        let b = Helpers.chain 3 in
+        let q1 = with_local [ O.Pred.Local_cmp (Helpers.cr 0 "v", O.Pred.Le, 10.0) ] b in
+        let q2 = with_local [ O.Pred.Local_cmp (Helpers.cr 0 "v", O.Pred.Le, 99.0) ] b in
+        sig_eq (SC.signature q1) (SC.signature q2);
+        (* Lt and Le likewise fold together: same plan space. *)
+        let q3 = with_local [ O.Pred.Local_cmp (Helpers.cr 0 "v", O.Pred.Lt, 10.0) ] b in
+        sig_eq (SC.signature q1) (SC.signature q3));
+    t "predicate order does not matter" (fun () ->
+        let b = Helpers.chain 4 in
+        let p1 = O.Pred.Local_cmp (Helpers.cr 0 "v", O.Pred.Eq, 1.0) in
+        let p2 = O.Pred.Local_cmp (Helpers.cr 2 "j2", O.Pred.Gt, 5.0) in
+        sig_eq
+          (SC.signature (with_local [ p1; p2 ] b))
+          (SC.signature (with_local [ p2; p1 ] b)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Non-collision: structurally different queries stay apart            *)
+(* ------------------------------------------------------------------ *)
+
+let non_collision_tests =
+  [
+    t "join shape distinguishes queries over the same tables" (fun () ->
+        (* chain t0-t1-t2 vs star centered on t0 vs cycle, all on the same
+           three tables: same table multiset, different join graphs. *)
+        let quantifiers () =
+          List.init 3 (fun i ->
+              O.Quantifier.make i
+                (Helpers.table ~rows:(1000.0 *. float_of_int (i + 1))
+                   (Printf.sprintf "t%d" i)))
+        in
+        let mk name preds =
+          O.Query_block.make ~name ~quantifiers:(quantifiers ()) ~preds ()
+        in
+        let j a b = O.Pred.Eq_join (Helpers.cr a "j1", Helpers.cr b "j1") in
+        let chain = mk "chain" [ j 0 1; j 1 2 ] in
+        let star = mk "star" [ j 0 1; j 0 2 ] in
+        let cycle = mk "cycle" [ j 0 1; j 1 2; j 0 2 ] in
+        sig_ne "chain vs star" (SC.signature chain) (SC.signature star);
+        sig_ne "chain vs cycle" (SC.signature chain) (SC.signature cycle);
+        sig_ne "star vs cycle" (SC.signature star) (SC.signature cycle));
+    t "comparison class matters: Eq vs range" (fun () ->
+        let b = Helpers.chain 3 in
+        let eq = with_local [ O.Pred.Local_cmp (Helpers.cr 0 "v", O.Pred.Eq, 1.0) ] b in
+        let le = with_local [ O.Pred.Local_cmp (Helpers.cr 0 "v", O.Pred.Le, 1.0) ] b in
+        sig_ne "Eq vs Le" (SC.signature eq) (SC.signature le));
+    t "IN-list arity matters" (fun () ->
+        let b = Helpers.chain 3 in
+        let i3 = with_local [ O.Pred.Local_in (Helpers.cr 0 "v", 3) ] b in
+        let i7 = with_local [ O.Pred.Local_in (Helpers.cr 0 "v", 7) ] b in
+        sig_ne "IN 3 vs IN 7" (SC.signature i3) (SC.signature i7));
+    t "grouping, ordering and LIMIT all matter" (fun () ->
+        let plain = Helpers.chain 3 in
+        let grouped = Helpers.chain ~group_by:true 3 in
+        let ordered = Helpers.chain ~order_by:true 3 in
+        let limited =
+          O.Query_block.make ~name:"lim" ~first_n:10
+            ~quantifiers:
+              (List.init 3 (fun i -> O.Query_block.quantifier plain i))
+            ~preds:plain.O.Query_block.preds ()
+        in
+        sig_ne "plain vs grouped" (SC.signature plain) (SC.signature grouped);
+        sig_ne "plain vs ordered" (SC.signature plain) (SC.signature ordered);
+        sig_ne "grouped vs ordered" (SC.signature grouped) (SC.signature ordered);
+        sig_ne "plain vs limited" (SC.signature plain) (SC.signature limited));
+    t "chain length matters" (fun () ->
+        sig_ne "3 vs 4"
+          (SC.signature (Helpers.chain 3))
+          (SC.signature (Helpers.chain 4)));
+    t "extra join predicates matter" (fun () ->
+        sig_ne "0 vs 1 extra"
+          (SC.signature (Helpers.chain 4))
+          (SC.signature (Helpers.chain ~extra:1 4)));
+  ]
+
+let suite = accounting_tests @ invariance_tests @ non_collision_tests

@@ -18,4 +18,7 @@ let () =
       ("extensions", T_extensions.suite);
       ("misc", T_misc.suite);
       ("properties", T_properties.suite);
+      ("obs", T_obs.suite);
+      ("stmt-cache", T_stmt_cache.suite);
+      ("sql-roundtrip", T_roundtrip.suite);
     ]
