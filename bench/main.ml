@@ -150,7 +150,26 @@ let report raw =
       match Analyze.OLS.estimates result with
       | Some [ est ] -> Format.printf "%-36s %16.0f@." name est
       | Some _ | None -> Format.printf "%-36s %16s@." name "-")
+    rows;
+  List.filter_map
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Some (name, est)
+      | Some _ | None -> None)
     rows
+
+(* Machine-readable results for CI trend tracking: a flat benchmark-name ->
+   ns/run object, one line per benchmark so diffs stay readable. *)
+let write_bench_json path rows =
+  let oc = open_out path in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, est) ->
+      if i > 0 then output_string oc ",\n";
+      output_string oc (Printf.sprintf "  %S: %.1f" name est))
+    rows;
+  output_string oc "\n}\n";
+  close_out oc
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -164,8 +183,12 @@ let () =
   if metrics <> None then Obs.Control.set_enabled true;
   Format.printf "=== Bechamel micro-benchmarks (one per table/figure) ===@.";
   let raw = run_benchmarks () in
-  report raw;
+  let rows = report raw in
   Format.printf "@.";
+  if quick then begin
+    write_bench_json "BENCH.json" rows;
+    Format.printf "wrote BENCH.json (%d benchmarks)@." (List.length rows)
+  end;
   if not quick then begin
     Format.printf "=== Paper tables and figures ===@.";
     List.iter

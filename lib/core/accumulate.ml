@@ -155,7 +155,11 @@ let propagate_separate t equiv (event : O.Enumerator.join_event) ~orders =
 let propagate_compound t equiv (event : O.Enumerator.join_event) =
   let j = event.O.Enumerator.result in
   let tables = j.O.Memo.tables in
-  let existing = ref (pairs_of t j) in
+  let existing = pairs_of t j in
+  (* Fresh values accumulate prepended and are appended to the list once at
+     the end — the previous [existing @ [x]] per addition rebuilt the whole
+     list each time, turning propagation quadratic in the list length. *)
+  let added = ref [] in
   let add (o, p) =
     let same (o', p') =
       (match (o, o') with
@@ -168,7 +172,8 @@ let propagate_compound t equiv (event : O.Enumerator.join_event) =
       | Some a, Some b -> O.Partition_prop.equal_under equiv a b
       | None, Some _ | Some _, None -> false
     in
-    if not (List.exists same !existing) then existing := !existing @ [ (o, p) ]
+    if not (List.exists same existing || List.exists same !added) then
+      added := (o, p) :: !added
   in
   let from_side (e : O.Memo.entry) outer_ok =
     if outer_ok then
@@ -193,7 +198,7 @@ let propagate_compound t equiv (event : O.Enumerator.join_event) =
   in
   from_side event.O.Enumerator.left event.O.Enumerator.left_outer_ok;
   from_side event.O.Enumerator.right event.O.Enumerator.right_outer_ok;
-  set_pairs t j !existing
+  if !added <> [] then set_pairs t j (existing @ List.rev !added)
 
 (* ------------------------------------------------------------------ *)
 (* accumulate_plans() — Table 3 with the Section 4 refinements          *)

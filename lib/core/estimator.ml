@@ -80,18 +80,7 @@ let run_block ?options ~knobs env block =
     (Accumulate.consumer acc);
   (memo, acc)
 
-let estimate_block ?options ~knobs ~n_views env block =
-  let (memo, acc), elapsed =
-    Timer.time (fun () ->
-        let memo, acc = run_block ?options ~knobs env block in
-        (* Mirror the optimizer's permissive fallback when the knobs leave
-           the top table set unreachable. *)
-        if
-          O.Memo.find_opt memo (O.Query_block.all_tables block) = None
-          && O.Query_block.n_quantifiers block > 1
-        then run_block ?options ~knobs:(O.Knobs.permissive knobs) env block
-        else (memo, acc))
-  in
+let of_pass ~n_views (memo, acc) =
   let counts = Accumulate.counts acc in
   let stats = O.Memo.stats memo in
   {
@@ -101,10 +90,37 @@ let estimate_block ?options ~knobs ~n_views env block =
     hsjn = counts.O.Memo.hsjn;
     scan_plans = Accumulate.scan_plans acc;
     entries = O.Memo.n_entries memo;
-    elapsed;
+    elapsed = 0.0;
     est_memo_plans = Accumulate.est_memo_plans acc;
     mv_tests = O.Memo.n_entries memo * n_views;
   }
+
+let estimate_block ?options ~knobs ~n_views env block =
+  let passes, elapsed =
+    Timer.time (fun () ->
+        let first = run_block ?options ~knobs env block in
+        (* Mirror the optimizer's permissive fallback when the knobs leave
+           the top table set unreachable. *)
+        let memo, _ = first in
+        if
+          O.Memo.find_opt memo (O.Query_block.all_tables block) = None
+          && O.Query_block.n_quantifiers block > 1
+        then
+          [ first; run_block ?options ~knobs:(O.Knobs.permissive knobs) env block ]
+        else [ first ])
+  in
+  (* Work counters fold across both passes — the optimizer does both passes'
+     work and its fixed accounting reports it.  The memory estimate is a
+     snapshot of the surviving MEMO, so it comes from the final pass. *)
+  let r =
+    match passes with
+    | [ only ] -> of_pass ~n_views only
+    | [ first; retry ] ->
+      let a = of_pass ~n_views first and b = of_pass ~n_views retry in
+      { (add a b) with est_memo_plans = b.est_memo_plans }
+    | _ -> assert false
+  in
+  { r with elapsed }
 
 let estimate ?options ?(knobs = O.Knobs.default) ?(views = []) env block =
   let n_views = List.length views in

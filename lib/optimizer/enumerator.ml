@@ -56,9 +56,6 @@ let union_valid block union =
       Bitset.subset (Query_block.quantifier block q).Quantifier.deps union)
     union
 
-let crossing_preds block s l =
-  List.filter (fun p -> Pred.crosses p s l) block.Query_block.preds
-
 let run ~knobs ~card_of memo consumer =
   let block = Memo.block memo in
   let stats = Memo.stats memo in
@@ -71,24 +68,49 @@ let run ~knobs ~card_of memo consumer =
       consumer.on_entry entry
     end
   done;
+  let full_scan = knobs.Knobs.allow_cartesian in
+  let card1 = knobs.Knobs.card1_cartesian in
+  let card1_max = knobs.Knobs.card1_max_size in
+  let card1_thresh = knobs.Knobs.card1_threshold in
   for size = 2 to n do
     for lsize = 1 to size / 2 do
       let rsize = size - lsize in
-      let lefts = Memo.entries_of_size memo lsize in
-      let rights = Memo.entries_of_size memo rsize in
-      List.iter
-        (fun (s : Memo.entry) ->
-          List.iter
-            (fun (l : Memo.entry) ->
-              Obs.Counter.incr m_pairs;
-              let feasible = ref false in
-              let dedup_ok =
-                lsize <> rsize || Bitset.compare s.Memo.tables l.Memo.tables < 0
-              in
-              if dedup_ok && Bitset.disjoint s.Memo.tables l.Memo.tables then begin
+      Memo.iter_entries_of_size memo lsize (fun (s : Memo.entry) ->
+          (* The adjacency gate: a pair is skipped before any per-pair work
+             (or metrics) when it is structurally unable to join — the
+             symmetric duplicate of an equal-size split, an overlapping
+             right-hand side, or a right-hand side disjoint from the left's
+             join-graph neighborhood that no cartesian knob admits.  The
+             card-1 escape uses the same cached [card_of] the old check
+             consulted, so the gate is exact: every pair it admits runs the
+             full check below unchanged, and every pair it skips is one the
+             naive loop would have rejected — the enumerated join set is
+             bit-for-bit the naive loop's. *)
+          let neigh = Memo.neighborhood memo s in
+          let s_card1 =
+            lazy
+              (card1
+              && Bitset.cardinal s.Memo.tables <= card1_max
+              && card_of s <= card1_thresh)
+          in
+          Memo.iter_entries_of_size memo rsize (fun (l : Memo.entry) ->
+              if
+                (lsize <> rsize
+                || Bitset.compare s.Memo.tables l.Memo.tables < 0)
+                && Bitset.disjoint s.Memo.tables l.Memo.tables
+                && ((not (Bitset.disjoint l.Memo.tables neigh))
+                   || full_scan || Lazy.force s_card1
+                   || (card1
+                      && Bitset.cardinal l.Memo.tables <= card1_max
+                      && card_of l <= card1_thresh))
+              then begin
+                Obs.Counter.incr m_pairs;
+                let feasible = ref false in
                 let union = Bitset.union s.Memo.tables l.Memo.tables in
                 if union_valid block union then begin
-                  let preds = crossing_preds block s.Memo.tables l.Memo.tables in
+                  let preds =
+                    Query_block.crossing_preds block s.Memo.tables l.Memo.tables
+                  in
                   let cartesian = preds = [] in
                   let cartesian_ok =
                     (not cartesian)
@@ -132,10 +154,8 @@ let run ~knobs ~card_of memo consumer =
                         }
                     end
                   end
-                end
-              end;
-              if not !feasible then Obs.Counter.incr m_pruned)
-            rights)
-        lefts
+                end;
+                if not !feasible then Obs.Counter.incr m_pruned
+              end))
     done
   done

@@ -42,7 +42,16 @@ val run :
 (** Enumerates bottom-up: singleton entries first (sizes 1), then joins of
     increasing result size.  [card_of] supplies the cardinality estimates
     consulted by the card-1 Cartesian heuristic; real optimization passes the
-    full model, plan-estimate mode the simple one. *)
+    full model, plan-estimate mode the simple one.
+
+    Candidate pairs are pre-filtered through the block's join-graph
+    adjacency index ({!Query_block.neighbors}, {!Memo.neighborhood}): a
+    pair that is structurally unable to join — symmetric duplicate,
+    overlapping sides, or no crossing predicate and no Cartesian knob that
+    could admit it — is skipped before any per-pair work or metrics.  The
+    gate is exact, so the enumerated join set (and every consumer
+    callback) is identical to the naive all-pairs loop's; see
+    [test/ref_enumerator.ml] for the oracle and the differential suite. *)
 
 val direction_feasible :
   knobs:Knobs.t ->

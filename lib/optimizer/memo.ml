@@ -48,6 +48,7 @@ type entry = {
   mutable equiv_cache : Equiv.t option;
   mutable app_orders_cache : Order_prop.t list option;
   mutable app_canon_cache : (Order_prop.kind * Colref.t list) list option;
+  mutable neigh_cache : Bitset.t option;
   mutable i_orders : Order_prop.t list;
   mutable i_parts : Partition_prop.t list;
   mutable i_pipe : bool;
@@ -62,10 +63,27 @@ type stats = {
   mutable pruned : int;
 }
 
+(* Per-size entry storage: a growable array in creation order, so the
+   enumerator's inner loops walk a flat array instead of re-materializing a
+   [List.rev] of a prepend list on every (size, split) visit. *)
+type bucket = {
+  mutable items : entry array;
+  mutable len : int;
+}
+
+let bucket_push b e =
+  if b.len = Array.length b.items then begin
+    let grown = Array.make (max 8 (2 * Array.length b.items)) e in
+    Array.blit b.items 0 grown 0 b.len;
+    b.items <- grown
+  end;
+  b.items.(b.len) <- e;
+  b.len <- b.len + 1
+
 type t = {
   blk : Query_block.t;
   tbl : (int, entry) Hashtbl.t;
-  by_size : entry list ref array; (* reversed creation order per size *)
+  by_size : bucket array; (* creation order per size *)
   sts : stats;
 }
 
@@ -74,7 +92,7 @@ let create blk =
   {
     blk;
     tbl = Hashtbl.create 256;
-    by_size = Array.init (n + 1) (fun _ -> ref []);
+    by_size = Array.init (n + 1) (fun _ -> { items = [||]; len = 0 });
     sts =
       {
         entries_created = 0;
@@ -103,6 +121,7 @@ let find_or_create t set =
         equiv_cache = None;
         app_orders_cache = None;
         app_canon_cache = None;
+        neigh_cache = None;
         i_orders = [];
         i_parts = [];
         i_pipe = false;
@@ -110,15 +129,43 @@ let find_or_create t set =
       }
     in
     Hashtbl.add t.tbl (Bitset.to_int set) e;
-    let size = Bitset.cardinal set in
-    t.by_size.(size) := e :: !(t.by_size.(size));
+    bucket_push t.by_size.(Bitset.cardinal set) e;
     t.sts.entries_created <- t.sts.entries_created + 1;
     Obs.Counter.incr m_entries;
     (e, true)
 
 let entries_of_size t k =
   if k < 0 || k >= Array.length t.by_size then []
-  else List.rev !(t.by_size.(k))
+  else begin
+    let b = t.by_size.(k) in
+    List.init b.len (fun i -> b.items.(i))
+  end
+
+let iter_entries_of_size t k f =
+  if k >= 0 && k < Array.length t.by_size then begin
+    let b = t.by_size.(k) in
+    (* Snapshot the length: entries created by the caller while iterating
+       always have a strictly larger size, but freezing [len] keeps the
+       traversal independent of that invariant. *)
+    let len = b.len in
+    for i = 0 to len - 1 do
+      f b.items.(i)
+    done
+  end
+
+let neighborhood t (e : entry) =
+  match e.neigh_cache with
+  | Some nb -> nb
+  | None ->
+    let nb =
+      Bitset.diff
+        (Bitset.fold
+           (fun q acc -> Bitset.union acc (Query_block.neighbors t.blk q))
+           e.tables Bitset.empty)
+        e.tables
+    in
+    e.neigh_cache <- Some nb;
+    nb
 
 let iter_entries f t = Hashtbl.iter (fun _ e -> f e) t.tbl
 

@@ -50,6 +50,8 @@ type entry = {
       (** interesting orders applicable and unretired at this entry *)
   mutable app_canon_cache : (Order_prop.kind * Colref.t list) list option;
       (** their canonical column lists, for cheap per-plan signatures *)
+  mutable neigh_cache : Bitset.t option;
+      (** join-graph neighborhood of the entry's table set, computed once *)
   mutable i_orders : Order_prop.t list;  (** estimate mode: order list *)
   mutable i_parts : Partition_prop.t list;  (** estimate mode: partitions *)
   mutable i_pipe : bool;
@@ -82,6 +84,17 @@ val find_or_create : t -> Bitset.t -> entry * bool
 
 val entries_of_size : t -> int -> entry list
 (** Entries covering exactly [k] tables, in creation order. *)
+
+val iter_entries_of_size : t -> int -> (entry -> unit) -> unit
+(** Allocation-free iteration over the entries of one size, in creation
+    order — the enumerator's inner loops.  Entries created during the
+    iteration (necessarily of a larger size) are not visited. *)
+
+val neighborhood : t -> entry -> Bitset.t
+(** The join-graph neighborhood of the entry: quantifiers outside the
+    entry's table set that share a join predicate with a member.  Cached on
+    the entry; a right-hand candidate disjoint from this set can only join
+    as a Cartesian product. *)
 
 val iter_entries : (entry -> unit) -> t -> unit
 

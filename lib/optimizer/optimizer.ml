@@ -40,9 +40,9 @@ let finish env block (plan : Plan.t) =
     | [] -> plan
     | cols ->
       let grouping = Order_prop.make Grouping cols in
+      let pre_sorted = Order_prop.satisfied_by equiv grouping plan.Plan.order in
       let sort_based =
-        if Order_prop.satisfied_by equiv grouping plan.Plan.order then
-          plan.Plan.cost +. (plan.Plan.card *. 0.002)
+        if pre_sorted then plan.Plan.cost +. (plan.Plan.card *. 0.002)
         else
           plan.Plan.cost
           +. Cost_model.sort params ~rows:plan.Plan.card ~width
@@ -50,12 +50,18 @@ let finish env block (plan : Plan.t) =
       in
       let hash_based = plan.Plan.cost +. (plan.Plan.card *. 0.004) in
       if sort_based <= hash_based then
-        {
-          plan with
-          Plan.op = Plan.Sort plan;
-          order = Order_prop.canonical equiv grouping;
-          cost = sort_based;
-        }
+        if pre_sorted then
+          (* The input already delivers the grouping order: aggregate on top
+             without a SORT operator, keeping the plan's order — and its
+             pipelinability, which the top-N discount depends on. *)
+          { plan with Plan.cost = sort_based }
+        else
+          {
+            plan with
+            Plan.op = Plan.Sort plan;
+            order = Order_prop.canonical equiv grouping;
+            cost = sort_based;
+          }
       else { plan with Plan.op = plan.Plan.op; cost = hash_based; order = [] }
   in
   match block.Query_block.order_by with
@@ -135,6 +141,13 @@ let run_block ?views env knobs block =
   in
   (result, top <> None)
 
+let add_counts (a : Memo.counts) (b : Memo.counts) =
+  {
+    Memo.nljn = a.Memo.nljn + b.Memo.nljn;
+    Memo.mgjn = a.Memo.mgjn + b.Memo.mgjn;
+    Memo.hsjn = a.Memo.hsjn + b.Memo.hsjn;
+  }
+
 let optimize_block ?views env knobs block =
   let result, reached_top = run_block ?views env knobs block in
   if reached_top || Query_block.n_quantifiers block <= 1 then result
@@ -143,15 +156,24 @@ let optimize_block ?views env knobs block =
        Cartesian products, or an over-tight inner limit): retry permissively. *)
     Obs.Counter.incr m_retries;
     let retry, _ = run_block ?views env (Knobs.permissive knobs) block in
-    retry
+    (* The failed pass is real compile time — Estimator.estimate_block times
+       both passes, and COTE accuracy depends on actuals doing the same.
+       Fold the first pass's elapsed and work counters into the retry
+       result; plan-state snapshots (best, kept, memo_bytes) describe the
+       surviving MEMO and stay the retry's. *)
+    {
+      retry with
+      elapsed = result.elapsed +. retry.elapsed;
+      joins = result.joins + retry.joins;
+      generated = add_counts result.generated retry.generated;
+      scan_plans = result.scan_plans + retry.scan_plans;
+      entries = result.entries + retry.entries;
+      pruned = result.pruned + retry.pruned;
+      breakdown = Instrument.merge result.breakdown retry.breakdown;
+      mv_tests = result.mv_tests + retry.mv_tests;
+      mv_matches = result.mv_matches + retry.mv_matches;
+    }
   end
-
-let add_counts (a : Memo.counts) (b : Memo.counts) =
-  {
-    Memo.nljn = a.Memo.nljn + b.Memo.nljn;
-    Memo.mgjn = a.Memo.mgjn + b.Memo.mgjn;
-    Memo.hsjn = a.Memo.hsjn + b.Memo.hsjn;
-  }
 
 let optimize env ?(knobs = Knobs.default) ?views block =
   Obs.Counter.incr m_queries;

@@ -35,6 +35,10 @@ let join_cols = function
   | Eq_join (l, r) when l.q <> r.q -> Some (l, r)
   | Eq_join _ | Local_cmp _ | Local_in _ | Expensive _ -> None
 
+let qpair = function
+  | Eq_join (l, r) when l.q <> r.q -> Some (min l.q r.q, max l.q r.q)
+  | Eq_join _ | Local_cmp _ | Local_in _ | Expensive _ -> None
+
 let pp_op ppf op =
   Format.pp_print_string ppf
     (match op with Eq -> "=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=")

@@ -41,4 +41,9 @@ val applicable_within : t -> Bitset.t -> bool
 val join_cols : t -> (Colref.t * Colref.t) option
 (** The two sides of an [Eq_join]. *)
 
+val qpair : t -> (int * int) option
+(** The unordered quantifier pair of a genuine join predicate, as
+    [(min, max)] — the join-graph edge the predicate contributes.  [None]
+    for everything {!is_join} rejects. *)
+
 val pp : Format.formatter -> t -> unit

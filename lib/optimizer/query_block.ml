@@ -6,6 +6,18 @@ type outer_join = {
   oj_null : Bitset.t;
 }
 
+(* The precomputed join-graph index.  [adj_neighbors.(q)] is the set of
+   quantifiers sharing a join predicate with [q]; [adj_pair_preds] maps a
+   packed quantifier pair (min shifted by 6 bits, which fits because
+   Bitset.max_elt = 61) to that edge's predicates tagged with their index in
+   the original [preds] list, ascending.  Derived solely from [quantifiers]
+   and [preds] in [make]; functional updates that leave those two fields
+   untouched remain valid. *)
+type adjacency = {
+  adj_neighbors : Bitset.t array;
+  adj_pair_preds : (int, (int * Pred.t) list) Hashtbl.t;
+}
+
 type t = {
   name : string;
   quantifiers : Quantifier.t array;
@@ -15,7 +27,35 @@ type t = {
   outer_joins : outer_join list;
   children : t list;
   first_n : int option;
+  adj : adjacency;
 }
+
+let pair_key a b = if a < b then (a lsl 6) lor b else (b lsl 6) lor a
+
+let build_adjacency quantifiers preds =
+  let n = Array.length quantifiers in
+  let adj_neighbors = Array.make n Bitset.empty in
+  let adj_pair_preds = Hashtbl.create (max 16 (List.length preds)) in
+  List.iteri
+    (fun i p ->
+      match Pred.qpair p with
+      | None -> ()
+      | Some (a, b) ->
+        adj_neighbors.(a) <- Bitset.add b adj_neighbors.(a);
+        adj_neighbors.(b) <- Bitset.add a adj_neighbors.(b);
+        let key = pair_key a b in
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt adj_pair_preds key)
+        in
+        Hashtbl.replace adj_pair_preds key ((i, p) :: prev))
+    preds;
+  (* Per-edge lists were built by prepending: restore ascending pred-list
+     order once, so lookups return predicates exactly as a scan of [preds]
+     would. *)
+  Hashtbl.filter_map_inplace
+    (fun _ l -> Some (List.rev l))
+    adj_pair_preds;
+  { adj_neighbors; adj_pair_preds }
 
 let n_quantifiers t = Array.length t.quantifiers
 
@@ -72,20 +112,53 @@ let make ?(name = "q") ?(group_by = []) ?(order_by = []) ?(outer_joins = [])
   (match first_n with
   | Some n when n <= 0 -> invalid_arg "Query_block: first_n must be positive"
   | Some _ | None -> ());
+  let quantifiers = Array.of_list quantifiers in
+  (* Validate against a placeholder index first: adjacency construction
+     indexes arrays by quantifier id, so malformed blocks must be rejected
+     with [validate]'s diagnostics before the index is built. *)
   let t =
     {
       name;
-      quantifiers = Array.of_list quantifiers;
+      quantifiers;
       preds;
       group_by;
       order_by;
       outer_joins;
       children;
       first_n;
+      adj = { adj_neighbors = [||]; adj_pair_preds = Hashtbl.create 1 };
     }
   in
   validate t;
-  t
+  { t with adj = build_adjacency quantifiers preds }
+
+let neighbors t q = t.adj.adj_neighbors.(q)
+
+let crossing_preds t s l =
+  (* Indexed lookup: walk the edges from members of [s] into [l] instead of
+     scanning the block's full predicate list.  Multi-edge results are
+     re-sorted by original predicate index so the list is identical to what
+     [List.filter (fun p -> Pred.crosses p s l) t.preds] returns. *)
+  let tagged =
+    Bitset.fold
+      (fun q acc ->
+        Bitset.fold
+          (fun nb acc ->
+            match Hashtbl.find_opt t.adj.adj_pair_preds (pair_key q nb) with
+            | None -> acc
+            | Some ps -> ps :: acc)
+          (Bitset.inter (neighbors t q) l)
+          acc)
+      s []
+  in
+  match tagged with
+  | [] -> []
+  | [ ps ] -> List.map snd ps
+  | several ->
+    List.map snd
+      (List.sort
+         (fun (i, _) (j, _) -> Stdlib.compare (i : int) j)
+         (List.concat several))
 
 let join_preds t = List.filter Pred.is_join t.preds
 

@@ -13,6 +13,14 @@ type outer_join = {
   oj_null : Bitset.t;  (** quantifiers on the null-producing side *)
 }
 
+type adjacency
+(** The precomputed join-graph index: per-quantifier neighbor bitsets plus a
+    (quantifier pair -> predicate list) map.  Built by {!make} from the
+    quantifiers and predicates; consulted through {!neighbors} and
+    {!crossing_preds}.  Functional record updates are safe as long as they
+    leave [quantifiers] and [preds] untouched — rebuild through {!make}
+    otherwise. *)
+
 type t = {
   name : string;
   quantifiers : Quantifier.t array;
@@ -26,6 +34,7 @@ type t = {
           interesting (Table 1 of the paper) — plans that can deliver rows
           without a blocking SORT, hash build or TEMP are kept alongside
           cheaper blocking plans *)
+  adj : adjacency;  (** join-graph index derived from quantifiers + preds *)
 }
 
 val make :
@@ -48,6 +57,18 @@ val quantifier : t -> int -> Quantifier.t
 
 val all_tables : t -> Bitset.t
 (** The set of all quantifier ids. *)
+
+val neighbors : t -> int -> Bitset.t
+(** Quantifiers sharing a join predicate with the given quantifier — the
+    quantifier's join-graph neighborhood, precomputed at block
+    construction. *)
+
+val crossing_preds : t -> Bitset.t -> Bitset.t -> Pred.t list
+(** [crossing_preds t s l] is every join predicate with one side in [s] and
+    the other in [l], in predicate-list order — equal to filtering [preds]
+    with {!Pred.crosses} but via the adjacency index, so the cost scales
+    with the edges between [s] and [l] rather than the block's total
+    predicate count. *)
 
 val join_preds : t -> Pred.t list
 

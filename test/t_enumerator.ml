@@ -296,4 +296,239 @@ let oracle_prop =
          let joins, _, _ = run_enum ~knobs block in
          joins = oracle ~knobs block))
 
-let suite = formula_tests @ behaviour_tests @ [ oracle_prop ]
+(* ------------------------------------------------------------------ *)
+(* Differential suite: the adjacency-indexed enumerator vs the naive    *)
+(* reference loop (test/ref_enumerator.ml).  COTE correctness depends   *)
+(* on the enumerator producing exactly the optimizer's joins, so the    *)
+(* index must be behaviour-preserving join-for-join.                    *)
+(* ------------------------------------------------------------------ *)
+
+module W = Qopt_workloads
+
+(* A join event reduced to comparable data: table sets, the crossing
+   predicates (rendered, order-sensitive — merge-order derivation reads
+   them in list order), and the feasibility flags. *)
+let event_key (ev : O.Enumerator.join_event) =
+  ( Bitset.to_int ev.O.Enumerator.left.O.Memo.tables,
+    Bitset.to_int ev.O.Enumerator.right.O.Memo.tables,
+    List.map (Format.asprintf "%a" O.Pred.pp) ev.O.Enumerator.preds,
+    ev.O.Enumerator.cartesian,
+    ev.O.Enumerator.left_outer_ok,
+    ev.O.Enumerator.right_outer_ok )
+
+(* Run one enumerator over a fresh MEMO with a recording consumer. *)
+let trace run_fn ~knobs block =
+  let memo = O.Memo.create block in
+  let events = ref [] in
+  let entries_seen = ref [] in
+  let consumer =
+    {
+      O.Enumerator.on_entry =
+        (fun e -> entries_seen := Bitset.to_int e.O.Memo.tables :: !entries_seen);
+      O.Enumerator.on_join = (fun ev -> events := event_key ev :: !events);
+    }
+  in
+  run_fn ~knobs ~card_of:(O.Memo.card_of memo O.Cardinality.Full) memo consumer;
+  ( List.rev !events,
+    List.rev !entries_seen,
+    (O.Memo.stats memo).O.Memo.joins_enumerated,
+    O.Memo.n_entries memo )
+
+let new_run ~knobs ~card_of memo consumer =
+  O.Enumerator.run ~knobs ~card_of memo consumer
+
+let ref_run ~knobs ~card_of memo consumer =
+  Ref_enumerator.run ~knobs ~card_of memo consumer
+
+(* Every block of every query in the seeded workloads (children included —
+   subquery blocks are enumerated separately). *)
+let workload_blocks =
+  lazy
+    (let schema = W.Warehouse.schema ~partitioned:false in
+     let workloads =
+       [
+         W.Synthetic.linear ~partitioned:false;
+         W.Synthetic.star ~partitioned:false;
+         W.Random_gen.generate ~seed:42 ~count:20 ~complexity:8 ~schema ();
+         W.Tpch.all ~partitioned:false;
+       ]
+     in
+     List.concat_map
+       (fun (wl : W.Workload.t) ->
+         List.concat_map
+           (fun (q : W.Workload.query) ->
+             let blocks = ref [] in
+             O.Query_block.iter_blocks
+               (fun b ->
+                 blocks := (wl.W.Workload.w_name ^ "/" ^ q.W.Workload.q_name, b) :: !blocks)
+               q.W.Workload.block;
+             List.rev !blocks)
+           wl.W.Workload.queries)
+       workloads)
+
+let knob_sets =
+  [
+    ("default", O.Knobs.default);
+    ("stable", Helpers.stable_knobs);
+    ("full-bushy-stable", Helpers.full_bushy_stable);
+    ("left-deep", O.Knobs.left_deep);
+    ("permissive", O.Knobs.permissive O.Knobs.default);
+  ]
+
+(* Reference COTE estimate: Estimator.estimate re-implemented on top of the
+   naive reference loop, including the permissive fallback and both-passes
+   accounting. *)
+let ref_estimate ~knobs env block =
+  let est_block b =
+    let run_pass knobs =
+      let memo = O.Memo.create b in
+      let acc = Cote.Accumulate.create env memo in
+      Ref_enumerator.run ~knobs ~card_of:(Cote.Accumulate.card_of acc) memo
+        (Cote.Accumulate.consumer acc);
+      (memo, acc)
+    in
+    let first = run_pass knobs in
+    let passes =
+      let memo, _ = first in
+      if
+        O.Memo.find_opt memo (O.Query_block.all_tables b) = None
+        && O.Query_block.n_quantifiers b > 1
+      then [ first; run_pass (O.Knobs.permissive knobs) ]
+      else [ first ]
+    in
+    let joins, nljn, mgjn, hsjn, scans, entries =
+      List.fold_left
+        (fun (j, n, m, h, s, e) (memo, acc) ->
+          let counts = Cote.Accumulate.counts acc in
+          ( j + (O.Memo.stats memo).O.Memo.joins_enumerated,
+            n + counts.O.Memo.nljn,
+            m + counts.O.Memo.mgjn,
+            h + counts.O.Memo.hsjn,
+            s + Cote.Accumulate.scan_plans acc,
+            e + O.Memo.n_entries memo ))
+        (0, 0, 0, 0, 0, 0) passes
+    in
+    (joins, nljn, mgjn, hsjn, scans, entries)
+  in
+  let total = ref (0, 0, 0, 0, 0, 0) in
+  O.Query_block.iter_blocks
+    (fun b ->
+      let j, n, m, h, s, e = est_block b in
+      let j0, n0, m0, h0, s0, e0 = !total in
+      total := (j0 + j, n0 + n, m0 + m, h0 + h, s0 + s, e0 + e))
+    block;
+  !total
+
+let differential_tests =
+  [
+    t "indexed enumerator = naive loop: identical event streams (all workloads)"
+      (fun () ->
+        let checked = ref 0 in
+        List.iter
+          (fun (name, block) ->
+            List.iter
+              (fun (kname, knobs) ->
+                let ev_new, en_new, j_new, m_new = trace new_run ~knobs block in
+                let ev_ref, en_ref, j_ref, m_ref = trace ref_run ~knobs block in
+                incr checked;
+                if j_new <> j_ref then
+                  Alcotest.failf "%s [%s]: joins_enumerated %d <> %d" name
+                    kname j_new j_ref;
+                if m_new <> m_ref then
+                  Alcotest.failf "%s [%s]: entries %d <> %d" name kname m_new
+                    m_ref;
+                if en_new <> en_ref then
+                  Alcotest.failf "%s [%s]: entry creation sequences differ"
+                    name kname;
+                if ev_new <> ev_ref then
+                  Alcotest.failf "%s [%s]: join event streams differ" name
+                    kname)
+              knob_sets)
+          (Lazy.force workload_blocks);
+        Alcotest.(check bool) "covered a real corpus" true (!checked > 300));
+    t "COTE estimates unchanged by the adjacency index (all workloads)"
+      (fun () ->
+        List.iter
+          (fun (env_name, env) ->
+            List.iter
+              (fun (name, block) ->
+                List.iter
+                  (fun (kname, knobs) ->
+                    let e = Cote.Estimator.estimate ~knobs env block in
+                    let j, n, m, h, s, en = ref_estimate ~knobs env block in
+                    let ck what a b =
+                      if a <> b then
+                        Alcotest.failf "%s [%s/%s]: %s %d <> reference %d" name
+                          env_name kname what a b
+                    in
+                    ck "joins" e.Cote.Estimator.joins j;
+                    ck "nljn" e.Cote.Estimator.nljn n;
+                    ck "mgjn" e.Cote.Estimator.mgjn m;
+                    ck "hsjn" e.Cote.Estimator.hsjn h;
+                    ck "scan_plans" e.Cote.Estimator.scan_plans s;
+                    ck "entries" e.Cote.Estimator.entries en)
+                  [ ("default", O.Knobs.default); ("stable", Helpers.stable_knobs) ])
+              (* Top-level queries only: estimate recurses into children
+                 itself. *)
+              (List.concat_map
+                 (fun (wl : W.Workload.t) ->
+                   List.map
+                     (fun (q : W.Workload.query) ->
+                       ( wl.W.Workload.w_name ^ "/" ^ q.W.Workload.q_name,
+                         q.W.Workload.block ))
+                     wl.W.Workload.queries)
+                 [
+                   W.Synthetic.star ~partitioned:false;
+                   W.Tpch.all ~partitioned:false;
+                 ]))
+          [ ("serial", O.Env.serial); ("parallel", O.Env.parallel ~nodes:4) ]);
+    t "adjacency gate skips pairs corpus-wide (pairs_considered drops)"
+      (fun () ->
+        let consumer =
+          { O.Enumerator.on_entry = (fun _ -> ()); on_join = (fun _ -> ()) }
+        in
+        let naive_pairs knobs block =
+          let pairs = ref 0 in
+          let memo = O.Memo.create block in
+          Ref_enumerator.run
+            ~on_pair:(fun () -> incr pairs)
+            ~knobs
+            ~card_of:(O.Memo.card_of memo O.Cardinality.Full)
+            memo consumer;
+          !pairs
+        in
+        let indexed_pairs knobs block =
+          (* Via the metrics layer: the gate must fire before the counter. *)
+          let reg = Qopt_obs.Registry.default in
+          let snap () =
+            Qopt_obs.Registry.counter_value reg "enumerator.pairs_considered"
+          in
+          let before = snap () in
+          Qopt_obs.Control.with_enabled true (fun () ->
+              let memo = O.Memo.create block in
+              O.Enumerator.run ~knobs
+                ~card_of:(O.Memo.card_of memo O.Cardinality.Full)
+                memo consumer);
+          snap () - before
+        in
+        List.iter
+          (fun (kname, knobs) ->
+            let naive, indexed =
+              List.fold_left
+                (fun (a, b) (_, block) ->
+                  (a + naive_pairs knobs block, b + indexed_pairs knobs block))
+                (0, 0)
+                (Lazy.force workload_blocks)
+            in
+            let ratio = float_of_int indexed /. float_of_int naive in
+            Format.printf
+              "pairs_considered [%s]: naive %d -> indexed %d (%.1f%%)@." kname
+              naive indexed (100.0 *. ratio);
+            Alcotest.(check bool)
+              (Printf.sprintf "[%s] %d -> %d" kname naive indexed)
+              true
+              (indexed < naive && ratio <= 0.9))
+          [ ("default", O.Knobs.default); ("stable", Helpers.stable_knobs) ])
+  ]
+
+let suite = formula_tests @ behaviour_tests @ [ oracle_prop ] @ differential_tests

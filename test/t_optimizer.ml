@@ -122,6 +122,35 @@ let optimizer_tests =
         let r = optimize block in
         Alcotest.(check bool) "planned anyway" true (r.O.Optimizer.best <> None);
         Alcotest.(check int) "one cartesian join" 1 r.O.Optimizer.joins);
+    t "retry folds the failed pass's work into the result" (fun () ->
+        (* t0-t1 joined, t2 isolated: strict knobs cannot reach the top set,
+           so the optimizer retries permissively.  The first pass's joins and
+           entries are real compile work (Estimator.estimate_block times and
+           counts both passes) and must survive into the folded result. *)
+        let quantifiers =
+          List.init 3 (fun i ->
+              O.Quantifier.make i (Helpers.table ~rows:1000.0 (Printf.sprintf "d%d" i)))
+        in
+        let preds = [ O.Pred.Eq_join (cr 0 "j1", cr 1 "j1") ] in
+        let block = O.Query_block.make ~name:"disc3" ~quantifiers ~preds () in
+        let pass knobs =
+          let memo = O.Memo.create block in
+          let consumer =
+            { O.Enumerator.on_entry = (fun _ -> ()); on_join = (fun _ -> ()) }
+          in
+          O.Enumerator.run ~knobs
+            ~card_of:(O.Memo.card_of memo O.Cardinality.Full)
+            memo consumer;
+          ((O.Memo.stats memo).O.Memo.joins_enumerated, O.Memo.n_entries memo)
+        in
+        let j1, e1 = pass Helpers.stable_knobs in
+        let j2, e2 = pass (O.Knobs.permissive Helpers.stable_knobs) in
+        Alcotest.(check bool) "first pass does real work" true (j1 > 0 && e1 > 0);
+        let r = optimize block in
+        Alcotest.(check bool) "planned on retry" true (r.O.Optimizer.best <> None);
+        Alcotest.(check int) "joins folded across passes" (j1 + j2) r.O.Optimizer.joins;
+        Alcotest.(check int) "entries folded across passes" (e1 + e2) r.O.Optimizer.entries;
+        Alcotest.(check bool) "elapsed covers both passes" true (r.O.Optimizer.elapsed > 0.0));
     t "DP at least as good as greedy under the same search space" (fun () ->
         let block = Helpers.chain 5 in
         let dp = optimize ~knobs:Helpers.full_bushy_stable block in

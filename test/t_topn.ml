@@ -104,6 +104,32 @@ let optimizer_tests =
           (Printf.sprintf "%g vs %g within 30%%" actual est)
           true
           (Float.abs (est -. actual) /. actual <= 0.30));
+    t "pre-sorted GROUP BY keeps the plan pipelinable under LIMIT" (fun () ->
+        (* An index on the grouping column delivers rows already grouped: the
+           aggregate needs no SORT operator, so the plan keeps streaming and
+           the top-N discount applies.  A regression here made [finish] wrap
+           Plan.Sort around the winner even when the order was already
+           satisfied, destroying pipelinability for GROUP BY + LIMIT. *)
+        let tbl =
+          Helpers.table ~rows:10000.0
+            ~indexes:[ Qopt_catalog.Index.make ~name:"iv" [ "v" ] ]
+            "g"
+        in
+        let block =
+          O.Query_block.make ~name:"gl" ~first_n:5
+            ~group_by:[ cr 0 "v" ]
+            ~quantifiers:[ O.Quantifier.make 0 tbl ]
+            ~preds:[ O.Pred.Local_cmp (cr 0 "v", O.Pred.Eq, 3.0) ]
+            ()
+        in
+        let r = O.Optimizer.optimize O.Env.serial ~knobs:Helpers.stable_knobs block in
+        match r.O.Optimizer.best with
+        | None -> Alcotest.fail "expected plan"
+        | Some p ->
+          Alcotest.(check bool) "pipelines" true (O.Plan.pipelinable p);
+          let grouping = O.Order_prop.make O.Order_prop.Grouping [ cr 0 "v" ] in
+          Alcotest.(check bool) "delivers grouping order" true
+            (O.Order_prop.satisfied_by O.Equiv.empty grouping p.O.Plan.order));
     t "best_pipelinable_plan" (fun () ->
         let block = topn_block 3 in
         let memo = O.Memo.create block in
