@@ -158,6 +158,61 @@ let report raw =
       | Some _ | None -> None)
     rows
 
+(* Batch throughput: the whole serial synthetic corpus compiled through the
+   Qopt_par pool at increasing domain counts.  Rows land next to the
+   Bechamel ones in BENCH.json:
+
+     batch/qps-dN          — compile tasks per second at N domains
+     batch/speedup-d4      — qps-d4 / qps-d1
+     batch/identical-d1-d4 — 1.0 when the 1- and 4-domain batches produced
+                             byte-identical fingerprints (the determinism
+                             guarantee), else 0.0
+
+   Wall-clock speedup tracks the cores actually available: on a single-core
+   host all domain counts time-slice one CPU, so qps stays flat there while
+   the identity row still must hold. *)
+let batch_rows () =
+  let corpus =
+    List.concat_map
+      (fun wl ->
+        List.map
+          (fun (q : W.Workload.query) -> Qopt_par.Batch.Compile q.W.Workload.block)
+          (E.Common.workload serial wl).W.Workload.queries)
+      [ "linear"; "star"; "cycle" ]
+  in
+  let n = List.length corpus in
+  let time_at domains =
+    (* One warm run per domain count: the corpus is ~seconds of work, big
+       enough that a single wall-clock reading is stable. *)
+    Qopt_util.Timer.time (fun () ->
+        Qopt_par.Batch.run_batch ~domains serial corpus)
+  in
+  let out1, t1 = time_at 1 in
+  let out2, t2 = time_at 2 in
+  let out4, t4 = time_at 4 in
+  ignore out2;
+  let qps t = float_of_int n /. t in
+  let identical =
+    if
+      String.equal
+        (Qopt_par.Batch.fingerprint out1)
+        (Qopt_par.Batch.fingerprint out4)
+    then 1.0
+    else 0.0
+  in
+  let rows =
+    [
+      ("batch/qps-d1", qps t1);
+      ("batch/qps-d2", qps t2);
+      ("batch/qps-d4", qps t4);
+      ("batch/speedup-d4", qps t4 /. qps t1);
+      ("batch/identical-d1-d4", identical);
+    ]
+  in
+  Format.printf "=== Batch throughput (%d compile tasks) ===@." n;
+  List.iter (fun (name, v) -> Format.printf "%-36s %16.2f@." name v) rows;
+  rows
+
 (* Machine-readable results for CI trend tracking: a flat benchmark-name ->
    ns/run object, one line per benchmark so diffs stay readable. *)
 let write_bench_json path rows =
@@ -184,6 +239,8 @@ let () =
   Format.printf "=== Bechamel micro-benchmarks (one per table/figure) ===@.";
   let raw = run_benchmarks () in
   let rows = report raw in
+  Format.printf "@.";
+  let rows = rows @ batch_rows () in
   Format.printf "@.";
   if quick then begin
     write_bench_json "BENCH.json" rows;

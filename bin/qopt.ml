@@ -5,6 +5,7 @@
                   named schema) and show the plan and counters
      estimate   — run the COTE on the same query and show the prediction
      breakdown  — Figure 2-style time breakdown for one query
+     batch      — compile/estimate whole workloads across a domain pool
      calibrate  — fit and print the time model for an environment
      experiment — run registered experiments by id
      list       — list workloads, their queries, and experiment ids *)
@@ -158,6 +159,110 @@ let breakdown_cmd =
         (const run $ env_term $ workload_term $ query_term $ sql_term
        $ schema_term $ metrics_term))
 
+let batch_cmd =
+  let workloads_term =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "w"; "workload" ]
+          ~doc:"workload to include (repeatable; default: linear, star, cycle)")
+  in
+  let mode_term =
+    Arg.(
+      value
+      & opt string "compile"
+      & info [ "mode" ] ~docv:"MODE" ~doc:"compile, estimate or both")
+  in
+  let domains_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "d"; "domains" ]
+          ~doc:"domain count (default: \\$(b,QOPT_DOMAINS) or 1)")
+  in
+  let fingerprint_term =
+    Arg.(
+      value & flag
+      & info [ "fingerprint" ]
+          ~doc:"print the batch determinism fingerprint (MD5 over every \
+                deterministic result field)")
+  in
+  let run env workloads mode domains fingerprint metrics =
+    wrap (fun () ->
+      with_metrics metrics (fun () ->
+        let workloads =
+          if workloads = [] then [ "linear"; "star"; "cycle" ] else workloads
+        in
+        let queries =
+          List.concat_map
+            (fun name ->
+              List.map
+                (fun (q : W.Workload.query) ->
+                  (Printf.sprintf "%s/%s" name q.W.Workload.q_name, q.W.Workload.block))
+                (E.Common.workload env name).W.Workload.queries)
+            workloads
+        in
+        let tasks =
+          List.concat_map
+            (fun (name, block) ->
+              match mode with
+              | "compile" -> [ (name, Qopt_par.Batch.Compile block) ]
+              | "estimate" -> [ (name, Qopt_par.Batch.Estimate block) ]
+              | "both" ->
+                [ (name, Qopt_par.Batch.Compile block);
+                  (name, Qopt_par.Batch.Estimate block) ]
+              | m ->
+                failwith
+                  (Printf.sprintf "unknown mode %S (compile|estimate|both)" m))
+            queries
+        in
+        let domains =
+          match domains with
+          | Some d -> d
+          | None -> Qopt_par.Batch.default_domains ()
+        in
+        let outcomes, wall =
+          Qopt_util.Timer.time (fun () ->
+              Qopt_par.Batch.run_batch ~domains env (List.map snd tasks))
+        in
+        let cumulative = ref 0.0 in
+        List.iter2
+          (fun (name, _) outcome ->
+            match outcome with
+            | Qopt_par.Batch.Compiled r ->
+              cumulative := !cumulative +. r.O.Optimizer.elapsed;
+              Format.printf
+                "%-24s compile %8.4fs  joins %3d  plans %5d  entries %4d@." name
+                r.O.Optimizer.elapsed r.O.Optimizer.joins r.O.Optimizer.kept
+                r.O.Optimizer.entries
+            | Qopt_par.Batch.Estimated e ->
+              cumulative := !cumulative +. e.Cote.Estimator.elapsed;
+              Format.printf
+                "%-24s estimate %7.4fs  joins %3d  plans %5d  entries %4d@." name
+                e.Cote.Estimator.elapsed e.Cote.Estimator.joins
+                (e.Cote.Estimator.nljn + e.Cote.Estimator.mgjn
+                + e.Cote.Estimator.hsjn)
+                e.Cote.Estimator.entries)
+          tasks outcomes;
+        let n = List.length tasks in
+        Format.printf
+          "batch: %d tasks, %d domain(s): wall %.4fs (%.1f tasks/s), \
+           cumulative task time %.4fs, speedup %.2fx@."
+          n domains wall
+          (float_of_int n /. wall)
+          !cumulative (!cumulative /. wall);
+        if fingerprint then
+          Format.printf "fingerprint: %s@."
+            (Digest.to_hex (Digest.string (Qopt_par.Batch.fingerprint outcomes)))))
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Compile/estimate whole workloads across a domain pool")
+    Term.(
+      ret
+        (const run $ env_term $ workloads_term $ mode_term $ domains_term
+       $ fingerprint_term $ metrics_term))
+
 let calibrate_cmd =
   let run env =
     wrap (fun () ->
@@ -211,6 +316,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            optimize_cmd; estimate_cmd; breakdown_cmd; calibrate_cmd;
+            optimize_cmd; estimate_cmd; breakdown_cmd; batch_cmd; calibrate_cmd;
             experiment_cmd; list_cmd;
           ]))

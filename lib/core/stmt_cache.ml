@@ -22,9 +22,21 @@ type t = {
   tbl : (string, float) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  lock : Mutex.t option;
 }
 
-let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+let create ?(shared = false) () =
+  {
+    tbl = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+    lock = (if shared then Some (Mutex.create ()) else None);
+  }
+
+let with_lock t f =
+  match t.lock with
+  | None -> f ()
+  | Some m -> Mutex.protect m f
 
 let pred_sig block p =
   let col (c : O.Colref.t) =
@@ -69,24 +81,30 @@ let rec block_sig (b : O.Query_block.t) =
 let signature = block_sig
 
 let lookup t block =
-  match Hashtbl.find_opt t.tbl (signature block) with
-  | Some seconds ->
-    t.hits <- t.hits + 1;
-    Obs.Counter.incr m_hits;
-    update_hit_rate ();
-    Some seconds
-  | None ->
-    t.misses <- t.misses + 1;
-    Obs.Counter.incr m_misses;
-    update_hit_rate ();
-    None
+  (* The signature is pure over the block; compute it outside the lock so a
+     shared cache serializes only the table probe and the bookkeeping. *)
+  let key = signature block in
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some seconds ->
+        t.hits <- t.hits + 1;
+        Obs.Counter.incr m_hits;
+        update_hit_rate ();
+        Some seconds
+      | None ->
+        t.misses <- t.misses + 1;
+        Obs.Counter.incr m_misses;
+        update_hit_rate ();
+        None)
 
 let record t block seconds =
-  Hashtbl.replace t.tbl (signature block) seconds;
-  Obs.Gauge.set m_size (float_of_int (Hashtbl.length t.tbl))
+  let key = signature block in
+  with_lock t (fun () ->
+      Hashtbl.replace t.tbl key seconds;
+      Obs.Gauge.set m_size (float_of_int (Hashtbl.length t.tbl)))
 
-let size t = Hashtbl.length t.tbl
+let size t = with_lock t (fun () -> Hashtbl.length t.tbl)
 
-let hits t = t.hits
+let hits t = with_lock t (fun () -> t.hits)
 
-let misses t = t.misses
+let misses t = with_lock t (fun () -> t.misses)

@@ -14,7 +14,11 @@ module O = Qopt_optimizer
 
 type t
 
-val create : unit -> t
+val create : ?shared:bool -> unit -> t
+(** [~shared:true] guards every operation with a mutex so the cache can be
+    consulted and updated from multiple domains (e.g. under
+    {!Qopt_par.Batch.run_batch}).  Defaults to [false]: the unshared cache
+    has zero locking overhead. *)
 
 val signature : O.Query_block.t -> string
 (** Structural signature covering the block and its children: sorted base

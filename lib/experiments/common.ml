@@ -72,9 +72,15 @@ let measure_workload env (w : W.Workload.t) =
   match Hashtbl.find_opt measure_cache key with
   | Some m -> m
   | None ->
+    (* Each query's measurement is independent, so route the sweep through
+       the domain pool; QOPT_DOMAINS=1 (the default) keeps it sequential.
+       Note that per-query wall-clock readings taken with >1 domain include
+       cross-domain contention — fine for the throughput-oriented runs that
+       opt in, not for calibration-grade timings. *)
     let m =
-      List.map
-        (fun (q : W.Workload.query) ->
+      Qopt_par.Batch.map
+        ~domains:(Qopt_par.Batch.default_domains ())
+        (fun ~rng:_ (q : W.Workload.query) ->
           {
             m_query = q;
             m_real = timed_optimize env q.W.Workload.block;

@@ -19,8 +19,11 @@ type measured = {
 val measure_workload : O.Env.t -> W.Workload.t -> measured list
 (** Compiles and estimates every query of the workload.  Compile times are
     medians of up to 3 runs for sub-half-second queries and single runs for
-    long ones.  Results are memoized per (environment, workload name) for
-    the lifetime of the process, since several figures share workloads. *)
+    long ones.  Queries run through the {!Qopt_par} pool when
+    [QOPT_DOMAINS] asks for more than one domain (results stay in workload
+    order either way).  Results are memoized per (environment, workload
+    name) for the lifetime of the process, since several figures share
+    workloads. *)
 
 val workload : O.Env.t -> string -> W.Workload.t
 (** Workloads by the paper's names: ["linear"], ["star"], ["cycle"],

@@ -1,9 +1,16 @@
 (** The global collection switch.
 
     Metrics are disabled by default; every recording operation checks [on]
-    first, so a disabled run costs one load and branch per call site.
+    first, so a disabled run costs one load and branch per call site —
+    including under multi-domain batch runs, where the sharded recording
+    path ({!Shard}) is only reached once the branch passes.
     Span timers created with [~always:true] (the Figure-2 instrumentation)
-    ignore the switch — their cost is part of what they measure. *)
+    ignore the switch — their cost is part of what they measure.
+
+    The switch is a plain (non-atomic) ref shared by all domains: set it
+    from the main domain before spawning workers (spawning publishes the
+    value); flipping it while workers run gives them the new value only
+    eventually. *)
 
 val on : bool ref
 (** Exposed as a ref so hot paths can inline the check. *)

@@ -1,16 +1,24 @@
 type t = {
   name : string;
-  mutable value : int;
+  values : int array;  (* one cell per shard slot; merged value is the sum *)
 }
 
-let make name = { name; value = 0 }
+let make name = { name; values = Array.make Shard.max_slots 0 }
 
 let name t = t.name
 
-let incr t = if !Control.on then t.value <- t.value + 1
+let incr t =
+  if !Control.on then begin
+    let s = Shard.slot () in
+    t.values.(s) <- t.values.(s) + 1
+  end
 
-let add t n = if !Control.on then t.value <- t.value + n
+let add t n =
+  if !Control.on then begin
+    let s = Shard.slot () in
+    t.values.(s) <- t.values.(s) + n
+  end
 
-let value t = t.value
+let value t = Array.fold_left ( + ) 0 t.values
 
-let reset t = t.value <- 0
+let reset t = Array.fill t.values 0 Shard.max_slots 0

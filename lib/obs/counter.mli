@@ -1,4 +1,6 @@
-(** Monotonic integer counter. *)
+(** Monotonic integer counter, sharded per domain slot ({!Shard}):
+    increments touch only the calling domain's cell, [value] sums the
+    cells.  Concurrent workers on distinct slots never lose updates. *)
 
 type t
 

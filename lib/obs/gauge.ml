@@ -1,23 +1,38 @@
 type t = {
   name : string;
-  mutable value : float;
-  mutable is_set : bool;
+  values : float array;  (* one cell per shard slot *)
+  seqs : int array;  (* write sequence per slot; 0 = never set *)
 }
 
-let make name = { name; value = 0.0; is_set = false }
+let make name =
+  {
+    name;
+    values = Array.make Shard.max_slots 0.0;
+    seqs = Array.make Shard.max_slots 0;
+  }
 
 let name t = t.name
 
 let set t v =
   if !Control.on then begin
-    t.value <- v;
-    t.is_set <- true
+    let s = Shard.slot () in
+    t.values.(s) <- v;
+    t.seqs.(s) <- Shard.next_seq ()
   end
 
-let value t = t.value
+(* Last write wins across shards: the slot with the highest write sequence
+   holds the newest value. *)
+let newest t =
+  let best = ref (-1) in
+  for s = 0 to Shard.max_slots - 1 do
+    if t.seqs.(s) > 0 && (!best < 0 || t.seqs.(s) > t.seqs.(!best)) then best := s
+  done;
+  !best
 
-let is_set t = t.is_set
+let value t = match newest t with -1 -> 0.0 | s -> t.values.(s)
+
+let is_set t = newest t >= 0
 
 let reset t =
-  t.value <- 0.0;
-  t.is_set <- false
+  Array.fill t.values 0 Shard.max_slots 0.0;
+  Array.fill t.seqs 0 Shard.max_slots 0

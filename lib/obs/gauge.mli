@@ -1,4 +1,6 @@
-(** Last-value float gauge. *)
+(** Last-value float gauge, sharded per domain slot ({!Shard}).  Each set
+    stamps a process-wide write sequence; [value] returns the most recently
+    set shard's value, preserving last-write-wins across domains. *)
 
 type t
 

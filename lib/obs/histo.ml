@@ -17,67 +17,88 @@ let representative i =
   if i = 0 then 0.0
   else Float.pow 2.0 ((float_of_int (i - mid) +. 0.5) /. sub_per_octave)
 
-type t = {
-  name : string;
+type shard = {
   buckets : int array;
-  mutable count : int;
-  mutable sum : float;
-  mutable min : float;
-  mutable max : float;
+  mutable s_count : int;
+  mutable s_sum : float;
+  mutable s_min : float;
+  mutable s_max : float;
 }
 
-let make name =
-  {
-    name;
-    buckets = Array.make n_buckets 0;
-    count = 0;
-    sum = 0.0;
-    min = infinity;
-    max = neg_infinity;
-  }
+type t = {
+  name : string;
+  shards : shard option array;  (* lazily allocated, one per slot in use *)
+}
+
+let make name = { name; shards = Array.make Shard.max_slots None }
 
 let name t = t.name
 
+let shard_of t s =
+  match t.shards.(s) with
+  | Some sh -> sh
+  | None ->
+    let sh =
+      {
+        buckets = Array.make n_buckets 0;
+        s_count = 0;
+        s_sum = 0.0;
+        s_min = infinity;
+        s_max = neg_infinity;
+      }
+    in
+    t.shards.(s) <- Some sh;
+    sh
+
 let observe t v =
   if !Control.on then begin
+    let sh = shard_of t (Shard.slot ()) in
     let i = index_of v in
-    t.buckets.(i) <- t.buckets.(i) + 1;
-    t.count <- t.count + 1;
-    t.sum <- t.sum +. v;
-    if v < t.min then t.min <- v;
-    if v > t.max then t.max <- v
+    sh.buckets.(i) <- sh.buckets.(i) + 1;
+    sh.s_count <- sh.s_count + 1;
+    sh.s_sum <- sh.s_sum +. v;
+    if v < sh.s_min then sh.s_min <- v;
+    if v > sh.s_max then sh.s_max <- v
   end
 
-let count t = t.count
+let fold f init t =
+  Array.fold_left
+    (fun acc sh -> match sh with None -> acc | Some sh -> f acc sh)
+    init t.shards
 
-let sum t = t.sum
+let count t = fold (fun acc sh -> acc + sh.s_count) 0 t
 
-let min_value t = if t.count = 0 then Float.nan else t.min
+let sum t = fold (fun acc sh -> acc +. sh.s_sum) 0.0 t
 
-let max_value t = if t.count = 0 then Float.nan else t.max
+let min_value t =
+  if count t = 0 then Float.nan
+  else fold (fun acc sh -> Float.min acc sh.s_min) infinity t
 
-let mean t = if t.count = 0 then Float.nan else t.sum /. float_of_int t.count
+let max_value t =
+  if count t = 0 then Float.nan
+  else fold (fun acc sh -> Float.max acc sh.s_max) neg_infinity t
+
+let mean t =
+  let n = count t in
+  if n = 0 then Float.nan else sum t /. float_of_int n
 
 let quantile t q =
-  if t.count = 0 then Float.nan
+  let total = count t in
+  if total = 0 then Float.nan
   else begin
     let target =
-      let r = int_of_float (Float.ceil (q *. float_of_int t.count)) in
-      if r < 1 then 1 else if r > t.count then t.count else r
+      let r = int_of_float (Float.ceil (q *. float_of_int total)) in
+      if r < 1 then 1 else if r > total then total else r
     in
+    let bucket i = fold (fun acc sh -> acc + sh.buckets.(i)) 0 t in
     let rec walk i cum =
-      let cum = cum + t.buckets.(i) in
+      let cum = cum + bucket i in
       if cum >= target || i = n_buckets - 1 then i else walk (i + 1) cum
     in
     let i = walk 0 0 in
     (* Clamp the bucket midpoint to the observed range so single-observation
        and extreme quantiles stay honest. *)
-    Float.min t.max (Float.max t.min (representative i))
+    Float.min (max_value t) (Float.max (min_value t) (representative i))
   end
 
-let reset t =
-  Array.fill t.buckets 0 n_buckets 0;
-  t.count <- 0;
-  t.sum <- 0.0;
-  t.min <- infinity;
-  t.max <- neg_infinity
+let reset t = Array.fill t.shards 0 Shard.max_slots None

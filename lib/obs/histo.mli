@@ -3,7 +3,11 @@
     Values are bucketed at four buckets per octave (relative resolution
     ~19%) over [2^-32, 2^32]; non-positive values land in a dedicated
     underflow bucket.  Exact [count], [sum], [min] and [max] are kept on
-    the side, so means are exact and only quantiles are approximate. *)
+    the side, so means are exact and only quantiles are approximate.
+
+    Observations are sharded per domain slot ({!Shard}); the accessors
+    merge the shards (bucket-wise sums, min of mins, …), so a merged batch
+    reading equals a serial run's reading over the same observations. *)
 
 type t
 

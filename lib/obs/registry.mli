@@ -5,7 +5,14 @@
     (typically at module initialization) and then touch the metric
     directly.  [default] is the process-wide registry every built-in
     optimizer metric registers in; the [--metrics] flag of [qopt] and
-    [bench] dumps it after a run. *)
+    [bench] dumps it after a run.
+
+    Metrics are sharded per domain slot ({!Shard}): recording from pool
+    workers lands in per-domain cells, and every read accessor here — and
+    both export sinks — returns the merged (shard-summed) reading, so a
+    batch run's export equals a serial run's over the same work.  Create
+    metrics from the main domain (module initialization); the find-or-create
+    table itself is not synchronized. *)
 
 type t
 

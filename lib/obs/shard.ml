@@ -1,0 +1,26 @@
+(* Per-domain shard slots for the metrics layer.
+
+   Every metric keeps one cell per slot; recording touches only the cell of
+   the current domain's slot, so concurrent workers never contend (or race)
+   on the same mutable state.  Merged readings sum (or last-write-win over)
+   the slots.  Slot 0 belongs to the main domain; `Qopt_par.Pool` assigns
+   slots 1..n-1 to its workers via {!set_slot}. *)
+
+let max_slots = 16
+
+let key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let slot () = Domain.DLS.get key
+
+let set_slot i =
+  if i < 0 || i >= max_slots then
+    invalid_arg
+      (Printf.sprintf "Qopt_obs.Shard.set_slot: slot %d outside [0, %d)" i
+         max_slots);
+  Domain.DLS.set key i
+
+(* A process-wide write sequence used to merge last-write-wins metrics
+   (gauges): the shard with the highest sequence holds the newest value. *)
+let seq = Atomic.make 1
+
+let next_seq () = Atomic.fetch_and_add seq 1

@@ -1,30 +1,49 @@
 module Timer = Qopt_util.Timer
 
+type shard = {
+  mutable s_total : float;
+  mutable s_child : float;
+  mutable s_count : int;
+}
+
 type t = {
   name : string;
   always : bool;
-  mutable total : float;
-  mutable child : float;
-  mutable count : int;
+  shards : shard option array;  (* lazily allocated, one per slot in use *)
 }
 
-(* The dynamic nesting stack; the optimizer is single-threaded. *)
-let stack : t list ref = ref []
+(* The dynamic nesting stack, per domain: nesting never crosses domains, so
+   each domain attributes child time within its own stack. *)
+let stack_key : t list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
-let make ?(always = false) name = { name; always; total = 0.0; child = 0.0; count = 0 }
+let make ?(always = false) name =
+  { name; always; shards = Array.make Shard.max_slots None }
 
 let name t = t.name
 
+let shard_of t s =
+  match t.shards.(s) with
+  | Some sh -> sh
+  | None ->
+    let sh = { s_total = 0.0; s_child = 0.0; s_count = 0 } in
+    t.shards.(s) <- Some sh;
+    sh
+
 let record t dt =
-  t.total <- t.total +. dt;
-  t.count <- t.count + 1;
-  match !stack with
-  | parent :: _ when parent != t -> parent.child <- parent.child +. dt
+  let slot = Shard.slot () in
+  let sh = shard_of t slot in
+  sh.s_total <- sh.s_total +. dt;
+  sh.s_count <- sh.s_count + 1;
+  match !(Domain.DLS.get stack_key) with
+  | parent :: _ when parent != t ->
+    let psh = shard_of parent slot in
+    psh.s_child <- psh.s_child +. dt
   | _ -> ()
 
 let time t f =
   if not (t.always || !Control.on) then f ()
   else begin
+    let stack = Domain.DLS.get stack_key in
     let saved = !stack in
     stack := t :: saved;
     let t0 = Timer.now () in
@@ -38,13 +57,16 @@ let time t f =
 
 let add t dt = if t.always || !Control.on then record t dt
 
-let total t = t.total
+let fold f init t =
+  Array.fold_left
+    (fun acc sh -> match sh with None -> acc | Some sh -> f acc sh)
+    init t.shards
 
-let self t = Float.max 0.0 (t.total -. t.child)
+let total t = fold (fun acc sh -> acc +. sh.s_total) 0.0 t
 
-let count t = t.count
+let self t =
+  Float.max 0.0 (fold (fun acc sh -> acc +. (sh.s_total -. sh.s_child)) 0.0 t)
 
-let reset t =
-  t.total <- 0.0;
-  t.child <- 0.0;
-  t.count <- 0
+let count t = fold (fun acc sh -> acc + sh.s_count) 0 t
+
+let reset t = Array.fill t.shards 0 Shard.max_slots None

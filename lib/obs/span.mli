@@ -3,8 +3,10 @@
     A span accumulates inclusive elapsed time over [time] calls.  Spans
     nest dynamically: while one span is timing, time spent in any span
     entered inside it is also attributed to the outer span's child total,
-    so [self] reports exclusive time.  Nesting is tracked on a single
-    global stack (the optimizer is single-threaded).
+    so [self] reports exclusive time.  Nesting is tracked on a per-domain
+    stack (domain-local storage), and accumulated seconds are sharded per
+    domain slot ({!Shard}), so concurrent workers time the same span
+    without interfering; [total]/[self]/[count] merge the shards.
 
     Spans created with [~always:true] record regardless of the
     {!Control.on} switch — used by the Figure-2 instrumentation, whose

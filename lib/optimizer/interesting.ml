@@ -1,6 +1,10 @@
 module Bitset = Qopt_util.Bitset
 
 let orders_for_table block q =
+  (* Only predicates incident on [q] can contribute a join key, so walk the
+     quantifier's adjacency edges instead of the whole predicate list.
+     [crossing_preds] preserves predicate-list order, so the resulting
+     orders come out exactly as the full scan produced them. *)
   let join_keys =
     List.filter_map
       (fun p ->
@@ -10,7 +14,8 @@ let orders_for_table block q =
           else if r.Colref.q = q then Some (Order_prop.make Join_key [ r ])
           else None
         | None -> None)
-      block.Query_block.preds
+      (Query_block.crossing_preds block (Bitset.singleton q)
+         (Query_block.neighbors block q))
   in
   let grouping =
     match

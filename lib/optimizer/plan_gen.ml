@@ -70,32 +70,40 @@ let default_partition env block q =
     | Some p -> Some p
     | None ->
       (* Unpartitioned tables are treated as hash-partitioned on their first
-         column so that every parallel plan carries a partition value. *)
+         column so that every parallel plan carries a partition value; a
+         zero-column table (a degenerate catalog entry) has no column to
+         hash on and stays unpartitioned. *)
       let table = (Query_block.quantifier block q).Quantifier.table in
-      let col = (Table.column_names table |> List.hd) in
-      Some (Partition_prop.hash [ Colref.make q col ])
+      (match Table.column_names table with
+      | [] -> None
+      | col :: _ -> Some (Partition_prop.hash [ Colref.make q col ]))
   else None
 
-(* Distinct partition values among an entry's kept plans, with the cheapest
-   plan carrying each; serial mode yields the single [None] group. *)
-let partition_groups equiv (entry : Memo.entry) =
+(* Distinct partition values among a plan list, with the cheapest plan
+   carrying each; serial mode yields the single [None] group.  Accumulator
+   based: one pass over the plans, one pass over the groups per plan, and a
+   single reversal per placement — no re-walk of the already-scanned group
+   prefix as the old nested recursion did. *)
+let partition_groups equiv plans =
+  let same_part a b =
+    match (a, b) with
+    | None, None -> true
+    | Some a, Some b -> Partition_prop.equal_under equiv a b
+    | None, Some _ | Some _, None -> false
+  in
   List.fold_left
     (fun groups (p : Plan.t) ->
-      let rec place = function
-        | [] -> [ (p.Plan.partition, p) ]
+      let rec place acc = function
+        | [] -> List.rev ((p.Plan.partition, p) :: acc)
         | ((part, best) as g) :: rest ->
-          let same =
-            match (part, p.Plan.partition) with
-            | None, None -> true
-            | Some a, Some b -> Partition_prop.equal_under equiv a b
-            | None, Some _ | Some _, None -> false
-          in
-          if same then
-            if p.Plan.cost < best.Plan.cost then (part, p) :: rest else g :: rest
-          else g :: place rest
+          if same_part part p.Plan.partition then
+            if p.Plan.cost < best.Plan.cost then
+              List.rev_append acc ((part, p) :: rest)
+            else List.rev_append acc (g :: rest)
+          else place (g :: acc) rest
       in
-      place groups)
-    [] (Memo.plans entry)
+      place [] groups)
+    [] plans
 
 let scan_plans t (entry : Memo.entry) =
   let q = Bitset.min_elt entry.Memo.tables in
@@ -388,7 +396,7 @@ let gen_direction t event ~(x : Memo.entry) ~(y : Memo.entry) =
                         (join_plan t equiv ~ctx ~method_:Join_method.MGJN
                            ~outer:cheapest ~inner ~preds ~out_card ~order:mo_cols
                            ~sort_outer:true ~sort_inner ()))
-                  (partition_groups equiv x)
+                  (partition_groups equiv (Memo.plans x))
               in
               let extra =
                 if repart then
@@ -411,7 +419,7 @@ let gen_direction t event ~(x : Memo.entry) ~(y : Memo.entry) =
                 join_plan t equiv ~ctx ~method_:Join_method.HSJN ~outer:cheapest
                   ~inner:inner_best ~preds ~out_card ~order:[] ~sort_outer:false
                   ~sort_inner:false ())
-              (partition_groups equiv x)
+              (partition_groups equiv (Memo.plans x))
           in
           let extra =
             if repart then

@@ -27,7 +27,13 @@ val default_partition :
     generation): the table's physical partition, a first-column hash fallback
     for unpartitioned tables in parallel mode, [None] in serial mode.  The
     COTE's [initialize()] uses the same function so both modes seed the same
-    values. *)
+    values.  A zero-column table yields [None] even in parallel mode. *)
+
+val partition_groups :
+  Equiv.t -> Plan.t list -> (Partition_prop.t option * Plan.t) list
+(** Distinct partition values among the plans (first-seen order), each paired
+    with the cheapest plan carrying it; serial-mode plans collapse to the
+    single [None] group.  Linear in groups per plan. *)
 
 val create :
   ?cost_bound:float -> ?views:Mat_view.t list -> Env.t -> Memo.t -> Instrument.t -> t

@@ -1,0 +1,89 @@
+module O = Qopt_optimizer
+module Rng = Qopt_util.Rng
+
+type task =
+  | Compile of O.Query_block.t
+  | Estimate of O.Query_block.t
+
+type outcome =
+  | Compiled of O.Optimizer.result
+  | Estimated of Cote.Estimator.estimate
+
+let default_domains () =
+  match Sys.getenv_opt "QOPT_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> min n Pool.max_domains
+    | Some _ | None -> 1)
+
+(* splitmix64 finalizer over (seed, index): every task's RNG is a pure
+   function of the batch seed and the task's position, so a batch is
+   reproducible whatever the domain count or steal order. *)
+let task_seed seed i =
+  let open Int64 in
+  let z = add (of_int seed) (mul (of_int (i + 1)) 0x9E3779B97F4A7C15L) in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  to_int (shift_right_logical (logxor z (shift_right_logical z 31)) 2)
+
+let map ?domains ?(seed = 0) f items =
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  let arr = Array.of_list items in
+  let out =
+    Pool.map_indexed ~domains (Array.length arr) (fun i ->
+        f ~rng:(Rng.create (task_seed seed i)) arr.(i))
+  in
+  Array.to_list out
+
+let run_batch ?domains ?(knobs = O.Knobs.default) env tasks =
+  map ?domains
+    (fun ~rng:_ task ->
+      match task with
+      | Compile block -> Compiled (O.Optimizer.optimize env ~knobs block)
+      | Estimate block -> Estimated (Cote.Estimator.estimate ~knobs env block))
+    tasks
+
+(* ------------------------------------------------------------------ *)
+(* Determinism fingerprint                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Every deterministic field of an outcome — everything except wall-clock
+   readings (elapsed, breakdown).  Two runs of the same batch must render
+   identical fingerprints regardless of domain count. *)
+let fingerprint outcomes =
+  let buf = Buffer.create 1024 in
+  List.iteri
+    (fun i outcome ->
+      Buffer.add_string buf (string_of_int i);
+      Buffer.add_char buf '|';
+      (match outcome with
+      | Compiled r ->
+        Buffer.add_string buf
+          (Format.asprintf "C|%s|cost=%.9g|card=%.9g|j=%d|n=%d|m=%d|h=%d|sc=%d|k=%d|e=%d|p=%d|b=%.9g"
+             (match r.O.Optimizer.best with
+             | None -> "-"
+             | Some p -> Format.asprintf "%a" O.Plan.pp_compact p)
+             (match r.O.Optimizer.best with
+             | None -> 0.0
+             | Some p -> p.O.Plan.cost)
+             (match r.O.Optimizer.best with
+             | None -> 0.0
+             | Some p -> p.O.Plan.card)
+             r.O.Optimizer.joins r.O.Optimizer.generated.O.Memo.nljn
+             r.O.Optimizer.generated.O.Memo.mgjn
+             r.O.Optimizer.generated.O.Memo.hsjn r.O.Optimizer.scan_plans
+             r.O.Optimizer.kept r.O.Optimizer.entries r.O.Optimizer.pruned
+             r.O.Optimizer.memo_bytes)
+      | Estimated e ->
+        Buffer.add_string buf
+          (Printf.sprintf "E|j=%d|n=%d|m=%d|h=%d|sc=%d|e=%d|mp=%.9g|mv=%d"
+             e.Cote.Estimator.joins e.Cote.Estimator.nljn
+             e.Cote.Estimator.mgjn e.Cote.Estimator.hsjn
+             e.Cote.Estimator.scan_plans e.Cote.Estimator.entries
+             e.Cote.Estimator.est_memo_plans e.Cote.Estimator.mv_tests));
+      Buffer.add_char buf '\n')
+    outcomes;
+  Buffer.contents buf

@@ -1,0 +1,44 @@
+(** Multi-domain batch compilation.
+
+    [run_batch env tasks] compiles/estimates every task across a domain
+    pool and returns the results in input order.  Per-task work is
+    independent (each compile builds its own MEMO); the layers with shared
+    state underneath — the {!Qopt_obs} registry and a shared
+    {!Cote.Stmt_cache} — are domain-safe, so merged metrics over a batch
+    equal a serial run's. *)
+
+module O = Qopt_optimizer
+
+type task =
+  | Compile of O.Query_block.t
+  | Estimate of O.Query_block.t
+
+type outcome =
+  | Compiled of O.Optimizer.result
+  | Estimated of Cote.Estimator.estimate
+
+val default_domains : unit -> int
+(** [QOPT_DOMAINS] when set to a positive integer (clamped to
+    {!Pool.max_domains}), else 1. *)
+
+val run_batch :
+  ?domains:int -> ?knobs:O.Knobs.t -> O.Env.t -> task list -> outcome list
+(** [domains] defaults to {!default_domains}.  Results are positionally
+    aligned with [tasks] and identical (up to wall-clock fields) for every
+    domain count; a task's exception is re-raised after the batch, lowest
+    task index first. *)
+
+val map :
+  ?domains:int ->
+  ?seed:int ->
+  (rng:Qopt_util.Rng.t -> 'a -> 'b) ->
+  'a list ->
+  'b list
+(** Generic batch map through the pool.  Each item's [rng] is seeded from
+    [(seed, index)] only — bit-for-bit reproducible regardless of domain
+    count or steal order.  [seed] defaults to 0. *)
+
+val fingerprint : outcome list -> string
+(** Canonical rendering of every deterministic outcome field (plans, costs,
+    counters — not elapsed times).  Equal fingerprints across domain counts
+    are the batch determinism guarantee. *)

@@ -1,0 +1,75 @@
+(* A fixed-capacity Chase-Lev work-stealing deque.
+
+   The owner pushes and pops at the bottom (LIFO); thieves steal from the
+   top (FIFO) with a CAS.  There is no buffer growth: the pool sizes each
+   deque for the whole batch up front, so slots are never overwritten while
+   a thief might still read them (a push reuses slot [i land mask] only
+   after the top index has passed it, which [push] checks).
+
+   Memory ordering: [push] writes the slot before the (seq-cst) bottom
+   store, and a thief reads bottom before the slot, so a thief that sees
+   the new bottom also sees the slot's value. *)
+
+type 'a steal_result =
+  | Empty
+  | Retry  (** lost a race; the deque may still hold tasks *)
+  | Stolen of 'a
+
+type 'a t = {
+  mask : int;
+  buf : 'a option array;
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+}
+
+let create capacity =
+  let cap =
+    let rec up n = if n >= max 4 capacity then n else up (n * 2) in
+    up 4
+  in
+  {
+    mask = cap - 1;
+    buf = Array.make cap None;
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let length t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+
+(* Owner only. *)
+let push t v =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  if b - tp > t.mask then invalid_arg "Qopt_par.Deque.push: deque is full";
+  t.buf.(b land t.mask) <- Some v;
+  Atomic.set t.bottom (b + 1)
+
+(* Owner only. *)
+let pop t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Already empty: restore bottom. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else if b > tp then t.buf.(b land t.mask)
+  else begin
+    (* Last element: race a concurrent thief for it. *)
+    let won = Atomic.compare_and_set t.top tp (tp + 1) in
+    Atomic.set t.bottom (tp + 1);
+    if won then t.buf.(b land t.mask) else None
+  end
+
+(* Any domain. *)
+let steal t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if tp >= b then Empty
+  else
+    match t.buf.(tp land t.mask) with
+    | None -> Retry
+    | Some v -> if Atomic.compare_and_set t.top tp (tp + 1) then Stolen v else Retry

@@ -1,0 +1,31 @@
+(** Fixed-capacity Chase-Lev work-stealing deque.
+
+    One owner domain pushes and pops at the bottom (LIFO); any other domain
+    steals from the top (FIFO, oldest task first).  Capacity is fixed at
+    creation — the pool seeds every task before the workers start, so no
+    growth is needed, which keeps the steal path free of buffer-swap
+    hazards. *)
+
+type 'a steal_result =
+  | Empty  (** no task observed; the deque may be drained *)
+  | Retry  (** lost a race with the owner or another thief — try again *)
+  | Stolen of 'a
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] rounds the capacity up to a power of two (min 4). *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Approximate under concurrency; exact when quiescent. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only.  Raises [Invalid_argument] when full. *)
+
+val pop : 'a t -> 'a option
+(** Owner only.  Takes the most recently pushed task. *)
+
+val steal : 'a t -> 'a steal_result
+(** Any domain.  Takes the oldest task, or reports [Empty]/[Retry]. *)

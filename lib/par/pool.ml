@@ -1,0 +1,95 @@
+module Obs = Qopt_obs
+
+(* The pool never outlives a batch: workers are spawned per call, seeded
+   with a round-robin split of the task indices, and steal from each other
+   once their own deque drains.  Tasks never enqueue new tasks, so a worker
+   can exit as soon as a full sweep over every other deque reports Empty. *)
+
+let max_domains = Obs.Shard.max_slots
+
+(* Re-entrancy guard: a task that itself calls into the pool runs its inner
+   batch sequentially.  Nested pools would oversubscribe the machine and
+   hand out overlapping obs shard slots. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let clamp_domains d = max 1 (min d max_domains)
+
+type 'a cell =
+  | Pending
+  | Ok_ of 'a
+  | Exn of exn * Printexc.raw_backtrace
+
+let run_worker ~deques ~domains ~w ~run =
+  let own = deques.(w) in
+  (* Sweep every other deque once; Retry means a race was lost while tasks
+     may remain, so sweep again (with a relax) until the sweep is clean. *)
+  let rec try_steal k saw_retry =
+    if k = domains then
+      if saw_retry then begin
+        Domain.cpu_relax ();
+        try_steal 1 false
+      end
+      else None
+    else
+      match Deque.steal deques.((w + k) mod domains) with
+      | Deque.Stolen i -> Some i
+      | Deque.Retry -> try_steal (k + 1) true
+      | Deque.Empty -> try_steal (k + 1) saw_retry
+  in
+  let rec loop () =
+    match Deque.pop own with
+    | Some i ->
+      run i;
+      loop ()
+    | None -> (
+      match try_steal 1 false with
+      | Some i ->
+        run i;
+        loop ()
+      | None -> ())
+  in
+  loop ()
+
+let map_indexed ?(domains = 1) n f =
+  let domains = clamp_domains (min domains (max 1 n)) in
+  if n = 0 then [||]
+  else if domains = 1 || Domain.DLS.get in_worker then Array.init n f
+  else begin
+    let deques = Array.init domains (fun _ -> Deque.create ((n / domains) + 1)) in
+    (* Deterministic round-robin seeding: task i starts in deque (i mod d).
+       Stealing may move it, but tasks carry their index, so placement never
+       affects results — only load balance. *)
+    for i = 0 to n - 1 do
+      Deque.push deques.(i mod domains) i
+    done;
+    let results = Array.make n Pending in
+    let run i =
+      results.(i) <-
+        (try Ok_ (f i) with e -> Exn (e, Printexc.get_raw_backtrace ()))
+    in
+    let worker w () =
+      Domain.DLS.set in_worker true;
+      (* Spawned workers claim distinct obs shard slots so metric recording
+         never races; the caller (worker 0) keeps its own slot. *)
+      if w > 0 then Obs.Shard.set_slot w;
+      run_worker ~deques ~domains ~w ~run
+    in
+    let spawned =
+      Array.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1)))
+    in
+    let caller_was_worker = Domain.DLS.get in_worker in
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter Domain.join spawned;
+        Domain.DLS.set in_worker caller_was_worker)
+      (fun () -> worker 0 ());
+    Array.map
+      (function
+        | Ok_ v -> v
+        | Exn (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Pending ->
+          (* Unreachable: every index is seeded exactly once and workers
+             drain until all deques are empty. *)
+          assert false)
+      results
+  end

@@ -1,0 +1,28 @@
+(** The batch-scoped domain pool.
+
+    [map_indexed ~domains n f] evaluates [f i] for every [i] in [0..n-1]
+    across [domains] domains (the caller participates, so [domains - 1]
+    domains are spawned) and returns the results indexed by [i] — input
+    order is always preserved, whatever the steal order was.
+
+    Scheduling: task indices are seeded round-robin into one work-stealing
+    deque per worker; a worker drains its own deque LIFO and steals FIFO
+    from the others when empty.  Since results are keyed by index and [f]
+    must not depend on execution order, scheduling affects only load
+    balance, never output.
+
+    Each spawned worker claims a distinct {!Qopt_obs.Shard} slot, so
+    metrics recorded inside tasks shard cleanly; [domains] is clamped to
+    {!max_domains}.  If a task calls back into the pool, the nested call
+    runs sequentially on its worker (no oversubscription, no slot
+    collisions).
+
+    If one or more tasks raise, every task still runs, then the exception
+    of the lowest-indexed failing task is re-raised (with its original
+    backtrace) — deterministic regardless of domain count. *)
+
+val max_domains : int
+(** Equal to {!Qopt_obs.Shard.max_slots}. *)
+
+val map_indexed : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [domains] defaults to 1 (run everything in the caller). *)

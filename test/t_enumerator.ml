@@ -531,4 +531,74 @@ let differential_tests =
           [ ("default", O.Knobs.default); ("stable", Helpers.stable_knobs) ])
   ]
 
-let suite = formula_tests @ behaviour_tests @ [ oracle_prop ] @ differential_tests
+(* Plan_gen.partition_groups was rewritten from a quadratic nested recursion
+   to an accumulator pass; the reference below is the old implementation
+   verbatim.  Both must group identically — same group order, same winner
+   per group, same strict-< tie behaviour. *)
+let reference_partition_groups equiv plans =
+  List.fold_left
+    (fun groups (p : O.Plan.t) ->
+      let rec place = function
+        | [] -> [ (p.O.Plan.partition, p) ]
+        | ((part, best) as g) :: rest ->
+          let same =
+            match (part, p.O.Plan.partition) with
+            | None, None -> true
+            | Some a, Some b -> O.Partition_prop.equal_under equiv a b
+            | None, Some _ | Some _, None -> false
+          in
+          if same then
+            if p.O.Plan.cost < best.O.Plan.cost then (part, p) :: rest
+            else g :: rest
+          else g :: place rest
+      in
+      place groups)
+    [] plans
+
+let partition_groups_diff =
+  t "partition_groups matches the quadratic reference on random plan lists"
+    (fun () ->
+      let rng = Qopt_util.Rng.create 20260807 in
+      let partitions =
+        [|
+          None;
+          Some (O.Partition_prop.hash [ cr 0 "j1" ]);
+          Some (O.Partition_prop.hash [ cr 1 "j1" ]);
+          Some (O.Partition_prop.hash [ cr 0 "j2" ]);
+          Some (O.Partition_prop.range [ cr 0 "j1" ]);
+          Some (O.Partition_prop.hash [ cr 0 "j1"; cr 0 "j2" ]);
+        |]
+      in
+      (* One equivalence so distinct colrefs can still collide as keys. *)
+      let equiv = O.Equiv.add_eq O.Equiv.empty (cr 0 "j1") (cr 1 "j1") in
+      let plan partition cost =
+        {
+          O.Plan.op = O.Plan.Seq_scan 0;
+          tables = Bitset.of_list [ 0 ];
+          order = [];
+          partition;
+          card = 10.0;
+          cost;
+        }
+      in
+      for _trial = 1 to 200 do
+        let n = Qopt_util.Rng.int rng 24 in
+        let plans =
+          List.init n (fun _ ->
+              plan
+                (Qopt_util.Rng.pick rng partitions)
+                (* Few distinct costs, so cost ties actually occur. *)
+                (float_of_int (Qopt_util.Rng.int rng 5)))
+        in
+        List.iter
+          (fun eq ->
+            let expected = reference_partition_groups eq plans in
+            let actual = O.Plan_gen.partition_groups eq plans in
+            if expected <> actual then
+              Alcotest.failf "groups diverge on a %d-plan list" n)
+          [ O.Equiv.empty; equiv ]
+      done)
+
+let suite =
+  formula_tests @ behaviour_tests @ [ oracle_prop ] @ differential_tests
+  @ [ partition_groups_diff ]

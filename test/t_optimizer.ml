@@ -221,4 +221,26 @@ let pilot_tests =
           (report.O.Pilot_pass.fraction >= 0.0 && report.O.Pilot_pass.fraction <= 1.0));
   ]
 
-let suite = plan_gen_tests @ optimizer_tests @ greedy_tests @ pilot_tests
+(* Regression: parallel-mode default_partition used to take [List.hd] of the
+   column list, so a zero-column table (a degenerate but constructible
+   catalog entry) crashed the whole compile. *)
+let zero_column_tests =
+  [
+    t "zero-column table optimizes in a parallel env" (fun () ->
+        let table = Qopt_catalog.Table.make ~rows:50.0 ~name:"colless" [] in
+        let block =
+          O.Query_block.make ~name:"colless"
+            ~quantifiers:[ O.Quantifier.make 0 table ]
+            ~preds:[] ()
+        in
+        let env = O.Env.parallel ~nodes:4 in
+        Alcotest.(check (option unit))
+          "no partition to fall back to" None
+          (Option.map ignore (O.Plan_gen.default_partition env block 0));
+        let r = optimize ~env block in
+        Alcotest.(check bool) "found a plan" true (r.O.Optimizer.best <> None));
+  ]
+
+let suite =
+  plan_gen_tests @ optimizer_tests @ greedy_tests @ pilot_tests
+  @ zero_column_tests

@@ -227,4 +227,68 @@ let interesting_tests =
                 0)));
   ]
 
-let suite = equiv_tests @ order_tests @ partition_tests @ interesting_tests
+(* Interesting.orders_for_table now finds join keys through the block's
+   adjacency index rather than a scan of every predicate; the inlined
+   full-scan reference must produce structurally identical order lists on a
+   corpus of block shapes. *)
+let orders_for_table_reference block q =
+  let join_keys =
+    List.filter_map
+      (fun p ->
+        match O.Pred.join_cols p with
+        | Some (l, r) ->
+          if l.O.Colref.q = q then Some (O.Order_prop.make Join_key [ l ])
+          else if r.O.Colref.q = q then Some (O.Order_prop.make Join_key [ r ])
+          else None
+        | None -> None)
+      block.O.Query_block.preds
+  in
+  let grouping =
+    match
+      List.filter
+        (fun (c : O.Colref.t) -> c.O.Colref.q = q)
+        block.O.Query_block.group_by
+    with
+    | [] -> []
+    | cols -> [ O.Order_prop.make Grouping cols ]
+  in
+  let ordering =
+    let rec prefix = function
+      | (c : O.Colref.t) :: rest when c.O.Colref.q = q -> c :: prefix rest
+      | _ :: _ | [] -> []
+    in
+    match prefix block.O.Query_block.order_by with
+    | [] -> []
+    | cols -> [ O.Order_prop.make Ordering cols ]
+  in
+  List.fold_left
+    (fun acc o -> O.Order_prop.insert_dedup O.Equiv.empty o acc)
+    []
+    (join_keys @ grouping @ ordering)
+
+let orders_for_table_diff =
+  t "orders_for_table matches the full-predicate-scan reference" (fun () ->
+      let module W = Qopt_workloads in
+      let corpus =
+        [
+          Helpers.chain 2; Helpers.chain ~extra:2 5;
+          Helpers.chain ~order_by:true ~group_by:true 6; Helpers.star_block 6;
+        ]
+        @ List.map
+            (fun (q : W.Workload.query) -> q.W.Workload.block)
+            (W.Synthetic.cycle ~partitioned:false).W.Workload.queries
+      in
+      List.iter
+        (fun (block : O.Query_block.t) ->
+          for q = 0 to O.Query_block.n_quantifiers block - 1 do
+            let expected = orders_for_table_reference block q in
+            let actual = O.Interesting.orders_for_table block q in
+            if expected <> actual then
+              Alcotest.failf "%s q%d: order lists diverge"
+                block.O.Query_block.name q
+          done)
+        corpus)
+
+let suite =
+  equiv_tests @ order_tests @ partition_tests @ interesting_tests
+  @ [ orders_for_table_diff ]
