@@ -213,6 +213,96 @@ let batch_rows () =
   List.iter (fun (name, v) -> Format.printf "%-36s %16.2f@." name v) rows;
   rows
 
+(* Compile-service latency under load: an in-process server on a Unix
+   socket, driven by the burst load generator (whole mix pipelined up
+   front so the queue is actually deep).  The mix is 2 big star joins
+   sent first plus 48 sub-millisecond smalls — FIFO makes every small
+   wait behind the bigs, SJF jumps them ahead, so the small-dominated
+   p95 is the scheduling-policy row:
+
+     server/qps         — compiled replies per second (SJF run)
+     server/p95-sjf     — p95 send-to-reply milliseconds under SJF
+     server/p95-fifo    — same mix under FIFO (expect p95-sjf <= p95-fifo)
+     server/reject-rate — fraction rejected under a tight aggregate
+                          admission budget (structured rejections) *)
+let server_rows () =
+  let module Srv = Qopt_server in
+  let schemas = [ ("warehouse", W.Warehouse.schema ~partitioned:false) ] in
+  let model = Cote.Time_model.make ~c_nljn:2e-6 ~c_mgjn:5e-6 ~c_hsjn:4e-6 () in
+  let with_server configure f =
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "qopt-bench-%d.sock" (Unix.getpid ()))
+    in
+    let cfg =
+      configure (Srv.Server.default_config ~listen:(`Unix path) ~model ~schemas ())
+    in
+    let lock = Mutex.create () and cond = Condition.create () in
+    let ready = ref false in
+    let th =
+      Thread.create
+        (fun () ->
+          Srv.Server.run
+            ~on_ready:(fun () ->
+              Mutex.protect lock (fun () ->
+                  ready := true;
+                  Condition.signal cond))
+            cfg)
+        ()
+    in
+    Mutex.lock lock;
+    while not !ready do
+      Condition.wait cond lock
+    done;
+    Mutex.unlock lock;
+    Fun.protect
+      ~finally:(fun () ->
+        (try
+           let c = Srv.Client.connect (`Unix path) in
+           ignore (Srv.Client.request c (Srv.Proto.Shutdown { id = 0 }));
+           Srv.Client.close c
+         with Unix.Unix_error _ | Sys_error _ -> ());
+        Thread.join th)
+      (fun () -> f (`Unix path))
+  in
+  let mix = Srv.Loadgen.warehouse_mix ~smalls:48 ~bigs:2 in
+  let run_mode mode =
+    with_server
+      (fun cfg -> { cfg with Srv.Server.mode })
+      (fun addr -> Srv.Loadgen.run_burst ~addr ~sql:mix ())
+  in
+  let sjf = run_mode Srv.Sched.Sjf in
+  let fifo = run_mode Srv.Sched.Fifo in
+  let rejecting =
+    with_server
+      (fun cfg ->
+        {
+          cfg with
+          Srv.Server.admission =
+            {
+              Srv.Admission.per_request_s = infinity;
+              aggregate_s = 0.005;
+              max_queue = max_int;
+            };
+        })
+      (fun addr -> Srv.Loadgen.run_burst ~addr ~sql:mix ())
+  in
+  let p95 s = 1e3 *. Srv.Loadgen.percentile s.Srv.Loadgen.latencies_s 0.95 in
+  let rows =
+    [
+      ("server/qps", sjf.Srv.Loadgen.qps);
+      ("server/p95-sjf", p95 sjf);
+      ("server/p95-fifo", p95 fifo);
+      ( "server/reject-rate",
+        float_of_int rejecting.Srv.Loadgen.rejected
+        /. float_of_int (max 1 rejecting.Srv.Loadgen.sent) );
+    ]
+  in
+  Format.printf "=== Compile service (%d-request burst, 1 worker) ===@."
+    (List.length mix);
+  List.iter (fun (name, v) -> Format.printf "%-36s %16.2f@." name v) rows;
+  rows
+
 (* Machine-readable results for CI trend tracking: a flat benchmark-name ->
    ns/run object, one line per benchmark so diffs stay readable. *)
 let write_bench_json path rows =
@@ -241,6 +331,8 @@ let () =
   let rows = report raw in
   Format.printf "@.";
   let rows = rows @ batch_rows () in
+  Format.printf "@.";
+  let rows = rows @ server_rows () in
   Format.printf "@.";
   if quick then begin
     write_bench_json "BENCH.json" rows;

@@ -8,7 +8,12 @@
      batch      — compile/estimate whole workloads across a domain pool
      calibrate  — fit and print the time model for an environment
      experiment — run registered experiments by id
-     list       — list workloads, their queries, and experiment ids *)
+     list       — list workloads, their queries, and experiment ids
+     serve      — run the compile-service daemon (COTE-driven admission,
+                  SJF scheduling, level downgrades) on a socket
+     client     — send one request to a running server and print the reply
+     loadgen    — drive a server with a mixed workload and report latency
+                  percentiles and outcome counts *)
 
 module O = Qopt_optimizer
 module W = Qopt_workloads
@@ -173,12 +178,28 @@ let batch_cmd =
       & opt string "compile"
       & info [ "mode" ] ~docv:"MODE" ~doc:"compile, estimate or both")
   in
+  let domains_conv =
+    Arg.conv
+      ( (fun s ->
+          if s = "auto" then Ok `Auto
+          else
+            match int_of_string_opt s with
+            | Some n when n >= 1 -> Ok (`Count n)
+            | Some _ | None ->
+              Error (`Msg (Printf.sprintf "bad domain count %S (N or auto)" s))),
+        fun ppf d ->
+          match d with
+          | `Auto -> Format.pp_print_string ppf "auto"
+          | `Count n -> Format.pp_print_int ppf n )
+  in
   let domains_term =
     Arg.(
       value
-      & opt (some int) None
+      & opt (some domains_conv) None
       & info [ "d"; "domains" ]
-          ~doc:"domain count (default: \\$(b,QOPT_DOMAINS) or 1)")
+          ~doc:
+            "domain count, or $(b,auto) for the runtime's recommended count \
+             (default: \\$(b,QOPT_DOMAINS) or 1)")
   in
   let fingerprint_term =
     Arg.(
@@ -218,7 +239,8 @@ let batch_cmd =
         in
         let domains =
           match domains with
-          | Some d -> d
+          | Some (`Count d) -> d
+          | Some `Auto -> Qopt_par.Batch.auto_domains ()
           | None -> Qopt_par.Batch.default_domains ()
         in
         let outcomes, wall =
@@ -307,6 +329,255 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List workloads, queries and experiments")
     Term.(ret (const run $ env_term))
 
+(* ------------------------------------------------------------------ *)
+(* Compile service: serve / client / loadgen                           *)
+(* ------------------------------------------------------------------ *)
+
+module Srv = Qopt_server
+
+let addr_of ~socket ~tcp : Srv.Server.addr =
+  match tcp with
+  | Some spec -> (
+    match String.rindex_opt spec ':' with
+    | Some i -> (
+      let host = String.sub spec 0 i in
+      let host = if host = "" then "127.0.0.1" else host in
+      match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+      | Some port -> `Tcp (host, port)
+      | None -> failwith (Printf.sprintf "bad --tcp %S (HOST:PORT)" spec))
+    | None -> failwith (Printf.sprintf "bad --tcp %S (HOST:PORT)" spec))
+  | None -> `Unix socket
+
+let socket_term =
+  Arg.(
+    value
+    & opt string "/tmp/qopt.sock"
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+let tcp_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"listen/connect on TCP instead")
+
+(* The canned model ships rough serial-environment coefficients so a server
+   can start instantly; --model calibrated re-fits on the calibration
+   workload at startup (a few seconds) for this machine's actual speeds. *)
+let model_of env = function
+  | "default" ->
+    Cote.Time_model.make ~c_nljn:2e-6 ~c_mgjn:5e-6 ~c_hsjn:4e-6 ()
+  | "calibrated" -> E.Common.model_for env
+  | m -> failwith (Printf.sprintf "unknown model %S (default|calibrated)" m)
+
+let serve_cmd =
+  let workers_term =
+    Arg.(value & opt int 1 & info [ "workers" ] ~doc:"compile worker domains")
+  in
+  let mode_term =
+    Arg.(
+      value & opt string "sjf"
+      & info [ "mode" ] ~doc:"scheduling: sjf (default) or fifo")
+  in
+  let model_term =
+    Arg.(
+      value & opt string "default"
+      & info [ "model" ]
+          ~doc:"time model: default (canned coefficients) or calibrated \
+                (fit at startup)")
+  in
+  let per_request_term =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "per-request-s" ]
+          ~doc:"reject any compile whose estimate exceeds this many seconds")
+  in
+  let aggregate_term =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "aggregate-s" ]
+          ~doc:"reject when admitted estimated seconds in flight would \
+                exceed this")
+  in
+  let max_queue_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-queue" ] ~doc:"reject when this many compiles are queued")
+  in
+  let downgrade_term =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "downgrade-s" ]
+          ~doc:"estimates above this walk down the optimization-level chain")
+  in
+  let deadline_term =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ]
+          ~doc:"default per-compile deadline for requests that carry none")
+  in
+  let run env socket tcp workers mode model per_request aggregate max_queue
+      downgrade deadline =
+    wrap (fun () ->
+        let mode =
+          match mode with
+          | "sjf" -> Srv.Sched.Sjf
+          | "fifo" -> Srv.Sched.Fifo
+          | m -> failwith (Printf.sprintf "unknown mode %S (sjf|fifo)" m)
+        in
+        let admission =
+          {
+            Srv.Admission.per_request_s =
+              Option.value ~default:infinity per_request;
+            aggregate_s = Option.value ~default:infinity aggregate;
+            max_queue = Option.value ~default:max_int max_queue;
+          }
+        in
+        let listen = addr_of ~socket ~tcp in
+        let cfg =
+          {
+            (Srv.Server.default_config ~listen ~model:(model_of env model)
+               ~schemas:
+                 [
+                   ("warehouse", schema_for env "warehouse");
+                   ("tpch", schema_for env "tpch");
+                 ]
+               ())
+            with
+            env;
+            workers;
+            mode;
+            admission;
+            downgrade_s = downgrade;
+            default_deadline_s = Option.map (fun ms -> ms /. 1000.0) deadline;
+          }
+        in
+        let pp_addr ppf = function
+          | `Unix p -> Format.fprintf ppf "unix:%s" p
+          | `Tcp (h, p) -> Format.fprintf ppf "tcp:%s:%d" h p
+        in
+        Srv.Server.run
+          ~on_ready:(fun () ->
+            Format.printf "qopt serve: listening on %a (%d worker%s, %s)@."
+              pp_addr listen workers
+              (if workers = 1 then "" else "s")
+              (Srv.Sched.mode_string mode))
+          cfg;
+        Format.printf "qopt serve: shut down@.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the compile-service daemon (admission, SJF, level downgrades)")
+    Term.(
+      ret
+        (const run $ env_term $ socket_term $ tcp_term $ workers_term
+       $ mode_term $ model_term $ per_request_term $ aggregate_term
+       $ max_queue_term $ downgrade_term $ deadline_term))
+
+let client_cmd =
+  let op_term =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP" ~doc:"estimate, compile, stats or shutdown")
+  in
+  let deadline_term =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~doc:"compile deadline in milliseconds")
+  in
+  let run socket tcp op sql schema deadline_ms =
+    wrap (fun () ->
+        let c = Srv.Client.connect (addr_of ~socket ~tcp) in
+        Fun.protect
+          ~finally:(fun () -> Srv.Client.close c)
+          (fun () ->
+            let id = Srv.Client.fresh_id c in
+            let need_sql () =
+              match sql with
+              | Some s -> s
+              | None -> failwith "--sql is required for estimate/compile"
+            in
+            let req =
+              match op with
+              | "estimate" -> Srv.Proto.Estimate { id; sql = need_sql (); schema }
+              | "compile" ->
+                Srv.Proto.Compile { id; sql = need_sql (); schema; deadline_ms }
+              | "stats" -> Srv.Proto.Stats { id }
+              | "shutdown" -> Srv.Proto.Shutdown { id }
+              | o ->
+                failwith
+                  (Printf.sprintf
+                     "unknown op %S (estimate|compile|stats|shutdown)" o)
+            in
+            match Srv.Client.request c req with
+            | None -> failwith "server closed the connection without replying"
+            | Some reply ->
+              print_endline
+                (Qopt_util.Json.to_string (Srv.Proto.reply_to_json reply))))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running qopt server and print the JSON reply")
+    Term.(
+      ret
+        (const run $ socket_term $ tcp_term $ op_term $ sql_term $ schema_term
+       $ deadline_term))
+
+let loadgen_cmd =
+  let smalls_term =
+    Arg.(value & opt int 48 & info [ "smalls" ] ~doc:"single-table queries")
+  in
+  let bigs_term =
+    Arg.(value & opt int 2 & info [ "bigs" ] ~doc:"8-table star joins, sent first")
+  in
+  let burst_term =
+    Arg.(
+      value & flag
+      & info [ "burst" ]
+          ~doc:"pipeline the whole mix on one connection (shows scheduling \
+                policy); default is closed-loop")
+  in
+  let clients_term =
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc:"closed-loop client threads")
+  in
+  let deadline_term =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~doc:"per-compile deadline in milliseconds")
+  in
+  let run socket tcp smalls bigs burst clients deadline_ms =
+    wrap (fun () ->
+        let addr = addr_of ~socket ~tcp in
+        let sql = Srv.Loadgen.warehouse_mix ~smalls ~bigs in
+        let s =
+          if burst then Srv.Loadgen.run_burst ?deadline_ms ~addr ~sql ()
+          else Srv.Loadgen.run_closed ?deadline_ms ~clients ~addr ~sql ()
+        in
+        Format.printf
+          "sent %d: compiled %d, rejected %d, cancelled %d, errored %d@."
+          s.Srv.Loadgen.sent s.Srv.Loadgen.compiled s.Srv.Loadgen.rejected
+          s.Srv.Loadgen.cancelled s.Srv.Loadgen.errored;
+        Format.printf "wall %.3fs, %.1f compiles/s@." s.Srv.Loadgen.wall_s
+          s.Srv.Loadgen.qps;
+        let p q = Srv.Loadgen.percentile s.Srv.Loadgen.latencies_s q in
+        Format.printf "latency p50 %.2fms  p95 %.2fms  p99 %.2fms  max %.2fms@."
+          (1e3 *. p 0.50) (1e3 *. p 0.95) (1e3 *. p 0.99) (1e3 *. p 1.0))
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Drive a running qopt server with a mixed compile workload")
+    Term.(
+      ret
+        (const run $ socket_term $ tcp_term $ smalls_term $ bigs_term
+       $ burst_term $ clients_term $ deadline_term))
+
 let () =
   let info =
     Cmd.info "qopt" ~version:"1.0.0"
@@ -317,5 +588,5 @@ let () =
        (Cmd.group info
           [
             optimize_cmd; estimate_cmd; breakdown_cmd; batch_cmd; calibrate_cmd;
-            experiment_cmd; list_cmd;
+            experiment_cmd; list_cmd; serve_cmd; client_cmd; loadgen_cmd;
           ]))

@@ -41,6 +41,29 @@ let fit ?(with_join_term = false) observations =
     ?c_join:(if with_join_term then Some c.(3) else None)
     ()
 
+let refit ?(with_join_term = false) ~previous observations =
+  (* Online recalibration must never kill the serving path: a degenerate
+     training batch (empty, or rank-deficient — e.g. every query produced
+     proportional plan counts) keeps the previous coefficients instead of
+     raising. *)
+  match observations with
+  | [] -> previous
+  | _ -> (
+    let features o =
+      if with_join_term then [| o.obs_nljn; o.obs_mgjn; o.obs_hsjn; o.obs_joins |]
+      else [| o.obs_nljn; o.obs_mgjn; o.obs_hsjn |]
+    in
+    let xs = Array.of_list (List.map features observations) in
+    let ys = Array.of_list (List.map (fun o -> o.obs_seconds) observations) in
+    (* Solvable (full-rank) normal equations are the health check; the
+       coefficients themselves come from the usual non-negative fit. *)
+    match Regression.fit_result xs ys with
+    | Error _ -> previous
+    | Ok _ -> (
+      match fit ~with_join_term observations with
+      | m -> m
+      | exception (Failure _ | Invalid_argument _) -> previous))
+
 let fit_joins_only observations =
   if observations = [] then invalid_arg "Calibrate.fit_joins_only: no observations";
   let xs = Array.of_list (List.map (fun o -> [| o.obs_joins |]) observations) in

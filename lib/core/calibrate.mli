@@ -34,6 +34,17 @@ val fit : ?with_join_term:bool -> observation list -> Time_model.t
     overhead (an extension the paper leaves to the fixed three-term model).
     Raises [Invalid_argument] on an empty list. *)
 
+val refit :
+  ?with_join_term:bool ->
+  previous:Time_model.t ->
+  observation list ->
+  Time_model.t
+(** {!fit} that degrades gracefully: an empty or rank-deficient training
+    set (singular normal equations — e.g. all observations have
+    proportional plan counts) returns [previous] unchanged instead of
+    raising, so online recalibration can never lose a serving system its
+    time model. *)
+
 val fit_joins_only : observation list -> Time_model.t
 (** The baseline: regress time on the join count alone. *)
 

@@ -38,7 +38,7 @@ let plan_exec_estimate = function
   | Some (p : O.Plan.t) -> p.O.Plan.cost *. cost_to_seconds
 
 let run cfg env block =
-  let t0 = Timer.now () in
+  let t0 = Timer.monotonic_now () in
   (* Low-level compilation: the greedy optimizer over every block. *)
   let low_cost = ref 0.0 in
   O.Query_block.iter_blocks
@@ -58,7 +58,7 @@ let run cfg env block =
       compile_estimate_high = c;
       compile_actual_high = Some result.O.Optimizer.elapsed;
       exec_estimate_final = plan_exec_estimate result.O.Optimizer.best;
-      elapsed = Timer.now () -. t0;
+      elapsed = Timer.monotonic_now () -. t0;
     }
   end
   else begin
@@ -69,7 +69,7 @@ let run cfg env block =
       compile_estimate_high = c;
       compile_actual_high = None;
       exec_estimate_final = exec_estimate_low;
-      elapsed = Timer.now () -. t0;
+      elapsed = Timer.monotonic_now () -. t0;
     }
   end
 

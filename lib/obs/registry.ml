@@ -162,83 +162,52 @@ let pp_text ppf t =
   end
 
 (* ------------------------------------------------------------------ *)
-(* JSON sink (hand-rolled: the library stays dependency-free)          *)
+(* JSON sink (via the dependency-free Qopt_util.Json document model)   *)
 (* ------------------------------------------------------------------ *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+module Json = Qopt_util.Json
 
-(* JSON has no NaN / Infinity literals. *)
-let json_float v =
-  if Float.is_nan v || v = infinity || v = neg_infinity then "null"
-  else Printf.sprintf "%.9g" v
-
-let to_json t =
-  let buf = Buffer.create 1024 in
+let json_value t =
   let metrics = sorted_metrics t in
-  let obj buf_fields =
-    "{" ^ String.concat "," buf_fields ^ "}"
-  in
-  let section kind f =
-    let fields =
-      List.filter_map
-        (fun (k, m) ->
-          Option.map (fun body -> Printf.sprintf "\"%s\":%s" (json_escape k) body) (f m))
-        metrics
-    in
-    Printf.sprintf "\"%s\":%s" kind (obj fields)
-  in
-  Buffer.add_char buf '{';
-  Buffer.add_string buf (Printf.sprintf "\"registry\":\"%s\"," (json_escape t.r_name));
-  Buffer.add_string buf
-    (section "counters" (function
-      | M_counter c -> Some (string_of_int (Counter.value c))
-      | _ -> None));
-  Buffer.add_char buf ',';
-  Buffer.add_string buf
-    (section "gauges" (function
-      | M_gauge g -> Some (json_float (Gauge.value g))
-      | _ -> None));
-  Buffer.add_char buf ',';
-  Buffer.add_string buf
-    (section "histograms" (function
-      | M_histo h ->
-        Some
-          (obj
-             [
-               Printf.sprintf "\"count\":%d" (Histo.count h);
-               Printf.sprintf "\"sum\":%s" (json_float (Histo.sum h));
-               Printf.sprintf "\"min\":%s" (json_float (Histo.min_value h));
-               Printf.sprintf "\"mean\":%s" (json_float (Histo.mean h));
-               Printf.sprintf "\"p50\":%s" (json_float (Histo.quantile h 0.50));
-               Printf.sprintf "\"p95\":%s" (json_float (Histo.quantile h 0.95));
-               Printf.sprintf "\"p99\":%s" (json_float (Histo.quantile h 0.99));
-               Printf.sprintf "\"max\":%s" (json_float (Histo.max_value h));
-             ])
-      | _ -> None));
-  Buffer.add_char buf ',';
-  Buffer.add_string buf
-    (section "spans" (function
-      | M_span s ->
-        Some
-          (obj
-             [
-               Printf.sprintf "\"count\":%d" (Span.count s);
-               Printf.sprintf "\"total_s\":%s" (json_float (Span.total s));
-               Printf.sprintf "\"self_s\":%s" (json_float (Span.self s));
-             ])
-      | _ -> None));
-  Buffer.add_char buf '}';
-  Buffer.contents buf
+  let section f = Json.Obj (List.filter_map (fun (k, m) -> Option.map (fun v -> (k, v)) (f m)) metrics) in
+  Json.Obj
+    [
+      ("registry", Json.Str t.r_name);
+      ( "counters",
+        section (function
+          | M_counter c -> Some (Json.int (Counter.value c))
+          | _ -> None) );
+      ( "gauges",
+        section (function
+          | M_gauge g -> Some (Json.Num (Gauge.value g))
+          | _ -> None) );
+      ( "histograms",
+        section (function
+          | M_histo h ->
+            Some
+              (Json.Obj
+                 [
+                   ("count", Json.int (Histo.count h));
+                   ("sum", Json.Num (Histo.sum h));
+                   ("min", Json.Num (Histo.min_value h));
+                   ("mean", Json.Num (Histo.mean h));
+                   ("p50", Json.Num (Histo.quantile h 0.50));
+                   ("p95", Json.Num (Histo.quantile h 0.95));
+                   ("p99", Json.Num (Histo.quantile h 0.99));
+                   ("max", Json.Num (Histo.max_value h));
+                 ])
+          | _ -> None) );
+      ( "spans",
+        section (function
+          | M_span s ->
+            Some
+              (Json.Obj
+                 [
+                   ("count", Json.int (Span.count s));
+                   ("total_s", Json.Num (Span.total s));
+                   ("self_s", Json.Num (Span.self s));
+                 ])
+          | _ -> None) );
+    ]
+
+let to_json t = Json.to_string (json_value t)

@@ -44,7 +44,12 @@ val reset : t -> unit
 val pp_text : Format.formatter -> t -> unit
 (** One {!Qopt_util.Tablefmt} table per metric kind, names sorted. *)
 
-val to_json : t -> string
-(** Compact single-object JSON document:
+val json_value : t -> Qopt_util.Json.t
+(** The registry as a structured JSON document — embeddable in a larger
+    reply (the compile server's [stats] response nests it verbatim):
     [{"registry":..., "counters":{...}, "gauges":{...},
-      "histograms":{...}, "spans":{...}}]. *)
+      "histograms":{...}, "spans":{...}}].  NaN readings (e.g. quantiles
+    of an empty histogram) render as [null]. *)
+
+val to_json : t -> string
+(** [Qopt_util.Json.to_string] of {!json_value}. *)

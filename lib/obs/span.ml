@@ -46,10 +46,10 @@ let time t f =
     let stack = Domain.DLS.get stack_key in
     let saved = !stack in
     stack := t :: saved;
-    let t0 = Timer.now () in
+    let t0 = Timer.monotonic_now () in
     Fun.protect
       ~finally:(fun () ->
-        let dt = Timer.now () -. t0 in
+        let dt = Timer.monotonic_now () -. t0 in
         stack := saved;
         record t dt)
       f

@@ -148,13 +148,21 @@ let add_counts (a : Memo.counts) (b : Memo.counts) =
     Memo.hsjn = a.Memo.hsjn + b.Memo.hsjn;
   }
 
-let optimize_block ?views env knobs block =
+exception Interrupted
+
+let no_interrupt () = false
+
+let check_interrupt interrupt = if interrupt () then raise Interrupted
+
+let optimize_block ?(interrupt = no_interrupt) ?views env knobs block =
+  check_interrupt interrupt;
   let result, reached_top = run_block ?views env knobs block in
   if reached_top || Query_block.n_quantifiers block <= 1 then result
   else begin
     (* The knobs left the query unplannable (disconnected graph without
        Cartesian products, or an over-tight inner limit): retry permissively. *)
     Obs.Counter.incr m_retries;
+    check_interrupt interrupt;
     let retry, _ = run_block ?views env (Knobs.permissive knobs) block in
     (* The failed pass is real compile time — Estimator.estimate_block times
        both passes, and COTE accuracy depends on actuals doing the same.
@@ -175,11 +183,12 @@ let optimize_block ?views env knobs block =
     }
   end
 
-let optimize env ?(knobs = Knobs.default) ?views block =
+let optimize env ?(interrupt = no_interrupt) ?(knobs = Knobs.default) ?views
+    block =
   Obs.Counter.incr m_queries;
   let results = ref [] in
   Query_block.iter_blocks
-    (fun b -> results := optimize_block ?views env knobs b :: !results)
+    (fun b -> results := optimize_block ~interrupt ?views env knobs b :: !results)
     block;
   let result =
     match !results with

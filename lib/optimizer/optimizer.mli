@@ -20,15 +20,36 @@ type result = {
   mv_matches : int;
 }
 
+exception Interrupted
+(** Raised by {!optimize} / {!optimize_block} when the [interrupt] callback
+    returns [true]: the caller (e.g. a compile-service deadline) asked for
+    cancellation.  The MEMO built so far is discarded. *)
+
 val optimize_block :
-  ?views:Mat_view.t list -> Env.t -> Knobs.t -> Query_block.t -> result
+  ?interrupt:(unit -> bool) ->
+  ?views:Mat_view.t list ->
+  Env.t ->
+  Knobs.t ->
+  Query_block.t ->
+  result
 (** Optimizes a single block, ignoring children.  If the knobs leave the top
     table set unreachable (e.g. a disconnected join graph without Cartesian
     products), the block is retried with Cartesian products enabled, as a
-    real system would. *)
+    real system would.  [interrupt] is polled between optimizer passes
+    (before the first pass and before the permissive retry); when it
+    returns [true], {!Interrupted} is raised. *)
 
 val optimize :
-  Env.t -> ?knobs:Knobs.t -> ?views:Mat_view.t list -> Query_block.t -> result
+  Env.t ->
+  ?interrupt:(unit -> bool) ->
+  ?knobs:Knobs.t ->
+  ?views:Mat_view.t list ->
+  Query_block.t ->
+  result
 (** Optimizes the block and all child blocks bottom-up; counters and times
     are summed, [best] is the top block's plan (with final SORT / GROUP BY
-    operators applied).  [knobs] defaults to {!Knobs.default}. *)
+    operators applied).  [knobs] defaults to {!Knobs.default}.  [interrupt]
+    (default: never) is polled between optimizer passes — before each
+    block's enumeration and before any permissive retry — and raises
+    {!Interrupted} when it returns [true]; a request past its deadline is
+    cancelled at the next pass boundary rather than hanging to completion. *)

@@ -17,6 +17,11 @@ let default_domains () =
     | Some n when n >= 1 -> min n Pool.max_domains
     | Some _ | None -> 1)
 
+let auto_domains () =
+  max 1 (min (Domain.recommended_domain_count ()) Pool.max_domains)
+
+let m_domains = Qopt_obs.Registry.gauge Qopt_obs.Registry.default "batch.domains"
+
 (* splitmix64 finalizer over (seed, index): every task's RNG is a pure
    function of the batch seed and the task's position, so a batch is
    reproducible whatever the domain count or steal order. *)
@@ -31,6 +36,7 @@ let map ?domains ?(seed = 0) f items =
   let domains =
     match domains with Some d -> d | None -> default_domains ()
   in
+  Qopt_obs.Gauge.set m_domains (float_of_int domains);
   let arr = Array.of_list items in
   let out =
     Pool.map_indexed ~domains (Array.length arr) (fun i ->

@@ -21,6 +21,11 @@ val default_domains : unit -> int
 (** [QOPT_DOMAINS] when set to a positive integer (clamped to
     {!Pool.max_domains}), else 1. *)
 
+val auto_domains : unit -> int
+(** [Domain.recommended_domain_count ()] clamped to {!Pool.max_domains} —
+    what [qopt batch --domains auto] uses.  The count actually used by a
+    batch is recorded in the [batch.domains] gauge. *)
+
 val run_batch :
   ?domains:int -> ?knobs:O.Knobs.t -> O.Env.t -> task list -> outcome list
 (** [domains] defaults to {!default_domains}.  Results are positionally

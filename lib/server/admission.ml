@@ -1,0 +1,28 @@
+type policy = {
+  per_request_s : float;
+  aggregate_s : float;
+  max_queue : int;
+}
+
+type reason = Per_request | Aggregate | Queue_full | Shutting_down
+
+let unlimited =
+  { per_request_s = infinity; aggregate_s = infinity; max_queue = max_int }
+
+let reason_string = function
+  | Per_request -> "per_request_budget"
+  | Aggregate -> "aggregate_budget"
+  | Queue_full -> "queue_full"
+  | Shutting_down -> "shutting_down"
+
+let decide policy ~in_flight_s ~queued ~estimate_s =
+  if estimate_s > policy.per_request_s then Error Per_request
+  else if
+    (* The aggregate ceiling only bites when other work is in flight: an
+       empty server always accepts a per-request-legal query, so a budget
+       below one query's estimate cannot wedge the service. *)
+    in_flight_s +. estimate_s > policy.aggregate_s
+    && (in_flight_s > 0.0 || queued > 0)
+  then Error Aggregate
+  else if queued >= policy.max_queue then Error Queue_full
+  else Ok ()

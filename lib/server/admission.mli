@@ -1,0 +1,47 @@
+(** COTE-driven admission control.
+
+    The paper's motivation for estimating compilation time {e before}
+    optimizing is that a DBMS can act on the estimate; this policy is the
+    acting.  Every compile request arrives with a predicted compilation
+    time, and the server rejects — with a structured reply, never a hang —
+    any request whose estimate exceeds the per-request ceiling, would push
+    the aggregate estimated in-flight work past the budget, or finds the
+    queue full.
+
+    The decision function is pure: the server supplies the current
+    aggregates under its own lock. *)
+
+type policy = {
+  per_request_s : float;
+      (** reject any single request predicted to take longer than this *)
+  aggregate_s : float;
+      (** ceiling on the summed predicted seconds of admitted work
+          (queued + running) *)
+  max_queue : int;  (** ceiling on the number of queued requests *)
+}
+
+type reason =
+  | Per_request  (** the request alone exceeds [per_request_s] *)
+  | Aggregate  (** admitting it would exceed [aggregate_s] *)
+  | Queue_full
+  | Shutting_down
+
+val unlimited : policy
+(** No ceilings (infinite budgets, [max_int] queue) — estimation-only
+    deployments and tests. *)
+
+val reason_string : reason -> string
+(** Stable wire-protocol identifiers: ["per_request_budget"],
+    ["aggregate_budget"], ["queue_full"], ["shutting_down"]. *)
+
+val decide :
+  policy ->
+  in_flight_s:float ->
+  queued:int ->
+  estimate_s:float ->
+  (unit, reason) result
+(** [decide p ~in_flight_s ~queued ~estimate_s] admits or names the first
+    violated ceiling, checked in the order per-request, aggregate, queue.
+    A request is always admitted when nothing is in flight and the queue
+    is empty unless its own estimate breaks [per_request_s] — the aggregate
+    budget can never wedge the server into rejecting everything. *)

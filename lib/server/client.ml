@@ -1,0 +1,80 @@
+module J = Qopt_util.Json
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable pending : Proto.reply list;  (* buffered out-of-order, oldest first *)
+  mutable next_id : int;
+}
+
+let connect addr =
+  let fd =
+    match addr with
+    | `Unix path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    | `Tcp (host, port) ->
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_of_string host
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (inet, port));
+      fd
+  in
+  {
+    fd;
+    ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr fd;
+    pending = [];
+    next_id = 1;
+  }
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let send t req = Wire.write t.oc (J.to_string (Proto.request_to_json req))
+
+let read_one t =
+  match Wire.read t.ic with
+  | None -> None
+  | Some payload -> (
+    match J.parse payload with
+    | Error msg -> raise (Wire.Framing_error ("bad reply JSON: " ^ msg))
+    | Ok doc -> (
+      match Proto.reply_of_json doc with
+      | Error msg -> raise (Wire.Framing_error ("bad reply: " ^ msg))
+      | Ok reply -> Some reply))
+
+let recv t =
+  match t.pending with
+  | reply :: rest ->
+    t.pending <- rest;
+    Some reply
+  | [] -> read_one t
+
+let request t req =
+  send t req;
+  let want = Proto.request_id req in
+  let matches r = Proto.reply_id r = want in
+  match List.partition matches t.pending with
+  | hit :: _, rest ->
+    t.pending <- rest;
+    Some hit
+  | [], _ ->
+    let rec wait () =
+      match read_one t with
+      | None -> None
+      | Some r when matches r -> Some r
+      | Some r ->
+        t.pending <- t.pending @ [ r ];
+        wait ()
+    in
+    wait ()
+
+let close t =
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

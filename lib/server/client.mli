@@ -1,0 +1,27 @@
+(** Blocking client for the compile service.
+
+    One connection, one thread of control.  Requests may be pipelined:
+    [send] writes without waiting, [recv] returns the next reply off the
+    wire, and [request] waits for the reply whose [id] matches —
+    buffering any out-of-order replies (SJF reorders completions) for
+    later [recv]/[request] calls. *)
+
+type t
+
+val connect : Server.addr -> t
+(** Raises [Unix.Unix_error] if the server is not reachable. *)
+
+val send : t -> Proto.request -> unit
+
+val recv : t -> Proto.reply option
+(** Next reply: a buffered one if any, else read from the socket.
+    [None] on clean EOF (server closed the connection). *)
+
+val request : t -> Proto.request -> Proto.reply option
+(** [send] then read until the reply matching the request's [id]
+    arrives; replies to other ids are buffered in arrival order. *)
+
+val fresh_id : t -> int
+(** Monotonically increasing per-connection request ids, from 1. *)
+
+val close : t -> unit

@@ -1,0 +1,38 @@
+module O = Qopt_optimizer
+
+type chosen = {
+  level : Cote.Multi_level.level;
+  predicted_s : float;
+  prediction : Cote.Predict.prediction;
+  downgrades : int;
+}
+
+let default_levels =
+  [
+    { Cote.Multi_level.level_name = "dp_default"; level_knobs = O.Knobs.default };
+    {
+      Cote.Multi_level.level_name = "dp_left_deep";
+      level_knobs = O.Knobs.left_deep;
+    };
+  ]
+
+let select ~levels ~downgrade_s ~predict =
+  match levels with
+  | [] -> invalid_arg "Qopt_server.Level.select: empty level chain"
+  | first :: rest -> (
+    let chosen_at downgrades level =
+      let prediction = predict level.Cote.Multi_level.level_knobs in
+      { level; predicted_s = prediction.Cote.Predict.seconds; prediction; downgrades }
+    in
+    let first_choice = chosen_at 0 first in
+    match downgrade_s with
+    | None -> first_choice
+    | Some budget ->
+      let rec walk current next i =
+        if current.predicted_s <= budget then current
+        else
+          match next with
+          | [] -> current (* cheapest level: degrade, don't refuse *)
+          | level :: rest -> walk (chosen_at i level) rest (i + 1)
+      in
+      walk first_choice rest 1)

@@ -1,0 +1,33 @@
+(** Estimate-driven optimization-level selection.
+
+    "Multiple levels of optimization" (paper §1.1/§6.2): when the COTE
+    predicts that full optimization would blow the budget, the server
+    downgrades to a cheaper knob level {e before} compiling — the third
+    way a DBMS acts on a pre-optimization estimate, next to admission and
+    scheduling.
+
+    The chain is a list of {!Cote.Multi_level.level}s ordered most- to
+    least-expensive.  Selection walks the chain re-estimating until a
+    level's prediction fits under the threshold; if none does, the
+    cheapest level wins (serving degrades, it never refuses on level
+    grounds alone — that is admission's job). *)
+
+type chosen = {
+  level : Cote.Multi_level.level;  (** the knobs the compile will run with *)
+  predicted_s : float;  (** the prediction at that level *)
+  prediction : Cote.Predict.prediction;  (** full estimate for the reply *)
+  downgrades : int;  (** steps taken down the chain *)
+}
+
+val default_levels : Cote.Multi_level.level list
+(** [dp_default] (the paper's setup) then [dp_left_deep]. *)
+
+val select :
+  levels:Cote.Multi_level.level list ->
+  downgrade_s:float option ->
+  predict:(Qopt_optimizer.Knobs.t -> Cote.Predict.prediction) ->
+  chosen
+(** [predict] runs the COTE at a knob setting (the server closes it over
+    the query, model and environment).  With [downgrade_s = None] the
+    first level is always chosen after a single estimation pass.  Raises
+    [Invalid_argument] on an empty chain. *)

@@ -1,0 +1,151 @@
+module Timer = Qopt_util.Timer
+
+type outcome = Compiled | Rejected | Cancelled | Errored
+
+type summary = {
+  sent : int;
+  compiled : int;
+  rejected : int;
+  cancelled : int;
+  errored : int;
+  wall_s : float;
+  latencies_s : float array;
+  qps : float;
+}
+
+let percentile lats p =
+  let n = Array.length lats in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy lats in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  end
+
+(* The small queries vary the constant so the statement cache (which keys
+   on structure, not literals) still hits while the requests are distinct;
+   the alias letter varies the table to spread catalog lookups. *)
+let small_queries =
+  [|
+    "SELECT s.s_store_name FROM store s WHERE s.s_market_id = %d";
+    "SELECT i.i_item_sk FROM item i WHERE i.i_category_id = %d";
+    "SELECT c.c_customer_sk FROM customer c WHERE c.c_birth_year = %d";
+    "SELECT d.d_date_sk FROM date_dim d WHERE d.d_year = %d";
+  |]
+
+let big_query =
+  String.concat " "
+    [
+      "SELECT d.d_year, i.i_category_id, SUM(ss.ss_quantity)";
+      "FROM store_sales ss, date_dim d, time_dim t, item i, customer c,";
+      "household_demographics hd, store s, promotion p";
+      "WHERE ss.ss_sold_date_sk = d.d_date_sk";
+      "AND ss.ss_sold_time_sk = t.t_time_sk";
+      "AND ss.ss_item_sk = i.i_item_sk";
+      "AND ss.ss_customer_sk = c.c_customer_sk";
+      "AND ss.ss_hdemo_sk = hd.hd_demo_sk";
+      "AND ss.ss_store_sk = s.s_store_sk";
+      "AND ss.ss_promo_sk = p.p_promo_sk";
+      "AND d.d_year = %d";
+      "GROUP BY d.d_year, i.i_category_id";
+    ]
+
+let warehouse_mix ~smalls ~bigs =
+  let big i = Printf.sprintf (Scanf.format_from_string big_query "%d") (1998 + i) in
+  let small i =
+    let tpl = small_queries.(i mod Array.length small_queries) in
+    Printf.sprintf (Scanf.format_from_string tpl "%d") (1 + (i mod 9))
+  in
+  List.init bigs big @ List.init smalls small
+
+let classify = function
+  | Proto.R_compile _ -> Compiled
+  | Proto.R_rejected _ -> Rejected
+  | Proto.R_cancelled _ -> Cancelled
+  | Proto.R_estimate _ | Proto.R_error _ | Proto.R_stats _ | Proto.R_ok _ ->
+    Errored
+
+let summarize ~sent ~wall_s outcomes latencies =
+  let count o = List.length (List.filter (fun x -> x = o) outcomes) in
+  let compiled = count Compiled in
+  {
+    sent;
+    compiled;
+    rejected = count Rejected;
+    cancelled = count Cancelled;
+    errored = count Errored;
+    wall_s;
+    latencies_s = Array.of_list latencies;
+    qps = (if wall_s > 0.0 then float_of_int compiled /. wall_s else 0.0);
+  }
+
+let compile_req ?deadline_ms id sql =
+  Proto.Compile { id; sql; schema = None; deadline_ms }
+
+let run_burst ?deadline_ms ~addr ~sql () =
+  let c = Client.connect addr in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      let started = Timer.monotonic_now () in
+      let send_times = Hashtbl.create 64 in
+      List.iter
+        (fun q ->
+          let id = Client.fresh_id c in
+          Hashtbl.replace send_times id (Timer.monotonic_now ());
+          Client.send c (compile_req ?deadline_ms id q))
+        sql;
+      let n = List.length sql in
+      let rec collect k outcomes latencies =
+        if k = 0 then (outcomes, latencies)
+        else
+          match Client.recv c with
+          | None -> (outcomes, latencies)
+          | Some reply ->
+            let outcome = classify reply in
+            let latencies =
+              match (outcome, Hashtbl.find_opt send_times (Proto.reply_id reply)) with
+              | Compiled, Some t0 -> (Timer.monotonic_now () -. t0) :: latencies
+              | _ -> latencies
+            in
+            collect (k - 1) (outcome :: outcomes) latencies
+      in
+      let outcomes, latencies = collect n [] [] in
+      let wall_s = Timer.monotonic_now () -. started in
+      summarize ~sent:n ~wall_s outcomes latencies)
+
+let run_closed ?deadline_ms ?(clients = 4) ~addr ~sql () =
+  let sql = Array.of_list sql in
+  let n = Array.length sql in
+  let clients = max 1 (min clients (max 1 n)) in
+  let results = Array.make clients ([], []) in
+  let started = Timer.monotonic_now () in
+  let worker w () =
+    let c = Client.connect addr in
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        let outcomes = ref [] and latencies = ref [] in
+        let i = ref w in
+        while !i < n do
+          let t0 = Timer.monotonic_now () in
+          (match
+             Client.request c (compile_req ?deadline_ms (Client.fresh_id c) sql.(!i))
+           with
+          | None -> outcomes := Errored :: !outcomes
+          | Some reply ->
+            let o = classify reply in
+            if o = Compiled then
+              latencies := (Timer.monotonic_now () -. t0) :: !latencies;
+            outcomes := o :: !outcomes);
+          i := !i + clients
+        done;
+        results.(w) <- (!outcomes, !latencies))
+  in
+  let threads = Array.init clients (fun w -> Thread.create (worker w) ()) in
+  Array.iter Thread.join threads;
+  let wall_s = Timer.monotonic_now () -. started in
+  let outcomes = Array.to_list results |> List.concat_map fst in
+  let latencies = Array.to_list results |> List.concat_map snd in
+  summarize ~sent:n ~wall_s outcomes latencies

@@ -1,0 +1,41 @@
+(** The request scheduler: a thread-safe priority queue ordering admitted
+    work shortest-estimated-compilation-first.
+
+    SJF over {e predicted} compile time is the paper's scheduling payoff:
+    the estimate is available before optimization starts, so cheap queries
+    overtake expensive ones and tail latency of the (dominant) cheap
+    traffic drops.  [Fifo] mode keeps arrival order — the comparison
+    baseline, selectable per server.
+
+    Within equal keys the tiebreak is arrival order, so [Fifo] is literally
+    SJF with a constant key.  [pop] blocks on a condition variable;
+    producers and consumers may live on any mix of threads and domains. *)
+
+type mode = Sjf | Fifo
+
+val mode_string : mode -> string
+
+type 'a t
+
+val create : mode -> 'a t
+
+val mode : 'a t -> mode
+
+val push : 'a t -> priority:float -> 'a -> bool
+(** Enqueue with the given priority (predicted seconds; ignored under
+    [Fifo]).  Returns [false] — and drops the item — if the scheduler is
+    already closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocks until an item is available or the queue is closed; [None] only
+    after [close] with an empty queue.  Items left at close time are still
+    delivered (drain them with {!drain} first for cancel-on-shutdown
+    semantics). *)
+
+val drain : 'a t -> 'a list
+(** Atomically removes and returns everything queued, in pop order. *)
+
+val close : 'a t -> unit
+(** Wakes all blocked [pop]s; subsequent pushes are refused. *)
+
+val length : 'a t -> int

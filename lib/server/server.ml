@@ -1,0 +1,560 @@
+module O = Qopt_optimizer
+module J = Qopt_util.Json
+module Timer = Qopt_util.Timer
+module Obs = Qopt_obs
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  listen : addr;
+  env : O.Env.t;
+  model : Cote.Time_model.t;
+  workers : int;
+  mode : Sched.mode;
+  admission : Admission.policy;
+  levels : Cote.Multi_level.level list;
+  downgrade_s : float option;
+  default_deadline_s : float option;
+  schemas : (string * Qopt_catalog.Schema.t) list;
+}
+
+let default_config ~listen ~model ~schemas () =
+  {
+    listen;
+    env = O.Env.serial;
+    model;
+    workers = 1;
+    mode = Sched.Sjf;
+    admission = Admission.unlimited;
+    levels = Level.default_levels;
+    downgrade_s = None;
+    default_deadline_s = None;
+    schemas;
+  }
+
+type stats = {
+  st_requests : int;
+  st_admitted : int;
+  st_rejected : int;
+  st_cancelled : int;
+  st_compiles : int;
+  st_estimates : int;
+  st_errors : int;
+  st_downgrades : int;
+  st_queue_depth : int;
+  st_in_flight_s : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* server.* metrics (no-ops unless Qopt_obs collection is on; run       *)
+(* forces it on for the server's lifetime)                              *)
+(* ------------------------------------------------------------------ *)
+
+let m_requests = Obs.Registry.counter Obs.Registry.default "server.requests"
+
+let m_admitted = Obs.Registry.counter Obs.Registry.default "server.admitted"
+
+let m_rejected = Obs.Registry.counter Obs.Registry.default "server.rejected"
+
+let m_cancelled = Obs.Registry.counter Obs.Registry.default "server.cancelled"
+
+let m_compiles = Obs.Registry.counter Obs.Registry.default "server.compiles"
+
+let m_estimates = Obs.Registry.counter Obs.Registry.default "server.estimates"
+
+let m_errors = Obs.Registry.counter Obs.Registry.default "server.errors"
+
+let m_downgrades = Obs.Registry.counter Obs.Registry.default "server.downgrades"
+
+let m_queue_depth = Obs.Registry.gauge Obs.Registry.default "server.queue_depth"
+
+let m_queue_wait = Obs.Registry.histogram Obs.Registry.default "server.queue_wait_s"
+
+let m_latency = Obs.Registry.histogram Obs.Registry.default "server.latency_s"
+
+let m_est_err =
+  Obs.Registry.histogram Obs.Registry.default "server.estimate_err_pct"
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type job = {
+  j_id : int;
+  j_block : O.Query_block.t;
+  j_knobs : O.Knobs.t;
+  j_level : string;
+  j_predicted_s : float;
+  j_cache_hit : bool;
+  j_deadline : float option;  (* absolute, monotonic clock *)
+  j_enqueued : float;  (* monotonic *)
+  j_send : Proto.reply -> unit;
+}
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_oc : out_channel;
+  c_wlock : Mutex.t;
+}
+
+type t = {
+  cfg : config;
+  sched : job Sched.t;
+  cache : Cote.Stmt_cache.t;
+  lock : Mutex.t;
+  mutable shutting : bool;
+  mutable in_flight_s : float;
+  mutable conns : (conn * Thread.t) list;
+  mutable n_requests : int;
+  mutable n_admitted : int;
+  mutable n_rejected : int;
+  mutable n_cancelled : int;
+  mutable n_compiles : int;
+  mutable n_estimates : int;
+  mutable n_errors : int;
+  mutable n_downgrades : int;
+}
+
+let snapshot t =
+  Mutex.protect t.lock (fun () ->
+      {
+        st_requests = t.n_requests;
+        st_admitted = t.n_admitted;
+        st_rejected = t.n_rejected;
+        st_cancelled = t.n_cancelled;
+        st_compiles = t.n_compiles;
+        st_estimates = t.n_estimates;
+        st_errors = t.n_errors;
+        st_downgrades = t.n_downgrades;
+        st_queue_depth = Sched.length t.sched;
+        st_in_flight_s = t.in_flight_s;
+      })
+
+let stats_json t =
+  let s = snapshot t in
+  J.Obj
+    [
+      ("requests", J.int s.st_requests);
+      ("admitted", J.int s.st_admitted);
+      ("rejected", J.int s.st_rejected);
+      ("cancelled", J.int s.st_cancelled);
+      ("compiles", J.int s.st_compiles);
+      ("estimates", J.int s.st_estimates);
+      ("errors", J.int s.st_errors);
+      ("downgrades", J.int s.st_downgrades);
+      ("queue_depth", J.int s.st_queue_depth);
+      ("in_flight_s", J.Num s.st_in_flight_s);
+      ("mode", J.Str (Sched.mode_string (Sched.mode t.sched)));
+      ("metrics", Obs.Registry.json_value Obs.Registry.default);
+    ]
+
+(* Sending a reply must survive a client that hung up: the job result is
+   dropped but the worker, accounting and every other connection live on. *)
+let send_reply conn reply =
+  try
+    Mutex.protect conn.c_wlock (fun () ->
+        Wire.write conn.c_oc (J.to_string (Proto.reply_to_json reply)))
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Request evaluation (connection threads)                             *)
+(* ------------------------------------------------------------------ *)
+
+let schema_for t name =
+  match name with
+  | None -> (
+    match t.cfg.schemas with
+    | (_, s) :: _ -> s
+    | [] -> failwith "server has no schemas configured")
+  | Some n -> (
+    match List.assoc_opt n t.cfg.schemas with
+    | Some s -> s
+    | None ->
+      failwith
+        (Printf.sprintf "unknown schema %S (known: %s)" n
+           (String.concat ", " (List.map fst t.cfg.schemas))))
+
+type evaluation = {
+  ev_block : O.Query_block.t;
+  ev_choice : Level.chosen;
+  ev_predicted_s : float;  (* cache-refined when a hit *)
+  ev_cache_hit : bool;
+}
+
+(* Parse, bind, pick a level, and predict.  The statement cache refines the
+   predicted seconds (a recorded actual beats the model) while the COTE
+   pass still supplies the plan-count fields of the reply. *)
+let evaluate t ~id ~sql ~schema =
+  let schema = schema_for t schema in
+  let block =
+    Qopt_sql.Binder.parse_and_bind ~name:(Printf.sprintf "q%d" id) schema sql
+  in
+  let choice =
+    Level.select ~levels:t.cfg.levels ~downgrade_s:t.cfg.downgrade_s
+      ~predict:(fun knobs ->
+        Cote.Predict.compile_time ~knobs ~model:t.cfg.model t.cfg.env block)
+  in
+  if choice.Level.downgrades > 0 then begin
+    Obs.Counter.incr m_downgrades;
+    Mutex.protect t.lock (fun () ->
+        t.n_downgrades <- t.n_downgrades + choice.Level.downgrades)
+  end;
+  let cached = Cote.Stmt_cache.lookup t.cache block in
+  {
+    ev_block = block;
+    ev_choice = choice;
+    ev_predicted_s = Option.value ~default:choice.Level.predicted_s cached;
+    ev_cache_hit = cached <> None;
+  }
+
+let estimate_reply id ev =
+  let e = ev.ev_choice.Level.prediction.Cote.Predict.estimate in
+  Proto.R_estimate
+    ( id,
+      {
+        Proto.e_predicted_s = ev.ev_predicted_s;
+        e_level = ev.ev_choice.Level.level.Cote.Multi_level.level_name;
+        e_cache_hit = ev.ev_cache_hit;
+        e_joins = e.Cote.Estimator.joins;
+        e_nljn = e.Cote.Estimator.nljn;
+        e_mgjn = e.Cote.Estimator.mgjn;
+        e_hsjn = e.Cote.Estimator.hsjn;
+        e_entries = e.Cote.Estimator.entries;
+        e_estimation_s = e.Cote.Estimator.elapsed;
+      } )
+
+(* ------------------------------------------------------------------ *)
+(* Workers (spawned domains)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let release t job =
+  Mutex.protect t.lock (fun () ->
+      t.in_flight_s <- t.in_flight_s -. job.j_predicted_s)
+
+let cancel_job t job reason =
+  release t job;
+  Obs.Counter.incr m_cancelled;
+  Mutex.protect t.lock (fun () -> t.n_cancelled <- t.n_cancelled + 1);
+  job.j_send
+    (Proto.R_cancelled
+       {
+         id = job.j_id;
+         reason;
+         estimate_us = job.j_predicted_s *. 1e6;
+         queue_s = Timer.monotonic_now () -. job.j_enqueued;
+       })
+
+let run_job t job =
+  let now = Timer.monotonic_now () in
+  Obs.Histo.observe m_queue_wait (now -. job.j_enqueued);
+  Obs.Gauge.set m_queue_depth (float_of_int (Sched.length t.sched));
+  match job.j_deadline with
+  | Some d when now > d -> cancel_job t job "deadline"
+  | deadline -> (
+    let interrupt =
+      match deadline with
+      | None -> fun () -> false
+      | Some d -> fun () -> Timer.monotonic_now () > d
+    in
+    match
+      O.Optimizer.optimize t.cfg.env ~interrupt ~knobs:job.j_knobs job.j_block
+    with
+    | r ->
+      release t job;
+      Cote.Stmt_cache.record t.cache job.j_block r.O.Optimizer.elapsed;
+      Obs.Counter.incr m_compiles;
+      Obs.Histo.observe m_latency (Timer.monotonic_now () -. job.j_enqueued);
+      if r.O.Optimizer.elapsed > 0.0 then
+        Obs.Histo.observe m_est_err
+          (Float.abs (job.j_predicted_s -. r.O.Optimizer.elapsed)
+          /. r.O.Optimizer.elapsed *. 100.0);
+      Mutex.protect t.lock (fun () -> t.n_compiles <- t.n_compiles + 1);
+      job.j_send
+        (Proto.R_compile
+           ( job.j_id,
+             {
+               Proto.c_plan =
+                 Option.map
+                   (Format.asprintf "%a" O.Plan.pp_compact)
+                   r.O.Optimizer.best;
+               c_cost =
+                 (match r.O.Optimizer.best with
+                 | Some p -> p.O.Plan.cost
+                 | None -> 0.0);
+               c_card =
+                 (match r.O.Optimizer.best with
+                 | Some p -> p.O.Plan.card
+                 | None -> 0.0);
+               c_joins = r.O.Optimizer.joins;
+               c_kept = r.O.Optimizer.kept;
+               c_entries = r.O.Optimizer.entries;
+               c_elapsed_s = r.O.Optimizer.elapsed;
+               c_predicted_s = job.j_predicted_s;
+               c_level = job.j_level;
+               c_queue_s = now -. job.j_enqueued;
+               c_cache_hit = job.j_cache_hit;
+             } ))
+    | exception O.Optimizer.Interrupted -> cancel_job t job "deadline"
+    | exception e ->
+      release t job;
+      Obs.Counter.incr m_errors;
+      Mutex.protect t.lock (fun () -> t.n_errors <- t.n_errors + 1);
+      job.j_send
+        (Proto.R_error { id = job.j_id; message = Printexc.to_string e }))
+
+let worker_main t slot () =
+  (* Claim a distinct obs shard slot (the Qopt_par.Pool contract) so
+     compile metrics recorded here never race the connection threads on
+     slot 0 or the other workers. *)
+  Obs.Shard.set_slot slot;
+  let rec loop () =
+    match Sched.pop t.sched with
+    | None -> ()
+    | Some job ->
+      run_job t job;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling (threads on the main domain)                    *)
+(* ------------------------------------------------------------------ *)
+
+let handle_compile t conn req_id sql schema deadline_ms =
+  let arrival = Timer.monotonic_now () in
+  let ev = evaluate t ~id:req_id ~sql ~schema in
+  let deadline_s =
+    match deadline_ms with
+    | Some ms -> Some (ms /. 1000.0)
+    | None -> t.cfg.default_deadline_s
+  in
+  let decision =
+    Mutex.protect t.lock (fun () ->
+        if t.shutting then Error Admission.Shutting_down
+        else
+          match
+            Admission.decide t.cfg.admission ~in_flight_s:t.in_flight_s
+              ~queued:(Sched.length t.sched) ~estimate_s:ev.ev_predicted_s
+          with
+          | Error r -> Error r
+          | Ok () ->
+            t.in_flight_s <- t.in_flight_s +. ev.ev_predicted_s;
+            t.n_admitted <- t.n_admitted + 1;
+            Ok ())
+  in
+  match decision with
+  | Error reason ->
+    Obs.Counter.incr m_rejected;
+    Mutex.protect t.lock (fun () -> t.n_rejected <- t.n_rejected + 1);
+    send_reply conn
+      (Proto.R_rejected
+         {
+           id = req_id;
+           reason = Admission.reason_string reason;
+           estimate_us = ev.ev_predicted_s *. 1e6;
+         })
+  | Ok () ->
+    Obs.Counter.incr m_admitted;
+    let job =
+      {
+        j_id = req_id;
+        j_block = ev.ev_block;
+        j_knobs = ev.ev_choice.Level.level.Cote.Multi_level.level_knobs;
+        j_level = ev.ev_choice.Level.level.Cote.Multi_level.level_name;
+        j_predicted_s = ev.ev_predicted_s;
+        j_cache_hit = ev.ev_cache_hit;
+        j_deadline = Option.map (fun d -> arrival +. d) deadline_s;
+        j_enqueued = Timer.monotonic_now ();
+        j_send = send_reply conn;
+      }
+    in
+    if Sched.push t.sched ~priority:job.j_predicted_s job then
+      Obs.Gauge.set m_queue_depth (float_of_int (Sched.length t.sched))
+    else
+      (* The scheduler closed between the admission decision and the push:
+         shutdown won the race, so account and answer like a rejection. *)
+      cancel_job t job "shutdown"
+
+let initiate_shutdown t =
+  let first =
+    Mutex.protect t.lock (fun () ->
+        if t.shutting then false
+        else begin
+          t.shutting <- true;
+          true
+        end)
+  in
+  if first then begin
+    (* Cancel everything still queued, then close: workers finish their
+       running compile, see the closed empty queue, and exit. *)
+    let leftovers = Sched.drain t.sched in
+    Sched.close t.sched;
+    List.iter (fun job -> cancel_job t job "shutdown") leftovers
+  end
+
+let handle_request t conn req =
+  Mutex.protect t.lock (fun () -> t.n_requests <- t.n_requests + 1);
+  Obs.Counter.incr m_requests;
+  match req with
+  | Proto.Estimate { id; sql; schema } -> (
+    match evaluate t ~id ~sql ~schema with
+    | ev ->
+      Obs.Counter.incr m_estimates;
+      Mutex.protect t.lock (fun () -> t.n_estimates <- t.n_estimates + 1);
+      send_reply conn (estimate_reply id ev)
+    | exception
+        ( Failure msg
+        | Qopt_sql.Parser.Error msg
+        | Qopt_sql.Binder.Error msg
+        | Invalid_argument msg ) ->
+      Mutex.protect t.lock (fun () -> t.n_errors <- t.n_errors + 1);
+      Obs.Counter.incr m_errors;
+      send_reply conn (Proto.R_error { id; message = msg })
+    | exception Qopt_sql.Lexer.Error (msg, at) ->
+      Mutex.protect t.lock (fun () -> t.n_errors <- t.n_errors + 1);
+      Obs.Counter.incr m_errors;
+      send_reply conn
+        (Proto.R_error { id; message = Printf.sprintf "%s (at byte %d)" msg at }))
+  | Proto.Compile { id; sql; schema; deadline_ms } -> (
+    match handle_compile t conn id sql schema deadline_ms with
+    | () -> ()
+    | exception
+        ( Failure msg
+        | Qopt_sql.Parser.Error msg
+        | Qopt_sql.Binder.Error msg
+        | Invalid_argument msg ) ->
+      Mutex.protect t.lock (fun () -> t.n_errors <- t.n_errors + 1);
+      Obs.Counter.incr m_errors;
+      send_reply conn (Proto.R_error { id; message = msg })
+    | exception Qopt_sql.Lexer.Error (msg, at) ->
+      Mutex.protect t.lock (fun () -> t.n_errors <- t.n_errors + 1);
+      Obs.Counter.incr m_errors;
+      send_reply conn
+        (Proto.R_error { id; message = Printf.sprintf "%s (at byte %d)" msg at }))
+  | Proto.Stats { id } -> send_reply conn (Proto.R_stats (id, stats_json t))
+  | Proto.Shutdown { id } ->
+    send_reply conn (Proto.R_ok id);
+    initiate_shutdown t
+
+let conn_main t conn ic () =
+  let rec loop () =
+    match Wire.read ic with
+    | None -> ()
+    | Some payload ->
+      (match J.parse payload with
+      | Error msg -> send_reply conn (Proto.R_error { id = 0; message = msg })
+      | Ok doc -> (
+        match Proto.request_of_json doc with
+        | Error msg -> send_reply conn (Proto.R_error { id = 0; message = msg })
+        | Ok req -> handle_request t conn req));
+      loop ()
+  in
+  (try loop () with
+  | Wire.Framing_error msg ->
+    send_reply conn (Proto.R_error { id = 0; message = msg })
+  | Sys_error _ | Unix.Unix_error _ | End_of_file -> ());
+  (* Closing the out_channel closes the underlying fd (kept single-owner:
+     the in_channel shares the fd, so only the fd must not double-close). *)
+  try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Listener                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bind_listen addr =
+  match addr with
+  | `Unix path ->
+    if Sys.file_exists path then (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | `Tcp (host, port) ->
+    let inet =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 64;
+    fd
+
+let run ?(on_ready = fun () -> ()) cfg =
+  (* A client hanging up mid-reply must be an EPIPE error, not a fatal
+     signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let workers = max 1 (min cfg.workers (Obs.Shard.max_slots - 1)) in
+  let t =
+    {
+      cfg;
+      sched = Sched.create cfg.mode;
+      cache = Cote.Stmt_cache.create ~shared:true ();
+      lock = Mutex.create ();
+      shutting = false;
+      in_flight_s = 0.0;
+      conns = [];
+      n_requests = 0;
+      n_admitted = 0;
+      n_rejected = 0;
+      n_cancelled = 0;
+      n_compiles = 0;
+      n_estimates = 0;
+      n_errors = 0;
+      n_downgrades = 0;
+    }
+  in
+  let obs_was = !Obs.Control.on in
+  Obs.Control.set_enabled true;
+  let listen_fd = bind_listen cfg.listen in
+  let domains =
+    Array.init workers (fun i -> Domain.spawn (worker_main t (i + 1)))
+  in
+  on_ready ();
+  (* Accept with a poll timeout so a shutdown request (handled on a
+     connection thread) stops the loop within one tick — closing a
+     listening fd does not reliably wake a blocked accept. *)
+  let rec accept_loop () =
+    if Mutex.protect t.lock (fun () -> t.shutting) then ()
+    else begin
+      (match Unix.select [ listen_fd ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept listen_fd with
+        | fd, _ ->
+          let conn =
+            {
+              c_fd = fd;
+              c_oc = Unix.out_channel_of_descr fd;
+              c_wlock = Mutex.create ();
+            }
+          in
+          let ic = Unix.in_channel_of_descr fd in
+          let thread = Thread.create (conn_main t conn ic) () in
+          Mutex.protect t.lock (fun () ->
+              t.conns <- (conn, thread) :: t.conns)
+        | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ());
+      accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (match cfg.listen with
+      | `Unix path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+      | `Tcp _ -> ());
+      (* The queue is already drained and closed (shutdown) — or must be
+         closed now if run is unwinding on an exception. *)
+      initiate_shutdown t;
+      Array.iter Domain.join domains;
+      (* Wake connection threads blocked mid-read, then join them. *)
+      let conns = Mutex.protect t.lock (fun () -> t.conns) in
+      List.iter
+        (fun (conn, _) ->
+          try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ())
+        conns;
+      List.iter (fun (_, thread) -> Thread.join thread) conns;
+      Obs.Control.set_enabled obs_was)
+    accept_loop

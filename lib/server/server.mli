@@ -1,0 +1,77 @@
+(** The compile-service daemon.
+
+    Serves {!Proto} requests over a Unix-domain or TCP socket.  Every
+    incoming query is first run through the COTE ({!Cote.Predict}); the
+    predicted compilation time then drives the three serving decisions:
+
+    - {b admission} ({!Admission}): requests whose estimate exceeds the
+      per-request or aggregate in-flight budget get a structured
+      [rejected] reply instead of queueing-forever;
+    - {b scheduling} ({!Sched}): admitted compiles are ordered
+      shortest-estimated-job-first (or FIFO for comparison) and executed
+      by a pool of worker domains, with per-request deadlines enforced at
+      dequeue and between optimizer passes ({!Qopt_optimizer.Optimizer}
+      [~interrupt]);
+    - {b level selection} ({!Level}): estimates above a threshold
+      downgrade the optimization level before compiling.
+
+    Concurrency model: one connection-handler thread per client (parses,
+    estimates, admits, replies to [estimate]/[stats] inline) and
+    [workers] spawned domains executing compiles.  Worker domains claim
+    distinct {!Qopt_obs.Shard} slots — the PR 3 contract — so [server.*]
+    and optimizer metrics shard cleanly.  A statement cache
+    ({!Cote.Stmt_cache} [~shared:true]) is shared across all connections:
+    recorded actual compile times refine the admission estimate for
+    structurally identical queries. *)
+
+module O = Qopt_optimizer
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  listen : addr;
+  env : O.Env.t;
+  model : Cote.Time_model.t;  (** fitted time model for [env] *)
+  workers : int;  (** worker domains (clamped to obs shard slots - 1) *)
+  mode : Sched.mode;
+  admission : Admission.policy;
+  levels : Cote.Multi_level.level list;  (** most- to least-expensive *)
+  downgrade_s : float option;
+      (** predictions above this walk down [levels] before compiling *)
+  default_deadline_s : float option;
+      (** applied to compile requests that carry no [deadline_ms] *)
+  schemas : (string * Qopt_catalog.Schema.t) list;
+      (** named schemas for binding ad-hoc SQL; the first is the default *)
+}
+
+val default_config :
+  listen:addr ->
+  model:Cote.Time_model.t ->
+  schemas:(string * Qopt_catalog.Schema.t) list ->
+  unit ->
+  config
+(** Serial env, 1 worker, SJF, unlimited admission, {!Level.default_levels},
+    no downgrade threshold, no default deadline. *)
+
+type stats = {
+  st_requests : int;
+  st_admitted : int;
+  st_rejected : int;
+  st_cancelled : int;
+  st_compiles : int;
+  st_estimates : int;
+  st_errors : int;
+  st_downgrades : int;
+  st_queue_depth : int;
+  st_in_flight_s : float;  (** summed predicted seconds of admitted work *)
+}
+
+val run : ?on_ready:(unit -> unit) -> config -> unit
+(** Binds, listens, serves until a [shutdown] request arrives, then
+    drains: queued jobs are cancelled (reason ["shutdown"]), the running
+    compile finishes, workers and connection threads are joined, and the
+    socket is closed (a Unix socket file is unlinked).  [on_ready] fires
+    once the socket is listening — tests and in-process harnesses connect
+    from it.  Metrics collection ({!Qopt_obs.Control}) is forced on for
+    the server's lifetime and restored on exit.  Raises [Unix.Unix_error]
+    if the address cannot be bound. *)

@@ -1,0 +1,37 @@
+exception Framing_error of string
+
+let max_frame = 16 * 1024 * 1024
+
+let write oc payload =
+  output_string oc (string_of_int (String.length payload));
+  output_char oc '\n';
+  output_string oc payload;
+  output_char oc '\n';
+  flush oc
+
+let read ic =
+  match input_line ic with
+  | exception End_of_file -> None
+  | line -> (
+    (* input_line strips '\n'; tolerate a '\r' from chatty clients. *)
+    let line =
+      if String.length line > 0 && line.[String.length line - 1] = '\r' then
+        String.sub line 0 (String.length line - 1)
+      else line
+    in
+    match int_of_string_opt line with
+    | None -> raise (Framing_error (Printf.sprintf "malformed length line %S" line))
+    | Some len when len < 0 || len > max_frame ->
+      raise (Framing_error (Printf.sprintf "frame length %d out of bounds" len))
+    | Some len -> (
+      match really_input_string ic len with
+      | exception End_of_file -> raise (Framing_error "EOF inside frame")
+      | payload -> (
+        (* Consume the trailing newline (EOF right after the payload is
+           tolerated: the frame itself is complete). *)
+        match input_char ic with
+        | '\n' | (exception End_of_file) -> Some payload
+        | c ->
+          raise
+            (Framing_error
+               (Printf.sprintf "expected newline after frame, found %C" c)))))

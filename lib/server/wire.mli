@@ -1,0 +1,23 @@
+(** Length-prefixed framing for the line-of-JSON protocol.
+
+    A frame is the payload's byte length in ASCII decimal, a newline, the
+    payload, and a trailing newline:
+
+    {v 27\n{"op":"stats","id":3}\n v}
+
+    The explicit length makes the protocol binary-safe (payloads may
+    contain newlines) while staying debuggable with [socat]/[nc]. *)
+
+exception Framing_error of string
+(** Malformed length line, over-sized frame, or mid-frame EOF. *)
+
+val max_frame : int
+(** 16 MiB — a defensive bound; a hostile length line cannot make the
+    server allocate unboundedly. *)
+
+val write : out_channel -> string -> unit
+(** Writes one frame and flushes. *)
+
+val read : in_channel -> string option
+(** Reads one frame; [None] on a clean EOF at a frame boundary.  Raises
+    {!Framing_error} on a malformed frame. *)

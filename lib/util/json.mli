@@ -1,0 +1,44 @@
+(** Minimal JSON document model, printer and parser.
+
+    The wire protocol of {!Qopt_server} and the metrics export of
+    {!Qopt_obs} both speak JSON; this module keeps the repo
+    dependency-free (no yojson).  The printer emits compact one-line
+    documents; the parser accepts standard JSON with the usual
+    whitespace, escape sequences and nesting.  Numbers are floats
+    (like JavaScript); [NaN]/[infinity] print as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering, keys in the given order. *)
+
+val parse : string -> (t, string) result
+(** Parses one JSON document (trailing whitespace allowed).  The error
+    string includes the byte offset of the failure. *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val get_string : t -> string option
+
+val get_float : t -> float option
+
+val get_int : t -> int option
+(** [Num] rounded toward zero. *)
+
+val get_bool : t -> bool option
+
+(** {2 Constructors} *)
+
+val int : int -> t
+
+val opt : ('a -> t) -> 'a option -> t
+(** [Null] for [None]. *)

@@ -1,4 +1,6 @@
-let solve a b =
+exception Singular
+
+let gauss a b =
   let n = Array.length b in
   if Array.length a <> n then invalid_arg "Regression.solve: shape mismatch";
   (* Work on copies: callers keep their matrices. *)
@@ -10,8 +12,7 @@ let solve a b =
     for row = col + 1 to n - 1 do
       if Float.abs m.(row).(col) > Float.abs m.(!pivot).(col) then pivot := row
     done;
-    if Float.abs m.(!pivot).(col) < 1e-12 then
-      failwith "Regression.solve: singular matrix";
+    if Float.abs m.(!pivot).(col) < 1e-12 then raise Singular;
     if !pivot <> col then begin
       let tmp = m.(col) in
       m.(col) <- m.(!pivot);
@@ -40,6 +41,39 @@ let solve a b =
   done;
   x
 
+let solve a b =
+  try gauss a b
+  with Singular -> failwith "Regression.solve: singular matrix"
+
+let solve_result ?(ridge = 0.0) a b =
+  match gauss a b with
+  | x -> Ok x
+  | exception Singular when ridge > 0.0 ->
+    (* Ridge damping: add [ridge * max |diag|] (or [ridge] for an all-zero
+       diagonal) to the diagonal and retry — a tiny Tikhonov term that makes
+       rank-deficient normal equations well-posed while barely perturbing a
+       well-conditioned system. *)
+    let n = Array.length b in
+    let scale =
+      let m = ref 0.0 in
+      for i = 0 to min (n - 1) (Array.length a - 1) do
+        m := Float.max !m (Float.abs a.(i).(i))
+      done;
+      if !m > 0.0 then !m else 1.0
+    in
+    let damped =
+      Array.mapi
+        (fun i row ->
+          let row = Array.copy row in
+          if i < Array.length row then row.(i) <- row.(i) +. (ridge *. scale);
+          row)
+        a
+    in
+    (match gauss damped b with
+    | x -> Ok x
+    | exception Singular -> Error "singular matrix (even after ridge damping)")
+  | exception Singular -> Error "singular matrix"
+
 let with_intercept xs =
   Array.map (fun row -> Array.append [| 1.0 |] row) xs
 
@@ -67,6 +101,11 @@ let fit ?(intercept = false) xs ys =
   let xs = if intercept then with_intercept xs else xs in
   let xtx, xty = normal_equations xs ys in
   solve xtx xty
+
+let fit_result ?(intercept = false) ?ridge xs ys =
+  let xs = if intercept then with_intercept xs else xs in
+  let xtx, xty = normal_equations xs ys in
+  solve_result ?ridge xtx xty
 
 let fit_nonneg ?(iters = 500) xs ys =
   let xtx, xty = normal_equations xs ys in

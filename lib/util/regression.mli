@@ -11,6 +11,15 @@ val solve : float array array -> float array -> float array
     elimination with partial pivoting.  Raises [Failure] if the matrix is
     singular to working precision. *)
 
+val solve_result :
+  ?ridge:float -> float array array -> float array -> (float array, string) result
+(** Non-raising {!solve}.  On a singular matrix with [ridge > 0] (a small
+    relative Tikhonov term, e.g. [1e-9]), the diagonal is damped by
+    [ridge * max |diag|] and the solve retried — rank-deficient training
+    workloads then yield a usable (minimally perturbed) solution instead of
+    an exception.  [Error] only if the system is singular even after
+    damping (or [ridge] is 0, the default). *)
+
 val fit : ?intercept:bool -> float array array -> float array -> float array
 (** [fit xs ys] returns the least-squares coefficients [c] minimizing
     [|Xc - y|^2], where [xs.(i)] is the feature row of observation [i].
@@ -18,6 +27,16 @@ val fit : ?intercept:bool -> float array array -> float array -> float array
     is returned as coefficient 0.  Default: no intercept (model through the
     origin, as in the paper).  Raises [Invalid_argument] on shape mismatch
     and [Failure] if the normal equations are singular. *)
+
+val fit_result :
+  ?intercept:bool ->
+  ?ridge:float ->
+  float array array ->
+  float array ->
+  (float array, string) result
+(** Non-raising {!fit} through {!solve_result}: [Error] instead of an
+    exception when the normal equations are rank-deficient — the signal
+    {!Cote.Calibrate.refit} uses to keep the previous coefficients. *)
 
 val fit_nonneg :
   ?iters:int -> float array array -> float array -> float array

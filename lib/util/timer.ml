@@ -1,9 +1,11 @@
+external monotonic_now : unit -> float = "qopt_monotonic_now"
+
 let now () = Unix.gettimeofday ()
 
 let time f =
-  let t0 = now () in
+  let t0 = monotonic_now () in
   let result = f () in
-  let t1 = now () in
+  let t1 = monotonic_now () in
   (result, t1 -. t0)
 
 let time_median ?(repeats = 3) f =

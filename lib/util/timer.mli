@@ -1,15 +1,23 @@
-(** Wall-clock timing helpers.
+(** Timing helpers.
 
     All figures in the paper compare wall-clock compilation time against
-    wall-clock estimation time, so the harness times with a monotonic-enough
-    gettimeofday and accumulates per-category buckets (see
-    {!Qopt_optimizer.Instrument}). *)
+    wall-clock estimation time; the harness measures every interval with
+    the monotonic clock so an NTP step can never corrupt a span, fire a
+    server deadline early, or produce a negative elapsed time.  [now]
+    remains the wall clock for timestamps that must relate to calendar
+    time. *)
+
+val monotonic_now : unit -> float
+(** Seconds on the monotonic clock ([clock_gettime(CLOCK_MONOTONIC)]),
+    from an arbitrary epoch: only differences are meaningful.  Never
+    decreases, immune to wall-clock steps. *)
 
 val now : unit -> float
-(** Seconds since the epoch, sub-microsecond resolution. *)
+(** Wall-clock seconds since the epoch, sub-microsecond resolution. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f] once and returns its result with elapsed seconds. *)
+(** [time f] runs [f] once and returns its result with elapsed seconds,
+    measured on the monotonic clock. *)
 
 val time_median : ?repeats:int -> (unit -> 'a) -> 'a * float
 (** [time_median ~repeats f] runs [f] [repeats] times (default 3) and returns

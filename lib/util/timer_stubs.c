@@ -1,0 +1,33 @@
+/* Monotonic clock for Qopt_util.Timer.
+
+   clock_gettime(CLOCK_MONOTONIC) never steps backward when NTP adjusts
+   the wall clock, so spans, deadlines and queue-wait measurements stay
+   correct.  Returned as double seconds from an arbitrary epoch (boot):
+   only differences are meaningful. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+CAMLprim value qopt_monotonic_now(value unit)
+{
+  LARGE_INTEGER freq, count;
+  (void)unit;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return caml_copy_double((double)count.QuadPart / (double)freq.QuadPart);
+}
+
+#else
+#include <time.h>
+
+CAMLprim value qopt_monotonic_now(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}
+#endif

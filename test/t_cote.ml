@@ -196,6 +196,35 @@ let calibrate_tests =
     t "empty observations rejected" (fun () ->
         Alcotest.check_raises "raises" (Invalid_argument "Calibrate.fit: no observations")
           (fun () -> ignore (Cote.Calibrate.fit [])));
+    t "refit keeps the previous model on a rank-deficient set" (fun () ->
+        let previous = Cote.Time_model.make ~c_nljn:1e-6 ~c_mgjn:2e-6 ~c_hsjn:3e-6 () in
+        (* every observation has proportional plan counts: the normal
+           equations are singular, so online recalibration must fall back *)
+        let degenerate =
+          List.init 8 (fun i ->
+              let k = float_of_int (i + 1) in
+              obs ~n:(100.0 *. k) ~m:(50.0 *. k) ~h:(20.0 *. k) ~j:(10.0 *. k)
+                ~s:(0.001 *. k))
+        in
+        let m = Cote.Calibrate.refit ~previous degenerate in
+        Alcotest.(check bool) "previous returned" true (m = previous));
+    t "refit keeps the previous model on an empty set" (fun () ->
+        let previous = Cote.Time_model.make ~c_nljn:1e-6 ~c_mgjn:2e-6 ~c_hsjn:3e-6 () in
+        Alcotest.(check bool) "previous returned" true
+          (Cote.Calibrate.refit ~previous [] = previous));
+    t "refit adopts a well-conditioned set" (fun () ->
+        let previous = Cote.Time_model.make ~c_nljn:1.0 ~c_mgjn:1.0 ~c_hsjn:1.0 () in
+        let cn = 3e-6 and cm = 7e-6 and ch = 1e-6 in
+        let observations =
+          List.init 12 (fun i ->
+              let n = float_of_int (100 + (i * 37 mod 113)) in
+              let m = float_of_int (50 + (i * 17 mod 59)) in
+              let h = float_of_int (20 + (i * 11 mod 31)) in
+              obs ~n ~m ~h ~j:10.0 ~s:((cn *. n) +. (cm *. m) +. (ch *. h)))
+        in
+        let m = Cote.Calibrate.refit ~previous observations in
+        Alcotest.(check bool) "replaced" true (m <> previous);
+        Alcotest.(check (float 1e-9)) "cn" cn m.Cote.Time_model.c_nljn);
     t "measure returns consistent observation" (fun () ->
         let o = Cote.Calibrate.measure ~repeats:1 O.Env.serial (Helpers.chain 4) in
         Alcotest.(check bool) "positive time" true (o.Cote.Calibrate.obs_seconds > 0.0);

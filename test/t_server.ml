@@ -1,0 +1,660 @@
+(* The compile service: wire framing, protocol round trips, the scheduler
+   and admission policy in isolation, and a real server on a Unix socket —
+   replies must match direct library calls bit-for-bit on deterministic
+   fields, overload must reject with structure (never hang), and deadlines
+   and shutdown must cancel with structure. *)
+
+module O = Qopt_optimizer
+module W = Qopt_workloads
+module Srv = Qopt_server
+module J = Qopt_util.Json
+
+let t name f = Alcotest.test_case name `Quick f
+
+let schema = W.Warehouse.schema ~partitioned:false
+
+let model = Cote.Time_model.make ~c_nljn:2e-6 ~c_mgjn:5e-6 ~c_hsjn:4e-6 ()
+
+let small_sql = "SELECT s.s_store_name FROM store s WHERE s.s_market_id = 5"
+
+let big_sql =
+  String.concat " "
+    [
+      "SELECT d.d_year, i.i_category_id, SUM(ss.ss_quantity)";
+      "FROM store_sales ss, date_dim d, time_dim t, item i, customer c,";
+      "household_demographics hd, store s, promotion p";
+      "WHERE ss.ss_sold_date_sk = d.d_date_sk";
+      "AND ss.ss_sold_time_sk = t.t_time_sk";
+      "AND ss.ss_item_sk = i.i_item_sk";
+      "AND ss.ss_customer_sk = c.c_customer_sk";
+      "AND ss.ss_hdemo_sk = hd.hd_demo_sk";
+      "AND ss.ss_store_sk = s.s_store_sk";
+      "AND ss.ss_promo_sk = p.p_promo_sk";
+      "AND d.d_year = 2000";
+      "GROUP BY d.d_year, i.i_category_id";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire framing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let pipe_io () =
+  let r, w = Unix.pipe () in
+  (Unix.in_channel_of_descr r, Unix.out_channel_of_descr w)
+
+let wire_tests =
+  [
+    t "write/read round trip" (fun () ->
+        let ic, oc = pipe_io () in
+        Srv.Wire.write oc "hello";
+        Srv.Wire.write oc "";
+        Srv.Wire.write oc "two\nlines";
+        Alcotest.(check (option string)) "first" (Some "hello") (Srv.Wire.read ic);
+        Alcotest.(check (option string)) "empty" (Some "") (Srv.Wire.read ic);
+        Alcotest.(check (option string)) "embedded newline" (Some "two\nlines")
+          (Srv.Wire.read ic);
+        close_out oc;
+        Alcotest.(check (option string)) "clean EOF" None (Srv.Wire.read ic));
+    t "garbage length is a framing error" (fun () ->
+        let ic, oc = pipe_io () in
+        output_string oc "notanumber\npayload\n";
+        flush oc;
+        (try
+           ignore (Srv.Wire.read ic);
+           Alcotest.fail "expected Framing_error"
+         with Srv.Wire.Framing_error _ -> ());
+        close_out oc);
+    t "oversized frame refused" (fun () ->
+        let ic, oc = pipe_io () in
+        output_string oc (string_of_int (Srv.Wire.max_frame + 1) ^ "\n");
+        flush oc;
+        (try
+           ignore (Srv.Wire.read ic);
+           Alcotest.fail "expected Framing_error"
+         with Srv.Wire.Framing_error _ -> ());
+        close_out oc);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round trips                                                *)
+(* ------------------------------------------------------------------ *)
+
+let proto_tests =
+  let req_rt req =
+    match Srv.Proto.request_of_json (Srv.Proto.request_to_json req) with
+    | Ok req' -> Alcotest.(check bool) "request round trip" true (req = req')
+    | Error e -> Alcotest.failf "request_of_json: %s" e
+  in
+  let reply_rt reply =
+    match Srv.Proto.reply_of_json (Srv.Proto.reply_to_json reply) with
+    | Ok reply' -> Alcotest.(check bool) "reply round trip" true (reply = reply')
+    | Error e -> Alcotest.failf "reply_of_json: %s" e
+  in
+  [
+    t "requests round trip through JSON" (fun () ->
+        List.iter req_rt
+          [
+            Srv.Proto.Estimate { id = 1; sql = small_sql; schema = None };
+            Srv.Proto.Estimate { id = 2; sql = big_sql; schema = Some "warehouse" };
+            Srv.Proto.Compile
+              { id = 3; sql = small_sql; schema = None; deadline_ms = Some 250.0 };
+            Srv.Proto.Compile
+              { id = 4; sql = small_sql; schema = Some "tpch"; deadline_ms = None };
+            Srv.Proto.Stats { id = 5 };
+            Srv.Proto.Shutdown { id = 6 };
+          ]);
+    t "replies round trip through JSON" (fun () ->
+        List.iter reply_rt
+          [
+            Srv.Proto.R_rejected
+              { id = 7; reason = "aggregate_budget"; estimate_us = 1234.5 };
+            Srv.Proto.R_cancelled
+              { id = 8; reason = "deadline"; estimate_us = 10.0; queue_s = 0.25 };
+            Srv.Proto.R_error { id = 9; message = "no such table" };
+            Srv.Proto.R_ok 10;
+            Srv.Proto.R_stats (11, J.Obj [ ("requests", J.int 3) ]);
+          ]);
+    t "malformed request is an Error, not an exception" (fun () ->
+        List.iter
+          (fun doc ->
+            match Srv.Proto.request_of_json doc with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "expected Error")
+          [
+            J.Null;
+            J.Obj [];
+            J.Obj [ ("op", J.Str "nope"); ("id", J.int 1) ];
+            J.Obj [ ("op", J.Str "estimate"); ("id", J.int 1) ] (* no sql *);
+            J.Obj [ ("op", J.Str "compile"); ("id", J.int 2) ] (* no sql *);
+          ]);
+    t "a missing id defaults to 0 rather than failing" (fun () ->
+        match
+          Srv.Proto.request_of_json
+            (J.Obj [ ("op", J.Str "compile"); ("sql", J.Str "SELECT") ])
+        with
+        | Ok req -> Alcotest.(check int) "id" 0 (Srv.Proto.request_id req)
+        | Error e -> Alcotest.failf "expected Ok, got %s" e);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sched_tests =
+  [
+    t "SJF pops cheapest first, FIFO within ties" (fun () ->
+        let q = Srv.Sched.create Srv.Sched.Sjf in
+        List.iter
+          (fun (p, x) -> assert (Srv.Sched.push q ~priority:p x))
+          [ (3.0, "c"); (1.0, "a1"); (2.0, "b"); (1.0, "a2") ];
+        let order = List.init 4 (fun _ -> Option.get (Srv.Sched.pop q)) in
+        Alcotest.(check (list string)) "order" [ "a1"; "a2"; "b"; "c" ] order);
+    t "FIFO ignores priority" (fun () ->
+        let q = Srv.Sched.create Srv.Sched.Fifo in
+        List.iter
+          (fun (p, x) -> assert (Srv.Sched.push q ~priority:p x))
+          [ (3.0, "x"); (1.0, "y"); (2.0, "z") ];
+        let order = List.init 3 (fun _ -> Option.get (Srv.Sched.pop q)) in
+        Alcotest.(check (list string)) "order" [ "x"; "y"; "z" ] order);
+    t "close rejects pushes and wakes poppers" (fun () ->
+        let q = Srv.Sched.create Srv.Sched.Sjf in
+        assert (Srv.Sched.push q ~priority:1.0 "first");
+        Srv.Sched.close q;
+        Alcotest.(check bool) "push after close" false
+          (Srv.Sched.push q ~priority:0.0 "late");
+        Alcotest.(check (option string)) "drains existing" (Some "first")
+          (Srv.Sched.pop q);
+        Alcotest.(check (option string)) "then None" None (Srv.Sched.pop q));
+    t "drain empties in priority order" (fun () ->
+        let q = Srv.Sched.create Srv.Sched.Sjf in
+        List.iter
+          (fun (p, x) -> assert (Srv.Sched.push q ~priority:p x))
+          [ (2.0, "b"); (1.0, "a") ];
+        Alcotest.(check (list string)) "drained" [ "a"; "b" ] (Srv.Sched.drain q);
+        Alcotest.(check int) "empty" 0 (Srv.Sched.length q));
+    t "blocked pop wakes on push from another thread" (fun () ->
+        let q = Srv.Sched.create Srv.Sched.Sjf in
+        let got = ref None in
+        let th = Thread.create (fun () -> got := Srv.Sched.pop q) () in
+        Thread.delay 0.02;
+        assert (Srv.Sched.push q ~priority:1.0 "woken");
+        Thread.join th;
+        Alcotest.(check (option string)) "woken" (Some "woken") !got);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Admission policy                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let admission_tests =
+  let p =
+    { Srv.Admission.per_request_s = 1.0; aggregate_s = 2.0; max_queue = 3 }
+  in
+  let decide ?(in_flight_s = 0.0) ?(queued = 0) estimate_s =
+    Srv.Admission.decide p ~in_flight_s ~queued ~estimate_s
+  in
+  [
+    t "admits within budgets" (fun () ->
+        Alcotest.(check bool) "ok" true (decide 0.5 = Ok ()));
+    t "per-request ceiling" (fun () ->
+        Alcotest.(check bool) "rejected" true
+          (decide 1.5 = Error Srv.Admission.Per_request));
+    t "aggregate ceiling with work in flight" (fun () ->
+        Alcotest.(check bool) "rejected" true
+          (decide ~in_flight_s:1.8 0.5 = Error Srv.Admission.Aggregate));
+    t "aggregate never wedges an idle server" (fun () ->
+        (* estimate alone exceeds aggregate_s, but nothing is in flight and
+           the queue is empty: per-request-legal work must be admitted. *)
+        let p =
+          { Srv.Admission.per_request_s = 10.0; aggregate_s = 2.0; max_queue = 3 }
+        in
+        Alcotest.(check bool) "admitted" true
+          (Srv.Admission.decide p ~in_flight_s:0.0 ~queued:0 ~estimate_s:5.0
+          = Ok ()));
+    t "queue ceiling" (fun () ->
+        Alcotest.(check bool) "rejected" true
+          (decide ~queued:3 0.1 = Error Srv.Admission.Queue_full));
+    t "reason strings are stable" (fun () ->
+        Alcotest.(check (list string)) "identifiers"
+          [ "per_request_budget"; "aggregate_budget"; "queue_full"; "shutting_down" ]
+          (List.map Srv.Admission.reason_string
+             [
+               Srv.Admission.Per_request;
+               Srv.Admission.Aggregate;
+               Srv.Admission.Queue_full;
+               Srv.Admission.Shutting_down;
+             ]));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Level selection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let level_tests =
+  let level name = { Cote.Multi_level.level_name = name; level_knobs = O.Knobs.default } in
+  let predictions = [ ("full", 5.0); ("greedy", 1.5); ("minimal", 0.1) ] in
+  let predict_for chosen_name = List.assoc chosen_name predictions in
+  (* select identifies levels by walking the chain; drive it with a predict
+     that keys off a mutable cursor naming the level under evaluation. *)
+  let run_select ~downgrade_s =
+    let chain = List.map (fun (n, _) -> level n) predictions in
+    let cursor = ref [] in
+    let predict _knobs =
+      let name =
+        match !cursor with
+        | [] -> cursor := List.map fst predictions; List.hd !cursor
+        | _ -> List.hd !cursor
+      in
+      cursor := List.tl !cursor;
+      {
+        Cote.Predict.seconds = predict_for name;
+        estimate =
+          {
+            Cote.Estimator.joins = 0; nljn = 0; mgjn = 0; hsjn = 0; scan_plans = 0;
+            entries = 0; elapsed = 0.0; est_memo_plans = 0.0; mv_tests = 0;
+          };
+      }
+    in
+    cursor := List.map fst predictions;
+    Srv.Level.select ~levels:chain ~downgrade_s ~predict
+  in
+  [
+    t "no budget takes the first level" (fun () ->
+        let c = run_select ~downgrade_s:None in
+        Alcotest.(check string) "level" "full" c.Srv.Level.level.Cote.Multi_level.level_name;
+        Alcotest.(check int) "downgrades" 0 c.Srv.Level.downgrades);
+    t "budget walks down to the first level that fits" (fun () ->
+        let c = run_select ~downgrade_s:(Some 2.0) in
+        Alcotest.(check string) "level" "greedy" c.Srv.Level.level.Cote.Multi_level.level_name;
+        Alcotest.(check int) "downgrades" 1 c.Srv.Level.downgrades);
+    t "nothing fits: cheapest level wins" (fun () ->
+        let c = run_select ~downgrade_s:(Some 0.01) in
+        Alcotest.(check string) "level" "minimal" c.Srv.Level.level.Cote.Multi_level.level_name;
+        Alcotest.(check int) "downgrades" 2 c.Srv.Level.downgrades);
+    t "empty chain raises" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Qopt_server.Level.select: empty level chain")
+          (fun () ->
+            ignore
+              (Srv.Level.select ~levels:[] ~downgrade_s:None ~predict:(fun _ ->
+                   Alcotest.fail "predict called on empty chain"))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The real server on a Unix socket                                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_server ?(configure = fun c -> c) f =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qopt-test-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    configure
+      (Srv.Server.default_config ~listen:(`Unix path) ~model
+         ~schemas:[ ("warehouse", schema) ]
+         ())
+  in
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let ready = ref false in
+  let server =
+    Thread.create
+      (fun () ->
+        Srv.Server.run
+          ~on_ready:(fun () ->
+            Mutex.protect lock (fun () ->
+                ready := true;
+                Condition.signal cond))
+          cfg)
+      ()
+  in
+  Mutex.lock lock;
+  while not !ready do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let c = Srv.Client.connect (`Unix path) in
+         ignore (Srv.Client.request c (Srv.Proto.Shutdown { id = 999_999 }));
+         Srv.Client.close c
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      Thread.join server;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f (`Unix path))
+
+let request_exn c req =
+  match Srv.Client.request c req with
+  | Some reply -> reply
+  | None -> Alcotest.fail "connection closed without a reply"
+
+(* Polls the stats endpoint until [pred] holds on the stats document —
+   used to wait for a compile to actually occupy the worker before
+   queueing work behind it, without sleeping for guessed durations. *)
+let wait_for_stats c pred =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec go () =
+    match request_exn c (Srv.Proto.Stats { id = Srv.Client.fresh_id c }) with
+    | Srv.Proto.R_stats (_, doc) ->
+      if pred doc then ()
+      else if Unix.gettimeofday () > deadline then
+        Alcotest.fail "stats condition not reached within 5s"
+      else begin
+        Thread.delay 0.002;
+        go ()
+      end
+    | _ -> Alcotest.fail "expected stats reply"
+  in
+  go ()
+
+let stat doc name = Option.bind (J.member name doc) J.get_int |> Option.get
+
+let statf doc name = Option.bind (J.member name doc) J.get_float |> Option.get
+
+(* The big compile is on the worker (not queued) and nothing else is. *)
+let big_is_running doc = stat doc "queue_depth" = 0 && statf doc "in_flight_s" > 0.0
+
+let server_tests =
+  [
+    t "estimate over the socket equals the direct library call" (fun () ->
+        with_server (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                List.iter
+                  (fun sql ->
+                    let block = Qopt_sql.Binder.parse_and_bind schema sql in
+                    let direct =
+                      Cote.Predict.compile_time ~knobs:O.Knobs.default ~model
+                        O.Env.serial block
+                    in
+                    let id = Srv.Client.fresh_id c in
+                    match
+                      request_exn c (Srv.Proto.Estimate { id; sql; schema = None })
+                    with
+                    | Srv.Proto.R_estimate (rid, e) ->
+                      let de = direct.Cote.Predict.estimate in
+                      Alcotest.(check int) "id echoed" id rid;
+                      Alcotest.(check (float 0.0)) "predicted_s bit-for-bit"
+                        direct.Cote.Predict.seconds e.Srv.Proto.e_predicted_s;
+                      Alcotest.(check int) "joins" de.Cote.Estimator.joins
+                        e.Srv.Proto.e_joins;
+                      Alcotest.(check int) "nljn" de.Cote.Estimator.nljn
+                        e.Srv.Proto.e_nljn;
+                      Alcotest.(check int) "mgjn" de.Cote.Estimator.mgjn
+                        e.Srv.Proto.e_mgjn;
+                      Alcotest.(check int) "hsjn" de.Cote.Estimator.hsjn
+                        e.Srv.Proto.e_hsjn;
+                      Alcotest.(check int) "entries" de.Cote.Estimator.entries
+                        e.Srv.Proto.e_entries;
+                      Alcotest.(check string) "level" "dp_default"
+                        e.Srv.Proto.e_level
+                    | r ->
+                      Alcotest.failf "expected estimate reply, got %s"
+                        (J.to_string (Srv.Proto.reply_to_json r)))
+                  [ small_sql; big_sql ])));
+    t "compile over the socket equals the direct optimizer" (fun () ->
+        with_server (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let block = Qopt_sql.Binder.parse_and_bind schema small_sql in
+                let direct = O.Optimizer.optimize O.Env.serial block in
+                let id = Srv.Client.fresh_id c in
+                match
+                  request_exn c
+                    (Srv.Proto.Compile
+                       { id; sql = small_sql; schema = None; deadline_ms = None })
+                with
+                | Srv.Proto.R_compile (rid, b) ->
+                  Alcotest.(check int) "id echoed" id rid;
+                  Alcotest.(check (option string)) "plan"
+                    (Option.map
+                       (Format.asprintf "%a" O.Plan.pp_compact)
+                       direct.O.Optimizer.best)
+                    b.Srv.Proto.c_plan;
+                  (match direct.O.Optimizer.best with
+                  | Some p ->
+                    Alcotest.(check (float 0.0)) "cost bit-for-bit"
+                      p.O.Plan.cost b.Srv.Proto.c_cost;
+                    Alcotest.(check (float 0.0)) "card bit-for-bit"
+                      p.O.Plan.card b.Srv.Proto.c_card
+                  | None -> ());
+                  Alcotest.(check int) "joins" direct.O.Optimizer.joins
+                    b.Srv.Proto.c_joins;
+                  Alcotest.(check int) "kept" direct.O.Optimizer.kept
+                    b.Srv.Proto.c_kept;
+                  Alcotest.(check int) "entries" direct.O.Optimizer.entries
+                    b.Srv.Proto.c_entries;
+                  Alcotest.(check bool) "elapsed positive" true
+                    (b.Srv.Proto.c_elapsed_s >= 0.0)
+                | r ->
+                  Alcotest.failf "expected compile reply, got %s"
+                    (J.to_string (Srv.Proto.reply_to_json r)))));
+    t "second structurally identical compile hits the statement cache" (fun () ->
+        with_server (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let compile sql =
+                  let id = Srv.Client.fresh_id c in
+                  request_exn c
+                    (Srv.Proto.Compile { id; sql; schema = None; deadline_ms = None })
+                in
+                (match compile small_sql with
+                | Srv.Proto.R_compile (_, b) ->
+                  Alcotest.(check bool) "first is a miss" false
+                    b.Srv.Proto.c_cache_hit
+                | _ -> Alcotest.fail "expected compile reply");
+                (* same structure, different literal: the signature matches *)
+                match
+                  compile
+                    "SELECT s.s_store_name FROM store s WHERE s.s_market_id = 7"
+                with
+                | Srv.Proto.R_compile (_, b) ->
+                  Alcotest.(check bool) "second is a hit" true
+                    b.Srv.Proto.c_cache_hit
+                | _ -> Alcotest.fail "expected compile reply")));
+    t "overload rejects with structure, never hangs" (fun () ->
+        with_server
+          ~configure:(fun cfg ->
+            {
+              cfg with
+              Srv.Server.admission =
+                {
+                  Srv.Admission.per_request_s = 1e-12;
+                  aggregate_s = infinity;
+                  max_queue = max_int;
+                };
+            })
+          (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                for _ = 1 to 5 do
+                  let id = Srv.Client.fresh_id c in
+                  match
+                    request_exn c
+                      (Srv.Proto.Compile
+                         { id; sql = big_sql; schema = None; deadline_ms = None })
+                  with
+                  | Srv.Proto.R_rejected { id = rid; reason; estimate_us } ->
+                    Alcotest.(check int) "id echoed" id rid;
+                    Alcotest.(check string) "reason" "per_request_budget" reason;
+                    Alcotest.(check bool) "estimate attached" true
+                      (estimate_us > 0.0)
+                  | r ->
+                    Alcotest.failf "expected rejection, got %s"
+                      (J.to_string (Srv.Proto.reply_to_json r))
+                done;
+                (* estimates are not admission-controlled *)
+                match
+                  request_exn c
+                    (Srv.Proto.Estimate
+                       { id = Srv.Client.fresh_id c; sql = big_sql; schema = None })
+                with
+                | Srv.Proto.R_estimate _ -> ()
+                | _ -> Alcotest.fail "estimate should bypass admission")));
+    t "past-deadline request is cancelled and reported" (fun () ->
+        with_server (fun addr ->
+            let c = Srv.Client.connect addr in
+            let probe = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () ->
+                Srv.Client.close probe;
+                Srv.Client.close c)
+              (fun () ->
+                (* One worker: the big compile occupies it for tens of ms
+                   while the small request's 1 ms deadline expires on the
+                   queue; the worker must cancel it at dequeue. *)
+                let big_id = Srv.Client.fresh_id c in
+                Srv.Client.send c
+                  (Srv.Proto.Compile
+                     { id = big_id; sql = big_sql; schema = None; deadline_ms = None });
+                wait_for_stats probe big_is_running;
+                let small_id = Srv.Client.fresh_id c in
+                Srv.Client.send c
+                  (Srv.Proto.Compile
+                     {
+                       id = small_id;
+                       sql = small_sql;
+                       schema = None;
+                       deadline_ms = Some 1.0;
+                     });
+                let got_big = ref false and got_small = ref false in
+                for _ = 1 to 2 do
+                  match Srv.Client.recv c with
+                  | Some (Srv.Proto.R_compile (rid, _)) when rid = big_id ->
+                    got_big := true
+                  | Some (Srv.Proto.R_cancelled { id; reason; queue_s; _ })
+                    when id = small_id ->
+                    got_small := true;
+                    Alcotest.(check string) "reason" "deadline" reason;
+                    Alcotest.(check bool) "queue time reported" true (queue_s > 0.0)
+                  | Some r ->
+                    Alcotest.failf "unexpected reply %s"
+                      (J.to_string (Srv.Proto.reply_to_json r))
+                  | None -> Alcotest.fail "connection closed early"
+                done;
+                Alcotest.(check bool) "big compiled" true !got_big;
+                Alcotest.(check bool) "small cancelled" true !got_small)));
+    t "shutdown cancels queued work and exits cleanly" (fun () ->
+        with_server (fun addr ->
+            let c = Srv.Client.connect addr in
+            let work = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () ->
+                Srv.Client.close work;
+                Srv.Client.close c)
+              (fun () ->
+                (* Occupy the single worker, then queue smalls behind it. *)
+                let big_id = Srv.Client.fresh_id work in
+                Srv.Client.send work
+                  (Srv.Proto.Compile
+                     { id = big_id; sql = big_sql; schema = None; deadline_ms = None });
+                (* Wait for the worker to actually start the big job before
+                   queueing, so the smalls cannot sneak ahead of it. *)
+                wait_for_stats c big_is_running;
+                let small_ids =
+                  List.init 3 (fun _ ->
+                      let id = Srv.Client.fresh_id work in
+                      Srv.Client.send work
+                        (Srv.Proto.Compile
+                           { id; sql = small_sql; schema = None; deadline_ms = None });
+                      id)
+                in
+                (* All three smalls admitted and queued before the shutdown
+                   races them; the big holds the worker far longer. *)
+                wait_for_stats c (fun doc -> stat doc "queue_depth" = 3);
+                (match request_exn c (Srv.Proto.Shutdown { id = 1 }) with
+                | Srv.Proto.R_ok 1 -> ()
+                | _ -> Alcotest.fail "expected ok for shutdown");
+                (* The running big compile finishes; the queued smalls come
+                   back cancelled with reason "shutdown". *)
+                let cancelled = ref [] in
+                let compiled = ref [] in
+                let rec collect n =
+                  if n > 0 then
+                    match Srv.Client.recv work with
+                    | Some (Srv.Proto.R_compile (rid, _)) ->
+                      compiled := rid :: !compiled;
+                      collect (n - 1)
+                    | Some (Srv.Proto.R_cancelled { id; reason; _ }) ->
+                      Alcotest.(check string) "reason" "shutdown" reason;
+                      cancelled := id :: !cancelled;
+                      collect (n - 1)
+                    | Some r ->
+                      Alcotest.failf "unexpected reply %s"
+                        (J.to_string (Srv.Proto.reply_to_json r))
+                    | None -> ()
+                  else ()
+                in
+                collect 4;
+                Alcotest.(check (list int)) "big compiled" [ big_id ] !compiled;
+                Alcotest.(check (list int)) "smalls cancelled"
+                  (List.sort compare small_ids)
+                  (List.sort compare !cancelled))));
+    t "stats reflects the traffic" (fun () ->
+        with_server (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                ignore
+                  (request_exn c
+                     (Srv.Proto.Estimate
+                        { id = Srv.Client.fresh_id c; sql = small_sql; schema = None }));
+                ignore
+                  (request_exn c
+                     (Srv.Proto.Compile
+                        {
+                          id = Srv.Client.fresh_id c;
+                          sql = small_sql;
+                          schema = None;
+                          deadline_ms = None;
+                        }));
+                match request_exn c (Srv.Proto.Stats { id = Srv.Client.fresh_id c }) with
+                | Srv.Proto.R_stats (_, doc) ->
+                  let field name =
+                    Option.bind (J.member name doc) J.get_int |> Option.get
+                  in
+                  Alcotest.(check int) "estimates" 1 (field "estimates");
+                  Alcotest.(check int) "compiles" 1 (field "compiles");
+                  Alcotest.(check int) "rejected" 0 (field "rejected")
+                | _ -> Alcotest.fail "expected stats reply")));
+    t "bad SQL over the socket is a structured error reply" (fun () ->
+        with_server (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                List.iter
+                  (fun sql ->
+                    let id = Srv.Client.fresh_id c in
+                    match
+                      request_exn c (Srv.Proto.Estimate { id; sql; schema = None })
+                    with
+                    | Srv.Proto.R_error { id = rid; message } ->
+                      Alcotest.(check int) "id echoed" id rid;
+                      Alcotest.(check bool) "message non-empty" true
+                        (String.length message > 0)
+                    | r ->
+                      Alcotest.failf "expected error reply, got %s"
+                        (J.to_string (Srv.Proto.reply_to_json r)))
+                  [
+                    "SELECT x.a FROM no_such_table x";
+                    "SELECT ' FROM store s";
+                    "";
+                  ])));
+  ]
+
+let suite =
+  wire_tests @ proto_tests @ sched_tests @ admission_tests @ level_tests
+  @ server_tests

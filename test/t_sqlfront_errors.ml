@@ -1,0 +1,72 @@
+(* Adversarial inputs to the SQL front end: every malformed or
+   out-of-schema query must surface as a structured error — Lexer.Error,
+   Parser.Error or Binder.Error with a message — never an Assert_failure,
+   Match_failure or other internal crash.  This is the server's first
+   line of defense: anything a client can put in a "sql" field lands
+   here. *)
+
+module Sql = Qopt_sql
+module W = Qopt_workloads
+
+let t name f = Alcotest.test_case name `Quick f
+
+let schema = W.Warehouse.schema ~partitioned:false
+
+(* Runs the full front end and classifies the outcome. *)
+let front sql =
+  match Sql.Binder.parse_and_bind schema sql with
+  | _ -> `Bound
+  | exception Sql.Lexer.Error (msg, _) -> `Structured ("lexer", msg)
+  | exception Sql.Parser.Error msg -> `Structured ("parser", msg)
+  | exception Sql.Binder.Error msg -> `Structured ("binder", msg)
+  | exception e -> `Crash (Printexc.to_string e)
+
+let check_structured name sql =
+  t name (fun () ->
+      match front sql with
+      | `Structured (_, msg) ->
+        Alcotest.(check bool) "non-empty message" true (String.length msg > 0)
+      | `Bound -> Alcotest.failf "expected an error for %S, but it bound" sql
+      | `Crash e -> Alcotest.failf "internal crash on %S: %s" sql e)
+
+let suite =
+  [
+    check_structured "empty input" "";
+    check_structured "whitespace only" "   \t\n  ";
+    check_structured "unterminated string literal"
+      "SELECT s.s_store_name FROM store s WHERE s.s_store_name = 'oops";
+    check_structured "illegal character" "SELECT # FROM store";
+    check_structured "stray token after statement"
+      "SELECT s.s_market_id FROM store s extra garbage ; ;";
+    check_structured "missing FROM clause" "SELECT s.s_market_id WHERE 1 = 1";
+    check_structured "dangling comma in FROM"
+      "SELECT s.s_market_id FROM store s,";
+    check_structured "incomplete predicate"
+      "SELECT s.s_market_id FROM store s WHERE s.s_market_id =";
+    check_structured "unbalanced parenthesis"
+      "SELECT s.s_market_id FROM store s WHERE (s.s_market_id = 1";
+    check_structured "unknown table" "SELECT x.a FROM no_such_table x";
+    check_structured "unknown column"
+      "SELECT s.no_such_column FROM store s";
+    check_structured "unknown alias in predicate"
+      "SELECT s.s_market_id FROM store s WHERE zz.s_market_id = 1";
+    check_structured "ambiguous unqualified column"
+      "SELECT ss_sold_date_sk FROM store_sales ss, store_returns sr WHERE \
+       sr_returned_date_sk = ss_sold_date_sk AND d_date_sk = 1";
+    check_structured "number where column expected"
+      "SELECT 42 FROM store s";
+    t "deep parenthesis nesting errors, not a stack crash" (fun () ->
+        let sql =
+          "SELECT s.s_market_id FROM store s WHERE "
+          ^ String.concat "" (List.init 5000 (fun _ -> "("))
+          ^ "s.s_market_id = 1"
+        in
+        match front sql with
+        | `Structured _ -> ()
+        | `Bound -> Alcotest.fail "expected an error"
+        | `Crash e ->
+          (* Stack_overflow from a recursive-descent parser is tolerable
+             only if it is raised as such, not an assert; but the front
+             end should reject long before that. *)
+          Alcotest.failf "internal crash: %s" e);
+  ]

@@ -1,10 +1,11 @@
-(* Rng, Stats, Regression, Timer, Tablefmt. *)
+(* Rng, Stats, Regression, Timer, Tablefmt, Json. *)
 
 module Rng = Qopt_util.Rng
 module Stats = Qopt_util.Stats
 module Regression = Qopt_util.Regression
 module Timer = Qopt_util.Timer
 module Tablefmt = Qopt_util.Tablefmt
+module Json = Qopt_util.Json
 
 let t name f = Alcotest.test_case name `Quick f
 
@@ -181,4 +182,121 @@ let tablefmt_tests =
         Alcotest.(check string) "count" "42" (Tablefmt.fcount 42.4));
   ]
 
-let suite = rng_tests @ stats_tests @ regression_tests @ timer_tests @ tablefmt_tests
+let monotonic_tests =
+  [
+    t "monotonic_now never decreases" (fun () ->
+        let prev = ref (Timer.monotonic_now ()) in
+        for _ = 1 to 1000 do
+          let now = Timer.monotonic_now () in
+          Alcotest.(check bool) "non-decreasing" true (now >= !prev);
+          prev := now
+        done);
+    t "monotonic_now tracks real sleep" (fun () ->
+        let t0 = Timer.monotonic_now () in
+        Unix.sleepf 0.02;
+        let dt = Timer.monotonic_now () -. t0 in
+        (* generous upper bound: scheduling jitter, not clock error *)
+        Alcotest.(check bool) "at least the sleep" true (dt >= 0.019);
+        Alcotest.(check bool) "not wildly more" true (dt < 2.0));
+  ]
+
+let solve_result_tests =
+  [
+    t "solve_result agrees with solve when well-conditioned" (fun () ->
+        let a = [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+        let b = [| 5.0; 10.0 |] in
+        match Regression.solve_result a b with
+        | Error e -> Alcotest.failf "unexpected Error %s" e
+        | Ok x ->
+          let y = Regression.solve [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] [| 5.0; 10.0 |] in
+          feq "x0" y.(0) x.(0);
+          feq "x1" y.(1) x.(1));
+    t "solve_result singular without ridge is Error" (fun () ->
+        let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+        match Regression.solve_result a [| 1.0; 2.0 |] with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected Error on singular system");
+    t "solve_result ridge recovers a solution" (fun () ->
+        let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+        match Regression.solve_result ~ridge:1e-6 a [| 1.0; 2.0 |] with
+        | Error e -> Alcotest.failf "ridge should solve, got Error %s" e
+        | Ok x ->
+          (* damped solution still approximately satisfies the (consistent)
+             system *)
+          let r0 = x.(0) +. (2.0 *. x.(1)) in
+          Alcotest.(check (float 1e-3)) "row0" 1.0 r0);
+    t "fit_result rank-deficient is Error" (fun () ->
+        (* second column is 3x the first: normal equations are singular *)
+        let xs = Array.init 10 (fun i -> [| float_of_int (i + 1); 3.0 *. float_of_int (i + 1) |]) in
+        let ys = Array.map (fun row -> 2.0 *. row.(0)) xs in
+        match Regression.fit_result xs ys with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected Error on collinear features");
+    t "fit_result well-conditioned recovers model" (fun () ->
+        let xs = Array.init 10 (fun i -> [| float_of_int (i + 1); float_of_int ((i * i) mod 7) |]) in
+        let ys = Array.map (fun row -> (2.0 *. row.(0)) +. (0.5 *. row.(1))) xs in
+        match Regression.fit_result xs ys with
+        | Error e -> Alcotest.failf "unexpected Error %s" e
+        | Ok c ->
+          feq_loose "c0" 2.0 c.(0);
+          feq_loose "c1" 0.5 c.(1));
+  ]
+
+let json_tests =
+  let roundtrip s =
+    match Json.parse s with
+    | Error e -> Alcotest.failf "parse %S: %s" s e
+    | Ok v -> Json.to_string v
+  in
+  [
+    t "print and reparse an object" (fun () ->
+        let v =
+          Json.Obj
+            [
+              ("a", Json.int 3);
+              ("b", Json.Str "x\"y\n");
+              ("c", Json.Arr [ Json.Bool true; Json.Null; Json.Num 1.5 ]);
+            ]
+        in
+        match Json.parse (Json.to_string v) with
+        | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+        | Error e -> Alcotest.failf "reparse: %s" e);
+    t "integers print without a fraction" (fun () ->
+        Alcotest.(check string) "int" "42" (Json.to_string (Json.int 42));
+        Alcotest.(check string) "neg" "-7" (Json.to_string (Json.Num (-7.0))));
+    t "floats survive a roundtrip exactly" (fun () ->
+        let v = 1.3796000530419406e-05 in
+        match Json.parse (Json.to_string (Json.Num v)) with
+        | Ok (Json.Num v') -> Alcotest.(check (float 0.0)) "exact" v v'
+        | _ -> Alcotest.fail "expected Num");
+    t "escapes and unicode parse" (fun () ->
+        Alcotest.(check string) "tab" "\"a\\tb\"" (roundtrip "\"a\\tb\"");
+        (match Json.parse "\"A\\u00e9\"" with
+        | Ok (Json.Str s) -> Alcotest.(check string) "unicode" "A\xc3\xa9" s
+        | _ -> Alcotest.fail "expected Str"));
+    t "rejects trailing garbage" (fun () ->
+        match Json.parse "{} x" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "expected Error on trailing input");
+    t "rejects malformed documents" (fun () ->
+        List.iter
+          (fun s ->
+            match Json.parse s with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.failf "expected parse error on %S" s)
+          [ "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "nul"; "" ]);
+    t "member and accessors" (fun () ->
+        match Json.parse {|{"s":"x","n":2.5,"i":7,"b":false,"z":null}|} with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok v ->
+          let field name get = Option.bind (Json.member name v) get in
+          Alcotest.(check (option string)) "s" (Some "x") (field "s" Json.get_string);
+          Alcotest.(check (option (float 0.0))) "n" (Some 2.5) (field "n" Json.get_float);
+          Alcotest.(check (option int)) "i" (Some 7) (field "i" Json.get_int);
+          Alcotest.(check (option bool)) "b" (Some false) (field "b" Json.get_bool);
+          Alcotest.(check bool) "missing is None" true (Json.member "nope" v = None));
+  ]
+
+let suite =
+  rng_tests @ stats_tests @ regression_tests @ solve_result_tests @ timer_tests
+  @ monotonic_tests @ tablefmt_tests @ json_tests

@@ -22,4 +22,6 @@ let () =
       ("par", T_par.suite);
       ("stmt-cache", T_stmt_cache.suite);
       ("sql-roundtrip", T_roundtrip.suite);
+      ("sql-errors", T_sqlfront_errors.suite);
+      ("server", T_server.suite);
     ]
