@@ -34,6 +34,38 @@ let bench_optimize name env block =
 let bench_estimate name env block =
   Test.make ~name (Staged.stage (fun () -> ignore (Cote.Estimator.estimate env block)))
 
+(* The MEMO insertion hot path in isolation: one run = a fresh MEMO entry
+   receiving a stream of plans with mixed orders and costs, exercising
+   signature computation, interned dominance tests and in-place
+   compaction. *)
+let bench_insert_plan block =
+  let c n = O.Colref.make 0 n in
+  let orders =
+    [ []; [ c "a" ]; [ c "b" ]; [ c "a"; c "b" ]; [ c "b"; c "a" ]; [ c "c" ] ]
+  in
+  Test.make ~name:"hotpath/insert-plan"
+    (Staged.stage (fun () ->
+         let memo = O.Memo.create block in
+         let e, _ =
+           O.Memo.find_or_create memo (Qopt_util.Bitset.singleton 0)
+         in
+         let i = ref 0 in
+         List.iter
+           (fun order ->
+             for k = 0 to 9 do
+               incr i;
+               O.Memo.insert_plan memo e
+                 {
+                   O.Plan.op = O.Plan.Seq_scan 0;
+                   tables = Qopt_util.Bitset.singleton 0;
+                   order;
+                   partition = None;
+                   card = 1000.0;
+                   cost = float_of_int (((17 * !i) mod 29) + k);
+                 }
+             done)
+           orders))
+
 let tests () =
   let lin = block_of serial "linear" "lin_8_p3" in
   let star = block_of serial "star" "star_8_p3" in
@@ -51,6 +83,10 @@ let tests () =
       bench_optimize "fig2/compile-real2_s" serial real2;
       (* fig3: the joins-vs-plans example query *)
       bench_optimize "fig3/compile-example" serial fig3a;
+      (* hotpath: the flattened plan-generation path — the representative
+         parallel compile plus the isolated MEMO insertion loop *)
+      bench_optimize "hotpath/compile-real1_p" parallel real1_p;
+      bench_insert_plan lin;
       (* fig4: actual compilation vs estimation, per sub-figure *)
       bench_optimize "fig4a/compile-linear_s" serial lin;
       bench_estimate "fig4a/estimate-linear_s" serial lin;
@@ -133,23 +169,40 @@ let tests () =
     ]
 
 let run_benchmarks () =
-  let instances = Instance.[ monotonic_clock ] in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) () in
   Benchmark.all cfg instances (tests ())
 
+(* Each row reports ns/run and minor-heap words allocated per run: the
+   allocation column is what the interned hot path is supposed to shrink,
+   and regressions there show up before they cost wall-clock time. *)
 let report raw =
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  let est_of tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> (
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> Some est
+      | Some _ | None -> None)
+    | None -> None
+  in
   let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
-  Format.printf "%-36s %16s@." "benchmark" "ns/run";
+  Format.printf "%-36s %16s %14s@." "benchmark" "ns/run" "minor-w/run";
   List.iter
     (fun (name, result) ->
+      let alloc =
+        match est_of allocs name with
+        | Some w -> Printf.sprintf "%14.0f" w
+        | None -> Printf.sprintf "%14s" "-"
+      in
       match Analyze.OLS.estimates result with
-      | Some [ est ] -> Format.printf "%-36s %16.0f@." name est
-      | Some _ | None -> Format.printf "%-36s %16s@." name "-")
+      | Some [ est ] -> Format.printf "%-36s %16.0f %s@." name est alloc
+      | Some _ | None -> Format.printf "%-36s %16s %s@." name "-" alloc)
     rows;
   List.filter_map
     (fun (name, result) ->
@@ -157,6 +210,34 @@ let report raw =
       | Some [ est ] -> Some (name, est)
       | Some _ | None -> None)
     rows
+
+(* Direct GC accounting for the representative parallel compile: bytes
+   allocated and minor collections per [Optimizer.optimize], measured with
+   [Gc.allocated_bytes] deltas outside Bechamel (which reports words per
+   sampled run batch, not bytes per compile). *)
+let hotpath_alloc_rows () =
+  let real1_p = block_of parallel "real1" "r1_q7" in
+  ignore (O.Optimizer.optimize parallel real1_p);
+  let reps = 5 in
+  Gc.full_major ();
+  let a0 = Gc.allocated_bytes () in
+  let s0 = Gc.quick_stat () in
+  for _ = 1 to reps do
+    ignore (O.Optimizer.optimize parallel real1_p)
+  done;
+  let a1 = Gc.allocated_bytes () in
+  let s1 = Gc.quick_stat () in
+  let rows =
+    [
+      ("hotpath/alloc-bytes-real1_p", (a1 -. a0) /. float_of_int reps);
+      ( "hotpath/minor-collections-real1_p",
+        float_of_int (s1.Gc.minor_collections - s0.Gc.minor_collections)
+        /. float_of_int reps );
+    ]
+  in
+  Format.printf "=== Hot-path allocation accounting (%d compiles) ===@." reps;
+  List.iter (fun (name, v) -> Format.printf "%-36s %16.1f@." name v) rows;
+  rows
 
 (* Batch throughput: the whole serial synthetic corpus compiled through the
    Qopt_par pool at increasing domain counts.  Rows land next to the
@@ -329,6 +410,8 @@ let () =
   Format.printf "=== Bechamel micro-benchmarks (one per table/figure) ===@.";
   let raw = run_benchmarks () in
   let rows = report raw in
+  Format.printf "@.";
+  let rows = rows @ hotpath_alloc_rows () in
   Format.printf "@.";
   let rows = rows @ batch_rows () in
   Format.printf "@.";

@@ -17,4 +17,6 @@ let pp ppf t = Format.fprintf ppf "Q%d.%s" t.q t.col
 
 let list_equal a b = List.length a = List.length b && List.for_all2 equal a b
 
+let list_hash l = List.fold_left (fun acc c -> (acc * 31) + hash c) 17 l
+
 let list_mem x l = List.exists (equal x) l

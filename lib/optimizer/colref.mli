@@ -21,4 +21,8 @@ val pp : Format.formatter -> t -> unit
 
 val list_equal : t list -> t list -> bool
 
+val list_hash : t list -> int
+(** Order-sensitive hash of a column list, consistent with {!list_equal} —
+    the hash function of the property intern table. *)
+
 val list_mem : t -> t list -> bool

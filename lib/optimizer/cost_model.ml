@@ -157,10 +157,15 @@ let hash_build_model p ~rows ~width =
   !spill +. bucket_cpu
 
 (* Common per-plan work: output width and projection cost — evaluated per
-   plan because the output schema is plan-specific. *)
-let output_cost p block ~tables ~out_card =
-  let width = row_width block tables in
+   plan because the output schema is plan-specific.  The width is either
+   handed down by the caller (the generator memoizes it per MEMO entry) or
+   derived from the table set. *)
+let output_cost p ~width ~out_card =
   per_node p (out_card *. p.cpu_tuple *. (0.5 +. (width /. 256.0)))
+
+let width_or block tables = function
+  | Some w -> w
+  | None -> row_width block tables
 
 let table_pages (table : Table.t) = table.Table.page_count
 
@@ -191,16 +196,18 @@ let inner_probe_cost p block ~preds ~inner_tables =
       else None
   end
 
-let nljn p block ~ctx ~probe ~outer ~inner ~out_card =
+let nljn p block ~ctx ~probe ?width_outer ?width_inner ?width_out ~outer ~inner
+    ~out_card () =
   let open Plan in
-  let inner_width = row_width block inner.tables in
+  let inner_width = width_or block inner.tables width_inner in
   let inner_pages = pages_of ~rows:inner.card ~width:inner_width in
   let hit = buffer_hit_ratio p ~pages:inner_pages in
   let reread = device_io_time p ~pages:inner_pages ~random_frac:(1.0 -. hit) in
   (* Block nested loops over a materialized inner: the inner is re-read once
      per outer *block*, not per outer row. *)
   let outer_pages =
-    pages_of ~rows:(per_node p outer.card) ~width:(row_width block outer.tables)
+    pages_of ~rows:(per_node p outer.card)
+      ~width:(width_or block outer.tables width_outer)
   in
   let rescans =
     Float.max 0.0 (ceil (outer_pages /. (p.buffer_pages *. 0.5)) -. 1.0)
@@ -219,13 +226,17 @@ let nljn p block ~ctx ~probe ~outer ~inner ~out_card =
     per_node p (outer.card *. (p.cpu_probe +. (ctx.matches_per_outer *. p.cpu_tuple *. 0.05)))
   in
   (outer.cost +. inner_access +. probe_cpu
-  +. output_cost p block ~tables:(Bitset.union outer.tables inner.tables) ~out_card)
+  +. output_cost p
+       ~width:
+         (width_or block (Bitset.union outer.tables inner.tables) width_out)
+       ~out_card)
   *. ctx.skew
 
-let mgjn p block ~ctx ~outer ~inner ~out_card ~sort_outer ~sort_inner =
+let mgjn p block ~ctx ?width_outer ?width_inner ?width_out ~outer ~inner
+    ~out_card ~sort_outer ~sort_inner () =
   let open Plan in
-  let width_o = row_width block outer.tables in
-  let width_i = row_width block inner.tables in
+  let width_o = width_or block outer.tables width_outer in
+  let width_i = width_or block inner.tables width_inner in
   (* The sort model is evaluated for both inputs even when an input arrives
      sorted: the optimizer compares enforced vs natural access anyway. *)
   let sort_o = sort p ~rows:outer.card ~width:width_o in
@@ -247,12 +258,15 @@ let mgjn p block ~ctx ~outer ~inner ~out_card ~sort_outer ~sort_inner =
       +. (outer.card *. ctx.matches_per_outer *. p.cpu_tuple *. 0.1))
   in
   (outer.cost +. inner.cost +. sort_cost +. merge_cpu +. (stream_io *. 0.05)
-  +. output_cost p block ~tables:(Bitset.union outer.tables inner.tables) ~out_card)
+  +. output_cost p
+       ~width:
+         (width_or block (Bitset.union outer.tables inner.tables) width_out)
+       ~out_card)
   *. ctx.skew
 
-let hsjn p block ~ctx ~outer ~inner ~out_card =
+let hsjn p block ~ctx ?width_inner ?width_out ~outer ~inner ~out_card () =
   let open Plan in
-  let width_i = row_width block inner.tables in
+  let width_i = width_or block inner.tables width_inner in
   let build = hash_build_model p ~rows:(per_node p inner.card) ~width:width_i in
   let pages_i = pages_of ~rows:inner.card ~width:width_i in
   let hit = buffer_hit_ratio p ~pages:pages_i in
@@ -263,7 +277,10 @@ let hsjn p block ~ctx ~outer ~inner ~out_card =
                      +. (ctx.matches_per_outer *. p.cpu_tuple *. 0.05)))
   in
   (outer.cost +. inner.cost +. build +. probe_cpu +. (probe_io *. 0.02)
-  +. output_cost p block ~tables:(Bitset.union outer.tables inner.tables) ~out_card)
+  +. output_cost p
+       ~width:
+         (width_or block (Bitset.union outer.tables inner.tables) width_out)
+       ~out_card)
   *. ctx.skew
 
 let seq_scan p (t : Table.t) =

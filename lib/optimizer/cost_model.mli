@@ -69,30 +69,45 @@ val nljn :
   Query_block.t ->
   ctx:join_ctx ->
   probe:float option ->
+  ?width_outer:float ->
+  ?width_inner:float ->
+  ?width_out:float ->
   outer:Plan.t ->
   inner:Plan.t ->
   out_card:float ->
+  unit ->
   float
 
 val mgjn :
   params ->
   Query_block.t ->
   ctx:join_ctx ->
+  ?width_outer:float ->
+  ?width_inner:float ->
+  ?width_out:float ->
   outer:Plan.t ->
   inner:Plan.t ->
   out_card:float ->
   sort_outer:bool ->
   sort_inner:bool ->
+  unit ->
   float
 
 val hsjn :
   params ->
   Query_block.t ->
   ctx:join_ctx ->
+  ?width_inner:float ->
+  ?width_out:float ->
   outer:Plan.t ->
   inner:Plan.t ->
   out_card:float ->
+  unit ->
   float
+(** The three join cost models.  The [?width_*] arguments let the caller
+    pass memoized {!row_width} values for the outer / inner / output table
+    sets (see [Memo.width_of]); omitted widths are derived from the plans'
+    table sets — the same value, recomputed. *)
 
 val repartition : params -> rows:float -> width:float -> float
 (** Cost of redistributing rows across the nodes. *)

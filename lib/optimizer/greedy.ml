@@ -47,14 +47,14 @@ let cheapest_join params block ~outer ~inner ~preds ~out_card =
   let candidates =
     [
       ( Join_method.NLJN,
-        Cost_model.nljn params block ~ctx ~probe ~outer ~inner ~out_card,
+        Cost_model.nljn params block ~ctx ~probe ~outer ~inner ~out_card (),
         outer.Plan.order );
       ( Join_method.MGJN,
         Cost_model.mgjn params block ~ctx ~outer ~inner ~out_card
-          ~sort_outer:true ~sort_inner:true,
+          ~sort_outer:true ~sort_inner:true (),
         [] );
       ( Join_method.HSJN,
-        Cost_model.hsjn params block ~ctx ~outer ~inner ~out_card,
+        Cost_model.hsjn params block ~ctx ~outer ~inner ~out_card (),
         [] );
     ]
   in

@@ -8,6 +8,9 @@ let m_inserted = Obs.Registry.counter Obs.Registry.default "memo.plans_inserted"
 
 let m_pruned = Obs.Registry.counter Obs.Registry.default "memo.plans_pruned"
 
+let m_dom_checks =
+  Obs.Registry.counter Obs.Registry.default "memo.dominance_checks"
+
 let m_list_len = Obs.Registry.histogram Obs.Registry.default "memo.plan_list_len"
 
 let m_order_len = Obs.Registry.histogram Obs.Registry.default "memo.order_list_len"
@@ -33,17 +36,39 @@ let counts_add c m n =
   | Join_method.MGJN -> c.mgjn <- c.mgjn + n
   | Join_method.HSJN -> c.hsjn <- c.hsjn + n
 
+(* The per-plan property signature is fully interned: the normalized order
+   and the canonical partition key live in the owning MEMO's [Prop_id]
+   table, so dominance tests are integer comparisons and never walk a
+   column list. *)
 type saved_plan = {
   sp_plan : Plan.t;
+  sp_norm : int;
   sp_osig : int;
-  sp_pkey : Colref.t list option;
+  sp_pkey : int;
   sp_pint : bool;
   sp_pipe : bool;
 }
 
+(* Cached answer of one [best_plan_satisfying] query: the canonical columns
+   of the queried order (for re-testing newly inserted plans) and the
+   current cheapest satisfying plan.  Maintained incrementally on insert;
+   the binding is evicted when its plan is dominance-dropped. *)
+type sat_slot = {
+  ss_kind : Order_prop.kind;
+  ss_cols : Colref.t list;
+  mutable ss_best : saved_plan option;
+}
+
 type entry = {
   tables : Bitset.t;
-  mutable saved : saved_plan list;
+  mutable saved : saved_plan array;
+  mutable n_saved : int;
+  mutable best : saved_plan option;
+  mutable best_pipe : saved_plan option;
+  sat_cache : (int, sat_slot) Hashtbl.t;
+  osig_cache : (int, int) Hashtbl.t;
+  pprop_cache : (int, int * bool) Hashtbl.t;
+  mutable width_cache : float;
   mutable card_cache : float option;
   mutable equiv_cache : Equiv.t option;
   mutable app_orders_cache : Order_prop.t list option;
@@ -84,6 +109,8 @@ type t = {
   blk : Query_block.t;
   tbl : (int, entry) Hashtbl.t;
   by_size : bucket array; (* creation order per size *)
+  intern : Prop_id.t;
+  mutable kept : int; (* running kept-plan count across all entries *)
   sts : stats;
 }
 
@@ -93,6 +120,8 @@ let create blk =
     blk;
     tbl = Hashtbl.create 256;
     by_size = Array.init (n + 1) (fun _ -> { items = [||]; len = 0 });
+    intern = Prop_id.create ();
+    kept = 0;
     sts =
       {
         entries_created = 0;
@@ -107,6 +136,8 @@ let block t = t.blk
 
 let stats t = t.sts
 
+let intern_cols t cols = Prop_id.id_of_cols t.intern cols
+
 let find_opt t set = Hashtbl.find_opt t.tbl (Bitset.to_int set)
 
 let find_or_create t set =
@@ -116,7 +147,14 @@ let find_or_create t set =
     let e =
       {
         tables = set;
-        saved = [];
+        saved = [||];
+        n_saved = 0;
+        best = None;
+        best_pipe = None;
+        sat_cache = Hashtbl.create 4;
+        osig_cache = Hashtbl.create 8;
+        pprop_cache = Hashtbl.create 4;
+        width_cache = -1.0;
         card_cache = None;
         equiv_cache = None;
         app_orders_cache = None;
@@ -133,13 +171,6 @@ let find_or_create t set =
     t.sts.entries_created <- t.sts.entries_created + 1;
     Obs.Counter.incr m_entries;
     (e, true)
-
-let entries_of_size t k =
-  if k < 0 || k >= Array.length t.by_size then []
-  else begin
-    let b = t.by_size.(k) in
-    List.init b.len (fun i -> b.items.(i))
-  end
 
 let iter_entries_of_size t k f =
   if k >= 0 && k < Array.length t.by_size then begin
@@ -191,6 +222,14 @@ let card_of t mode e =
     let c = Cardinality.of_set mode t.blk e.tables in
     e.card_cache <- Some c;
     c
+
+let width_of t e =
+  if e.width_cache >= 0.0 then e.width_cache
+  else begin
+    let w = Cost_model.row_width t.blk e.tables in
+    e.width_cache <- w;
+    w
+  end
 
 let applicable_orders t e =
   match e.app_orders_cache with
@@ -244,104 +283,249 @@ let canon_satisfied kind cols normalized_plan_order =
       let prefix = List.filteri (fun i _ -> i < k) normalized_plan_order in
       Colref.list_equal (List.sort Colref.compare prefix) cols
 
-let plans e = List.map (fun sp -> sp.sp_plan) e.saved
+(* Kept plans are stored oldest-first and compacted in place on pruning, so
+   [plans] rebuilds the legacy newest-first list: scan-order consumers (the
+   driver's tie-breaks, the COTE's property walks) see the exact sequence
+   the list-based MEMO produced. *)
+let plans e =
+  let n = e.n_saved in
+  List.init n (fun i -> e.saved.(n - 1 - i).sp_plan)
 
 let best_plan e =
-  match e.saved with
-  | [] -> None
-  | first :: rest ->
-    Some
-      (List.fold_left
-         (fun best sp ->
-           if sp.sp_plan.Plan.cost < best.Plan.cost then sp.sp_plan else best)
-         first.sp_plan rest)
+  match e.best with
+  | Some sp -> Some sp.sp_plan
+  | None -> None
 
-let best_pipelinable_plan e =
-  List.fold_left
-    (fun best sp ->
-      if not (Plan.pipelinable sp.sp_plan) then best
-      else
-        match best with
-        | Some (b : Plan.t) when b.Plan.cost <= sp.sp_plan.Plan.cost -> best
-        | Some _ | None -> Some sp.sp_plan)
-    None e.saved
-
-let best_plan_satisfying t e order =
-  let equiv = equiv_of t e in
-  let best = ref None in
-  List.iter
-    (fun sp ->
-      if Order_prop.satisfied_by equiv order sp.sp_plan.Plan.order then
+let best_pipelinable_plan t e =
+  if t.blk.Query_block.first_n <> None then
+    match e.best_pipe with
+    | Some sp -> Some sp.sp_plan
+    | None -> None
+  else begin
+    (* Without a top-N clause [sp_pipe] is uniformly false (pipelinability
+       is not pruning-protected), so the cache holds nothing: scan. *)
+    let best = ref None in
+    for i = 0 to e.n_saved - 1 do
+      let sp = e.saved.(i) in
+      if Plan.pipelinable sp.sp_plan then
         match !best with
-        | Some (b : Plan.t) when b.Plan.cost <= sp.sp_plan.Plan.cost -> ()
-        | Some _ | None -> best := Some sp.sp_plan)
-    e.saved;
-  !best
+        | Some (b : Plan.t) when b.Plan.cost < sp.sp_plan.Plan.cost -> ()
+        | Some _ | None -> best := Some sp.sp_plan
+    done;
+    !best
+  end
 
-(* The per-plan property signature, computed once at insertion: the set of
-   applicable interesting orders the plan satisfies (as a bitmask) and the
-   canonical partition key with its interestingness. *)
-let signature t e (plan : Plan.t) =
+let kind_tag = function
+  | Order_prop.Join_key -> 0
+  | Order_prop.Grouping -> 1
+  | Order_prop.Ordering -> 2
+
+let best_plan_satisfying t e (order : Order_prop.t) =
   let equiv = equiv_of t e in
-  let normalized = Equiv.normalize_cols equiv plan.Plan.order in
-  let osig = ref 0 in
-  List.iteri
-    (fun i (kind, cols) ->
-      if canon_satisfied kind cols normalized then osig := !osig lor (1 lsl i))
-    (applicable_canon t e);
+  let ccols = Order_prop.canonical equiv order in
+  let oid =
+    (3 * Prop_id.id_of_cols t.intern ccols) + kind_tag order.Order_prop.kind
+  in
+  let slot =
+    match Hashtbl.find_opt e.sat_cache oid with
+    | Some slot -> slot
+    | None ->
+      (* First query of this order at this entry: one scan, then the slot
+         stays current incrementally.  Oldest-first with <= replacement
+         reproduces the list scan's newest-among-cheapest tie-break. *)
+      let best = ref None in
+      for i = 0 to e.n_saved - 1 do
+        let sp = e.saved.(i) in
+        if
+          canon_satisfied order.Order_prop.kind ccols
+            (Prop_id.cols_of_id t.intern sp.sp_norm)
+        then
+          match !best with
+          | Some b when b.sp_plan.Plan.cost < sp.sp_plan.Plan.cost -> ()
+          | Some _ | None -> best := Some sp
+      done;
+      let slot =
+        { ss_kind = order.Order_prop.kind; ss_cols = ccols; ss_best = !best }
+      in
+      Hashtbl.add e.sat_cache oid slot;
+      slot
+  in
+  match slot.ss_best with
+  | Some sp -> Some sp.sp_plan
+  | None -> None
+
+(* Interned order-satisfaction bitmask of a normalized plan order, cached
+   per (entry, order id): every distinct physical order pays the
+   list-walking test once per entry instead of once per insertion. *)
+let osig_of t e norm_id =
+  match Hashtbl.find_opt e.osig_cache norm_id with
+  | Some s -> s
+  | None ->
+    let normalized = Prop_id.cols_of_id t.intern norm_id in
+    let s = ref 0 in
+    List.iteri
+      (fun i (kind, cols) ->
+        if canon_satisfied kind cols normalized then s := !s lor (1 lsl i))
+      (applicable_canon t e);
+    Hashtbl.add e.osig_cache norm_id !s;
+    !s
+
+let ptag = function
+  | Partition_prop.Hash -> 0
+  | Partition_prop.Range -> 1
+
+(* Canonical partition id + interestingness, cached per raw (keys, kind).
+   The cache key is the *raw* key list: interestingness of a Range
+   partition depends on the un-normalized key sequence (its ORDER BY prefix
+   test), so raw-equal partitions are the exact reuse class. *)
+let pkey_of t e (p : Partition_prop.t) =
+  let raw =
+    (2 * Prop_id.id_of_cols t.intern p.Partition_prop.keys)
+    + ptag p.Partition_prop.kind
+  in
+  match Hashtbl.find_opt e.pprop_cache raw with
+  | Some v -> v
+  | None ->
+    let equiv = equiv_of t e in
+    let pid =
+      (2 * Prop_id.id_of_cols t.intern (Partition_prop.canonical equiv p))
+      + ptag p.Partition_prop.kind
+    in
+    let pint = Interesting.partition_interesting t.blk equiv ~tables:e.tables p in
+    let v = (pid, pint) in
+    Hashtbl.add e.pprop_cache raw v;
+    v
+
+(* The per-plan property signature, computed once at insertion.  [norm] is
+   the pre-interned id of the plan's normalized order when the generator
+   already computed it (Plan_gen interns each join plan's order once at
+   construction); otherwise it is derived here. *)
+let signature ?norm t e (plan : Plan.t) =
+  let norm_id =
+    match norm with
+    | Some id -> id
+    | None ->
+      Prop_id.id_of_cols t.intern
+        (Equiv.normalize_cols (equiv_of t e) plan.Plan.order)
+  in
+  let osig = osig_of t e norm_id in
   let sp_pkey, sp_pint =
     match plan.Plan.partition with
-    | None -> (None, false)
-    | Some p ->
-      ( Some (Partition_prop.canonical equiv p),
-        Interesting.partition_interesting t.blk equiv ~tables:e.tables p )
+    | None -> (Prop_id.none, false)
+    | Some p -> pkey_of t e p
   in
-  let sp_pipe =
-    t.blk.Query_block.first_n <> None && Plan.pipelinable plan
-  in
-  { sp_plan = plan; sp_osig = !osig; sp_pkey; sp_pint; sp_pipe }
+  let sp_pipe = t.blk.Query_block.first_n <> None && Plan.pipelinable plan in
+  { sp_plan = plan; sp_norm = norm_id; sp_osig = osig; sp_pkey; sp_pint; sp_pipe }
 
 (* Dominance on signatures: [a] dominates [b] when it is no more expensive,
    satisfies a superset of the interesting orders [b] satisfies, and carries
    a compatible partition (equal keys when either partition is
-   interesting). *)
+   interesting).  All property comparisons are integer equality on interned
+   ids. *)
 let dominates a b =
   a.sp_plan.Plan.cost <= b.sp_plan.Plan.cost
   && a.sp_osig land b.sp_osig = b.sp_osig
   && (a.sp_pipe || not b.sp_pipe)
-  &&
-  match (a.sp_pkey, b.sp_pkey) with
-  | None, None -> true
-  | Some ka, Some kb ->
-    if a.sp_pint || b.sp_pint then Colref.list_equal ka kb else true
-  | Some _, None | None, Some _ -> false
+  && (if a.sp_pkey = Prop_id.none then b.sp_pkey = Prop_id.none
+      else
+        b.sp_pkey <> Prop_id.none
+        && ((not (a.sp_pint || b.sp_pint)) || a.sp_pkey = b.sp_pkey))
 
-let insert_plan t e plan =
-  let sp = signature t e plan in
+let push_saved e sp =
+  let n = e.n_saved in
+  if n = Array.length e.saved then begin
+    let grown = Array.make (max 4 (2 * Array.length e.saved)) sp in
+    Array.blit e.saved 0 grown 0 n;
+    e.saved <- grown
+  end;
+  e.saved.(n) <- sp;
+  e.n_saved <- n + 1
+
+(* Incremental cache maintenance for a surviving insertion.  The [<=]
+   replacement rule mirrors the legacy newest-first scans; a cached best
+   that was just dominance-dropped is always replaced by the same rule,
+   because its dominator is [sp] and dominance implies [sp] costs no
+   more. *)
+let update_bests t e sp dropped =
+  (match e.best with
+  | Some b when sp.sp_plan.Plan.cost > b.sp_plan.Plan.cost -> ()
+  | Some _ | None -> e.best <- Some sp);
+  (if sp.sp_pipe then
+     match e.best_pipe with
+     | Some b when sp.sp_plan.Plan.cost > b.sp_plan.Plan.cost -> ()
+     | Some _ | None -> e.best_pipe <- Some sp);
+  if Hashtbl.length e.sat_cache > 0 then begin
+    (match dropped with
+    | [] -> ()
+    | ds ->
+      (* A slot whose plan was dropped is evicted, not patched: the
+         dominator need not satisfy the slot's order (the order may lie
+         outside the osig bitmask), so the next query rescans. *)
+      Hashtbl.filter_map_inplace
+        (fun _ slot ->
+          match slot.ss_best with
+          | Some b when List.memq b ds -> None
+          | Some _ | None -> Some slot)
+        e.sat_cache);
+    let norm_cols = Prop_id.cols_of_id t.intern sp.sp_norm in
+    Hashtbl.iter
+      (fun _ slot ->
+        if canon_satisfied slot.ss_kind slot.ss_cols norm_cols then
+          match slot.ss_best with
+          | Some b when sp.sp_plan.Plan.cost > b.sp_plan.Plan.cost -> ()
+          | Some _ | None -> slot.ss_best <- Some sp)
+      e.sat_cache
+  end
+
+let insert_plan ?norm t e plan =
+  let sp = signature ?norm t e plan in
   Obs.Counter.incr m_inserted;
-  (if List.exists (fun kept -> dominates kept sp) e.saved then begin
+  let checks = ref 0 in
+  let n = e.n_saved in
+  let dominated = ref false in
+  let i = ref 0 in
+  while (not !dominated) && !i < n do
+    incr checks;
+    if dominates e.saved.(!i) sp then dominated := true;
+    incr i
+  done;
+  (if !dominated then begin
      t.sts.pruned <- t.sts.pruned + 1;
      Obs.Counter.incr m_pruned
    end
    else begin
-     let survivors, dropped =
-       List.partition (fun kept -> not (dominates sp kept)) e.saved
-     in
-     t.sts.pruned <- t.sts.pruned + List.length dropped;
-     Obs.Counter.add m_pruned (List.length dropped);
-     e.saved <- sp :: survivors
+     (* Compact the survivors in place, collecting the dropped plans for
+        cache eviction. *)
+     let dropped = ref [] in
+     let j = ref 0 in
+     for k = 0 to n - 1 do
+       let kept = e.saved.(k) in
+       incr checks;
+       if dominates sp kept then dropped := kept :: !dropped
+       else begin
+         if !j <> k then e.saved.(!j) <- kept;
+         incr j
+       end
+     done;
+     e.n_saved <- !j;
+     push_saved e sp;
+     let ndrop = n - !j in
+     if ndrop > 0 then begin
+       t.sts.pruned <- t.sts.pruned + ndrop;
+       Obs.Counter.add m_pruned ndrop
+     end;
+     t.kept <- t.kept + 1 - ndrop;
+     update_bests t e sp !dropped
    end);
+  Obs.Counter.add m_dom_checks !checks;
   if !Obs.Control.on then begin
-    (* Property-list growth: kept-plan list and interesting-order list
+    (* Property-list growth: kept-plan count and interesting-order list
        lengths after this insertion. *)
-    Obs.Histo.observe m_list_len (float_of_int (List.length e.saved));
+    Obs.Histo.observe m_list_len (float_of_int e.n_saved);
     Obs.Histo.observe m_order_len
       (float_of_int (List.length (applicable_orders t e)))
   end
 
-let kept_plans t =
-  let n = ref 0 in
-  iter_entries (fun e -> n := !n + List.length e.saved) t;
-  !n
+let kept_plans t = t.kept
 
 let memo_bytes t = float_of_int (kept_plans t) *. Plan.approx_bytes

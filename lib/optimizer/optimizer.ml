@@ -13,6 +13,8 @@ let m_memo_bytes = Obs.Registry.gauge Obs.Registry.default "optimizer.memo_bytes
 
 let m_retries = Obs.Registry.counter Obs.Registry.default "optimizer.retries"
 
+let m_alloc = Obs.Registry.counter Obs.Registry.default "plan_gen.alloc_bytes"
+
 type result = {
   best : Plan.t option;
   elapsed : float;
@@ -109,12 +111,16 @@ let run_block ?views env knobs block =
   let instr = Instrument.create () in
   let gen = Plan_gen.create ?views env memo instr in
   let consumer = Plan_gen.consumer gen in
+  let alloc0 = if !Obs.Control.on then Gc.allocated_bytes () else 0.0 in
   let (), elapsed =
     Timer.time (fun () ->
         Obs.Span.time m_span (fun () ->
             Enumerator.run ~knobs ~card_of:(Plan_gen.card_of gen) memo consumer))
   in
   Instrument.set_total instr elapsed;
+  if !Obs.Control.on then
+    Obs.Counter.add m_alloc
+      (int_of_float (Gc.allocated_bytes () -. alloc0));
   Obs.Histo.observe m_compile_s elapsed;
   let stats = Memo.stats memo in
   let top = Memo.find_opt memo (Query_block.all_tables block) in

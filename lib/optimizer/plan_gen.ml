@@ -79,31 +79,53 @@ let default_partition env block q =
       | col :: _ -> Some (Partition_prop.hash [ Colref.make q col ]))
   else None
 
+let ptag = function
+  | Partition_prop.Hash -> 0
+  | Partition_prop.Range -> 1
+
 (* Distinct partition values among a plan list, with the cheapest plan
-   carrying each; serial mode yields the single [None] group.  Accumulator
-   based: one pass over the plans, one pass over the groups per plan, and a
-   single reversal per placement — no re-walk of the already-scanned group
-   prefix as the old nested recursion did. *)
-let partition_groups equiv plans =
-  let same_part a b =
-    match (a, b) with
-    | None, None -> true
-    | Some a, Some b -> Partition_prop.equal_under equiv a b
-    | None, Some _ | Some _, None -> false
-  in
+   carrying each; serial mode yields the single [None] group.  Each plan's
+   partition canonicalizes (and interns) once via [key_of]; group matching
+   is integer equality, so a plan walks the group list without any further
+   structural comparison.  [key_of None] must be negative and [key_of
+   (Some p)] non-negative — group identity follows [Partition_prop.
+   equal_under]. *)
+let partition_groups_keyed key_of plans =
   List.fold_left
     (fun groups (p : Plan.t) ->
+      let k = key_of p.Plan.partition in
       let rec place acc = function
-        | [] -> List.rev ((p.Plan.partition, p) :: acc)
-        | ((part, best) as g) :: rest ->
-          if same_part part p.Plan.partition then
+        | [] -> List.rev ((k, p.Plan.partition, p) :: acc)
+        | ((k', part, (best : Plan.t)) as g) :: rest ->
+          if k = k' then
             if p.Plan.cost < best.Plan.cost then
-              List.rev_append acc ((part, p) :: rest)
+              List.rev_append acc ((k', part, p) :: rest)
             else List.rev_append acc (g :: rest)
           else place (g :: acc) rest
       in
       place [] groups)
     [] plans
+
+(* The interned partition key of a plan's partition under the join's
+   equivalence: canonical columns hash-consed in the MEMO's property table,
+   kind folded into the low bit. *)
+let memo_part_key t equiv = function
+  | None -> Prop_id.none
+  | Some (p : Partition_prop.t) ->
+    (2 * Memo.intern_cols t.memo (Partition_prop.canonical equiv p))
+    + ptag p.Partition_prop.kind
+
+(* The public variant keeps its structural signature (it is differentially
+   tested standalone): a throwaway intern table scopes the ids. *)
+let partition_groups equiv plans =
+  let tbl = Prop_id.create () in
+  let key_of = function
+    | None -> Prop_id.none
+    | Some (p : Partition_prop.t) ->
+      (2 * Prop_id.id_of_cols tbl (Partition_prop.canonical equiv p))
+      + ptag p.Partition_prop.kind
+  in
+  List.map (fun (_, part, best) -> (part, best)) (partition_groups_keyed key_of plans)
 
 let scan_plans t (entry : Memo.entry) =
   let q = Bitset.min_elt entry.Memo.tables in
@@ -166,10 +188,11 @@ let scan_plans t (entry : Memo.entry) =
       (Interesting.filter_indexes t.block q)
   in
   let plans = (base :: eager) @ filter_scans in
-  Obs.Counter.add m_scan (List.length plans);
-  Obs.Counter.add m_cost (List.length plans);
+  let n_plans = List.length plans in
+  Obs.Counter.add m_scan n_plans;
+  Obs.Counter.add m_cost n_plans;
   (Memo.stats t.memo).Memo.scan_plans <-
-    (Memo.stats t.memo).Memo.scan_plans + List.length plans;
+    (Memo.stats t.memo).Memo.scan_plans + n_plans;
   Instrument.save t.instr (fun () ->
       List.iter (Memo.insert_plan t.memo entry) plans)
 
@@ -180,44 +203,46 @@ let scan_plans t (entry : Memo.entry) =
 
 (* Partition bookkeeping for one join plan in parallel mode: the result
    carries the outer's partition; the inner pays a repartition or broadcast
-   when it is not collocated with the join columns. *)
-let parallel_adjust t equiv ~preds ~(outer : Plan.t) ~(inner : Plan.t) =
+   when it is not collocated with the join columns.  [jc] (the first join
+   column) and [wi] (the inner's row width) are per-direction constants
+   computed once by [gen_direction]. *)
+let parallel_adjust t equiv ~jc ~wi ~(outer : Plan.t) ~(inner : Plan.t) =
   if not (Env.is_parallel t.env) then (None, 0.0)
   else begin
-    let join_col =
-      List.find_map
-        (fun p -> match Pred.join_cols p with Some (l, _) -> Some l | None -> None)
-        preds
-    in
     let keyed plan =
-      match (plan.Plan.partition, join_col) with
-      | Some part, Some jc -> Partition_prop.keyed_on equiv part jc
+      match (plan.Plan.partition, jc) with
+      | Some part, Some c -> Partition_prop.keyed_on equiv part c
       | Some _, None | None, _ -> false
     in
-    let inner_width = Cost_model.row_width t.block inner.Plan.tables in
     let transfer =
       if keyed outer && keyed inner then 0.0
       else if keyed outer then
-        Cost_model.repartition t.params ~rows:inner.Plan.card ~width:inner_width
-      else
-        Cost_model.broadcast t.params ~rows:inner.Plan.card ~width:inner_width
+        Cost_model.repartition t.params ~rows:inner.Plan.card ~width:wi
+      else Cost_model.broadcast t.params ~rows:inner.Plan.card ~width:wi
     in
     (outer.Plan.partition, transfer)
   end
 
-let join_plan t equiv ~ctx ?(probe = None) ~method_ ~(outer : Plan.t)
-    ~(inner : Plan.t) ~preds ~out_card ~order ~sort_outer ~sort_inner () =
-  let partition, transfer = parallel_adjust t equiv ~preds ~outer ~inner in
+(* Builds one join plan and the interned id of its normalized order — the
+   signature work [Memo.insert_plan] would otherwise redo per insertion.
+   The memoized widths [wo]/[wi]/[wout] (outer/inner/output table sets) are
+   handed to the cost model. *)
+let join_plan t equiv ~ctx ?(probe = None) ~jc ~wo ~wi ~wout ~method_
+    ~(outer : Plan.t) ~(inner : Plan.t) ~preds ~out_card ~order ~sort_outer
+    ~sort_inner () =
+  let partition, transfer = parallel_adjust t equiv ~jc ~wi ~outer ~inner in
   Obs.Counter.incr m_cost;
   let cost =
     match method_ with
     | Join_method.NLJN ->
-      Cost_model.nljn t.params t.block ~ctx ~probe ~outer ~inner ~out_card
+      Cost_model.nljn t.params t.block ~ctx ~probe ~width_outer:wo
+        ~width_inner:wi ~width_out:wout ~outer ~inner ~out_card ()
     | Join_method.MGJN ->
-      Cost_model.mgjn t.params t.block ~ctx ~outer ~inner ~out_card ~sort_outer
-        ~sort_inner
+      Cost_model.mgjn t.params t.block ~ctx ~width_outer:wo ~width_inner:wi
+        ~width_out:wout ~outer ~inner ~out_card ~sort_outer ~sort_inner ()
     | Join_method.HSJN ->
-      Cost_model.hsjn t.params t.block ~ctx ~outer ~inner ~out_card
+      Cost_model.hsjn t.params t.block ~ctx ~width_inner:wi ~width_out:wout
+        ~outer ~inner ~out_card ()
   in
   let p =
     {
@@ -230,11 +255,11 @@ let join_plan t equiv ~ctx ?(probe = None) ~method_ ~(outer : Plan.t)
     }
   in
   track_bound t p;
-  p
+  (p, Memo.intern_cols t.memo (Equiv.normalize_cols equiv order))
 
 (* The Section 4 repartitioning heuristic: triggered when no kept plan of
    either input is partitioned on a join column. *)
-let repart_heuristic_triggers t equiv ~preds ~(x : Memo.entry) ~(y : Memo.entry) =
+let repart_heuristic_triggers t equiv ~preds ~x_plans ~(y : Memo.entry) =
   Env.is_parallel t.env && preds <> []
   &&
   let join_cols =
@@ -248,25 +273,18 @@ let repart_heuristic_triggers t equiv ~preds ~(x : Memo.entry) ~(y : Memo.entry)
     | None -> false
     | Some part -> List.exists (Partition_prop.keyed_on equiv part) join_cols
   in
-  not (List.exists keyed (Memo.plans x) || List.exists keyed (Memo.plans y))
+  not (List.exists keyed x_plans || List.exists keyed (Memo.plans y))
 
-let repart_variant t equiv ~ctx ~method_ ~(x : Memo.entry) ~(y : Memo.entry)
-    ~preds ~out_card ~merge_cols =
+let repart_variant t equiv ~ctx ~jc ~wo ~wi ~wout ~method_ ~(x : Memo.entry)
+    ~(y : Memo.entry) ~preds ~out_card ~merge_cols =
   match (Memo.best_plan x, Memo.best_plan y) with
   | Some bx, Some by ->
-    let jc =
-      List.find_map
-        (fun p -> match Pred.join_cols p with Some (l, _) -> Some l | None -> None)
-        preds
-    in
     Option.map
-      (fun jc ->
-        let part = Partition_prop.hash [ Equiv.repr equiv jc ] in
-        let wx = Cost_model.row_width t.block bx.Plan.tables in
-        let wy = Cost_model.row_width t.block by.Plan.tables in
+      (fun c ->
+        let part = Partition_prop.hash [ Equiv.repr equiv c ] in
         let transfer =
-          Cost_model.repartition t.params ~rows:bx.Plan.card ~width:wx
-          +. Cost_model.repartition t.params ~rows:by.Plan.card ~width:wy
+          Cost_model.repartition t.params ~rows:bx.Plan.card ~width:wo
+          +. Cost_model.repartition t.params ~rows:by.Plan.card ~width:wi
         in
         (* Hash repartitioning interleaves streams: order survives only if
            re-sorted, which MGJN does as part of the join. *)
@@ -276,13 +294,13 @@ let repart_variant t equiv ~ctx ~method_ ~(x : Memo.entry) ~(y : Memo.entry)
           | Join_method.NLJN | Join_method.HSJN -> ([], (false, false))
         in
         let sort_outer, sort_inner = sort_flags in
-        let base =
-          join_plan t equiv ~ctx ~method_ ~outer:bx ~inner:by ~preds ~out_card
-            ~order ~sort_outer ~sort_inner ()
+        let base, norm =
+          join_plan t equiv ~ctx ~jc ~wo ~wi ~wout ~method_ ~outer:bx ~inner:by
+            ~preds ~out_card ~order ~sort_outer ~sort_inner ()
         in
         let p = { base with Plan.partition = Some part; cost = base.Plan.cost +. transfer } in
         track_bound t p;
-        p)
+        (p, norm))
       jc
   | None, _ | _, None -> None
 
@@ -293,10 +311,24 @@ let gen_direction t event ~(x : Memo.entry) ~(y : Memo.entry) =
   let preds = event.Enumerator.preds in
   let out_card = Memo.card_of t.memo Cardinality.Full j in
   let stats = Memo.stats t.memo in
-  let repart = repart_heuristic_triggers t equiv ~preds ~x ~y in
   match Memo.best_plan y with
   | None -> []
   | Some inner_best ->
+    (* Per-direction constants, shared by every generated plan: the kept
+       outer plans (one list materialization instead of four), their
+       partition groups (once instead of twice), the memoized row widths,
+       and the first join column. *)
+    let x_plans = Memo.plans x in
+    let repart = repart_heuristic_triggers t equiv ~preds ~x_plans ~y in
+    let groups = partition_groups_keyed (memo_part_key t equiv) x_plans in
+    let wo = Memo.width_of t.memo x in
+    let wi = Memo.width_of t.memo y in
+    let wout = Memo.width_of t.memo j in
+    let jc =
+      List.find_map
+        (fun p -> match Pred.join_cols p with Some (l, _) -> Some l | None -> None)
+        preds
+    in
     (* The predicate-dependent part of costing is a logical property of the
        join: computed once here, shared by every generated plan. *)
     let ctx =
@@ -313,7 +345,7 @@ let gen_direction t event ~(x : Memo.entry) ~(y : Memo.entry) =
        must exist in the MEMO for the LIMIT to exploit. *)
     let pipe_inner =
       if t.block.Query_block.first_n <> None && not (Plan.pipelinable inner_best)
-      then Memo.best_pipelinable_plan y
+      then Memo.best_pipelinable_plan t.memo y
       else None
     in
     let nljn_plans =
@@ -321,30 +353,34 @@ let gen_direction t event ~(x : Memo.entry) ~(y : Memo.entry) =
           let base =
             List.concat_map
               (fun (po : Plan.t) ->
-                join_plan t equiv ~ctx ~probe ~method_:Join_method.NLJN
-                  ~outer:po ~inner:inner_best ~preds ~out_card
-                  ~order:po.Plan.order ~sort_outer:false ~sort_inner:false ()
+                join_plan t equiv ~ctx ~probe ~jc ~wo ~wi ~wout
+                  ~method_:Join_method.NLJN ~outer:po ~inner:inner_best ~preds
+                  ~out_card ~order:po.Plan.order ~sort_outer:false
+                  ~sort_inner:false ()
                 :: (match pipe_inner with
                    | Some inner when Plan.pipelinable po ->
                      [
-                       join_plan t equiv ~ctx ~probe ~method_:Join_method.NLJN
-                         ~outer:po ~inner ~preds ~out_card ~order:po.Plan.order
-                         ~sort_outer:false ~sort_inner:false ();
+                       join_plan t equiv ~ctx ~probe ~jc ~wo ~wi ~wout
+                         ~method_:Join_method.NLJN ~outer:po ~inner ~preds
+                         ~out_card ~order:po.Plan.order ~sort_outer:false
+                         ~sort_inner:false ();
                      ]
                    | Some _ | None -> []))
-              (Memo.plans x)
+              x_plans
           in
           let extra =
             if repart then
               Option.to_list
-                (repart_variant t equiv ~ctx ~method_:Join_method.NLJN ~x ~y
-                   ~preds ~out_card ~merge_cols:[])
+                (repart_variant t equiv ~ctx ~jc ~wo ~wi ~wout
+                   ~method_:Join_method.NLJN ~x ~y ~preds ~out_card
+                   ~merge_cols:[])
             else []
           in
           base @ extra)
     in
-    Memo.counts_add stats.Memo.generated Join_method.NLJN (List.length nljn_plans);
-    Obs.Counter.add (m_of_method Join_method.NLJN) (List.length nljn_plans);
+    let n_nljn = List.length nljn_plans in
+    Memo.counts_add stats.Memo.generated Join_method.NLJN n_nljn;
+    Obs.Counter.add (m_of_method Join_method.NLJN) n_nljn;
     (* MGJN: partial propagation — the canonical merge order plus covering
        outer orders. *)
     let mgjn_plans =
@@ -366,72 +402,76 @@ let gen_direction t event ~(x : Memo.entry) ~(y : Memo.entry) =
                   (fun (po : Plan.t) ->
                     po.Plan.order <> []
                     && Order_prop.satisfied_by equiv mo po.Plan.order)
-                  (Memo.plans x)
+                  x_plans
               in
               let natural =
                 List.map
                   (fun (po : Plan.t) ->
-                    join_plan t equiv ~ctx ~method_:Join_method.MGJN ~outer:po
-                      ~inner ~preds ~out_card ~order:po.Plan.order
-                      ~sort_outer:false ~sort_inner ())
+                    join_plan t equiv ~ctx ~jc ~wo ~wi ~wout
+                      ~method_:Join_method.MGJN ~outer:po ~inner ~preds
+                      ~out_card ~order:po.Plan.order ~sort_outer:false
+                      ~sort_inner ())
                   covering
               in
               (* Sort-enforced merge joins (eager policy): one per distinct
-                 outer partition lacking a natural covering plan. *)
+                 outer partition lacking a natural covering plan.  Coverage
+                 is integer membership on interned partition keys. *)
+              let covering_keys =
+                List.map
+                  (fun (po : Plan.t) -> memo_part_key t equiv po.Plan.partition)
+                  covering
+              in
               let enforced =
                 List.filter_map
-                  (fun (part, (cheapest : Plan.t)) ->
-                    let covered =
-                      List.exists
-                        (fun (po : Plan.t) ->
-                          match (part, po.Plan.partition) with
-                          | None, None -> true
-                          | Some a, Some b -> Partition_prop.equal_under equiv a b
-                          | None, Some _ | Some _, None -> false)
-                        covering
-                    in
-                    if covered then None
+                  (fun (k, _, (cheapest : Plan.t)) ->
+                    if List.mem k covering_keys then None
                     else
                       Some
-                        (join_plan t equiv ~ctx ~method_:Join_method.MGJN
-                           ~outer:cheapest ~inner ~preds ~out_card ~order:mo_cols
-                           ~sort_outer:true ~sort_inner ()))
-                  (partition_groups equiv (Memo.plans x))
+                        (join_plan t equiv ~ctx ~jc ~wo ~wi ~wout
+                           ~method_:Join_method.MGJN ~outer:cheapest ~inner
+                           ~preds ~out_card ~order:mo_cols ~sort_outer:true
+                           ~sort_inner ()))
+                  groups
               in
               let extra =
                 if repart then
                   Option.to_list
-                    (repart_variant t equiv ~ctx ~method_:Join_method.MGJN ~x ~y
-                       ~preds ~out_card ~merge_cols:mo_cols)
+                    (repart_variant t equiv ~ctx ~jc ~wo ~wi ~wout
+                       ~method_:Join_method.MGJN ~x ~y ~preds ~out_card
+                       ~merge_cols:mo_cols)
                 else []
               in
               natural @ enforced @ extra)
     in
-    Memo.counts_add stats.Memo.generated Join_method.MGJN (List.length mgjn_plans);
-    Obs.Counter.add (m_of_method Join_method.MGJN) (List.length mgjn_plans);
+    let n_mgjn = List.length mgjn_plans in
+    Memo.counts_add stats.Memo.generated Join_method.MGJN n_mgjn;
+    Obs.Counter.add (m_of_method Join_method.MGJN) n_mgjn;
     (* HSJN: no order propagation — a single unordered plan. *)
     let hsjn_plans =
       Instrument.hsjn t.instr (fun () ->
           (* One unordered plan per distinct outer partition value. *)
           let base =
             List.map
-              (fun (_, (cheapest : Plan.t)) ->
-                join_plan t equiv ~ctx ~method_:Join_method.HSJN ~outer:cheapest
-                  ~inner:inner_best ~preds ~out_card ~order:[] ~sort_outer:false
-                  ~sort_inner:false ())
-              (partition_groups equiv (Memo.plans x))
+              (fun (_, _, (cheapest : Plan.t)) ->
+                join_plan t equiv ~ctx ~jc ~wo ~wi ~wout
+                  ~method_:Join_method.HSJN ~outer:cheapest ~inner:inner_best
+                  ~preds ~out_card ~order:[] ~sort_outer:false ~sort_inner:false
+                  ())
+              groups
           in
           let extra =
             if repart then
               Option.to_list
-                (repart_variant t equiv ~ctx ~method_:Join_method.HSJN ~x ~y
-                   ~preds ~out_card ~merge_cols:[])
+                (repart_variant t equiv ~ctx ~jc ~wo ~wi ~wout
+                   ~method_:Join_method.HSJN ~x ~y ~preds ~out_card
+                   ~merge_cols:[])
             else []
           in
           base @ extra)
     in
-    Memo.counts_add stats.Memo.generated Join_method.HSJN (List.length hsjn_plans);
-    Obs.Counter.add (m_of_method Join_method.HSJN) (List.length hsjn_plans);
+    let n_hsjn = List.length hsjn_plans in
+    Memo.counts_add stats.Memo.generated Join_method.HSJN n_hsjn;
+    Obs.Counter.add (m_of_method Join_method.HSJN) n_hsjn;
     nljn_plans @ mgjn_plans @ hsjn_plans
 
 let on_join t (event : Enumerator.join_event) =
@@ -447,7 +487,7 @@ let on_join t (event : Enumerator.join_event) =
   in
   Instrument.save t.instr (fun () ->
       List.iter
-        (Memo.insert_plan t.memo event.Enumerator.result)
+        (fun (p, norm) -> Memo.insert_plan ~norm t.memo event.Enumerator.result p)
         (plans_lr @ plans_rl))
 
 (* Materialized-view matching: every new MEMO entry is tested against each

@@ -1,0 +1,42 @@
+module H = Hashtbl.Make (struct
+  type t = Colref.t list
+
+  let equal = Colref.list_equal
+
+  let hash = Colref.list_hash
+end)
+
+type t = {
+  tbl : int H.t;
+  mutable rev : Colref.t list array;
+  mutable n : int;
+}
+
+let none = -1
+
+let create () =
+  let t = { tbl = H.create 64; rev = Array.make 64 []; n = 0 } in
+  (* Pre-intern the empty list: the unordered/DC physical order is by far
+     the most common, and pinning it at id 0 makes that case branch-free. *)
+  H.add t.tbl [] 0;
+  t.n <- 1;
+  t
+
+let id_of_cols t cols =
+  match H.find_opt t.tbl cols with
+  | Some id -> id
+  | None ->
+    let id = t.n in
+    if id = Array.length t.rev then begin
+      let grown = Array.make (2 * Array.length t.rev) [] in
+      Array.blit t.rev 0 grown 0 id;
+      t.rev <- grown
+    end;
+    t.rev.(id) <- cols;
+    H.add t.tbl cols id;
+    t.n <- id + 1;
+    id
+
+let cols_of_id t id = t.rev.(id)
+
+let size t = t.n

@@ -1,0 +1,32 @@
+(** Hash-consing of canonical column lists into dense integer ids.
+
+    The plan-generation hot path compares physical properties — normalized
+    plan orders, canonical partition keys, canonical interesting-order
+    columns — far more often than it creates them.  A [Prop_id.t] interns
+    each distinct canonical [Colref.t list] once, so equality of properties
+    becomes equality of small integers and the per-plan signature in the
+    MEMO stores ids instead of lists.  Ids are dense (0, 1, 2, …), which
+    also makes them usable as compact cache keys; composite ids for kinded
+    properties are built by the callers as [k * cols_id + kind_tag].
+
+    A table is owned by one [Memo.t] (one optimizer pass, one domain), so
+    it is deliberately unsynchronized. *)
+
+type t
+
+val none : int
+(** [-1]: the id standing for an absent property (e.g. no partition). *)
+
+val create : unit -> t
+(** The empty list (unordered / DC) is pre-interned as id [0]. *)
+
+val id_of_cols : t -> Colref.t list -> int
+(** Interns the list (which must already be canonical — the table does not
+    normalize) and returns its dense id.  O(length) on a hit, one insert on
+    a miss. *)
+
+val cols_of_id : t -> int -> Colref.t list
+(** The list behind an id previously returned by {!id_of_cols}. O(1). *)
+
+val size : t -> int
+(** Number of distinct lists interned. *)

@@ -12,6 +12,13 @@ module Bitset = Qopt_util.Bitset
 let crossing_preds (block : O.Query_block.t) s l =
   List.filter (fun p -> O.Pred.crosses p s l) block.O.Query_block.preds
 
+(* The old list-returning accessor, rebuilt on top of the iteration API the
+   MEMO now exposes (creation order, materialized before the pair loop). *)
+let entries_of_size memo size =
+  let acc = ref [] in
+  O.Memo.iter_entries_of_size memo size (fun e -> acc := e :: !acc);
+  List.rev !acc
+
 (* [on_pair] fires once per considered pair — the old loop's
    [enumerator.pairs_considered] — so tests can quantify how much work the
    adjacency gate skips. *)
@@ -26,8 +33,8 @@ let run ?(on_pair = fun () -> ()) ~(knobs : O.Knobs.t) ~card_of memo consumer =
   for size = 2 to n do
     for lsize = 1 to size / 2 do
       let rsize = size - lsize in
-      let lefts = O.Memo.entries_of_size memo lsize in
-      let rights = O.Memo.entries_of_size memo rsize in
+      let lefts = entries_of_size memo lsize in
+      let rights = entries_of_size memo rsize in
       List.iter
         (fun (s : O.Memo.entry) ->
           List.iter

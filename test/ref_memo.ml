@@ -1,0 +1,271 @@
+(* Reference MEMO: the pre-interning list-based plan storage and property
+   signatures, kept verbatim (minus metrics) as the differential-testing
+   oracle for the array-backed, id-interned Memo.  Every plan insertion
+   recomputes the canonical order/partition lists structurally and rebuilds
+   the kept-plan list with [List.partition]; [best_plan] /
+   [best_pipelinable_plan] / [best_plan_satisfying] rescan the whole list —
+   exactly the semantics (including tie-breaks: the kept list is
+   newest-first, and every best-scan keeps the newest plan among the
+   minimum-cost candidates) that the flattened Memo must reproduce
+   bit-for-bit. *)
+
+module O = Qopt_optimizer
+module Bitset = Qopt_util.Bitset
+module Query_block = O.Query_block
+module Pred = O.Pred
+module Equiv = O.Equiv
+module Cardinality = O.Cardinality
+module Interesting = O.Interesting
+module Order_prop = O.Order_prop
+module Partition_prop = O.Partition_prop
+module Colref = O.Colref
+module Plan = O.Plan
+
+(* Generation counts are shared with the real Memo so differential tests
+   compare them directly. *)
+type counts = O.Memo.counts = {
+  mutable nljn : int;
+  mutable mgjn : int;
+  mutable hsjn : int;
+}
+
+let counts_zero = O.Memo.counts_zero
+
+let counts_add = O.Memo.counts_add
+
+type saved_plan = {
+  sp_plan : Plan.t;
+  sp_osig : int;
+  sp_pkey : Colref.t list option;
+  sp_pint : bool;
+  sp_pipe : bool;
+}
+
+type entry = {
+  tables : Bitset.t;
+  mutable saved : saved_plan list;
+  mutable card_cache : float option;
+  mutable equiv_cache : Equiv.t option;
+  mutable app_orders_cache : Order_prop.t list option;
+  mutable app_canon_cache : (Order_prop.kind * Colref.t list) list option;
+}
+
+type stats = {
+  mutable entries_created : int;
+  mutable joins_enumerated : int;
+  generated : counts;
+  mutable scan_plans : int;
+  mutable pruned : int;
+}
+
+type t = {
+  blk : Query_block.t;
+  tbl : (int, entry) Hashtbl.t;
+  mutable by_size : entry list array; (* newest-first per size *)
+  sts : stats;
+}
+
+let create blk =
+  let n = Query_block.n_quantifiers blk in
+  {
+    blk;
+    tbl = Hashtbl.create 256;
+    by_size = Array.make (n + 1) [];
+    sts =
+      {
+        entries_created = 0;
+        joins_enumerated = 0;
+        generated = counts_zero ();
+        scan_plans = 0;
+        pruned = 0;
+      };
+  }
+
+let block t = t.blk
+
+let stats t = t.sts
+
+let find_opt t set = Hashtbl.find_opt t.tbl (Bitset.to_int set)
+
+let find_or_create t set =
+  match find_opt t set with
+  | Some e -> (e, false)
+  | None ->
+    let e =
+      {
+        tables = set;
+        saved = [];
+        card_cache = None;
+        equiv_cache = None;
+        app_orders_cache = None;
+        app_canon_cache = None;
+      }
+    in
+    Hashtbl.add t.tbl (Bitset.to_int set) e;
+    let k = Bitset.cardinal set in
+    t.by_size.(k) <- e :: t.by_size.(k);
+    t.sts.entries_created <- t.sts.entries_created + 1;
+    (e, true)
+
+let entries_of_size t k =
+  if k < 0 || k >= Array.length t.by_size then []
+  else List.rev t.by_size.(k)
+
+let iter_entries f t = Hashtbl.iter (fun _ e -> f e) t.tbl
+
+let n_entries t = Hashtbl.length t.tbl
+
+let equiv_of t e =
+  match e.equiv_cache with
+  | Some eq -> eq
+  | None ->
+    let preds =
+      List.filter
+        (fun p -> Pred.is_join p && Pred.applicable_within p e.tables)
+        t.blk.Query_block.preds
+    in
+    let eq = Equiv.of_preds preds in
+    e.equiv_cache <- Some eq;
+    eq
+
+let card_of t mode e =
+  match e.card_cache with
+  | Some c -> c
+  | None ->
+    let c = Cardinality.of_set mode t.blk e.tables in
+    e.card_cache <- Some c;
+    c
+
+let applicable_orders t e =
+  match e.app_orders_cache with
+  | Some l -> l
+  | None ->
+    let equiv = equiv_of t e in
+    let l =
+      Bitset.fold
+        (fun q acc ->
+          List.fold_left
+            (fun acc o ->
+              if Interesting.order_retired t.blk equiv ~tables:e.tables o then acc
+              else Order_prop.insert_dedup equiv o acc)
+            acc
+            (Interesting.orders_for_table t.blk q))
+        e.tables []
+    in
+    e.app_orders_cache <- Some l;
+    l
+
+let applicable_canon t e =
+  match e.app_canon_cache with
+  | Some l -> l
+  | None ->
+    let equiv = equiv_of t e in
+    let l =
+      List.map
+        (fun (o : Order_prop.t) ->
+          (o.Order_prop.kind, Order_prop.canonical equiv o))
+        (applicable_orders t e)
+    in
+    e.app_canon_cache <- Some l;
+    l
+
+let rec is_prefix want have =
+  match (want, have) with
+  | [], _ -> true
+  | _ :: _, [] -> false
+  | w :: want', h :: have' -> Colref.equal w h && is_prefix want' have'
+
+let canon_satisfied kind cols normalized_plan_order =
+  match kind with
+  | Order_prop.Join_key | Order_prop.Ordering -> is_prefix cols normalized_plan_order
+  | Order_prop.Grouping ->
+    let k = List.length cols in
+    if List.length normalized_plan_order < k then false
+    else
+      let prefix = List.filteri (fun i _ -> i < k) normalized_plan_order in
+      Colref.list_equal (List.sort Colref.compare prefix) cols
+
+let plans e = List.map (fun sp -> sp.sp_plan) e.saved
+
+let best_plan e =
+  match e.saved with
+  | [] -> None
+  | first :: rest ->
+    Some
+      (List.fold_left
+         (fun best sp ->
+           if sp.sp_plan.Plan.cost < best.Plan.cost then sp.sp_plan else best)
+         first.sp_plan rest)
+
+let best_pipelinable_plan e =
+  List.fold_left
+    (fun best sp ->
+      if not (Plan.pipelinable sp.sp_plan) then best
+      else
+        match best with
+        | Some (b : Plan.t) when b.Plan.cost <= sp.sp_plan.Plan.cost -> best
+        | Some _ | None -> Some sp.sp_plan)
+    None e.saved
+
+let best_plan_satisfying t e order =
+  let equiv = equiv_of t e in
+  let best = ref None in
+  List.iter
+    (fun sp ->
+      if Order_prop.satisfied_by equiv order sp.sp_plan.Plan.order then
+        match !best with
+        | Some (b : Plan.t) when b.Plan.cost <= sp.sp_plan.Plan.cost -> ()
+        | Some _ | None -> best := Some sp.sp_plan)
+    e.saved;
+  !best
+
+let signature t e (plan : Plan.t) =
+  let equiv = equiv_of t e in
+  let normalized = Equiv.normalize_cols equiv plan.Plan.order in
+  let osig = ref 0 in
+  List.iteri
+    (fun i (kind, cols) ->
+      if canon_satisfied kind cols normalized then osig := !osig lor (1 lsl i))
+    (applicable_canon t e);
+  let sp_pkey, sp_pint =
+    match plan.Plan.partition with
+    | None -> (None, false)
+    | Some p ->
+      ( Some (Partition_prop.canonical equiv p),
+        Interesting.partition_interesting t.blk equiv ~tables:e.tables p )
+  in
+  let sp_pipe =
+    t.blk.Query_block.first_n <> None && Plan.pipelinable plan
+  in
+  { sp_plan = plan; sp_osig = !osig; sp_pkey; sp_pint; sp_pipe }
+
+let dominates a b =
+  a.sp_plan.Plan.cost <= b.sp_plan.Plan.cost
+  && a.sp_osig land b.sp_osig = b.sp_osig
+  && (a.sp_pipe || not b.sp_pipe)
+  &&
+  match (a.sp_pkey, b.sp_pkey) with
+  | None, None -> true
+  | Some ka, Some kb ->
+    if a.sp_pint || b.sp_pint then Colref.list_equal ka kb else true
+  | Some _, None | None, Some _ -> false
+
+let insert_plan t e plan =
+  let sp = signature t e plan in
+  if List.exists (fun kept -> dominates kept sp) e.saved then begin
+    t.sts.pruned <- t.sts.pruned + 1
+  end
+  else begin
+    let survivors, dropped =
+      List.partition (fun kept -> not (dominates sp kept)) e.saved
+    in
+    t.sts.pruned <- t.sts.pruned + List.length dropped;
+    e.saved <- sp :: survivors
+  end
+
+let kept_plans t =
+  let n = ref 0 in
+  iter_entries (fun e -> n := !n + List.length e.saved) t;
+  !n
+
+let memo_bytes t = float_of_int (kept_plans t) *. Plan.approx_bytes

@@ -1,0 +1,223 @@
+(* Reference optimization driver over [Ref_memo] / [Ref_plan_gen]: the
+   naive DPsize loop (the PR 2 oracle, proven join-for-join identical to
+   [Enumerator.run]) feeding the reference plan generator, plus verbatim
+   copies of [Optimizer.finish] / [topn_adjusted_cost] / [best_for_block]
+   and the permissive-retry policy of [Optimizer.optimize_block].  Together
+   with the two reference modules this reconstructs the complete pre-
+   flattening per-block pipeline, so differential tests can compare whole
+   MEMO states — kept-plan multisets, per-method generated counts, chosen
+   plans — against the interned hot path. *)
+
+module O = Qopt_optimizer
+module Bitset = Qopt_util.Bitset
+
+let crossing_preds (block : O.Query_block.t) s l =
+  List.filter (fun p -> O.Pred.crosses p s l) block.O.Query_block.preds
+
+(* The naive DPsize enumeration, retargeted at [Ref_memo]. *)
+let run ~(knobs : O.Knobs.t) ~card_of memo (consumer : Ref_plan_gen.consumer) =
+  let block = Ref_memo.block memo in
+  let stats = Ref_memo.stats memo in
+  let n = O.Query_block.n_quantifiers block in
+  for q = 0 to n - 1 do
+    let entry, created = Ref_memo.find_or_create memo (Bitset.singleton q) in
+    if created then consumer.Ref_plan_gen.on_entry entry
+  done;
+  for size = 2 to n do
+    for lsize = 1 to size / 2 do
+      let rsize = size - lsize in
+      let lefts = Ref_memo.entries_of_size memo lsize in
+      let rights = Ref_memo.entries_of_size memo rsize in
+      List.iter
+        (fun (s : Ref_memo.entry) ->
+          List.iter
+            (fun (l : Ref_memo.entry) ->
+              let dedup_ok =
+                lsize <> rsize
+                || Bitset.compare s.Ref_memo.tables l.Ref_memo.tables < 0
+              in
+              if dedup_ok && Bitset.disjoint s.Ref_memo.tables l.Ref_memo.tables
+              then begin
+                let union = Bitset.union s.Ref_memo.tables l.Ref_memo.tables in
+                let union_valid =
+                  Bitset.for_all
+                    (fun q ->
+                      Bitset.subset
+                        (O.Query_block.quantifier block q).O.Quantifier.deps
+                        union)
+                    union
+                in
+                if union_valid then begin
+                  let preds =
+                    crossing_preds block s.Ref_memo.tables l.Ref_memo.tables
+                  in
+                  let cartesian = preds = [] in
+                  let cartesian_ok =
+                    (not cartesian)
+                    || knobs.O.Knobs.allow_cartesian
+                    || (knobs.O.Knobs.card1_cartesian
+                       && ((Bitset.cardinal s.Ref_memo.tables
+                            <= knobs.O.Knobs.card1_max_size
+                           && card_of s <= knobs.O.Knobs.card1_threshold)
+                          || (Bitset.cardinal l.Ref_memo.tables
+                              <= knobs.O.Knobs.card1_max_size
+                             && card_of l <= knobs.O.Knobs.card1_threshold)))
+                  in
+                  if cartesian_ok then begin
+                    let left_outer_ok =
+                      O.Enumerator.direction_feasible ~knobs ~block
+                        ~outer:s.Ref_memo.tables ~inner:l.Ref_memo.tables
+                    in
+                    let right_outer_ok =
+                      O.Enumerator.direction_feasible ~knobs ~block
+                        ~outer:l.Ref_memo.tables ~inner:s.Ref_memo.tables
+                    in
+                    if left_outer_ok || right_outer_ok then begin
+                      let result, created = Ref_memo.find_or_create memo union in
+                      if created then consumer.Ref_plan_gen.on_entry result;
+                      stats.Ref_memo.joins_enumerated <-
+                        stats.Ref_memo.joins_enumerated + 1;
+                      consumer.Ref_plan_gen.on_join
+                        {
+                          Ref_plan_gen.left = s;
+                          right = l;
+                          result;
+                          preds;
+                          cartesian;
+                          left_outer_ok;
+                          right_outer_ok;
+                        }
+                    end
+                  end
+                end
+              end)
+            rights)
+        lefts
+    done
+  done
+
+(* --- verbatim copies of the driver's plan-finishing logic --------------- *)
+
+let finish env block (plan : O.Plan.t) =
+  let params = O.Cost_model.params env in
+  let equiv = O.Equiv.of_preds (O.Query_block.join_preds block) in
+  let width = O.Cost_model.row_width block plan.O.Plan.tables in
+  let plan =
+    match block.O.Query_block.group_by with
+    | [] -> plan
+    | cols ->
+      let grouping = O.Order_prop.make Grouping cols in
+      let pre_sorted =
+        O.Order_prop.satisfied_by equiv grouping plan.O.Plan.order
+      in
+      let sort_based =
+        if pre_sorted then plan.O.Plan.cost +. (plan.O.Plan.card *. 0.002)
+        else
+          plan.O.Plan.cost
+          +. O.Cost_model.sort params ~rows:plan.O.Plan.card ~width
+          +. (plan.O.Plan.card *. 0.002)
+      in
+      let hash_based = plan.O.Plan.cost +. (plan.O.Plan.card *. 0.004) in
+      if sort_based <= hash_based then
+        if pre_sorted then { plan with O.Plan.cost = sort_based }
+        else
+          {
+            plan with
+            O.Plan.op = O.Plan.Sort plan;
+            order = O.Order_prop.canonical equiv grouping;
+            cost = sort_based;
+          }
+      else { plan with O.Plan.op = plan.O.Plan.op; cost = hash_based; order = [] }
+  in
+  match block.O.Query_block.order_by with
+  | [] -> plan
+  | cols ->
+    let ordering = O.Order_prop.make Ordering cols in
+    if O.Order_prop.satisfied_by equiv ordering plan.O.Plan.order then plan
+    else
+      {
+        plan with
+        O.Plan.op = O.Plan.Sort plan;
+        order = O.Order_prop.canonical equiv ordering;
+        cost = plan.O.Plan.cost +. O.Cost_model.sort params ~rows:plan.O.Plan.card ~width;
+      }
+
+let topn_adjusted_cost block (p : O.Plan.t) =
+  match block.O.Query_block.first_n with
+  | None -> p.O.Plan.cost
+  | Some n ->
+    if O.Plan.pipelinable p then
+      let frac = Float.min 1.0 (float_of_int n /. Float.max 1.0 p.O.Plan.card) in
+      p.O.Plan.cost *. Float.max 0.05 frac
+    else p.O.Plan.cost
+
+let best_for_block env block entry =
+  let best = ref None in
+  List.iter
+    (fun (p : O.Plan.t) ->
+      let finished = finish env block p in
+      let adjusted = topn_adjusted_cost block finished in
+      match !best with
+      | Some (_, c) when c <= adjusted -> ()
+      | Some _ | None -> best := Some (finished, adjusted))
+    (Ref_memo.plans entry);
+  Option.map fst !best
+
+(* --- per-block driver with the permissive-retry policy ------------------ *)
+
+type result = {
+  memo : Ref_memo.t;
+  best : O.Plan.t option;
+  joins : int;
+  generated : O.Memo.counts;
+  scan_plans : int;
+  entries : int;
+  pruned : int;
+}
+
+let run_block ?views env knobs block =
+  let memo = Ref_memo.create block in
+  let instr = O.Instrument.create () in
+  let gen = Ref_plan_gen.create ?views env memo instr in
+  run ~knobs ~card_of:(Ref_plan_gen.card_of gen) memo (Ref_plan_gen.consumer gen);
+  let stats = Ref_memo.stats memo in
+  let top = Ref_memo.find_opt memo (O.Query_block.all_tables block) in
+  let best =
+    match top with
+    | Some entry -> best_for_block env block entry
+    | None -> None
+  in
+  let result =
+    {
+      memo;
+      best;
+      joins = stats.Ref_memo.joins_enumerated;
+      generated = stats.Ref_memo.generated;
+      scan_plans = stats.Ref_memo.scan_plans;
+      entries = Ref_memo.n_entries memo;
+      pruned = stats.Ref_memo.pruned;
+    }
+  in
+  (result, top <> None)
+
+let add_counts (a : O.Memo.counts) (b : O.Memo.counts) =
+  {
+    O.Memo.nljn = a.O.Memo.nljn + b.O.Memo.nljn;
+    O.Memo.mgjn = a.O.Memo.mgjn + b.O.Memo.mgjn;
+    O.Memo.hsjn = a.O.Memo.hsjn + b.O.Memo.hsjn;
+  }
+
+let optimize_block ?views env knobs block =
+  let result, reached_top = run_block ?views env knobs block in
+  if reached_top || O.Query_block.n_quantifiers block <= 1 then result
+  else begin
+    let retry, _ = run_block ?views env (O.Knobs.permissive knobs) block in
+    {
+      retry with
+      joins = result.joins + retry.joins;
+      generated = add_counts result.generated retry.generated;
+      scan_plans = result.scan_plans + retry.scan_plans;
+      entries = result.entries + retry.entries;
+      pruned = result.pruned + retry.pruned;
+    }
+  end

@@ -1,0 +1,448 @@
+(* Reference plan generation: the pre-flattening Plan_gen kept verbatim
+   (minus metrics) against [Ref_memo], as the differential-testing oracle
+   for the interned hot path.  Every [gen_direction] re-materializes
+   [Ref_memo.plans] per join method, recomputes [partition_groups] twice
+   per direction with structural [Partition_prop.equal_under] comparisons,
+   and lets the cost model recompute [row_width] per plan — the behaviour
+   the flattened generator must reproduce plan-for-plan, cost-bit for
+   cost-bit. *)
+
+module O = Qopt_optimizer
+module Bitset = Qopt_util.Bitset
+module Table = Qopt_catalog.Table
+module Query_block = O.Query_block
+module Quantifier = O.Quantifier
+module Pred = O.Pred
+module Equiv = O.Equiv
+module Cardinality = O.Cardinality
+module Interesting = O.Interesting
+module Order_prop = O.Order_prop
+module Partition_prop = O.Partition_prop
+module Colref = O.Colref
+module Plan = O.Plan
+module Join_method = O.Join_method
+module Env = O.Env
+module Cost_model = O.Cost_model
+module Instrument = O.Instrument
+module Mat_view = O.Mat_view
+
+(* The enumerator's event/consumer contract, typed against [Ref_memo]
+   entries. *)
+type join_event = {
+  left : Ref_memo.entry;
+  right : Ref_memo.entry;
+  result : Ref_memo.entry;
+  preds : Pred.t list;
+  cartesian : bool;
+  left_outer_ok : bool;
+  right_outer_ok : bool;
+}
+
+type consumer = {
+  on_entry : Ref_memo.entry -> unit;
+  on_join : join_event -> unit;
+}
+
+type t = {
+  env : Env.t;
+  params : Cost_model.params;
+  memo : Ref_memo.t;
+  block : Query_block.t;
+  instr : Instrument.t;
+  views : Mat_view.t list;
+  mutable mv_tests : int;
+  mutable mv_matches : int;
+}
+
+let create ?(views = []) env memo instr =
+  {
+    env;
+    params = Cost_model.params env;
+    memo;
+    block = Ref_memo.block memo;
+    instr;
+    views;
+    mv_tests = 0;
+    mv_matches = 0;
+  }
+
+let mv_tests t = t.mv_tests
+
+let mv_matches t = t.mv_matches
+
+let card_of t entry =
+  Instrument.card t.instr (fun () ->
+      Ref_memo.card_of t.memo Cardinality.Full entry)
+
+(* ------------------------------------------------------------------ *)
+(* Scan planning                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let default_partition = O.Plan_gen.default_partition
+
+let partition_groups equiv plans =
+  let same_part a b =
+    match (a, b) with
+    | None, None -> true
+    | Some a, Some b -> Partition_prop.equal_under equiv a b
+    | None, Some _ | Some _, None -> false
+  in
+  List.fold_left
+    (fun groups (p : Plan.t) ->
+      let rec place acc = function
+        | [] -> List.rev ((p.Plan.partition, p) :: acc)
+        | ((part, best) as g) :: rest ->
+          if same_part part p.Plan.partition then
+            if p.Plan.cost < best.Plan.cost then
+              List.rev_append acc ((part, p) :: rest)
+            else List.rev_append acc (g :: rest)
+          else place (g :: acc) rest
+      in
+      place [] groups)
+    [] plans
+
+let scan_plans t (entry : Ref_memo.entry) =
+  let q = Bitset.min_elt entry.Ref_memo.tables in
+  let table = (Query_block.quantifier t.block q).Quantifier.table in
+  let card = Ref_memo.card_of t.memo Cardinality.Full entry in
+  let partition = default_partition t.env t.block q in
+  let base =
+    {
+      Plan.op = Plan.Seq_scan q;
+      tables = entry.Ref_memo.tables;
+      order = [];
+      partition;
+      card;
+      cost = Cost_model.seq_scan t.params table;
+    }
+  in
+  let sel = card /. Float.max 1.0 table.Table.row_count in
+  let eager =
+    List.map
+      (fun (o : Order_prop.t) ->
+        let cols = Order_prop.canonical Equiv.empty o in
+        let col_names = List.map (fun (c : Colref.t) -> c.Colref.col) cols in
+        match Table.index_providing table col_names with
+        | Some idx ->
+          {
+            Plan.op = Plan.Index_scan (q, idx);
+            tables = entry.Ref_memo.tables;
+            order = List.map (fun col -> Colref.make q col) idx.Qopt_catalog.Index.columns;
+            partition;
+            card;
+            cost = Cost_model.index_scan t.params table ~sel;
+          }
+        | None ->
+          {
+            Plan.op = Plan.Sort base;
+            tables = entry.Ref_memo.tables;
+            order = cols;
+            partition;
+            card;
+            cost =
+              base.Plan.cost
+              +. Cost_model.sort t.params ~rows:card
+                   ~width:(float_of_int (Table.row_width table));
+          })
+      (Interesting.orders_for_table t.block q)
+  in
+  let filter_scans =
+    List.map
+      (fun (idx : Qopt_catalog.Index.t) ->
+        {
+          Plan.op = Plan.Index_scan (q, idx);
+          tables = entry.Ref_memo.tables;
+          order = List.map (fun col -> Colref.make q col) idx.Qopt_catalog.Index.columns;
+          partition;
+          card;
+          cost = Cost_model.index_scan t.params table ~sel;
+        })
+      (Interesting.filter_indexes t.block q)
+  in
+  let plans = (base :: eager) @ filter_scans in
+  (Ref_memo.stats t.memo).Ref_memo.scan_plans <-
+    (Ref_memo.stats t.memo).Ref_memo.scan_plans + List.length plans;
+  Instrument.save t.instr (fun () ->
+      List.iter (Ref_memo.insert_plan t.memo entry) plans)
+
+(* ------------------------------------------------------------------ *)
+(* Join planning                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parallel_adjust t equiv ~preds ~(outer : Plan.t) ~(inner : Plan.t) =
+  if not (Env.is_parallel t.env) then (None, 0.0)
+  else begin
+    let join_col =
+      List.find_map
+        (fun p -> match Pred.join_cols p with Some (l, _) -> Some l | None -> None)
+        preds
+    in
+    let keyed plan =
+      match (plan.Plan.partition, join_col) with
+      | Some part, Some jc -> Partition_prop.keyed_on equiv part jc
+      | Some _, None | None, _ -> false
+    in
+    let inner_width = Cost_model.row_width t.block inner.Plan.tables in
+    let transfer =
+      if keyed outer && keyed inner then 0.0
+      else if keyed outer then
+        Cost_model.repartition t.params ~rows:inner.Plan.card ~width:inner_width
+      else
+        Cost_model.broadcast t.params ~rows:inner.Plan.card ~width:inner_width
+    in
+    (outer.Plan.partition, transfer)
+  end
+
+let join_plan t equiv ~ctx ?(probe = None) ~method_ ~(outer : Plan.t)
+    ~(inner : Plan.t) ~preds ~out_card ~order ~sort_outer ~sort_inner () =
+  let partition, transfer = parallel_adjust t equiv ~preds ~outer ~inner in
+  let cost =
+    match method_ with
+    | Join_method.NLJN ->
+      Cost_model.nljn t.params t.block ~ctx ~probe ~outer ~inner ~out_card ()
+    | Join_method.MGJN ->
+      Cost_model.mgjn t.params t.block ~ctx ~outer ~inner ~out_card ~sort_outer
+        ~sort_inner ()
+    | Join_method.HSJN ->
+      Cost_model.hsjn t.params t.block ~ctx ~outer ~inner ~out_card ()
+  in
+  {
+    Plan.op = Plan.Join (method_, outer, inner, preds);
+    tables = Bitset.union outer.Plan.tables inner.Plan.tables;
+    order;
+    partition;
+    card = out_card;
+    cost = cost +. transfer;
+  }
+
+let repart_heuristic_triggers t equiv ~preds ~(x : Ref_memo.entry)
+    ~(y : Ref_memo.entry) =
+  Env.is_parallel t.env && preds <> []
+  &&
+  let join_cols =
+    List.concat_map
+      (fun p ->
+        match Pred.join_cols p with Some (l, r) -> [ l; r ] | None -> [])
+      preds
+  in
+  let keyed (plan : Plan.t) =
+    match plan.Plan.partition with
+    | None -> false
+    | Some part -> List.exists (Partition_prop.keyed_on equiv part) join_cols
+  in
+  not
+    (List.exists keyed (Ref_memo.plans x)
+    || List.exists keyed (Ref_memo.plans y))
+
+let repart_variant t equiv ~ctx ~method_ ~(x : Ref_memo.entry)
+    ~(y : Ref_memo.entry) ~preds ~out_card ~merge_cols =
+  match (Ref_memo.best_plan x, Ref_memo.best_plan y) with
+  | Some bx, Some by ->
+    let jc =
+      List.find_map
+        (fun p -> match Pred.join_cols p with Some (l, _) -> Some l | None -> None)
+        preds
+    in
+    Option.map
+      (fun jc ->
+        let part = Partition_prop.hash [ Equiv.repr equiv jc ] in
+        let wx = Cost_model.row_width t.block bx.Plan.tables in
+        let wy = Cost_model.row_width t.block by.Plan.tables in
+        let transfer =
+          Cost_model.repartition t.params ~rows:bx.Plan.card ~width:wx
+          +. Cost_model.repartition t.params ~rows:by.Plan.card ~width:wy
+        in
+        let order, sort_flags =
+          match method_ with
+          | Join_method.MGJN -> (merge_cols, (true, true))
+          | Join_method.NLJN | Join_method.HSJN -> ([], (false, false))
+        in
+        let sort_outer, sort_inner = sort_flags in
+        let base =
+          join_plan t equiv ~ctx ~method_ ~outer:bx ~inner:by ~preds ~out_card
+            ~order ~sort_outer ~sort_inner ()
+        in
+        { base with Plan.partition = Some part; cost = base.Plan.cost +. transfer })
+      jc
+  | None, _ | _, None -> None
+
+let gen_direction t event ~(x : Ref_memo.entry) ~(y : Ref_memo.entry) =
+  let j = event.result in
+  let equiv = Ref_memo.equiv_of t.memo j in
+  let preds = event.preds in
+  let out_card = Ref_memo.card_of t.memo Cardinality.Full j in
+  let stats = Ref_memo.stats t.memo in
+  let repart = repart_heuristic_triggers t equiv ~preds ~x ~y in
+  match Ref_memo.best_plan y with
+  | None -> []
+  | Some inner_best ->
+    let ctx =
+      Cost_model.join_context t.params t.block ~preds
+        ~inner_card:inner_best.Plan.card
+    in
+    let probe =
+      Cost_model.inner_probe_cost t.params t.block ~preds
+        ~inner_tables:y.Ref_memo.tables
+    in
+    let pipe_inner =
+      if t.block.Query_block.first_n <> None && not (Plan.pipelinable inner_best)
+      then Ref_memo.best_pipelinable_plan y
+      else None
+    in
+    let nljn_plans =
+      Instrument.nljn t.instr (fun () ->
+          let base =
+            List.concat_map
+              (fun (po : Plan.t) ->
+                join_plan t equiv ~ctx ~probe ~method_:Join_method.NLJN
+                  ~outer:po ~inner:inner_best ~preds ~out_card
+                  ~order:po.Plan.order ~sort_outer:false ~sort_inner:false ()
+                :: (match pipe_inner with
+                   | Some inner when Plan.pipelinable po ->
+                     [
+                       join_plan t equiv ~ctx ~probe ~method_:Join_method.NLJN
+                         ~outer:po ~inner ~preds ~out_card ~order:po.Plan.order
+                         ~sort_outer:false ~sort_inner:false ();
+                     ]
+                   | Some _ | None -> []))
+              (Ref_memo.plans x)
+          in
+          let extra =
+            if repart then
+              Option.to_list
+                (repart_variant t equiv ~ctx ~method_:Join_method.NLJN ~x ~y
+                   ~preds ~out_card ~merge_cols:[])
+            else []
+          in
+          base @ extra)
+    in
+    Ref_memo.counts_add stats.Ref_memo.generated Join_method.NLJN
+      (List.length nljn_plans);
+    let mgjn_plans =
+      if preds = [] then []
+      else
+        Instrument.mgjn t.instr (fun () ->
+            match Interesting.merge_order equiv preds with
+            | None -> []
+            | Some mo ->
+              let mo_cols = Order_prop.canonical equiv mo in
+              let inner_sorted = Ref_memo.best_plan_satisfying t.memo y mo in
+              let inner, sort_inner =
+                match inner_sorted with
+                | Some p -> (p, false)
+                | None -> (inner_best, true)
+              in
+              let covering =
+                List.filter
+                  (fun (po : Plan.t) ->
+                    po.Plan.order <> []
+                    && Order_prop.satisfied_by equiv mo po.Plan.order)
+                  (Ref_memo.plans x)
+              in
+              let natural =
+                List.map
+                  (fun (po : Plan.t) ->
+                    join_plan t equiv ~ctx ~method_:Join_method.MGJN ~outer:po
+                      ~inner ~preds ~out_card ~order:po.Plan.order
+                      ~sort_outer:false ~sort_inner ())
+                  covering
+              in
+              let enforced =
+                List.filter_map
+                  (fun (part, (cheapest : Plan.t)) ->
+                    let covered =
+                      List.exists
+                        (fun (po : Plan.t) ->
+                          match (part, po.Plan.partition) with
+                          | None, None -> true
+                          | Some a, Some b -> Partition_prop.equal_under equiv a b
+                          | None, Some _ | Some _, None -> false)
+                        covering
+                    in
+                    if covered then None
+                    else
+                      Some
+                        (join_plan t equiv ~ctx ~method_:Join_method.MGJN
+                           ~outer:cheapest ~inner ~preds ~out_card ~order:mo_cols
+                           ~sort_outer:true ~sort_inner ()))
+                  (partition_groups equiv (Ref_memo.plans x))
+              in
+              let extra =
+                if repart then
+                  Option.to_list
+                    (repart_variant t equiv ~ctx ~method_:Join_method.MGJN ~x ~y
+                       ~preds ~out_card ~merge_cols:mo_cols)
+                else []
+              in
+              natural @ enforced @ extra)
+    in
+    Ref_memo.counts_add stats.Ref_memo.generated Join_method.MGJN
+      (List.length mgjn_plans);
+    let hsjn_plans =
+      Instrument.hsjn t.instr (fun () ->
+          let base =
+            List.map
+              (fun (_, (cheapest : Plan.t)) ->
+                join_plan t equiv ~ctx ~method_:Join_method.HSJN ~outer:cheapest
+                  ~inner:inner_best ~preds ~out_card ~order:[] ~sort_outer:false
+                  ~sort_inner:false ())
+              (partition_groups equiv (Ref_memo.plans x))
+          in
+          let extra =
+            if repart then
+              Option.to_list
+                (repart_variant t equiv ~ctx ~method_:Join_method.HSJN ~x ~y
+                   ~preds ~out_card ~merge_cols:[])
+            else []
+          in
+          base @ extra)
+    in
+    Ref_memo.counts_add stats.Ref_memo.generated Join_method.HSJN
+      (List.length hsjn_plans);
+    nljn_plans @ mgjn_plans @ hsjn_plans
+
+let on_join t (event : join_event) =
+  let plans_lr =
+    if event.left_outer_ok then gen_direction t event ~x:event.left ~y:event.right
+    else []
+  in
+  let plans_rl =
+    if event.right_outer_ok then
+      gen_direction t event ~x:event.right ~y:event.left
+    else []
+  in
+  Instrument.save t.instr (fun () ->
+      List.iter (Ref_memo.insert_plan t.memo event.result) (plans_lr @ plans_rl))
+
+let try_views t (entry : Ref_memo.entry) =
+  if t.views <> [] then
+    Instrument.mv t.instr (fun () ->
+        List.iter
+          (fun view ->
+            t.mv_tests <- t.mv_tests + 1;
+            if Mat_view.matches view t.block entry.Ref_memo.tables then begin
+              t.mv_matches <- t.mv_matches + 1;
+              let plan =
+                {
+                  Plan.op = Plan.Mv_scan view.Mat_view.mv_name;
+                  tables = entry.Ref_memo.tables;
+                  order = [];
+                  partition =
+                    (if Env.is_parallel t.env then
+                       default_partition t.env t.block
+                         (Bitset.min_elt entry.Ref_memo.tables)
+                     else None);
+                  card = Ref_memo.card_of t.memo Cardinality.Full entry;
+                  cost = Mat_view.substitute_cost t.params view;
+                }
+              in
+              Ref_memo.insert_plan t.memo entry plan
+            end)
+          t.views)
+
+let on_entry t (entry : Ref_memo.entry) =
+  if Bitset.cardinal entry.Ref_memo.tables = 1 then
+    Instrument.scan t.instr (fun () -> scan_plans t entry);
+  try_views t entry
+
+let consumer t = { on_entry = on_entry t; on_join = on_join t }

@@ -112,10 +112,10 @@ let cost_tests =
           (fun cost ->
             Alcotest.(check bool) "cost > inputs" true (cost > outer.O.Plan.cost +. inner.O.Plan.cost))
           [
-            O.Cost_model.nljn params chain3 ~ctx ~probe:None ~outer ~inner ~out_card:1000.0;
+            O.Cost_model.nljn params chain3 ~ctx ~probe:None ~outer ~inner ~out_card:1000.0 ();
             O.Cost_model.mgjn params chain3 ~ctx ~outer ~inner ~out_card:1000.0
-              ~sort_outer:true ~sort_inner:true;
-            O.Cost_model.hsjn params chain3 ~ctx ~outer ~inner ~out_card:1000.0;
+              ~sort_outer:true ~sort_inner:true ();
+            O.Cost_model.hsjn params chain3 ~ctx ~outer ~inner ~out_card:1000.0 ();
           ]);
     t "mgjn sort enforcement costs more" (fun () ->
         let outer = scan_plan ~card:50_000.0 0 and inner = scan_plan ~card:50_000.0 1 in
@@ -123,11 +123,11 @@ let cost_tests =
         let ctx = ctx_of preds ~inner_card:50_000.0 in
         let sorted =
           O.Cost_model.mgjn params chain3 ~ctx ~outer ~inner ~out_card:1000.0
-            ~sort_outer:false ~sort_inner:false
+            ~sort_outer:false ~sort_inner:false ()
         in
         let enforced =
           O.Cost_model.mgjn params chain3 ~ctx ~outer ~inner ~out_card:1000.0
-            ~sort_outer:true ~sort_inner:true
+            ~sort_outer:true ~sort_inner:true ()
         in
         Alcotest.(check bool) "enforced > natural" true (enforced > sorted));
     t "index probe beats rescan for big outers" (fun () ->
@@ -136,11 +136,11 @@ let cost_tests =
         let preds = [ O.Pred.Eq_join (cr 0 "j1", cr 1 "j1") ] in
         let ctx = ctx_of preds ~inner_card:500_000.0 in
         let without =
-          O.Cost_model.nljn params chain3 ~ctx ~probe:None ~outer ~inner ~out_card:1000.0
+          O.Cost_model.nljn params chain3 ~ctx ~probe:None ~outer ~inner ~out_card:1000.0 ()
         in
         let with_probe =
           O.Cost_model.nljn params chain3 ~ctx ~probe:(Some 0.01) ~outer ~inner
-            ~out_card:1000.0
+            ~out_card:1000.0 ()
         in
         Alcotest.(check bool) "probe path cheaper or equal" true (with_probe <= without));
     t "inner_probe_cost requires single inner with matching index" (fun () ->

@@ -1,0 +1,323 @@
+(* The hot-path flattening differential suite.
+
+   [Memo] and [Plan_gen] were rewritten around interned physical properties
+   (dense ids, integer dominance tests), an array-backed kept-plan list and
+   incrementally-maintained per-entry bests.  The contract is bit-for-bit
+   equivalence: over a seeded 126-query corpus, serial and parallel, the
+   flattened pipeline must produce exactly the kept-plan multisets (operator
+   trees, orders, partitions, cost/card bits), per-method generated counts
+   and final chosen plans of the legacy list-based code — which lives on
+   verbatim as [Ref_memo] / [Ref_plan_gen] / [Ref_optimizer]. *)
+
+module O = Qopt_optimizer
+module W = Qopt_workloads
+module Bitset = Qopt_util.Bitset
+
+let t name f = Alcotest.test_case name `Quick f
+
+let cr = Helpers.cr
+
+(* ------------------------------------------------------------------ *)
+(* Plan fingerprints                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* A plan's full identity: operator tree, per-node physical order and
+   partition, and the exact bits of cost and cardinality — any divergence
+   anywhere in the tree changes the string. *)
+let fp_cols cols =
+  String.concat "," (List.map (fun (c : O.Colref.t) -> Printf.sprintf "%d.%s" c.O.Colref.q c.O.Colref.col) cols)
+
+let fp_part = function
+  | None -> "-"
+  | Some (p : O.Partition_prop.t) ->
+    let k = match p.O.Partition_prop.kind with
+      | O.Partition_prop.Hash -> "H"
+      | O.Partition_prop.Range -> "R"
+    in
+    k ^ fp_cols p.O.Partition_prop.keys
+
+let rec fp (p : O.Plan.t) =
+  let op =
+    match p.O.Plan.op with
+    | O.Plan.Seq_scan q -> Printf.sprintf "S%d" q
+    | O.Plan.Index_scan (q, idx) ->
+      Printf.sprintf "I%d:%s" q idx.Qopt_catalog.Index.name
+    | O.Plan.Mv_scan name -> "M" ^ name
+    | O.Plan.Sort sub -> "T(" ^ fp sub ^ ")"
+    | O.Plan.Repartition sub -> "P(" ^ fp sub ^ ")"
+    | O.Plan.Join (m, outer, inner, preds) ->
+      Printf.sprintf "J%s(%s)(%s)#%d" (O.Join_method.to_string m) (fp outer)
+        (fp inner) (List.length preds)
+  in
+  Printf.sprintf "%s|o:%s|p:%s|c:%Lx|k:%Lx" op (fp_cols p.O.Plan.order)
+    (fp_part p.O.Plan.partition)
+    (Int64.bits_of_float p.O.Plan.cost)
+    (Int64.bits_of_float p.O.Plan.card)
+
+let fp_opt = function None -> "<none>" | Some p -> fp p
+
+(* ------------------------------------------------------------------ *)
+(* Whole-MEMO snapshots                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* table-set int -> sorted kept-plan fingerprints; comparing these maps
+   compares the kept multiset of every entry at once. *)
+let snapshot_of iter_entries plans memo =
+  let tbl = Hashtbl.create 64 in
+  iter_entries
+    (fun tables ps ->
+      Hashtbl.replace tbl (Bitset.to_int tables)
+        (List.sort String.compare (List.map fp ps)))
+    memo;
+  ignore plans;
+  tbl
+
+let new_snapshot memo =
+  snapshot_of
+    (fun f m -> O.Memo.iter_entries (fun e -> f e.O.Memo.tables (O.Memo.plans e)) m)
+    () memo
+
+let ref_snapshot memo =
+  snapshot_of
+    (fun f m ->
+      Ref_memo.iter_entries (fun e -> f e.Ref_memo.tables (Ref_memo.plans e)) m)
+    () memo
+
+let check_snapshots q_name a b =
+  if Hashtbl.length a <> Hashtbl.length b then
+    Alcotest.failf "%s: entry count %d <> %d" q_name (Hashtbl.length a)
+      (Hashtbl.length b);
+  Hashtbl.iter
+    (fun key plans ->
+      match Hashtbl.find_opt b key with
+      | None -> Alcotest.failf "%s: entry %d missing on reference side" q_name key
+      | Some ref_plans ->
+        if plans <> ref_plans then
+          Alcotest.failf "%s: entry %d kept plans differ:\n  new: %s\n  ref: %s"
+            q_name key (String.concat "\n       " plans)
+            (String.concat "\n       " ref_plans))
+    a
+
+(* ------------------------------------------------------------------ *)
+(* New-side per-block driver                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* [Optimizer.run_block] replicated so the MEMO stays accessible, with the
+   same permissive-retry folding as the reference driver. *)
+type new_result = {
+  memo : O.Memo.t;
+  best : O.Plan.t option;
+  joins : int;
+  generated : O.Memo.counts;
+  scan_plans : int;
+  entries : int;
+  pruned : int;
+}
+
+let new_run_block env knobs block =
+  let memo = O.Memo.create block in
+  let instr = O.Instrument.create () in
+  let gen = O.Plan_gen.create env memo instr in
+  O.Enumerator.run ~knobs ~card_of:(O.Plan_gen.card_of gen) memo
+    (O.Plan_gen.consumer gen);
+  let stats = O.Memo.stats memo in
+  let top = O.Memo.find_opt memo (O.Query_block.all_tables block) in
+  let best =
+    (* [finish] / [topn_adjusted_cost] are the reference module's verbatim
+       copies of the production driver: reusing them on both sides makes
+       the chosen-plan comparison a pure function of MEMO content. *)
+    match top with
+    | Some entry ->
+      let b = ref None in
+      List.iter
+        (fun p ->
+          let finished = Ref_optimizer.finish env block p in
+          let adjusted = Ref_optimizer.topn_adjusted_cost block finished in
+          match !b with
+          | Some (_, c) when c <= adjusted -> ()
+          | Some _ | None -> b := Some (finished, adjusted))
+        (O.Memo.plans entry);
+      Option.map fst !b
+    | None -> None
+  in
+  ( {
+      memo;
+      best;
+      joins = stats.O.Memo.joins_enumerated;
+      generated = stats.O.Memo.generated;
+      scan_plans = stats.O.Memo.scan_plans;
+      entries = O.Memo.n_entries memo;
+      pruned = stats.O.Memo.pruned;
+    },
+    top <> None )
+
+let new_optimize_block env knobs block =
+  let result, reached_top = new_run_block env knobs block in
+  if reached_top || O.Query_block.n_quantifiers block <= 1 then result
+  else begin
+    let retry, _ = new_run_block env (O.Knobs.permissive knobs) block in
+    {
+      retry with
+      joins = result.joins + retry.joins;
+      generated = Ref_optimizer.add_counts result.generated retry.generated;
+      scan_plans = result.scan_plans + retry.scan_plans;
+      entries = result.entries + retry.entries;
+      pruned = result.pruned + retry.pruned;
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The corpus                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let pool ~partitioned =
+  let schema = W.Warehouse.schema ~partitioned in
+  List.concat_map
+    (fun (wl : W.Workload.t) -> wl.W.Workload.queries)
+    [
+      W.Random_gen.generate ~seed:20250807 ~count:60 ~complexity:9 ~schema ();
+      W.Random_gen.generate ~seed:1337 ~count:30 ~complexity:6 ~schema ();
+      W.Synthetic.linear ~partitioned;
+      W.Synthetic.star ~partitioned;
+      W.Synthetic.cycle ~partitioned;
+    ]
+
+let compare_block env q_name block =
+  let n = new_optimize_block env Helpers.stable_knobs block in
+  let r = Ref_optimizer.optimize_block env Helpers.stable_knobs block in
+  let ck what a b =
+    if a <> b then Alcotest.failf "%s: %s new %d <> ref %d" q_name what a b
+  in
+  ck "joins" n.joins r.Ref_optimizer.joins;
+  ck "scan_plans" n.scan_plans r.Ref_optimizer.scan_plans;
+  ck "entries" n.entries r.Ref_optimizer.entries;
+  ck "pruned" n.pruned r.Ref_optimizer.pruned;
+  ck "nljn" n.generated.O.Memo.nljn r.Ref_optimizer.generated.O.Memo.nljn;
+  ck "mgjn" n.generated.O.Memo.mgjn r.Ref_optimizer.generated.O.Memo.mgjn;
+  ck "hsjn" n.generated.O.Memo.hsjn r.Ref_optimizer.generated.O.Memo.hsjn;
+  check_snapshots q_name (new_snapshot n.memo) (ref_snapshot r.Ref_optimizer.memo);
+  (* The incremental kept counter must agree with a full MEMO walk. *)
+  let walk = ref 0 in
+  O.Memo.iter_entries
+    (fun e -> walk := !walk + List.length (O.Memo.plans e))
+    n.memo;
+  ck "kept counter vs walk" (O.Memo.kept_plans n.memo) !walk;
+  let nb = fp_opt n.best and rb = fp_opt r.Ref_optimizer.best in
+  if nb <> rb then
+    Alcotest.failf "%s: chosen plans differ:\n  new: %s\n  ref: %s" q_name nb rb
+
+let corpus_test ~partitioned env env_name =
+  t
+    (Printf.sprintf
+       "flattened MEMO is bit-for-bit the list MEMO (126 queries, %s)" env_name)
+    (fun () ->
+      let queries = pool ~partitioned in
+      Alcotest.(check bool) "pool has > 100 queries" true
+        (List.length queries > 100);
+      List.iter
+        (fun (q : W.Workload.query) ->
+          O.Query_block.iter_blocks
+            (fun b -> compare_block env q.W.Workload.q_name b)
+            q.W.Workload.block)
+        queries)
+
+(* ------------------------------------------------------------------ *)
+(* Dominance-pruning edge cases                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mk_plan ?(order = []) ?partition ~cost tables =
+  {
+    O.Plan.op = O.Plan.Seq_scan (Bitset.min_elt tables);
+    tables;
+    order;
+    partition;
+    card = 100.0;
+    cost;
+  }
+
+let edge_tests =
+  [
+    t "equal-cost identical plans: the incumbent wins" (fun () ->
+        (* Mutual dominance at equal cost — the arriving twin is pruned, the
+           first arrival stays (the [<=] tie-break the array scans must
+           reproduce). *)
+        let block = Helpers.chain 2 in
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e (mk_plan ~cost:10.0 (Helpers.set [ 0 ]));
+        O.Memo.insert_plan memo e (mk_plan ~cost:10.0 (Helpers.set [ 0 ]));
+        Alcotest.(check int) "one kept" 1 (List.length (O.Memo.plans e));
+        Alcotest.(check int) "one pruned" 1 (O.Memo.stats memo).O.Memo.pruned);
+    t "equal interesting partition keys collapse" (fun () ->
+        (* Both partitions hash on the (interesting) join column: same
+           interned key, so the cheaper plan absorbs the costlier. *)
+        let block = Helpers.chain 2 in
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        let p = O.Partition_prop.hash [ cr 0 "j1" ] in
+        O.Memo.insert_plan memo e
+          (mk_plan ~partition:p ~cost:10.0 (Helpers.set [ 0 ]));
+        O.Memo.insert_plan memo e
+          (mk_plan ~partition:p ~cost:20.0 (Helpers.set [ 0 ]));
+        Alcotest.(check int) "one kept" 1 (List.length (O.Memo.plans e)));
+    t "uninteresting partitions collapse across different keys" (fun () ->
+        (* Neither v nor v2 is a join column here: both partitions are
+           uninteresting, so key inequality does not protect the costlier
+           plan. *)
+        let block = Helpers.chain 2 in
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e
+          (mk_plan ~partition:(O.Partition_prop.hash [ cr 0 "v" ]) ~cost:10.0
+             (Helpers.set [ 0 ]));
+        O.Memo.insert_plan memo e
+          (mk_plan ~partition:(O.Partition_prop.hash [ cr 0 "v2" ]) ~cost:20.0
+             (Helpers.set [ 0 ]));
+        Alcotest.(check int) "one kept" 1 (List.length (O.Memo.plans e)));
+    t "interesting vs uninteresting partition with different keys: both kept"
+      (fun () ->
+        let block = Helpers.chain 2 in
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e
+          (mk_plan ~partition:(O.Partition_prop.hash [ cr 0 "j1" ]) ~cost:10.0
+             (Helpers.set [ 0 ]));
+        O.Memo.insert_plan memo e
+          (mk_plan ~partition:(O.Partition_prop.hash [ cr 0 "v" ]) ~cost:5.0
+             (Helpers.set [ 0 ]));
+        Alcotest.(check int) "both kept" 2 (List.length (O.Memo.plans e)));
+    t "pipelinable plan survives a cheaper blocking plan only under LIMIT"
+      (fun () ->
+        let base = Helpers.chain 1 in
+        let pipe = mk_plan ~cost:50.0 (Helpers.set [ 0 ]) in
+        let blocking =
+          { (mk_plan ~cost:10.0 (Helpers.set [ 0 ])) with
+            O.Plan.op = O.Plan.Sort (mk_plan ~cost:10.0 (Helpers.set [ 0 ]));
+          }
+        in
+        (* Top-N block: pipelinability is a protected property. *)
+        let topn = { base with O.Query_block.first_n = Some 5 } in
+        let memo = O.Memo.create topn in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e pipe;
+        O.Memo.insert_plan memo e blocking;
+        Alcotest.(check int) "both kept under LIMIT" 2
+          (List.length (O.Memo.plans e));
+        Alcotest.(check bool) "best_pipelinable finds the survivor" true
+          (O.Memo.best_pipelinable_plan memo e = Some pipe);
+        (* Same two plans without LIMIT: pipelinability is not a property,
+           the cheap blocking plan absorbs the pipelinable one. *)
+        let memo = O.Memo.create base in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e pipe;
+        O.Memo.insert_plan memo e blocking;
+        Alcotest.(check int) "one kept without LIMIT" 1
+          (List.length (O.Memo.plans e)));
+  ]
+
+let suite =
+  edge_tests
+  @ [
+      corpus_test ~partitioned:false O.Env.serial "serial";
+      corpus_test ~partitioned:true (O.Env.parallel ~nodes:4) "parallel x4";
+    ]

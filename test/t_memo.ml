@@ -29,14 +29,19 @@ let entry_tests =
         Alcotest.(check bool) "second reuses" false created2;
         Alcotest.(check bool) "same entry" true (e1 == e2);
         Alcotest.(check int) "one entry" 1 (O.Memo.n_entries memo));
-    t "entries_of_size" (fun () ->
+    t "iter_entries_of_size" (fun () ->
         let memo = O.Memo.create block in
         ignore (O.Memo.find_or_create memo (Helpers.set [ 0 ]));
         ignore (O.Memo.find_or_create memo (Helpers.set [ 1 ]));
         ignore (O.Memo.find_or_create memo (Helpers.set [ 0; 1 ]));
-        Alcotest.(check int) "two singletons" 2 (List.length (O.Memo.entries_of_size memo 1));
-        Alcotest.(check int) "one pair" 1 (List.length (O.Memo.entries_of_size memo 2));
-        Alcotest.(check int) "no triples" 0 (List.length (O.Memo.entries_of_size memo 3)));
+        let count size =
+          let n = ref 0 in
+          O.Memo.iter_entries_of_size memo size (fun _ -> incr n);
+          !n
+        in
+        Alcotest.(check int) "two singletons" 2 (count 1);
+        Alcotest.(check int) "one pair" 1 (count 2);
+        Alcotest.(check int) "no triples" 0 (count 3));
     t "card_of caches" (fun () ->
         let memo = O.Memo.create block in
         let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
@@ -138,6 +143,27 @@ let pruning_tests =
         O.Memo.insert_plan memo e (mk_plan ~cost:10.0 (Helpers.set [ 0 ]));
         Alcotest.(check int) "one" 1 (O.Memo.kept_plans memo);
         Alcotest.(check (float 0.0)) "bytes" O.Plan.approx_bytes (O.Memo.memo_bytes memo));
+    t "kept_plans counter equals a full MEMO walk" (fun () ->
+        (* The counter is maintained incrementally across insertions AND
+           dominance drops; re-derive it the slow way and compare. *)
+        let memo = O.Memo.create block in
+        let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
+        O.Memo.insert_plan memo e (mk_plan ~cost:20.0 (Helpers.set [ 0 ]));
+        O.Memo.insert_plan memo e
+          (mk_plan ~order:[ cr 0 "v" ] ~cost:50.0 (Helpers.set [ 0 ]));
+        (* Dominates both previous plans: drops two, keeps one. *)
+        O.Memo.insert_plan memo e
+          (mk_plan ~order:[ cr 0 "v" ] ~cost:10.0 (Helpers.set [ 0 ]));
+        (* And a dominated arrival that never lands. *)
+        O.Memo.insert_plan memo e (mk_plan ~cost:30.0 (Helpers.set [ 0 ]));
+        let e2, _ = O.Memo.find_or_create memo (Helpers.set [ 1 ]) in
+        O.Memo.insert_plan memo e2 (mk_plan ~cost:5.0 (Helpers.set [ 1 ]));
+        let walk = ref 0 in
+        O.Memo.iter_entries
+          (fun e -> walk := !walk + List.length (O.Memo.plans e))
+          memo;
+        Alcotest.(check int) "walk agrees" !walk (O.Memo.kept_plans memo);
+        Alcotest.(check int) "two plans" 2 (O.Memo.kept_plans memo));
     t "counts helpers" (fun () ->
         let c = O.Memo.counts_zero () in
         O.Memo.counts_add c O.Join_method.NLJN 3;

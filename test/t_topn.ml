@@ -135,9 +135,11 @@ let optimizer_tests =
         let memo = O.Memo.create block in
         let e, _ = O.Memo.find_or_create memo (Helpers.set [ 0 ]) in
         O.Memo.insert_plan memo e { (sort (scan 0)) with O.Plan.order = [ cr 0 "j1" ] };
-        Alcotest.(check bool) "none yet" true (O.Memo.best_pipelinable_plan e = None);
+        Alcotest.(check bool) "none yet" true
+          (O.Memo.best_pipelinable_plan memo e = None);
         O.Memo.insert_plan memo e (scan 0);
-        Alcotest.(check bool) "found" true (O.Memo.best_pipelinable_plan e <> None));
+        Alcotest.(check bool) "found" true
+          (O.Memo.best_pipelinable_plan memo e <> None));
   ]
 
 let sql_tests =

@@ -19,6 +19,7 @@ let () =
       ("misc", T_misc.suite);
       ("properties", T_properties.suite);
       ("obs", T_obs.suite);
+      ("hotpath", T_hotpath.suite);
       ("par", T_par.suite);
       ("stmt-cache", T_stmt_cache.suite);
       ("sql-roundtrip", T_roundtrip.suite);
