@@ -306,46 +306,51 @@ let batch_rows () =
      server/p95-fifo    — same mix under FIFO (expect p95-sjf <= p95-fifo)
      server/reject-rate — fraction rejected under a tight aggregate
                           admission budget (structured rejections) *)
+let bench_schemas = [ ("warehouse", W.Warehouse.schema ~partitioned:false) ]
+
+let bench_model = Cote.Time_model.make ~c_nljn:2e-6 ~c_mgjn:5e-6 ~c_hsjn:4e-6 ()
+
+let with_server configure f =
+  let module Srv = Qopt_server in
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qopt-bench-%d.sock" (Unix.getpid ()))
+  in
+  let cfg =
+    configure
+      (Srv.Server.default_config ~listen:(`Unix path) ~model:bench_model
+         ~schemas:bench_schemas ())
+  in
+  let lock = Mutex.create () and cond = Condition.create () in
+  let ready = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        Srv.Server.run
+          ~on_ready:(fun () ->
+            Mutex.protect lock (fun () ->
+                ready := true;
+                Condition.signal cond))
+          cfg)
+      ()
+  in
+  Mutex.lock lock;
+  while not !ready do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let c = Srv.Client.connect (`Unix path) in
+         ignore (Srv.Client.request c (Srv.Proto.Shutdown { id = 0 }));
+         Srv.Client.close c
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      Thread.join th)
+    (fun () -> f (`Unix path))
+
 let server_rows () =
   let module Srv = Qopt_server in
-  let schemas = [ ("warehouse", W.Warehouse.schema ~partitioned:false) ] in
-  let model = Cote.Time_model.make ~c_nljn:2e-6 ~c_mgjn:5e-6 ~c_hsjn:4e-6 () in
-  let with_server configure f =
-    let path =
-      Filename.concat (Filename.get_temp_dir_name ())
-        (Printf.sprintf "qopt-bench-%d.sock" (Unix.getpid ()))
-    in
-    let cfg =
-      configure (Srv.Server.default_config ~listen:(`Unix path) ~model ~schemas ())
-    in
-    let lock = Mutex.create () and cond = Condition.create () in
-    let ready = ref false in
-    let th =
-      Thread.create
-        (fun () ->
-          Srv.Server.run
-            ~on_ready:(fun () ->
-              Mutex.protect lock (fun () ->
-                  ready := true;
-                  Condition.signal cond))
-            cfg)
-        ()
-    in
-    Mutex.lock lock;
-    while not !ready do
-      Condition.wait cond lock
-    done;
-    Mutex.unlock lock;
-    Fun.protect
-      ~finally:(fun () ->
-        (try
-           let c = Srv.Client.connect (`Unix path) in
-           ignore (Srv.Client.request c (Srv.Proto.Shutdown { id = 0 }));
-           Srv.Client.close c
-         with Unix.Unix_error _ | Sys_error _ -> ());
-        Thread.join th)
-      (fun () -> f (`Unix path))
-  in
   let mix = Srv.Loadgen.warehouse_mix ~smalls:48 ~bigs:2 in
   let run_mode mode =
     with_server
@@ -384,6 +389,50 @@ let server_rows () =
   List.iter (fun (name, v) -> Format.printf "%-36s %16.2f@." name v) rows;
   rows
 
+(* The plan cache on the same warehouse template mix: one warming burst
+   compiles each template once (parameter-varying repeats mostly arrive
+   while the first compile of their template is still on the worker), then
+   a measured burst should be served from cache almost entirely:
+
+     server/qps-cached    — compiled+cached replies per second on the
+                            second (warm) burst; the headline against
+                            server/qps
+     plan_cache/hit-rate  — percent of warm-burst probes served from
+                            cache (plan_cache.* counter deltas) *)
+let plan_cache_rows () =
+  let module Srv = Qopt_server in
+  let mix = Srv.Loadgen.warehouse_mix ~smalls:48 ~bigs:2 in
+  let counter name = Obs.Registry.counter_value Obs.Registry.default name in
+  let probes () =
+    counter "plan_cache.hits" + counter "plan_cache.misses"
+    + counter "plan_cache.invalidations"
+  in
+  let warm, (hot, hits, rate) =
+    with_server
+      (fun cfg ->
+        { cfg with Srv.Server.plan_cache = Some Cote.Plan_cache.default_config })
+      (fun addr ->
+        let warm = Srv.Loadgen.run_burst ~addr ~sql:mix () in
+        let h0 = counter "plan_cache.hits" and p0 = probes () in
+        let hot = Srv.Loadgen.run_burst ~addr ~sql:mix () in
+        let dh = counter "plan_cache.hits" - h0 and dp = probes () - p0 in
+        ( warm,
+          (hot, dh, if dp = 0 then 0.0 else 100.0 *. float_of_int dh /. float_of_int dp)
+        ))
+  in
+  ignore warm;
+  let rows =
+    [
+      ("server/qps-cached", hot.Srv.Loadgen.qps);
+      ("plan_cache/hit-rate", rate);
+    ]
+  in
+  Format.printf
+    "=== Plan cache (%d-request warm burst + measured burst, %d cache hits) ===@."
+    (List.length mix) hits;
+  List.iter (fun (name, v) -> Format.printf "%-36s %16.2f@." name v) rows;
+  rows
+
 (* Machine-readable results for CI trend tracking: a flat benchmark-name ->
    ns/run object, one line per benchmark so diffs stay readable. *)
 let write_bench_json path rows =
@@ -416,6 +465,8 @@ let () =
   let rows = rows @ batch_rows () in
   Format.printf "@.";
   let rows = rows @ server_rows () in
+  Format.printf "@.";
+  let rows = rows @ plan_cache_rows () in
   Format.printf "@.";
   if quick then begin
     write_bench_json "BENCH.json" rows;

@@ -208,7 +208,15 @@ let batch_cmd =
           ~doc:"print the batch determinism fingerprint (MD5 over every \
                 deterministic result field)")
   in
-  let run env workloads mode domains fingerprint metrics =
+  let plan_cache_term =
+    Arg.(
+      value & flag
+      & info [ "plan-cache" ]
+          ~doc:"store every compiled plan in a plan cache, then replay the \
+                compile tasks against it and report the hit rate and replay \
+                wall time")
+  in
+  let run env workloads mode domains fingerprint plan_cache metrics =
     wrap (fun () ->
       with_metrics metrics (fun () ->
         let workloads =
@@ -275,7 +283,46 @@ let batch_cmd =
           !cumulative (!cumulative /. wall);
         if fingerprint then
           Format.printf "fingerprint: %s@."
-            (Digest.to_hex (Digest.string (Qopt_par.Batch.fingerprint outcomes)))))
+            (Digest.to_hex (Digest.string (Qopt_par.Batch.fingerprint outcomes)));
+        if plan_cache then begin
+          (* Warm a plan cache from the batch results, then replay every
+             compile task against it: the replay wall time is what repeat
+             traffic would cost with the cache in front of the pool. *)
+          let pc = Cote.Plan_cache.create () in
+          List.iter2
+            (fun (_, task) outcome ->
+              match (task, outcome) with
+              | Qopt_par.Batch.Compile block, Qopt_par.Batch.Compiled r -> (
+                match r.O.Optimizer.best with
+                | Some plan -> Cote.Plan_cache.store pc block ~plan r
+                | None -> ())
+              | _ -> ())
+            tasks outcomes;
+          let compiles =
+            List.filter_map
+              (fun (_, task) ->
+                match task with
+                | Qopt_par.Batch.Compile block -> Some block
+                | Qopt_par.Batch.Estimate _ -> None)
+              tasks
+          in
+          let served, replay_wall =
+            Qopt_util.Timer.time (fun () ->
+                List.fold_left
+                  (fun n block ->
+                    match Cote.Plan_cache.lookup pc block with
+                    | Cote.Plan_cache.Hit _ -> n + 1
+                    | Cote.Plan_cache.Miss | Cote.Plan_cache.Invalidated _ -> n)
+                  0 compiles)
+          in
+          let n = List.length compiles in
+          Format.printf
+            "plan cache: %d entries; replay %d compiles: %d hits (%.1f%%), \
+             wall %.4fs (batch wall %.4fs)@."
+            (Cote.Plan_cache.size pc) n served
+            (if n = 0 then 0.0 else 100.0 *. float_of_int served /. float_of_int n)
+            replay_wall wall
+        end))
   in
   Cmd.v
     (Cmd.info "batch"
@@ -283,7 +330,7 @@ let batch_cmd =
     Term.(
       ret
         (const run $ env_term $ workloads_term $ mode_term $ domains_term
-       $ fingerprint_term $ metrics_term))
+       $ fingerprint_term $ plan_cache_term $ metrics_term))
 
 let calibrate_cmd =
   let run env =
@@ -420,8 +467,25 @@ let serve_cmd =
       & info [ "deadline-ms" ]
           ~doc:"default per-compile deadline for requests that carry none")
   in
+  let plan_cache_term =
+    Arg.(
+      value & flag
+      & info [ "plan-cache" ]
+          ~doc:"serve repeated statement templates from a plan cache \
+                (parameter-abstracted keys, selectivity-envelope \
+                invalidation) instead of recompiling")
+  in
+  let plan_cache_slack_term =
+    Arg.(
+      value
+      & opt float Cote.Plan_cache.default_config.Cote.Plan_cache.slack
+      & info [ "plan-cache-slack" ] ~docv:"FRACTION"
+          ~doc:"envelope half-width: a cached plan is served while every \
+                predicate selectivity stays within (1±FRACTION) of its \
+                store-time estimate")
+  in
   let run env socket tcp workers mode model per_request aggregate max_queue
-      downgrade deadline =
+      downgrade deadline plan_cache plan_cache_slack =
     wrap (fun () ->
         let mode =
           match mode with
@@ -454,6 +518,14 @@ let serve_cmd =
             admission;
             downgrade_s = downgrade;
             default_deadline_s = Option.map (fun ms -> ms /. 1000.0) deadline;
+            plan_cache =
+              (if plan_cache then
+                 Some
+                   {
+                     Cote.Plan_cache.default_config with
+                     Cote.Plan_cache.slack = plan_cache_slack;
+                   }
+               else None);
           }
         in
         let pp_addr ppf = function
@@ -476,7 +548,8 @@ let serve_cmd =
       ret
         (const run $ env_term $ socket_term $ tcp_term $ workers_term
        $ mode_term $ model_term $ per_request_term $ aggregate_term
-       $ max_queue_term $ downgrade_term $ deadline_term))
+       $ max_queue_term $ downgrade_term $ deadline_term $ plan_cache_term
+       $ plan_cache_slack_term))
 
 let client_cmd =
   let op_term =

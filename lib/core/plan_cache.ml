@@ -1,0 +1,252 @@
+module O = Qopt_optimizer
+module Obs = Qopt_obs
+
+(* Process-wide metrics shared by every cache instance, like Stmt_cache's
+   (no-ops unless Qopt_obs collection is on). *)
+let m_hits = Obs.Registry.counter Obs.Registry.default "plan_cache.hits"
+
+let m_misses = Obs.Registry.counter Obs.Registry.default "plan_cache.misses"
+
+let m_invalidations =
+  Obs.Registry.counter Obs.Registry.default "plan_cache.invalidations"
+
+let m_evictions = Obs.Registry.counter Obs.Registry.default "plan_cache.evictions"
+
+let m_size = Obs.Registry.gauge Obs.Registry.default "plan_cache.size"
+
+let m_hit_rate = Obs.Registry.gauge Obs.Registry.default "plan_cache.hit_rate_pct"
+
+let update_hit_rate () =
+  if !Obs.Control.on then begin
+    let h = Obs.Counter.value m_hits in
+    let probes =
+      h + Obs.Counter.value m_misses + Obs.Counter.value m_invalidations
+    in
+    if probes > 0 then
+      Obs.Gauge.set m_hit_rate (float_of_int h /. float_of_int probes *. 100.0)
+  end
+
+type config = {
+  slack : float;
+  capacity : int;
+}
+
+let default_config = { slack = 0.5; capacity = 512 }
+
+type invalidation =
+  | Envelope
+  | Stats_generation
+
+let invalidation_string = function
+  | Envelope -> "envelope"
+  | Stats_generation -> "stats_generation"
+
+type 'a outcome =
+  | Hit of { plan : O.Plan.t; payload : 'a }
+  | Miss
+  | Invalidated of invalidation
+
+type 'a entry = {
+  e_plan : O.Plan.t;
+  e_payload : 'a;
+  e_envelope : (string * float * float) array;
+      (* (pred signature, lo, hi), sorted — the validity region *)
+  e_deps : (string * int) array;  (* dependent table, generation at store *)
+  mutable e_tick : int;  (* LRU clock value of the last touch *)
+}
+
+type 'a t = {
+  cfg : config;
+  tbl : (string, 'a entry) Hashtbl.t;
+  gens : (string, int) Hashtbl.t;  (* per-table statistics generation *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+  lock : Mutex.t option;
+}
+
+let create ?(shared = false) ?(config = default_config) () =
+  {
+    cfg = config;
+    tbl = Hashtbl.create 64;
+    gens = Hashtbl.create 16;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    evictions = 0;
+    lock = (if shared then Some (Mutex.create ()) else None);
+  }
+
+let with_lock t f =
+  match t.lock with
+  | None -> f ()
+  | Some m -> Mutex.protect m f
+
+(* Estimated selectivity of every local predicate across all blocks,
+   labelled by predicate signature and sorted: duplicate signatures (the
+   same column compared twice) pair up positionally, smallest selectivity
+   first, on both the store and the lookup side. *)
+let selectivities block =
+  let acc = ref [] in
+  O.Query_block.iter_blocks
+    (fun b ->
+      List.iter
+        (fun p ->
+          if not (O.Pred.is_join p) then
+            acc :=
+              ( Stmt_cache.pred_signature b p,
+                O.Cardinality.local_selectivity O.Cardinality.Full b p )
+              :: !acc)
+        b.O.Query_block.preds)
+    block;
+  Array.of_list (List.sort compare !acc)
+
+let dep_tables block =
+  let acc = ref [] in
+  O.Query_block.iter_blocks
+    (fun b ->
+      for q = 0 to O.Query_block.n_quantifiers b - 1 do
+        acc :=
+          (O.Query_block.quantifier b q).O.Quantifier.table
+            .Qopt_catalog.Table.name
+          :: !acc
+      done)
+    block;
+  List.sort_uniq String.compare !acc
+
+let generation_unlocked t name =
+  Option.value ~default:0 (Hashtbl.find_opt t.gens name)
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.e_tick <- t.tick
+
+let set_size t = Obs.Gauge.set m_size (float_of_int (Hashtbl.length t.tbl))
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, tick) when tick <= e.e_tick -> ()
+      | _ -> victim := Some (k, e.e_tick))
+    t.tbl;
+  match !victim with
+  | None -> ()
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1;
+    Obs.Counter.incr m_evictions
+
+let store t ?key block ~plan payload =
+  let key = match key with Some k -> k | None -> Stmt_cache.signature block in
+  (* Selectivity estimation is pure over the block and the (immutable)
+     histograms it references: compute outside the lock. *)
+  let envelope =
+    Array.map
+      (fun (sg, s) -> (sg, s *. (1.0 -. t.cfg.slack), s *. (1.0 +. t.cfg.slack)))
+      (selectivities block)
+  in
+  let deps = dep_tables block in
+  with_lock t (fun () ->
+      if (not (Hashtbl.mem t.tbl key)) && Hashtbl.length t.tbl >= t.cfg.capacity
+      then evict_lru t;
+      let e =
+        {
+          e_plan = plan;
+          e_payload = payload;
+          e_envelope = envelope;
+          e_deps =
+            Array.of_list
+              (List.map (fun n -> (n, generation_unlocked t n)) deps);
+          e_tick = 0;
+        }
+      in
+      touch t e;
+      Hashtbl.replace t.tbl key e;
+      set_size t)
+
+let within_envelope sels env =
+  Array.length sels = Array.length env
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i (sg, s) ->
+      let sg', lo, hi = env.(i) in
+      if not (String.equal sg sg' && lo <= s && s <= hi) then ok := false)
+    sels;
+  !ok
+
+let revalidate e sels gen_of =
+  if Array.exists (fun (n, g) -> gen_of n <> g) e.e_deps then
+    Some Stats_generation
+  else if not (within_envelope sels e.e_envelope) then Some Envelope
+  else None
+
+let lookup t ?key block =
+  let key = match key with Some k -> k | None -> Stmt_cache.signature block in
+  let sels = selectivities block in
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | None ->
+        t.misses <- t.misses + 1;
+        Obs.Counter.incr m_misses;
+        update_hit_rate ();
+        Miss
+      | Some e -> (
+        match revalidate e sels (generation_unlocked t) with
+        | Some why ->
+          Hashtbl.remove t.tbl key;
+          t.invalidations <- t.invalidations + 1;
+          Obs.Counter.incr m_invalidations;
+          update_hit_rate ();
+          set_size t;
+          Invalidated why
+        | None ->
+          touch t e;
+          t.hits <- t.hits + 1;
+          Obs.Counter.incr m_hits;
+          update_hit_rate ();
+          Hit { plan = e.e_plan; payload = e.e_payload }))
+
+let bump_stats t table =
+  with_lock t (fun () ->
+      Hashtbl.replace t.gens table (generation_unlocked t table + 1);
+      let victims =
+        Hashtbl.fold
+          (fun k e acc ->
+            if Array.exists (fun (n, _) -> String.equal n table) e.e_deps then
+              k :: acc
+            else acc)
+          t.tbl []
+      in
+      List.iter (Hashtbl.remove t.tbl) victims;
+      let n = List.length victims in
+      if n > 0 then begin
+        t.invalidations <- t.invalidations + n;
+        Obs.Counter.add m_invalidations n;
+        update_hit_rate ();
+        set_size t
+      end;
+      n)
+
+let generation t name = with_lock t (fun () -> generation_unlocked t name)
+
+let envelope t key =
+  with_lock t (fun () ->
+      Option.map
+        (fun e -> Array.to_list e.e_envelope)
+        (Hashtbl.find_opt t.tbl key))
+
+let size t = with_lock t (fun () -> Hashtbl.length t.tbl)
+
+let hits t = with_lock t (fun () -> t.hits)
+
+let misses t = with_lock t (fun () -> t.misses)
+
+let invalidations t = with_lock t (fun () -> t.invalidations)
+
+let evictions t = with_lock t (fun () -> t.evictions)

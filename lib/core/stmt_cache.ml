@@ -80,6 +80,8 @@ let rec block_sig (b : O.Query_block.t) =
 
 let signature = block_sig
 
+let pred_signature = pred_sig
+
 let lookup t block =
   (* The signature is pure over the block; compute it outside the lock so a
      shared cache serializes only the table probe and the bookkeeping. *)

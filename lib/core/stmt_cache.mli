@@ -25,6 +25,11 @@ val signature : O.Query_block.t -> string
     table names, join/local predicate column sets, grouping and ordering
     arities, LIMIT presence. *)
 
+val pred_signature : O.Query_block.t -> O.Pred.t -> string
+(** Signature of one predicate within its block (literal values
+    abstracted), the per-predicate building block of {!signature} — also
+    the envelope labels of {!Plan_cache}. *)
+
 val lookup : t -> O.Query_block.t -> float option
 (** Recorded compile time for a structurally identical query, if any. *)
 

@@ -35,6 +35,7 @@ type compile_body = {
   c_level : string;
   c_queue_s : float;
   c_cache_hit : bool;
+  c_plan_cached : bool;
 }
 
 type reply =
@@ -106,6 +107,7 @@ let reply_to_json = function
         ("elapsed_s", J.Num c.c_elapsed_s);
         ("predicted_s", J.Num c.c_predicted_s); ("level", J.Str c.c_level);
         ("queue_s", J.Num c.c_queue_s); ("cache_hit", J.Bool c.c_cache_hit);
+        ("plan_cached", J.Bool c.c_plan_cached);
       ]
   | R_rejected { id; reason; estimate_us } ->
     J.Obj
@@ -206,6 +208,8 @@ let reply_of_json j =
                  c_level = req (field_string j "level") "level";
                  c_queue_s = req (field_float j "queue_s") "queue_s";
                  c_cache_hit = req (field_bool j "cache_hit") "cache_hit";
+                 c_plan_cached =
+                   Option.value ~default:false (field_bool j "plan_cached");
                } ))
       | "rejected" ->
         Ok

@@ -55,6 +55,9 @@ type compile_body = {
   c_level : string;
   c_queue_s : float;  (** time spent queued before a worker picked it up *)
   c_cache_hit : bool;
+  c_plan_cached : bool;
+      (** served from the plan cache — no optimizer pass ran at all
+          (parsed with a [false] default, so older servers interoperate) *)
 }
 
 type reply =

@@ -16,6 +16,7 @@ type config = {
   downgrade_s : float option;
   default_deadline_s : float option;
   schemas : (string * Qopt_catalog.Schema.t) list;
+  plan_cache : Cote.Plan_cache.config option;
 }
 
 let default_config ~listen ~model ~schemas () =
@@ -30,6 +31,7 @@ let default_config ~listen ~model ~schemas () =
     downgrade_s = None;
     default_deadline_s = None;
     schemas;
+    plan_cache = None;
   }
 
 type stats = {
@@ -41,6 +43,7 @@ type stats = {
   st_estimates : int;
   st_errors : int;
   st_downgrades : int;
+  st_plan_hits : int;
   st_queue_depth : int;
   st_in_flight_s : float;
 }
@@ -86,9 +89,18 @@ type job = {
   j_level : string;
   j_predicted_s : float;
   j_cache_hit : bool;
+  j_pc_key : string option;  (* plan-cache key to store the result under *)
   j_deadline : float option;  (* absolute, monotonic clock *)
   j_enqueued : float;  (* monotonic *)
   j_send : Proto.reply -> unit;
+}
+
+(* The reply fields a plan-cache hit must echo without recompiling. *)
+type cached_meta = {
+  pm_joins : int;
+  pm_kept : int;
+  pm_entries : int;
+  pm_level : string;
 }
 
 type conn = {
@@ -101,6 +113,7 @@ type t = {
   cfg : config;
   sched : job Sched.t;
   cache : Cote.Stmt_cache.t;
+  pcache : cached_meta Cote.Plan_cache.t option;
   lock : Mutex.t;
   mutable shutting : bool;
   mutable in_flight_s : float;
@@ -113,6 +126,7 @@ type t = {
   mutable n_estimates : int;
   mutable n_errors : int;
   mutable n_downgrades : int;
+  mutable n_plan_hits : int;
 }
 
 let snapshot t =
@@ -126,6 +140,7 @@ let snapshot t =
         st_estimates = t.n_estimates;
         st_errors = t.n_errors;
         st_downgrades = t.n_downgrades;
+        st_plan_hits = t.n_plan_hits;
         st_queue_depth = Sched.length t.sched;
         st_in_flight_s = t.in_flight_s;
       })
@@ -142,6 +157,7 @@ let stats_json t =
       ("estimates", J.int s.st_estimates);
       ("errors", J.int s.st_errors);
       ("downgrades", J.int s.st_downgrades);
+      ("plan_hits", J.int s.st_plan_hits);
       ("queue_depth", J.int s.st_queue_depth);
       ("in_flight_s", J.Num s.st_in_flight_s);
       ("mode", J.Str (Sched.mode_string (Sched.mode t.sched)));
@@ -181,14 +197,10 @@ type evaluation = {
   ev_cache_hit : bool;
 }
 
-(* Parse, bind, pick a level, and predict.  The statement cache refines the
-   predicted seconds (a recorded actual beats the model) while the COTE
-   pass still supplies the plan-count fields of the reply. *)
-let evaluate t ~id ~sql ~schema =
-  let schema = schema_for t schema in
-  let block =
-    Qopt_sql.Binder.parse_and_bind ~name:(Printf.sprintf "q%d" id) schema sql
-  in
+(* Pick a level and predict for an already-bound block.  The statement
+   cache refines the predicted seconds (a recorded actual beats the model)
+   while the COTE pass still supplies the plan-count fields of the reply. *)
+let evaluate_block t block =
   let choice =
     Level.select ~levels:t.cfg.levels ~downgrade_s:t.cfg.downgrade_s
       ~predict:(fun knobs ->
@@ -206,6 +218,13 @@ let evaluate t ~id ~sql ~schema =
     ev_predicted_s = Option.value ~default:choice.Level.predicted_s cached;
     ev_cache_hit = cached <> None;
   }
+
+let evaluate t ~id ~sql ~schema =
+  let schema = schema_for t schema in
+  let block =
+    Qopt_sql.Binder.parse_and_bind ~name:(Printf.sprintf "q%d" id) schema sql
+  in
+  evaluate_block t block
 
 let estimate_reply id ev =
   let e = ev.ev_choice.Level.prediction.Cote.Predict.estimate in
@@ -262,6 +281,16 @@ let run_job t job =
     | r ->
       release t job;
       Cote.Stmt_cache.record t.cache job.j_block r.O.Optimizer.elapsed;
+      (match (t.pcache, job.j_pc_key, r.O.Optimizer.best) with
+      | Some pc, Some key, Some plan ->
+        Cote.Plan_cache.store pc ~key job.j_block ~plan
+          {
+            pm_joins = r.O.Optimizer.joins;
+            pm_kept = r.O.Optimizer.kept;
+            pm_entries = r.O.Optimizer.entries;
+            pm_level = job.j_level;
+          }
+      | _ -> ());
       Obs.Counter.incr m_compiles;
       Obs.Histo.observe m_latency (Timer.monotonic_now () -. job.j_enqueued);
       if r.O.Optimizer.elapsed > 0.0 then
@@ -293,6 +322,7 @@ let run_job t job =
                c_level = job.j_level;
                c_queue_s = now -. job.j_enqueued;
                c_cache_hit = job.j_cache_hit;
+               c_plan_cached = false;
              } ))
     | exception O.Optimizer.Interrupted -> cancel_job t job "deadline"
     | exception e ->
@@ -320,9 +350,61 @@ let worker_main t slot () =
 (* Connection handling (threads on the main domain)                    *)
 (* ------------------------------------------------------------------ *)
 
-let handle_compile t conn req_id sql schema deadline_ms =
-  let arrival = Timer.monotonic_now () in
-  let ev = evaluate t ~id:req_id ~sql ~schema in
+let reject t conn req_id ~estimate_s reason =
+  Obs.Counter.incr m_rejected;
+  Mutex.protect t.lock (fun () -> t.n_rejected <- t.n_rejected + 1);
+  send_reply conn
+    (Proto.R_rejected
+       {
+         id = req_id;
+         reason = Admission.reason_string reason;
+         estimate_us = estimate_s *. 1e6;
+       })
+
+(* A plan-cache hit bypasses optimization entirely: no COTE pass, no
+   worker, no statement-cache traffic.  Admission still runs — with a ~0
+   estimate, so hits pass ceilings that reject cold compiles — and the
+   reply echoes the stored plan and counters verbatim. *)
+let serve_plan_hit t conn req_id ~arrival plan (meta : cached_meta) =
+  let decision =
+    Mutex.protect t.lock (fun () ->
+        if t.shutting then Error Admission.Shutting_down
+        else
+          match
+            Admission.decide t.cfg.admission ~in_flight_s:t.in_flight_s
+              ~queued:(Sched.length t.sched) ~estimate_s:0.0
+          with
+          | Error r -> Error r
+          | Ok () ->
+            t.n_admitted <- t.n_admitted + 1;
+            t.n_plan_hits <- t.n_plan_hits + 1;
+            Ok ())
+  in
+  match decision with
+  | Error reason -> reject t conn req_id ~estimate_s:0.0 reason
+  | Ok () ->
+    Obs.Counter.incr m_admitted;
+    Obs.Histo.observe m_latency (Timer.monotonic_now () -. arrival);
+    send_reply conn
+      (Proto.R_compile
+         ( req_id,
+           {
+             Proto.c_plan = Some (Format.asprintf "%a" O.Plan.pp_compact plan);
+             c_cost = plan.O.Plan.cost;
+             c_card = plan.O.Plan.card;
+             c_joins = meta.pm_joins;
+             c_kept = meta.pm_kept;
+             c_entries = meta.pm_entries;
+             c_elapsed_s = 0.0;
+             c_predicted_s = 0.0;
+             c_level = meta.pm_level;
+             c_queue_s = 0.0;
+             c_cache_hit = true;
+             c_plan_cached = true;
+           } ))
+
+let compile_cold t conn req_id ~arrival ~pc_key block deadline_ms =
+  let ev = evaluate_block t block in
   let deadline_s =
     match deadline_ms with
     | Some ms -> Some (ms /. 1000.0)
@@ -343,16 +425,7 @@ let handle_compile t conn req_id sql schema deadline_ms =
             Ok ())
   in
   match decision with
-  | Error reason ->
-    Obs.Counter.incr m_rejected;
-    Mutex.protect t.lock (fun () -> t.n_rejected <- t.n_rejected + 1);
-    send_reply conn
-      (Proto.R_rejected
-         {
-           id = req_id;
-           reason = Admission.reason_string reason;
-           estimate_us = ev.ev_predicted_s *. 1e6;
-         })
+  | Error reason -> reject t conn req_id ~estimate_s:ev.ev_predicted_s reason
   | Ok () ->
     Obs.Counter.incr m_admitted;
     let job =
@@ -363,6 +436,7 @@ let handle_compile t conn req_id sql schema deadline_ms =
         j_level = ev.ev_choice.Level.level.Cote.Multi_level.level_name;
         j_predicted_s = ev.ev_predicted_s;
         j_cache_hit = ev.ev_cache_hit;
+        j_pc_key = pc_key;
         j_deadline = Option.map (fun d -> arrival +. d) deadline_s;
         j_enqueued = Timer.monotonic_now ();
         j_send = send_reply conn;
@@ -374,6 +448,27 @@ let handle_compile t conn req_id sql schema deadline_ms =
       (* The scheduler closed between the admission decision and the push:
          shutdown won the race, so account and answer like a rejection. *)
       cancel_job t job "shutdown"
+
+let handle_compile t conn req_id sql schema deadline_ms =
+  let arrival = Timer.monotonic_now () in
+  let schema = schema_for t schema in
+  let ast = Qopt_sql.Parser.parse sql in
+  let bind () =
+    Qopt_sql.Binder.bind ~name:(Printf.sprintf "q%d" req_id) schema ast
+  in
+  match t.pcache with
+  | None -> compile_cold t conn req_id ~arrival ~pc_key:None (bind ()) deadline_ms
+  | Some pc -> (
+    (* Key on the parameter-abstracted template text, not the block
+       signature: the template separates string- from numeric-literal
+       statements and costs one AST walk, no optimizer structures. *)
+    let key = Qopt_sql.Template.key_of ast in
+    let block = bind () in
+    match Cote.Plan_cache.lookup pc ~key block with
+    | Cote.Plan_cache.Hit { plan; payload } ->
+      serve_plan_hit t conn req_id ~arrival plan payload
+    | Cote.Plan_cache.Miss | Cote.Plan_cache.Invalidated _ ->
+      compile_cold t conn req_id ~arrival ~pc_key:(Some key) block deadline_ms)
 
 let initiate_shutdown t =
   let first =
@@ -490,6 +585,10 @@ let run ?(on_ready = fun () -> ()) cfg =
       cfg;
       sched = Sched.create cfg.mode;
       cache = Cote.Stmt_cache.create ~shared:true ();
+      pcache =
+        Option.map
+          (fun config -> Cote.Plan_cache.create ~shared:true ~config ())
+          cfg.plan_cache;
       lock = Mutex.create ();
       shutting = false;
       in_flight_s = 0.0;
@@ -502,6 +601,7 @@ let run ?(on_ready = fun () -> ()) cfg =
       n_estimates = 0;
       n_errors = 0;
       n_downgrades = 0;
+      n_plan_hits = 0;
     }
   in
   let obs_was = !Obs.Control.on in

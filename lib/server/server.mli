@@ -42,6 +42,13 @@ type config = {
       (** applied to compile requests that carry no [deadline_ms] *)
   schemas : (string * Qopt_catalog.Schema.t) list;
       (** named schemas for binding ad-hoc SQL; the first is the default *)
+  plan_cache : Cote.Plan_cache.config option;
+      (** [Some cfg] enables the parameterized plan cache: compile
+          requests are keyed by their {!Qopt_sql.Template}, and a hit
+          whose selectivity envelope still holds is answered inline from
+          the cached plan — no COTE pass, no worker, an admission
+          estimate of 0.  [None] (the default) preserves the
+          always-compile behaviour. *)
 }
 
 val default_config :
@@ -62,6 +69,7 @@ type stats = {
   st_estimates : int;
   st_errors : int;
   st_downgrades : int;
+  st_plan_hits : int;  (** compile replies served from the plan cache *)
   st_queue_depth : int;
   st_in_flight_s : float;  (** summed predicted seconds of admitted work *)
 }

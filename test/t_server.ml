@@ -655,6 +655,137 @@ let server_tests =
                   ])));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* The plan cache behind the socket                                    *)
+(* ------------------------------------------------------------------ *)
+
+let plan_cache_tests =
+  [
+    t "plan-cache hits bypass the optimizer and clear a cold-reject ceiling"
+      (fun () ->
+        (* The per-request ceiling is set so only a 0-second estimate can
+           clear it: the canned model has no intercept, so the first cold
+           single-table compile predicts exactly 0.0 s and is admitted —
+           but once its actual elapsed time is recorded, any later COLD
+           compile of the same template would be rejected.  The only way
+           parameter-varying repeats can come back compiled is the plan
+           cache's inline hit path (estimate 0).  Join queries predict
+           microseconds cold and are rejected outright. *)
+        with_server
+          ~configure:(fun cfg ->
+            {
+              cfg with
+              Srv.Server.plan_cache = Some Cote.Plan_cache.default_config;
+              admission =
+                {
+                  Srv.Admission.per_request_s = 1e-7;
+                  aggregate_s = infinity;
+                  max_queue = max_int;
+                };
+            })
+          (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let compile sql =
+                  let id = Srv.Client.fresh_id c in
+                  request_exn c
+                    (Srv.Proto.Compile { id; sql; schema = None; deadline_ms = None })
+                in
+                (* Cold miss: compiled by the optimizer, not from the cache. *)
+                let b0 =
+                  match compile small_sql with
+                  | Srv.Proto.R_compile (_, b) ->
+                    Alcotest.(check bool) "cold: not plan-cached" false
+                      b.Srv.Proto.c_plan_cached;
+                    Alcotest.(check bool) "cold: stmt-cache miss" false
+                      b.Srv.Proto.c_cache_hit;
+                    b
+                  | r ->
+                    Alcotest.failf "expected compile reply, got %s"
+                      (J.to_string (Srv.Proto.reply_to_json r))
+                in
+                (* A cold join cannot clear the ceiling. *)
+                (match
+                   compile
+                     "SELECT s.s_store_name FROM store s, store_sales ss \
+                      WHERE ss.ss_store_sk = s.s_store_sk"
+                 with
+                | Srv.Proto.R_rejected { reason; _ } ->
+                  Alcotest.(check string) "cold join rejected"
+                    "per_request_budget" reason
+                | r ->
+                  Alcotest.failf "expected rejection, got %s"
+                    (J.to_string (Srv.Proto.reply_to_json r)));
+                (* Parameter-varying repeats of the warmed template: every
+                   one must be served (from the cache — a cold compile
+                   could no longer clear the ceiling). *)
+                let mix =
+                  List.init 12 (fun i ->
+                      Printf.sprintf
+                        "SELECT s.s_store_name FROM store s WHERE s.s_market_id = %d"
+                        (1 + (i mod 9)))
+                in
+                let s = Srv.Loadgen.run_burst ~addr ~sql:mix () in
+                Alcotest.(check int) "burst: all compiled" 12 s.Srv.Loadgen.compiled;
+                Alcotest.(check int) "burst: none rejected" 0 s.Srv.Loadgen.rejected;
+                (* A hit's reply is bit-for-bit the cold reply's plan. *)
+                (match
+                   compile
+                     "SELECT s.s_store_name FROM store s WHERE s.s_market_id = 8"
+                 with
+                | Srv.Proto.R_compile (_, b) ->
+                  Alcotest.(check bool) "hit: plan-cached" true
+                    b.Srv.Proto.c_plan_cached;
+                  Alcotest.(check bool) "hit: reported as cache hit" true
+                    b.Srv.Proto.c_cache_hit;
+                  Alcotest.(check (option string)) "hit: same plan"
+                    b0.Srv.Proto.c_plan b.Srv.Proto.c_plan;
+                  Alcotest.(check (float 0.0)) "hit: cost bit-for-bit"
+                    b0.Srv.Proto.c_cost b.Srv.Proto.c_cost;
+                  Alcotest.(check (float 0.0)) "hit: card bit-for-bit"
+                    b0.Srv.Proto.c_card b.Srv.Proto.c_card;
+                  Alcotest.(check int) "hit: joins" b0.Srv.Proto.c_joins
+                    b.Srv.Proto.c_joins;
+                  Alcotest.(check (float 0.0)) "hit: no optimizer elapsed" 0.0
+                    b.Srv.Proto.c_elapsed_s;
+                  Alcotest.(check (float 0.0)) "hit: zero estimate" 0.0
+                    b.Srv.Proto.c_predicted_s
+                | r ->
+                  Alcotest.failf "expected compile reply, got %s"
+                    (J.to_string (Srv.Proto.reply_to_json r)));
+                (* Optimizer pass counters stay flat: one compile total. *)
+                match request_exn c (Srv.Proto.Stats { id = Srv.Client.fresh_id c }) with
+                | Srv.Proto.R_stats (_, doc) ->
+                  Alcotest.(check int) "one optimizer pass" 1 (stat doc "compiles");
+                  Alcotest.(check int) "plan hits" 13 (stat doc "plan_hits");
+                  Alcotest.(check int) "rejects" 1 (stat doc "rejected")
+                | _ -> Alcotest.fail "expected stats reply")));
+    t "a disabled plan cache leaves replies un-cached-flagged" (fun () ->
+        with_server (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let compile () =
+                  request_exn c
+                    (Srv.Proto.Compile
+                       {
+                         id = Srv.Client.fresh_id c;
+                         sql = small_sql;
+                         schema = None;
+                         deadline_ms = None;
+                       })
+                in
+                ignore (compile ());
+                match compile () with
+                | Srv.Proto.R_compile (_, b) ->
+                  Alcotest.(check bool) "never plan-cached" false
+                    b.Srv.Proto.c_plan_cached
+                | _ -> Alcotest.fail "expected compile reply")));
+  ]
+
 let suite =
   wire_tests @ proto_tests @ sched_tests @ admission_tests @ level_tests
-  @ server_tests
+  @ server_tests @ plan_cache_tests
