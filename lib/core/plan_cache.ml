@@ -16,11 +16,19 @@ let m_size = Obs.Registry.gauge Obs.Registry.default "plan_cache.size"
 
 let m_hit_rate = Obs.Registry.gauge Obs.Registry.default "plan_cache.hit_rate_pct"
 
+(* Flush-driven invalidations ({!bump_stats}) are counted into
+   [plan_cache.invalidations] like lookup-driven ones, but they are not
+   probes: a bulk stats flush of N entries must not deflate the hit-rate
+   gauge, whose denominator counts lookups only.  This counter is
+   internal bookkeeping for that subtraction, not a registered metric. *)
+let m_flush_invalidations = Obs.Counter.make "plan_cache.flush_invalidations"
+
 let update_hit_rate () =
   if !Obs.Control.on then begin
     let h = Obs.Counter.value m_hits in
     let probes =
       h + Obs.Counter.value m_misses + Obs.Counter.value m_invalidations
+      - Obs.Counter.value m_flush_invalidations
     in
     if probes > 0 then
       Obs.Gauge.set m_hit_rate (float_of_int h /. float_of_int probes *. 100.0)
@@ -228,7 +236,9 @@ let bump_stats t table =
       if n > 0 then begin
         t.invalidations <- t.invalidations + n;
         Obs.Counter.add m_invalidations n;
-        update_hit_rate ();
+        (* No lookups occurred: record the flushes so the hit-rate
+           denominator can exclude them, and leave the gauge as is. *)
+        Obs.Counter.add m_flush_invalidations n;
         set_size t
       end;
       n)

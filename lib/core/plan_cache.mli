@@ -82,7 +82,9 @@ val store : 'a t -> ?key:string -> O.Query_block.t -> plan:O.Plan.t -> 'a -> uni
 val bump_stats : 'a t -> string -> int
 (** [bump_stats t table] advances [table]'s statistics generation and
     eagerly flushes every entry depending on it, returning how many were
-    flushed (each counts as an invalidation). *)
+    flushed.  Each flush counts into [plan_cache.invalidations] (and
+    {!invalidations}) but not into the [plan_cache.hit_rate_pct]
+    denominator, which is a ratio over lookups only. *)
 
 val generation : 'a t -> string -> int
 (** Current statistics generation of a table (0 until first bumped). *)

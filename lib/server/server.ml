@@ -176,19 +176,25 @@ let send_reply conn reply =
 (* Request evaluation (connection threads)                             *)
 (* ------------------------------------------------------------------ *)
 
-let schema_for t name =
+(* Resolve a request's schema selection to the (name, schema) pair it
+   denotes: the configured name is part of the plan-cache key, so an
+   omitted selection must resolve to the default schema's real name, not
+   a sentinel that could collide with an explicit one. *)
+let resolve_schema t name =
   match name with
   | None -> (
     match t.cfg.schemas with
-    | (_, s) :: _ -> s
+    | (n, s) :: _ -> (n, s)
     | [] -> failwith "server has no schemas configured")
   | Some n -> (
     match List.assoc_opt n t.cfg.schemas with
-    | Some s -> s
+    | Some s -> (n, s)
     | None ->
       failwith
         (Printf.sprintf "unknown schema %S (known: %s)" n
            (String.concat ", " (List.map fst t.cfg.schemas))))
+
+let schema_for t name = snd (resolve_schema t name)
 
 type evaluation = {
   ev_block : O.Query_block.t;
@@ -399,7 +405,11 @@ let serve_plan_hit t conn req_id ~arrival plan (meta : cached_meta) =
              c_predicted_s = 0.0;
              c_level = meta.pm_level;
              c_queue_s = 0.0;
-             c_cache_hit = true;
+             (* [c_cache_hit] everywhere else means "Stmt_cache refined
+                the predicted seconds"; the statement cache is never
+                consulted on this path, so report false — [c_plan_cached]
+                is the hit signal. *)
+             c_cache_hit = false;
              c_plan_cached = true;
            } ))
 
@@ -451,7 +461,7 @@ let compile_cold t conn req_id ~arrival ~pc_key block deadline_ms =
 
 let handle_compile t conn req_id sql schema deadline_ms =
   let arrival = Timer.monotonic_now () in
-  let schema = schema_for t schema in
+  let schema_name, schema = resolve_schema t schema in
   let ast = Qopt_sql.Parser.parse sql in
   let bind () =
     Qopt_sql.Binder.bind ~name:(Printf.sprintf "q%d" req_id) schema ast
@@ -459,10 +469,16 @@ let handle_compile t conn req_id sql schema deadline_ms =
   match t.pcache with
   | None -> compile_cold t conn req_id ~arrival ~pc_key:None (bind ()) deadline_ms
   | Some pc -> (
-    (* Key on the parameter-abstracted template text, not the block
-       signature: the template separates string- from numeric-literal
-       statements and costs one AST walk, no optimizer structures. *)
-    let key = Qopt_sql.Template.key_of ast in
+    (* Key on the resolved schema name plus the parameter-abstracted
+       template text, not the block signature: the template separates
+       string- from numeric-literal statements and costs one AST walk, no
+       optimizer structures, and the schema prefix keeps identical SQL
+       against same-named tables in different schemas from sharing an
+       entry — envelope/generation revalidation cannot tell such twins
+       apart.  (Dependent table names inside the cache stay unqualified:
+       a stats bump for one schema's table then flushes its same-named
+       twins too, which is conservative, never stale.) *)
+    let key = schema_name ^ "|" ^ Qopt_sql.Template.key_of ast in
     let block = bind () in
     match Cote.Plan_cache.lookup pc ~key block with
     | Cote.Plan_cache.Hit { plan; payload } ->

@@ -44,7 +44,9 @@ type config = {
       (** named schemas for binding ad-hoc SQL; the first is the default *)
   plan_cache : Cote.Plan_cache.config option;
       (** [Some cfg] enables the parameterized plan cache: compile
-          requests are keyed by their {!Qopt_sql.Template}, and a hit
+          requests are keyed by their resolved schema name plus their
+          {!Qopt_sql.Template} (identical SQL against same-named tables
+          in different schemas never shares an entry), and a hit
           whose selectivity envelope still holds is answered inline from
           the cached plan — no COTE pass, no worker, an admission
           estimate of 0.  [None] (the default) preserves the

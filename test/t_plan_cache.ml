@@ -480,6 +480,28 @@ let envelope_tests =
             Alcotest.(check int) "misses delta" 1 (v "plan_cache.misses" - m0);
             Alcotest.(check int) "invalidations delta" 1
               (v "plan_cache.invalidations" - i0)));
+    t "stats flushes do not deflate the hit-rate gauge" (fun () ->
+        Obs.Control.with_enabled true (fun () ->
+            let reg = Obs.Registry.default in
+            let pc = PC.create () in
+            let a = drift_block ~name:"hra" ~hi:100.0 () in
+            let b = drift_block ~name:"hrb" ~hi:100.0 () in
+            PC.store pc a ~plan:(scan_plan ()) 0;
+            (* A hit establishes a gauge value from lookups alone... *)
+            (match PC.lookup pc a with
+            | PC.Hit _ -> ()
+            | _ -> Alcotest.fail "expected a hit");
+            let rate0 = Obs.Registry.gauge_value reg "plan_cache.hit_rate_pct" in
+            (* ...then a bulk flush, which is maintenance, not probing:
+               the invalidations counter moves, the gauge must not. *)
+            PC.store pc b ~plan:(scan_plan ()) 1;
+            let i0 = Obs.Registry.counter_value reg "plan_cache.invalidations" in
+            Alcotest.(check int) "flushed" 1 (PC.bump_stats pc "hra");
+            Alcotest.(check int) "flushed" 1 (PC.bump_stats pc "hrb");
+            Alcotest.(check int) "flushes count as invalidations" 2
+              (Obs.Registry.counter_value reg "plan_cache.invalidations" - i0);
+            Alcotest.(check (float 0.0)) "gauge unchanged by flushes" rate0
+              (Obs.Registry.gauge_value reg "plan_cache.hit_rate_pct")));
     t "invalidation reasons have stable names" (fun () ->
         Alcotest.(check (list string)) "identifiers"
           [ "envelope"; "stats_generation" ]

@@ -6,6 +6,7 @@
 
 module O = Qopt_optimizer
 module W = Qopt_workloads
+module C = Qopt_catalog
 module Srv = Qopt_server
 module J = Qopt_util.Json
 
@@ -738,7 +739,9 @@ let plan_cache_tests =
                 | Srv.Proto.R_compile (_, b) ->
                   Alcotest.(check bool) "hit: plan-cached" true
                     b.Srv.Proto.c_plan_cached;
-                  Alcotest.(check bool) "hit: reported as cache hit" true
+                  (* The stmt cache is bypassed on a plan hit, so the
+                     stmt-cache flag must not claim otherwise. *)
+                  Alcotest.(check bool) "hit: stmt cache not consulted" false
                     b.Srv.Proto.c_cache_hit;
                   Alcotest.(check (option string)) "hit: same plan"
                     b0.Srv.Proto.c_plan b.Srv.Proto.c_plan;
@@ -762,6 +765,78 @@ let plan_cache_tests =
                   Alcotest.(check int) "plan hits" 13 (stat doc "plan_hits");
                   Alcotest.(check int) "rejects" 1 (stat doc "rejected")
                 | _ -> Alcotest.fail "expected stats reply")));
+    t "same-named schemas never share a plan-cache entry" (fun () ->
+        (* Two schemas with identical table and column names but swapped
+           row counts: identical SQL produces the same template text and
+           near-identical predicate selectivities, so neither the envelope
+           nor the generation check can tell them apart — only the
+           schema-qualified key keeps a request against one schema from
+           being served the other's plan. *)
+        let mirror t1_rows t2_rows =
+          let table name rows =
+            C.Table.make ~rows ~name ~primary_key:[ "k" ]
+              [
+                C.Column.make ~rows ~distinct:rows "k";
+                C.Column.make ~rows ~distinct:100.0 "f";
+                C.Column.make ~rows ~distinct:50.0 "v";
+              ]
+          in
+          C.Schema.of_tables [ table "t1" t1_rows; table "t2" t2_rows ]
+        in
+        let sql n =
+          Printf.sprintf "SELECT a.v FROM t1 a, t2 b WHERE a.k = b.k AND a.f = %d"
+            n
+        in
+        with_server
+          ~configure:(fun cfg ->
+            {
+              cfg with
+              Srv.Server.plan_cache = Some Cote.Plan_cache.default_config;
+              schemas =
+                [
+                  ("alpha", mirror 40_000.0 200.0);
+                  ("beta", mirror 200.0 40_000.0);
+                ];
+            })
+          (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let compile schema n =
+                  match
+                    request_exn c
+                      (Srv.Proto.Compile
+                         {
+                           id = Srv.Client.fresh_id c;
+                           sql = sql n;
+                           schema = Some schema;
+                           deadline_ms = None;
+                         })
+                  with
+                  | Srv.Proto.R_compile (_, b) -> b
+                  | r ->
+                    Alcotest.failf "expected compile reply, got %s"
+                      (J.to_string (Srv.Proto.reply_to_json r))
+                in
+                let a0 = compile "alpha" 5 in
+                Alcotest.(check bool) "alpha cold" false
+                  a0.Srv.Proto.c_plan_cached;
+                let a1 = compile "alpha" 7 in
+                Alcotest.(check bool) "alpha repeat hits" true
+                  a1.Srv.Proto.c_plan_cached;
+                (* Same SQL against beta must not be served alpha's entry. *)
+                let b0 = compile "beta" 7 in
+                Alcotest.(check bool) "beta is a miss, not alpha's hit" false
+                  b0.Srv.Proto.c_plan_cached;
+                Alcotest.(check bool) "beta compiled its own plan" true
+                  (b0.Srv.Proto.c_cost <> a0.Srv.Proto.c_cost
+                  || b0.Srv.Proto.c_plan <> a0.Srv.Proto.c_plan);
+                let b1 = compile "beta" 9 in
+                Alcotest.(check bool) "beta repeat hits its own entry" true
+                  b1.Srv.Proto.c_plan_cached;
+                Alcotest.(check (option string)) "beta hit serves beta's plan"
+                  b0.Srv.Proto.c_plan b1.Srv.Proto.c_plan)));
     t "a disabled plan cache leaves replies un-cached-flagged" (fun () ->
         with_server (fun addr ->
             let c = Srv.Client.connect addr in
