@@ -433,6 +433,94 @@ let plan_cache_rows () =
   List.iter (fun (name, v) -> Format.printf "%-36s %16.2f@." name v) rows;
   rows
 
+(* Online recalibration under an induced cost-model perturbation: the
+   server starts with every canned coefficient multiplied by 12 — the
+   same model shape, wildly wrong magnitudes, exactly what a hardware
+   change or a stale release calibration looks like.  A first burst of
+   join-bearing templates feeds the drift detector (no manual refit
+   call); once the windowed mean prediction error crosses the threshold,
+   Recalibrate refits from the server's own (counts, elapsed) window and
+   swaps the coefficients.  A second burst is then measured against the
+   refitted model:
+
+     recalib/error-before — windowed mean relative prediction error (%)
+                            at the moment the drift detector fired
+     recalib/error-after  — same statistic over the post-refit burst
+     recalib/refits       — drift-triggered refits (expect exactly 1) *)
+let recalib_queries =
+  [|
+    "SELECT ss.ss_quantity FROM store_sales ss, date_dim d WHERE \
+     ss.ss_sold_date_sk = d.d_date_sk AND d.d_year = %d";
+    "SELECT ss.ss_quantity FROM store_sales ss, item i, store s WHERE \
+     ss.ss_item_sk = i.i_item_sk AND ss.ss_store_sk = s.s_store_sk AND \
+     i.i_category_id = %d";
+    "SELECT ss.ss_quantity FROM store_sales ss, date_dim d, customer c, \
+     promotion p WHERE ss.ss_sold_date_sk = d.d_date_sk AND \
+     ss.ss_customer_sk = c.c_customer_sk AND ss.ss_promo_sk = p.p_promo_sk \
+     AND c.c_birth_year = %d";
+    "SELECT ss.ss_quantity FROM store_sales ss, date_dim d, time_dim t, \
+     item i, household_demographics hd WHERE ss.ss_sold_date_sk = \
+     d.d_date_sk AND ss.ss_sold_time_sk = t.t_time_sk AND ss.ss_item_sk = \
+     i.i_item_sk AND ss.ss_hdemo_sk = hd.hd_demo_sk AND d.d_year = %d";
+  |]
+
+let recalib_rows () =
+  let module Srv = Qopt_server in
+  (* Round-robin over structurally distinct join templates (2 to 5 tables)
+     so the refit window spans independent plan-count mixes — a single
+     template would be rank-deficient and correctly refuse to refit. *)
+  let burst ~base n =
+    List.init n (fun i ->
+        let tpl = recalib_queries.(i mod Array.length recalib_queries) in
+        Printf.sprintf (Scanf.format_from_string tpl "%d") (base + i))
+  in
+  let skewed =
+    Cote.Time_model.make ~c_nljn:2.4e-5 ~c_mgjn:6e-5 ~c_hsjn:4.8e-5 ()
+  in
+  let counter name = Obs.Registry.counter_value Obs.Registry.default name in
+  let gauge name = Obs.Registry.gauge_value Obs.Registry.default name in
+  let before, after, refits =
+    with_server
+      (fun cfg ->
+        {
+          cfg with
+          Srv.Server.model = skewed;
+          recalibrate =
+            Some
+              {
+                Cote.Recalibrate.default_config with
+                Cote.Recalibrate.min_observations = 8;
+                drift_window = 16;
+                (* One refit per run: the second attempt would need more
+                   observations than both bursts provide. *)
+                min_refit_interval = 64;
+                ridge = 1e-6;
+              };
+        })
+      (fun addr ->
+        let r0 = counter "recalib.refits" in
+        let (_ : Srv.Loadgen.summary) =
+          Srv.Loadgen.run_burst ~addr ~sql:(burst ~base:1990 16) ()
+        in
+        let before = gauge "recalib.error_before_pct" in
+        let (_ : Srv.Loadgen.summary) =
+          Srv.Loadgen.run_burst ~addr ~sql:(burst ~base:2100 16) ()
+        in
+        (before, gauge "recalib.model_error_pct", counter "recalib.refits" - r0))
+  in
+  let rows =
+    [
+      ("recalib/error-before", before);
+      ("recalib/error-after", after);
+      ("recalib/refits", float_of_int refits);
+    ]
+  in
+  Format.printf
+    "=== Online recalibration (12x-skewed model, %d+%d-request bursts) ===@." 16
+    16;
+  List.iter (fun (name, v) -> Format.printf "%-36s %16.2f@." name v) rows;
+  rows
+
 (* Machine-readable results for CI trend tracking: a flat benchmark-name ->
    ns/run object, one line per benchmark so diffs stay readable. *)
 let write_bench_json path rows =
@@ -467,6 +555,7 @@ let () =
   let rows = rows @ server_rows () in
   Format.printf "@.";
   let rows = rows @ plan_cache_rows () in
+  let rows = rows @ recalib_rows () in
   Format.printf "@.";
   if quick then begin
     write_bench_json "BENCH.json" rows;

@@ -484,8 +484,41 @@ let serve_cmd =
                 predicate selectivity stays within (1±FRACTION) of its \
                 store-time estimate")
   in
+  let recalibrate_term =
+    Arg.(
+      value & flag
+      & info [ "recalibrate" ]
+          ~doc:"refit the time-model coefficients online: completed \
+                compiles feed a sliding window, and when the windowed \
+                mean prediction error crosses the drift threshold the \
+                model is refitted and swapped atomically")
+  in
+  let recalib_window_term =
+    Arg.(
+      value
+      & opt int Cote.Recalibrate.default_config.Cote.Recalibrate.window
+      & info [ "recalib-window" ] ~docv:"N"
+          ~doc:"observations retained for refitting")
+  in
+  let recalib_drift_term =
+    Arg.(
+      value
+      & opt float
+          Cote.Recalibrate.default_config.Cote.Recalibrate.drift_threshold_pct
+      & info [ "recalib-drift" ] ~docv:"PCT"
+          ~doc:"refit when the windowed mean relative prediction error \
+                reaches this many percent")
+  in
+  let recalib_min_interval_term =
+    Arg.(
+      value
+      & opt int Cote.Recalibrate.default_config.Cote.Recalibrate.min_refit_interval
+      & info [ "recalib-min-interval" ] ~docv:"N"
+          ~doc:"observations that must separate consecutive refit attempts")
+  in
   let run env socket tcp workers mode model per_request aggregate max_queue
-      downgrade deadline plan_cache plan_cache_slack =
+      downgrade deadline plan_cache plan_cache_slack recalibrate recalib_window
+      recalib_drift recalib_min_interval =
     wrap (fun () ->
         let mode =
           match mode with
@@ -526,6 +559,16 @@ let serve_cmd =
                      Cote.Plan_cache.slack = plan_cache_slack;
                    }
                else None);
+            recalibrate =
+              (if recalibrate then
+                 Some
+                   {
+                     Cote.Recalibrate.default_config with
+                     Cote.Recalibrate.window = recalib_window;
+                     drift_threshold_pct = recalib_drift;
+                     min_refit_interval = recalib_min_interval;
+                   }
+               else None);
           }
         in
         let pp_addr ppf = function
@@ -549,7 +592,8 @@ let serve_cmd =
         (const run $ env_term $ socket_term $ tcp_term $ workers_term
        $ mode_term $ model_term $ per_request_term $ aggregate_term
        $ max_queue_term $ downgrade_term $ deadline_term $ plan_cache_term
-       $ plan_cache_slack_term))
+       $ plan_cache_slack_term $ recalibrate_term $ recalib_window_term
+       $ recalib_drift_term $ recalib_min_interval_term))
 
 let client_cmd =
   let op_term =

@@ -41,7 +41,7 @@ let fit ?(with_join_term = false) observations =
     ?c_join:(if with_join_term then Some c.(3) else None)
     ()
 
-let refit ?(with_join_term = false) ~previous observations =
+let refit ?ridge ?(with_join_term = false) ~previous observations =
   (* Online recalibration must never kill the serving path: a degenerate
      training batch (empty, or rank-deficient — e.g. every query produced
      proportional plan counts) keeps the previous coefficients instead of
@@ -56,8 +56,10 @@ let refit ?(with_join_term = false) ~previous observations =
     let xs = Array.of_list (List.map features observations) in
     let ys = Array.of_list (List.map (fun o -> o.obs_seconds) observations) in
     (* Solvable (full-rank) normal equations are the health check; the
-       coefficients themselves come from the usual non-negative fit. *)
-    match Regression.fit_result xs ys with
+       coefficients themselves come from the usual non-negative fit.  An
+       optional ridge dampens the check for callers that would rather
+       accept a near-singular window than keep a drifted model. *)
+    match Regression.fit_result ?ridge xs ys with
     | Error _ -> previous
     | Ok _ -> (
       match fit ~with_join_term observations with

@@ -35,6 +35,7 @@ val fit : ?with_join_term:bool -> observation list -> Time_model.t
     Raises [Invalid_argument] on an empty list. *)
 
 val refit :
+  ?ridge:float ->
   ?with_join_term:bool ->
   previous:Time_model.t ->
   observation list ->
@@ -43,7 +44,10 @@ val refit :
     set (singular normal equations — e.g. all observations have
     proportional plan counts) returns [previous] unchanged instead of
     raising, so online recalibration can never lose a serving system its
-    time model. *)
+    time model.  [?ridge] adds Tikhonov damping to the solvability health
+    check (the fitted coefficients still come from the non-negative
+    least-squares pass), letting a caller trade the strict rank test for
+    robustness on nearly collinear windows. *)
 
 val fit_joins_only : observation list -> Time_model.t
 (** The baseline: regress time on the join count alone. *)

@@ -51,15 +51,26 @@ let pred_sig block p =
     if a <= b then Printf.sprintf "J:%s=%s" a b else Printf.sprintf "J:%s=%s" b a
   | O.Pred.Local_cmp (c, op, _) ->
     (* Literal values are abstracted away: "similar" queries differ only in
-       constants. *)
+       constants.  The operator is not — folding Lt with Le (or Gt with
+       Ge) let [a < 5] serve a recorded actual for [a <= 5] and paired
+       their plan-cache envelope labels positionally. *)
     Printf.sprintf "L:%s%s" (col c)
       (match op with
       | O.Pred.Eq -> "="
-      | O.Pred.Lt | O.Pred.Le -> "<"
-      | O.Pred.Gt | O.Pred.Ge -> ">")
+      | O.Pred.Lt -> "<"
+      | O.Pred.Le -> "<="
+      | O.Pred.Gt -> ">"
+      | O.Pred.Ge -> ">=")
   | O.Pred.Local_in (c, n) -> Printf.sprintf "I:%s:%d" (col c) n
-  | O.Pred.Expensive (ts, _, _) ->
-    Printf.sprintf "X:%s" (Format.asprintf "%a" Qopt_util.Bitset.pp ts)
+  | O.Pred.Expensive (ts, sel, cost) ->
+    (* Selectivity and per-tuple cost are part of the predicate's
+       identity, not literals of a template: two expensive predicates
+       over the same tables but with different parameters price (and
+       place) differently.  %h renders floats exactly, so distinct
+       parameters can never collapse through decimal rounding. *)
+    Printf.sprintf "X:%s:s%h:c%h"
+      (Format.asprintf "%a" Qopt_util.Bitset.pp ts)
+      sel cost
 
 let rec block_sig (b : O.Query_block.t) =
   let tables =
@@ -82,10 +93,19 @@ let signature = block_sig
 
 let pred_signature = pred_sig
 
-let lookup t block =
+(* A recorded actual only transfers to a structurally identical query
+   compiled under the same conditions: the optional tag (the server passes
+   the chosen optimization level) partitions the key space so an elapsed
+   measured at a downgraded level never refines a full-level estimate. *)
+let key_of ?tag block =
+  match tag with
+  | None -> signature block
+  | Some tag -> tag ^ "#" ^ signature block
+
+let lookup t ?tag block =
   (* The signature is pure over the block; compute it outside the lock so a
      shared cache serializes only the table probe and the bookkeeping. *)
-  let key = signature block in
+  let key = key_of ?tag block in
   with_lock t (fun () ->
       match Hashtbl.find_opt t.tbl key with
       | Some seconds ->
@@ -99,8 +119,8 @@ let lookup t block =
         update_hit_rate ();
         None)
 
-let record t block seconds =
-  let key = signature block in
+let record t ?tag block seconds =
+  let key = key_of ?tag block in
   with_lock t (fun () ->
       Hashtbl.replace t.tbl key seconds;
       Obs.Gauge.set m_size (float_of_int (Hashtbl.length t.tbl)))

@@ -27,14 +27,19 @@ val signature : O.Query_block.t -> string
 
 val pred_signature : O.Query_block.t -> O.Pred.t -> string
 (** Signature of one predicate within its block (literal values
-    abstracted), the per-predicate building block of {!signature} — also
-    the envelope labels of {!Plan_cache}. *)
+    abstracted — but comparison operators, IN arity and expensive-
+    predicate parameters are identity), the per-predicate building block
+    of {!signature} — also the envelope labels of {!Plan_cache}. *)
 
-val lookup : t -> O.Query_block.t -> float option
-(** Recorded compile time for a structurally identical query, if any. *)
+val lookup : t -> ?tag:string -> O.Query_block.t -> float option
+(** Recorded compile time for a structurally identical query, if any.
+    [?tag] partitions the key space (the server tags with the chosen
+    optimization level, so an actual measured at a downgraded level never
+    serves a full-level request). *)
 
-val record : t -> O.Query_block.t -> float -> unit
-(** Store a measured compile time. *)
+val record : t -> ?tag:string -> O.Query_block.t -> float -> unit
+(** Store a measured compile time under the same optional [?tag]
+    partition as {!lookup}. *)
 
 val size : t -> int
 

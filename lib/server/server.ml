@@ -17,6 +17,7 @@ type config = {
   default_deadline_s : float option;
   schemas : (string * Qopt_catalog.Schema.t) list;
   plan_cache : Cote.Plan_cache.config option;
+  recalibrate : Cote.Recalibrate.config option;
 }
 
 let default_config ~listen ~model ~schemas () =
@@ -32,6 +33,7 @@ let default_config ~listen ~model ~schemas () =
     default_deadline_s = None;
     schemas;
     plan_cache = None;
+    recalibrate = None;
   }
 
 type stats = {
@@ -44,6 +46,7 @@ type stats = {
   st_errors : int;
   st_downgrades : int;
   st_plan_hits : int;
+  st_refits : int;
   st_queue_depth : int;
   st_in_flight_s : float;
 }
@@ -87,7 +90,8 @@ type job = {
   j_block : O.Query_block.t;
   j_knobs : O.Knobs.t;
   j_level : string;
-  j_predicted_s : float;
+  j_predicted_s : float;  (* cache-refined; drives admission + SJF *)
+  j_model_s : float;  (* the pure model prediction; drives drift *)
   j_cache_hit : bool;
   j_pc_key : string option;  (* plan-cache key to store the result under *)
   j_deadline : float option;  (* absolute, monotonic clock *)
@@ -114,6 +118,7 @@ type t = {
   sched : job Sched.t;
   cache : Cote.Stmt_cache.t;
   pcache : cached_meta Cote.Plan_cache.t option;
+  recal : Cote.Recalibrate.t option;
   lock : Mutex.t;
   mutable shutting : bool;
   mutable in_flight_s : float;
@@ -141,6 +146,10 @@ let snapshot t =
         st_errors = t.n_errors;
         st_downgrades = t.n_downgrades;
         st_plan_hits = t.n_plan_hits;
+        st_refits =
+          (match t.recal with
+          | None -> 0
+          | Some r -> (Cote.Recalibrate.snapshot r).Cote.Recalibrate.sn_refits);
         st_queue_depth = Sched.length t.sched;
         st_in_flight_s = t.in_flight_s;
       })
@@ -158,6 +167,7 @@ let stats_json t =
       ("errors", J.int s.st_errors);
       ("downgrades", J.int s.st_downgrades);
       ("plan_hits", J.int s.st_plan_hits);
+      ("refits", J.int s.st_refits);
       ("queue_depth", J.int s.st_queue_depth);
       ("in_flight_s", J.Num s.st_in_flight_s);
       ("mode", J.Str (Sched.mode_string (Sched.mode t.sched)));
@@ -200,28 +210,43 @@ type evaluation = {
   ev_block : O.Query_block.t;
   ev_choice : Level.chosen;
   ev_predicted_s : float;  (* cache-refined when a hit *)
+  ev_model_s : float;  (* the model's own prediction, never cache-refined *)
   ev_cache_hit : bool;
 }
 
+(* The model serving predictions right now: the recalibrator's atomically
+   swapped coefficients when enabled, the configured model otherwise. *)
+let current_model t =
+  match t.recal with
+  | None -> t.cfg.model
+  | Some r -> Cote.Recalibrate.model r
+
 (* Pick a level and predict for an already-bound block.  The statement
    cache refines the predicted seconds (a recorded actual beats the model)
-   while the COTE pass still supplies the plan-count fields of the reply. *)
+   while the COTE pass still supplies the plan-count fields of the reply.
+   Cache refinement is keyed by the chosen level: an actual recorded for a
+   downgraded compile says nothing about the full-level cost. *)
 let evaluate_block t block =
+  let model = current_model t in
   let choice =
     Level.select ~levels:t.cfg.levels ~downgrade_s:t.cfg.downgrade_s
       ~predict:(fun knobs ->
-        Cote.Predict.compile_time ~knobs ~model:t.cfg.model t.cfg.env block)
+        Cote.Predict.compile_time ~knobs ~model t.cfg.env block)
   in
   if choice.Level.downgrades > 0 then begin
     Obs.Counter.incr m_downgrades;
     Mutex.protect t.lock (fun () ->
         t.n_downgrades <- t.n_downgrades + choice.Level.downgrades)
   end;
-  let cached = Cote.Stmt_cache.lookup t.cache block in
+  let cached =
+    Cote.Stmt_cache.lookup t.cache
+      ~tag:choice.Level.level.Cote.Multi_level.level_name block
+  in
   {
     ev_block = block;
     ev_choice = choice;
     ev_predicted_s = Option.value ~default:choice.Level.predicted_s cached;
+    ev_model_s = choice.Level.predicted_s;
     ev_cache_hit = cached <> None;
   }
 
@@ -286,7 +311,23 @@ let run_job t job =
     with
     | r ->
       release t job;
-      Cote.Stmt_cache.record t.cache job.j_block r.O.Optimizer.elapsed;
+      Cote.Stmt_cache.record t.cache ~tag:job.j_level job.j_block
+        r.O.Optimizer.elapsed;
+      (match t.recal with
+      | None -> ()
+      | Some recal ->
+        (* Features are the *generated* plan counts (the quantities the
+           coefficients price), the target is the measured wall clock, and
+           the drift signal compares against the pure model prediction —
+           a stmt-cache-refined estimate would hide exactly the drift the
+           detector exists to catch. *)
+        ignore
+          (Cote.Recalibrate.observe recal ~level:job.j_level
+             ~nljn:(float_of_int r.O.Optimizer.generated.O.Memo.nljn)
+             ~mgjn:(float_of_int r.O.Optimizer.generated.O.Memo.mgjn)
+             ~hsjn:(float_of_int r.O.Optimizer.generated.O.Memo.hsjn)
+             ~joins:(float_of_int r.O.Optimizer.joins)
+             ~predicted_s:job.j_model_s ~elapsed_s:r.O.Optimizer.elapsed ()));
       (match (t.pcache, job.j_pc_key, r.O.Optimizer.best) with
       | Some pc, Some key, Some plan ->
         Cote.Plan_cache.store pc ~key job.j_block ~plan
@@ -299,9 +340,11 @@ let run_job t job =
       | _ -> ());
       Obs.Counter.incr m_compiles;
       Obs.Histo.observe m_latency (Timer.monotonic_now () -. job.j_enqueued);
+      (* Model-vs-actual, not refined-vs-actual: the histogram is the
+         drift evidence, so a stmt-cache hit must not flatter it. *)
       if r.O.Optimizer.elapsed > 0.0 then
         Obs.Histo.observe m_est_err
-          (Float.abs (job.j_predicted_s -. r.O.Optimizer.elapsed)
+          (Float.abs (job.j_model_s -. r.O.Optimizer.elapsed)
           /. r.O.Optimizer.elapsed *. 100.0);
       Mutex.protect t.lock (fun () -> t.n_compiles <- t.n_compiles + 1);
       job.j_send
@@ -445,6 +488,7 @@ let compile_cold t conn req_id ~arrival ~pc_key block deadline_ms =
         j_knobs = ev.ev_choice.Level.level.Cote.Multi_level.level_knobs;
         j_level = ev.ev_choice.Level.level.Cote.Multi_level.level_name;
         j_predicted_s = ev.ev_predicted_s;
+        j_model_s = ev.ev_model_s;
         j_cache_hit = ev.ev_cache_hit;
         j_pc_key = pc_key;
         j_deadline = Option.map (fun d -> arrival +. d) deadline_s;
@@ -605,6 +649,10 @@ let run ?(on_ready = fun () -> ()) cfg =
         Option.map
           (fun config -> Cote.Plan_cache.create ~shared:true ~config ())
           cfg.plan_cache;
+      recal =
+        Option.map
+          (fun config -> Cote.Recalibrate.create ~config ~model:cfg.model ())
+          cfg.recalibrate;
       lock = Mutex.create ();
       shutting = false;
       in_flight_s = 0.0;

@@ -51,6 +51,15 @@ type config = {
           the cached plan — no COTE pass, no worker, an admission
           estimate of 0.  [None] (the default) preserves the
           always-compile behaviour. *)
+  recalibrate : Cote.Recalibrate.config option;
+      (** [Some cfg] enables online recalibration ({!Cote.Recalibrate}):
+          every completed compile feeds its generated plan counts and
+          measured elapsed seconds into a sliding window, and when the
+          windowed mean relative error of the model's predictions crosses
+          the drift threshold the coefficients are refitted and swapped
+          atomically — admission, SJF priorities and level selection all
+          use the corrected model from the next request on.  [None] (the
+          default) serves [model] unchanged forever. *)
 }
 
 val default_config :
@@ -72,6 +81,7 @@ type stats = {
   st_errors : int;
   st_downgrades : int;
   st_plan_hits : int;  (** compile replies served from the plan cache *)
+  st_refits : int;  (** recalibration refits that swapped the model *)
   st_queue_depth : int;
   st_in_flight_s : float;  (** summed predicted seconds of admitted work *)
 }

@@ -861,6 +861,154 @@ let plan_cache_tests =
                 | _ -> Alcotest.fail "expected compile reply")));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Online recalibration behind the socket                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Structurally distinct join templates: every compile is a stmt-cache
+   miss, so each reply's c_predicted_s is the pure model prediction and
+   the before/after error comparison measures the model, not the cache. *)
+let recalib_warm_sql =
+  [
+    "SELECT ss.ss_quantity FROM store_sales ss, date_dim d WHERE \
+     ss.ss_sold_date_sk = d.d_date_sk AND d.d_year = 1999";
+    "SELECT ss.ss_quantity FROM store_sales ss, item i WHERE ss.ss_item_sk \
+     = i.i_item_sk AND i.i_category_id = 4";
+    "SELECT ss.ss_quantity FROM store_sales ss, store s WHERE \
+     ss.ss_store_sk = s.s_store_sk AND s.s_market_id = 2";
+    "SELECT ss.ss_quantity FROM store_sales ss, customer c WHERE \
+     ss.ss_customer_sk = c.c_customer_sk AND c.c_birth_year = 1970";
+    "SELECT ss.ss_quantity FROM store_sales ss, date_dim d, item i WHERE \
+     ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_item_sk = i.i_item_sk";
+    "SELECT ss.ss_quantity FROM store_sales ss, store s, promotion p WHERE \
+     ss.ss_store_sk = s.s_store_sk AND ss.ss_promo_sk = p.p_promo_sk";
+    "SELECT ss.ss_quantity FROM store_sales ss, customer c, \
+     household_demographics hd WHERE ss.ss_customer_sk = c.c_customer_sk \
+     AND ss.ss_hdemo_sk = hd.hd_demo_sk";
+    "SELECT ss.ss_quantity FROM store_sales ss, date_dim d, time_dim t \
+     WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_sold_time_sk = \
+     t.t_time_sk";
+  ]
+
+let recalib_probe_sql =
+  [
+    "SELECT ss.ss_quantity FROM store_sales ss, date_dim d, item i, store \
+     s WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_item_sk = \
+     i.i_item_sk AND ss.ss_store_sk = s.s_store_sk";
+    "SELECT ss.ss_quantity FROM store_sales ss, customer c, promotion p \
+     WHERE ss.ss_customer_sk = c.c_customer_sk AND ss.ss_promo_sk = \
+     p.p_promo_sk";
+    "SELECT ss.ss_quantity FROM store_sales ss, item i, \
+     household_demographics hd WHERE ss.ss_item_sk = i.i_item_sk AND \
+     ss.ss_hdemo_sk = hd.hd_demo_sk";
+    "SELECT ss.ss_quantity FROM store_sales ss, date_dim d, customer c, \
+     promotion p WHERE ss.ss_sold_date_sk = d.d_date_sk AND \
+     ss.ss_customer_sk = c.c_customer_sk AND ss.ss_promo_sk = p.p_promo_sk";
+  ]
+
+let recalibrate_tests =
+  [
+    t "--recalibrate repairs a skewed model's R_compile prediction error"
+      (fun () ->
+        (* The serving model starts 20x the canned coefficients — a gross
+           overestimate of this machine.  The drift detector (never a
+           manual refit call) must fire inside the first burst and swap
+           the coefficients, after which fresh-template predictions land
+           far closer to the measured elapsed. *)
+        let skewed =
+          Cote.Time_model.make ~c_nljn:4e-5 ~c_mgjn:1e-4 ~c_hsjn:8e-5 ()
+        in
+        with_server
+          ~configure:(fun cfg ->
+            {
+              cfg with
+              Srv.Server.model = skewed;
+              recalibrate =
+                Some
+                  {
+                    Cote.Recalibrate.default_config with
+                    Cote.Recalibrate.min_observations = 6;
+                    drift_window = 12;
+                    (* One refit in the run: the second attempt would
+                       need more observations than the test sends. *)
+                    min_refit_interval = 64;
+                    ridge = 1e-6;
+                  };
+            })
+          (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let compile_err sql =
+                  match
+                    request_exn c
+                      (Srv.Proto.Compile
+                         {
+                           id = Srv.Client.fresh_id c;
+                           sql;
+                           schema = None;
+                           deadline_ms = None;
+                         })
+                  with
+                  | Srv.Proto.R_compile (_, b) ->
+                    Alcotest.(check bool) "fresh template: no stmt-cache hit"
+                      false b.Srv.Proto.c_cache_hit;
+                    Float.abs (b.Srv.Proto.c_predicted_s -. b.Srv.Proto.c_elapsed_s)
+                    /. b.Srv.Proto.c_elapsed_s *. 100.0
+                  | r ->
+                    Alcotest.failf "expected compile reply, got %s"
+                      (J.to_string (Srv.Proto.reply_to_json r))
+                in
+                let mean errs =
+                  List.fold_left ( +. ) 0.0 errs
+                  /. float_of_int (List.length errs)
+                in
+                (* The first min_observations compiles are all judged by
+                   the skewed model (the refit can only land after the
+                   6th reply's observation). *)
+                let warm = List.map compile_err recalib_warm_sql in
+                let err_before =
+                  mean
+                    (List.filteri (fun i _ -> i < 6) warm)
+                in
+                (* Fresh templates against whatever is serving now. *)
+                let err_after = mean (List.map compile_err recalib_probe_sql) in
+                (match
+                   request_exn c (Srv.Proto.Stats { id = Srv.Client.fresh_id c })
+                 with
+                | Srv.Proto.R_stats (_, doc) ->
+                  Alcotest.(check bool) "drift-triggered refit happened" true
+                    (stat doc "refits" >= 1)
+                | _ -> Alcotest.fail "expected stats reply");
+                if not (err_after < err_before /. 2.0) then
+                  Alcotest.failf
+                    "recalibration did not help: %.1f%% before vs %.1f%% after"
+                    err_before err_after)));
+    t "without --recalibrate the configured model serves unchanged" (fun () ->
+        with_server (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                List.iter
+                  (fun sql -> ignore (request_exn c
+                       (Srv.Proto.Compile
+                          {
+                            id = Srv.Client.fresh_id c;
+                            sql;
+                            schema = None;
+                            deadline_ms = None;
+                          })))
+                  recalib_warm_sql;
+                match
+                  request_exn c (Srv.Proto.Stats { id = Srv.Client.fresh_id c })
+                with
+                | Srv.Proto.R_stats (_, doc) ->
+                  Alcotest.(check int) "no refits ever" 0 (stat doc "refits")
+                | _ -> Alcotest.fail "expected stats reply")));
+  ]
+
 let suite =
   wire_tests @ proto_tests @ sched_tests @ admission_tests @ level_tests
-  @ server_tests @ plan_cache_tests
+  @ server_tests @ plan_cache_tests @ recalibrate_tests

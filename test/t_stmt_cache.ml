@@ -125,10 +125,7 @@ let invariance_tests =
         let b = Helpers.chain 3 in
         let q1 = with_local [ O.Pred.Local_cmp (Helpers.cr 0 "v", O.Pred.Le, 10.0) ] b in
         let q2 = with_local [ O.Pred.Local_cmp (Helpers.cr 0 "v", O.Pred.Le, 99.0) ] b in
-        sig_eq (SC.signature q1) (SC.signature q2);
-        (* Lt and Le likewise fold together: same plan space. *)
-        let q3 = with_local [ O.Pred.Local_cmp (Helpers.cr 0 "v", O.Pred.Lt, 10.0) ] b in
-        sig_eq (SC.signature q1) (SC.signature q3));
+        sig_eq (SC.signature q1) (SC.signature q2));
     t "predicate order does not matter" (fun () ->
         let b = Helpers.chain 4 in
         let p1 = O.Pred.Local_cmp (Helpers.cr 0 "v", O.Pred.Eq, 1.0) in
@@ -168,6 +165,55 @@ let non_collision_tests =
         let eq = with_local [ O.Pred.Local_cmp (Helpers.cr 0 "v", O.Pred.Eq, 1.0) ] b in
         let le = with_local [ O.Pred.Local_cmp (Helpers.cr 0 "v", O.Pred.Le, 1.0) ] b in
         sig_ne "Eq vs Le" (SC.signature eq) (SC.signature le));
+    t "strict and non-strict comparisons stay apart" (fun () ->
+        (* Regression: Lt/Le folded to "<" and Gt/Ge to ">" — a recorded
+           actual (or plan-cache envelope label) for [a < 5] silently
+           served [a <= 5]. *)
+        let b = Helpers.chain 3 in
+        let cmp op = with_local [ O.Pred.Local_cmp (Helpers.cr 0 "v", op, 5.0) ] b in
+        sig_ne "Lt vs Le"
+          (SC.signature (cmp O.Pred.Lt))
+          (SC.signature (cmp O.Pred.Le));
+        sig_ne "Gt vs Ge"
+          (SC.signature (cmp O.Pred.Gt))
+          (SC.signature (cmp O.Pred.Ge));
+        sig_ne "Lt vs Gt"
+          (SC.signature (cmp O.Pred.Lt))
+          (SC.signature (cmp O.Pred.Gt));
+        sig_ne "Le vs Ge"
+          (SC.signature (cmp O.Pred.Le))
+          (SC.signature (cmp O.Pred.Ge)));
+    t "expensive predicates key on their parameters" (fun () ->
+        (* Regression: the Expensive signature covered only the table
+           bitset, so two expensive predicates over the same tables but
+           with different selectivity/per-tuple cost collided. *)
+        let b = Helpers.chain 3 in
+        let exp ~sel ~cost =
+          with_local [ O.Pred.Expensive (Qopt_util.Bitset.singleton 0, sel, cost) ] b
+        in
+        sig_ne "selectivity differs"
+          (SC.signature (exp ~sel:0.1 ~cost:2.0))
+          (SC.signature (exp ~sel:0.5 ~cost:2.0));
+        sig_ne "per-tuple cost differs"
+          (SC.signature (exp ~sel:0.1 ~cost:2.0))
+          (SC.signature (exp ~sel:0.1 ~cost:8.0));
+        sig_eq
+          (SC.signature (exp ~sel:0.1 ~cost:2.0))
+          (SC.signature (exp ~sel:0.1 ~cost:2.0)));
+    t "tagged entries partition the key space" (fun () ->
+        (* The server tags by chosen optimization level: an actual
+           recorded at a downgraded level must not refine a full-level
+           estimate (and vice versa). *)
+        let cache = SC.create () in
+        let q = Helpers.chain 3 in
+        SC.record cache ~tag:"greedy" q 0.001;
+        Alcotest.(check (option (float 0.0)))
+          "full-level lookup misses" None (SC.lookup cache ~tag:"full" q);
+        Alcotest.(check (option (float 0.0)))
+          "untagged lookup misses" None (SC.lookup cache q);
+        Alcotest.(check (option (float 0.0)))
+          "same-tag lookup hits" (Some 0.001)
+          (SC.lookup cache ~tag:"greedy" q));
     t "IN-list arity matters" (fun () ->
         let b = Helpers.chain 3 in
         let i3 = with_local [ O.Pred.Local_in (Helpers.cr 0 "v", 3) ] b in
@@ -197,4 +243,89 @@ let non_collision_tests =
           (SC.signature (Helpers.chain ~extra:1 4)));
   ]
 
-let suite = accounting_tests @ invariance_tests @ non_collision_tests
+(* ------------------------------------------------------------------ *)
+(* QCheck: predicate signatures collide exactly on structural equality  *)
+(* ------------------------------------------------------------------ *)
+
+(* Predicate signatures abstract literal values and nothing else: two
+   generated predicates share a pred_signature (and their blocks share a
+   signature) iff they are structurally equal modulo the comparison
+   literal.  This pins both historical collisions at once — Lt/Le (and
+   Gt/Ge) folding, and Expensive ignoring its selectivity/cost. *)
+
+let prop name ?(count = 300) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+let qc_block = Helpers.chain 4
+
+let qc_ops = [| O.Pred.Eq; O.Pred.Lt; O.Pred.Le; O.Pred.Gt; O.Pred.Ge |]
+
+let qc_sels = [| 0.05; 0.25; 0.6 |]
+
+let qc_costs = [| 1.0; 3.5; 9.0 |]
+
+let qc_lits = [| 1.0; 5.0; 42.0 |]
+
+type pred_spec =
+  | P_cmp of int * string * int * int  (* quantifier, col, op, literal *)
+  | P_in of int * string * int  (* quantifier, col, IN arity *)
+  | P_exp of int list * int * int  (* sorted table set, sel, cost *)
+  | P_join of int * int * string  (* q1 < q2, column *)
+
+(* Structural identity under the documented abstraction: only the
+   comparison literal is erased. *)
+let canon = function
+  | P_cmp (q, c, op, _) -> P_cmp (q, c, op, 0)
+  | spec -> spec
+
+let to_pred = function
+  | P_cmp (q, c, op, l) ->
+    O.Pred.Local_cmp (Helpers.cr q c, qc_ops.(op), qc_lits.(l))
+  | P_in (q, c, n) -> O.Pred.Local_in (Helpers.cr q c, n)
+  | P_exp (ts, s, c) ->
+    O.Pred.Expensive (Qopt_util.Bitset.of_list ts, qc_sels.(s), qc_costs.(c))
+  | P_join (a, b, c) -> O.Pred.Eq_join (Helpers.cr a c, Helpers.cr b c)
+
+let gen_pred_spec =
+  let open QCheck2.Gen in
+  let quantifier = int_range 0 3 in
+  let column = oneofl [ "v"; "j2" ] in
+  oneof
+    [
+      (let* q = quantifier in
+       let* c = column in
+       let* op = int_range 0 (Array.length qc_ops - 1) in
+       let* l = int_range 0 (Array.length qc_lits - 1) in
+       return (P_cmp (q, c, op, l)));
+      (let* q = quantifier in
+       let* c = column in
+       let* n = int_range 1 6 in
+       return (P_in (q, c, n)));
+      (let* mask = int_range 1 15 in
+       let ts = List.filter (fun i -> mask land (1 lsl i) <> 0) [ 0; 1; 2; 3 ] in
+       let* s = int_range 0 (Array.length qc_sels - 1) in
+       let* c = int_range 0 (Array.length qc_costs - 1) in
+       return (P_exp (ts, s, c)));
+      (let* a = quantifier in
+       let* b = quantifier in
+       let b = if a = b then (a + 1) mod 4 else b in
+       let* c = column in
+       return (P_join (min a b, max a b, c)));
+    ]
+
+let property_tests =
+  [
+    prop "pred_signature equality = structural equality modulo literal"
+      QCheck2.Gen.(pair gen_pred_spec gen_pred_spec)
+      (fun (s1, s2) ->
+        let sg s = SC.pred_signature qc_block (to_pred s) in
+        String.equal (sg s1) (sg s2) = (canon s1 = canon s2));
+    prop "block signature equality follows the predicate's" ~count:150
+      QCheck2.Gen.(pair gen_pred_spec gen_pred_spec)
+      (fun (s1, s2) ->
+        let sg s = SC.signature (with_local [ to_pred s ] qc_block) in
+        String.equal (sg s1) (sg s2) = (canon s1 = canon s2));
+  ]
+
+let suite =
+  accounting_tests @ invariance_tests @ non_collision_tests @ property_tests

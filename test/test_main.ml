@@ -22,6 +22,7 @@ let () =
       ("hotpath", T_hotpath.suite);
       ("par", T_par.suite);
       ("stmt-cache", T_stmt_cache.suite);
+      ("recalibrate", T_recalibrate.suite);
       ("plan-cache", T_plan_cache.suite);
       ("sql-roundtrip", T_roundtrip.suite);
       ("sql-errors", T_sqlfront_errors.suite);
