@@ -252,15 +252,16 @@ let hotpath_alloc_rows () =
    Wall-clock speedup tracks the cores actually available: on a single-core
    host all domain counts time-slice one CPU, so qps stays flat there while
    the identity row still must hold. *)
+let batch_corpus () =
+  List.concat_map
+    (fun wl ->
+      List.map
+        (fun (q : W.Workload.query) -> Qopt_par.Batch.Compile q.W.Workload.block)
+        (E.Common.workload serial wl).W.Workload.queries)
+    [ "linear"; "star"; "cycle" ]
+
 let batch_rows () =
-  let corpus =
-    List.concat_map
-      (fun wl ->
-        List.map
-          (fun (q : W.Workload.query) -> Qopt_par.Batch.Compile q.W.Workload.block)
-          (E.Common.workload serial wl).W.Workload.queries)
-      [ "linear"; "star"; "cycle" ]
-  in
+  let corpus = batch_corpus () in
   let n = List.length corpus in
   let time_at domains =
     (* One warm run per domain count: the corpus is ~seconds of work, big
@@ -292,6 +293,137 @@ let batch_rows () =
   in
   Format.printf "=== Batch throughput (%d compile tasks) ===@." n;
   List.iter (fun (name, v) -> Format.printf "%-36s %16.2f@." name v) rows;
+  rows
+
+(* Measured multicore scaling + lock-contention audit (`bench scale`, also
+   folded into `bench quick`):
+
+     scale/qps-dN        — compile tasks/second, whole serial corpus
+                           through the pool at N domains, obs off
+     scale/speedup-dN    — qps-dN / qps-d1 (exactly 1.0 at d1)
+     lock/wait-share-dN  — fraction of the hammer run's core-seconds spent
+                           blocked on the striped stmt+plan cache locks at
+                           N domains: total lock.{stmt,plan}_cache wait_s
+                           delta / (elapsed * N)
+     lock/wait-share-{shared-mutex,striped}-dN
+                         — the before/after row pair at the top domain
+                           count: the same hammer against ~stripes:1 (the
+                           old single-shared-mutex design) vs the default
+                           stripe count
+
+   Domain counts double from 1 up to [Domain.recommended_domain_count];
+   a single-core host still measures {1, 2} so the time-sliced speedup
+   (expected ~1.0) and the contention rows stay observable in CI.  The
+   cache hammer is the serving-shaped load: every op is a stmt-cache
+   probe-or-record plus a plan-cache probe-or-store against shared caches,
+   hit-heavy after warmup, with a small hot key set so stripes actually
+   collide.  Wait share measured on one core overstates contention (a
+   descheduled lock holder charges its whole timeslice to the waiter) —
+   the shared-mutex-vs-striped *ratio* is the portable signal. *)
+let scale_domain_counts () =
+  let cores =
+    min (Domain.recommended_domain_count ()) Qopt_par.Pool.max_domains
+  in
+  if cores <= 1 then [ 1; 2 ]
+  else begin
+    let rec doubling d acc =
+      if d >= cores then List.rev (cores :: acc)
+      else doubling (2 * d) (d :: acc)
+    in
+    doubling 1 []
+  end
+
+let scale_rows () =
+  let ds = scale_domain_counts () in
+  let dmax = List.fold_left max 1 ds in
+  let corpus = batch_corpus () in
+  let n = List.length corpus in
+  let qps_at d =
+    Obs.Control.with_enabled false (fun () ->
+        let _out, t =
+          Qopt_util.Timer.time (fun () ->
+              Qopt_par.Batch.run_batch ~domains:d serial corpus)
+        in
+        float_of_int n /. t)
+  in
+  let qps = List.map (fun d -> (d, qps_at d)) ds in
+  let q1 = List.assoc 1 qps in
+  (* Hammer material, prepared serially: a hot set of blocks with their
+     chosen plans, so the measured region is cache traffic, not compiles. *)
+  let blocks =
+    Array.of_list
+      (List.map
+         (fun (q : W.Workload.query) -> q.W.Workload.block)
+         (E.Common.workload serial "linear").W.Workload.queries)
+  in
+  let plans =
+    Array.map
+      (fun b ->
+        match (O.Optimizer.optimize serial b).O.Optimizer.best with
+        | Some p -> p
+        | None -> failwith "scale_rows: corpus block has no plan")
+      blocks
+  in
+  let keys = Array.map Cote.Stmt_cache.signature blocks in
+  let nb = Array.length blocks in
+  let ops_per_domain = 20_000 in
+  let wait_share_at ?stripes d =
+    Obs.Control.with_enabled true (fun () ->
+        let cache = Cote.Stmt_cache.create ~shared:true ?stripes () in
+        let pcache : unit Cote.Plan_cache.t =
+          Cote.Plan_cache.create ~shared:true ?stripes ()
+        in
+        let wait () =
+          Obs.Lock.wait_s "stmt_cache" +. Obs.Lock.wait_s "plan_cache"
+        in
+        let w0 = wait () in
+        let total = ops_per_domain * d in
+        let (_ : unit array), t =
+          Qopt_util.Timer.time (fun () ->
+              Qopt_par.Pool.map_indexed ~domains:d total (fun i ->
+                  let j = i mod nb in
+                  let b = blocks.(j) in
+                  (match Cote.Stmt_cache.lookup cache b with
+                  | Some _ -> ()
+                  | None -> Cote.Stmt_cache.record cache b 1e-3);
+                  match Cote.Plan_cache.lookup pcache ~key:keys.(j) b with
+                  | Cote.Plan_cache.Hit _ -> ()
+                  | Cote.Plan_cache.Miss | Cote.Plan_cache.Invalidated _ ->
+                    Cote.Plan_cache.store pcache ~key:keys.(j) b
+                      ~plan:plans.(j) ()))
+        in
+        (wait () -. w0) /. (t *. float_of_int d))
+  in
+  let shares = List.map (fun d -> (d, wait_share_at d)) ds in
+  (* The before/after pair needs enough waiters to pile up on one mutex:
+     with only two domains a blocked waiter is a blocked waiter whatever
+     the stripe count, so run the pair at >= 4 domains even on small
+     hosts. *)
+  let dc = min (max dmax 4) Qopt_par.Pool.max_domains in
+  let before = wait_share_at ~stripes:1 dc in
+  let after =
+    if dc = dmax then List.assoc dmax shares else wait_share_at dc
+  in
+  let rows =
+    List.concat_map
+      (fun (d, q) ->
+        [
+          (Printf.sprintf "scale/qps-d%d" d, q);
+          (Printf.sprintf "scale/speedup-d%d" d, q /. q1);
+        ])
+      qps
+    @ List.map
+        (fun (d, s) -> (Printf.sprintf "lock/wait-share-d%d" d, s))
+        shares
+    @ [
+        (Printf.sprintf "lock/wait-share-shared-mutex-d%d" dc, before);
+        (Printf.sprintf "lock/wait-share-striped-d%d" dc, after);
+      ]
+  in
+  Format.printf
+    "=== Multicore scaling (%d compile tasks; hammer %d ops/domain) ===@." n
+    ops_per_domain;
+  List.iter (fun (name, v) -> Format.printf "%-36s %16.4f@." name v) rows;
   rows
 
 (* Compile-service latency under load: an in-process server on a Unix
@@ -525,18 +657,29 @@ let recalib_rows () =
    ns/run object, one line per benchmark so diffs stay readable. *)
 let write_bench_json path rows =
   let oc = open_out path in
+  (* One decimal suffices for ns/qps magnitudes; sub-unit readings (lock
+     wait shares, reject rates) keep four so they don't flatten to 0.0. *)
+  let fmt v =
+    if Float.abs v >= 1.0 then Printf.sprintf "%.1f" v
+    else Printf.sprintf "%.4f" v
+  in
   output_string oc "{\n";
   List.iteri
     (fun i (name, est) ->
       if i > 0 then output_string oc ",\n";
-      output_string oc (Printf.sprintf "  %S: %.1f" name est))
+      output_string oc (Printf.sprintf "  %S: %s" name (fmt est)))
     rows;
   output_string oc "\n}\n";
   close_out oc
 
+let scale_row_only (name, _) =
+  String.starts_with ~prefix:"scale/" name
+  || String.starts_with ~prefix:"lock/" name
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args in
+  let scale_only = List.mem "scale" args in
   let metrics =
     if List.mem "--metrics=json" args then Some "json"
     else if List.mem "--metrics" args || List.mem "--metrics=text" args then
@@ -544,6 +687,14 @@ let () =
     else None
   in
   if metrics <> None then Obs.Control.set_enabled true;
+  if scale_only then begin
+    (* `bench scale`: just the scaling curve + contention audit, written
+       to SCALING.json (the CI artifact) without the full bench run. *)
+    let rows = scale_rows () in
+    write_bench_json "SCALING.json" rows;
+    Format.printf "wrote SCALING.json (%d rows)@." (List.length rows);
+    exit 0
+  end;
   Format.printf "=== Bechamel micro-benchmarks (one per table/figure) ===@.";
   let raw = run_benchmarks () in
   let rows = report raw in
@@ -557,9 +708,12 @@ let () =
   let rows = rows @ plan_cache_rows () in
   let rows = rows @ recalib_rows () in
   Format.printf "@.";
+  let rows = if quick then rows @ scale_rows () else rows in
   if quick then begin
     write_bench_json "BENCH.json" rows;
-    Format.printf "wrote BENCH.json (%d benchmarks)@." (List.length rows)
+    write_bench_json "SCALING.json" (List.filter scale_row_only rows);
+    Format.printf "wrote BENCH.json (%d benchmarks) and SCALING.json@."
+      (List.length rows)
   end;
   if not quick then begin
     Format.printf "=== Paper tables and figures ===@.";

@@ -63,35 +63,70 @@ type 'a entry = {
   mutable e_tick : int;  (* LRU clock value of the last touch *)
 }
 
-type 'a t = {
-  cfg : config;
+(* A shared cache is striped like {!Stmt_cache}: the key hash picks one of
+   N independently locked stripes, each a self-contained cache — its own
+   table, LRU clock, tallies, capacity share, and its own copy of the
+   per-table statistics generations.  Duplicating the generations per
+   stripe keeps every lookup single-lock (no shared generation table to
+   consult); {!bump_stats} walks the stripes one at a time, so a lookup
+   racing a bump sees each stripe either before or after its flush —
+   never a torn state within one stripe. *)
+type 'a stripe = {
   tbl : (string, 'a entry) Hashtbl.t;
   gens : (string, int) Hashtbl.t;  (* per-table statistics generation *)
+  cap : int;  (* this stripe's share of cfg.capacity *)
   mutable tick : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable invalidations : int;
-  mutable evictions : int;
-  lock : Mutex.t option;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_invalidations : int;
+  mutable s_evictions : int;
+  lock : Obs.Lock.t option;
 }
 
-let create ?(shared = false) ?(config = default_config) () =
+type 'a t = {
+  cfg : config;
+  strs : 'a stripe array;
+}
+
+let default_stripes = 8
+
+let create ?(shared = false) ?stripes ?(config = default_config) () =
+  let n =
+    if not shared then 1
+    else
+      (* Never more stripes than capacity: a zero-capacity stripe could
+         not honour the global size bound. *)
+      let requested =
+        match stripes with Some n when n >= 1 -> min n 64 | Some _ | None -> default_stripes
+      in
+      max 1 (min requested config.capacity)
+  in
   {
     cfg = config;
-    tbl = Hashtbl.create 64;
-    gens = Hashtbl.create 16;
-    tick = 0;
-    hits = 0;
-    misses = 0;
-    invalidations = 0;
-    evictions = 0;
-    lock = (if shared then Some (Mutex.create ()) else None);
+    strs =
+      Array.init n (fun i ->
+          {
+            tbl = Hashtbl.create 64;
+            gens = Hashtbl.create 16;
+            (* Distribute capacity exactly: stripe sizes sum to cfg.capacity. *)
+            cap = (config.capacity / n) + (if i < config.capacity mod n then 1 else 0);
+            tick = 0;
+            s_hits = 0;
+            s_misses = 0;
+            s_invalidations = 0;
+            s_evictions = 0;
+            lock = (if shared then Some (Obs.Lock.create "plan_cache") else None);
+          });
   }
 
-let with_lock t f =
-  match t.lock with
+let stripes t = Array.length t.strs
+
+let stripe_of t key = t.strs.(Hashtbl.hash key mod Array.length t.strs)
+
+let with_stripe s f =
+  match s.lock with
   | None -> f ()
-  | Some m -> Mutex.protect m f
+  | Some l -> Obs.Lock.with_lock l f
 
 (* Estimated selectivity of every local predicate across all blocks,
    labelled by predicate signature and sorted: duplicate signatures (the
@@ -125,28 +160,36 @@ let dep_tables block =
     block;
   List.sort_uniq String.compare !acc
 
-let generation_unlocked t name =
-  Option.value ~default:0 (Hashtbl.find_opt t.gens name)
+let generation_unlocked s name =
+  Option.value ~default:0 (Hashtbl.find_opt s.gens name)
 
-let touch t e =
-  t.tick <- t.tick + 1;
-  e.e_tick <- t.tick
+let touch s e =
+  s.tick <- s.tick + 1;
+  e.e_tick <- s.tick
 
-let set_size t = Obs.Gauge.set m_size (float_of_int (Hashtbl.length t.tbl))
+let size_unmerged t =
+  Array.fold_left
+    (fun acc s -> acc + with_stripe s (fun () -> Hashtbl.length s.tbl))
+    0 t.strs
 
-let evict_lru t =
+(* The size gauge needs a cross-stripe sweep; refresh it outside any
+   stripe lock so no operation ever holds two locks. *)
+let set_size t =
+  if !Obs.Control.on then Obs.Gauge.set m_size (float_of_int (size_unmerged t))
+
+let evict_lru s =
   let victim = ref None in
   Hashtbl.iter
     (fun k e ->
       match !victim with
       | Some (_, tick) when tick <= e.e_tick -> ()
       | _ -> victim := Some (k, e.e_tick))
-    t.tbl;
+    s.tbl;
   match !victim with
   | None -> ()
   | Some (k, _) ->
-    Hashtbl.remove t.tbl k;
-    t.evictions <- t.evictions + 1;
+    Hashtbl.remove s.tbl k;
+    s.s_evictions <- s.s_evictions + 1;
     Obs.Counter.incr m_evictions
 
 let store t ?key block ~plan payload =
@@ -159,9 +202,10 @@ let store t ?key block ~plan payload =
       (selectivities block)
   in
   let deps = dep_tables block in
-  with_lock t (fun () ->
-      if (not (Hashtbl.mem t.tbl key)) && Hashtbl.length t.tbl >= t.cfg.capacity
-      then evict_lru t;
+  let s = stripe_of t key in
+  with_stripe s (fun () ->
+      if (not (Hashtbl.mem s.tbl key)) && Hashtbl.length s.tbl >= s.cap then
+        evict_lru s;
       let e =
         {
           e_plan = plan;
@@ -169,13 +213,13 @@ let store t ?key block ~plan payload =
           e_envelope = envelope;
           e_deps =
             Array.of_list
-              (List.map (fun n -> (n, generation_unlocked t n)) deps);
+              (List.map (fun n -> (n, generation_unlocked s n)) deps);
           e_tick = 0;
         }
       in
-      touch t e;
-      Hashtbl.replace t.tbl key e;
-      set_size t)
+      touch s e;
+      Hashtbl.replace s.tbl key e);
+  set_size t
 
 let within_envelope sels env =
   Array.length sels = Array.length env
@@ -197,66 +241,85 @@ let revalidate e sels gen_of =
 let lookup t ?key block =
   let key = match key with Some k -> k | None -> Stmt_cache.signature block in
   let sels = selectivities block in
-  with_lock t (fun () ->
-      match Hashtbl.find_opt t.tbl key with
-      | None ->
-        t.misses <- t.misses + 1;
-        Obs.Counter.incr m_misses;
-        update_hit_rate ();
-        Miss
-      | Some e -> (
-        match revalidate e sels (generation_unlocked t) with
-        | Some why ->
-          Hashtbl.remove t.tbl key;
-          t.invalidations <- t.invalidations + 1;
-          Obs.Counter.incr m_invalidations;
-          update_hit_rate ();
-          set_size t;
-          Invalidated why
+  let s = stripe_of t key in
+  let outcome =
+    with_stripe s (fun () ->
+        match Hashtbl.find_opt s.tbl key with
         | None ->
-          touch t e;
-          t.hits <- t.hits + 1;
-          Obs.Counter.incr m_hits;
+          s.s_misses <- s.s_misses + 1;
+          Obs.Counter.incr m_misses;
           update_hit_rate ();
-          Hit { plan = e.e_plan; payload = e.e_payload }))
+          Miss
+        | Some e -> (
+          match revalidate e sels (generation_unlocked s) with
+          | Some why ->
+            Hashtbl.remove s.tbl key;
+            s.s_invalidations <- s.s_invalidations + 1;
+            Obs.Counter.incr m_invalidations;
+            update_hit_rate ();
+            Invalidated why
+          | None ->
+            touch s e;
+            s.s_hits <- s.s_hits + 1;
+            Obs.Counter.incr m_hits;
+            update_hit_rate ();
+            Hit { plan = e.e_plan; payload = e.e_payload }))
+  in
+  (match outcome with Invalidated _ -> set_size t | Hit _ | Miss -> ());
+  outcome
 
 let bump_stats t table =
-  with_lock t (fun () ->
-      Hashtbl.replace t.gens table (generation_unlocked t table + 1);
-      let victims =
-        Hashtbl.fold
-          (fun k e acc ->
-            if Array.exists (fun (n, _) -> String.equal n table) e.e_deps then
-              k :: acc
-            else acc)
-          t.tbl []
-      in
-      List.iter (Hashtbl.remove t.tbl) victims;
-      let n = List.length victims in
-      if n > 0 then begin
-        t.invalidations <- t.invalidations + n;
-        Obs.Counter.add m_invalidations n;
-        (* No lookups occurred: record the flushes so the hit-rate
-           denominator can exclude them, and leave the gauge as is. *)
-        Obs.Counter.add m_flush_invalidations n;
-        set_size t
-      end;
-      n)
+  let flushed =
+    Array.fold_left
+      (fun acc s ->
+        acc
+        + with_stripe s (fun () ->
+              Hashtbl.replace s.gens table (generation_unlocked s table + 1);
+              let victims =
+                Hashtbl.fold
+                  (fun k e acc ->
+                    if Array.exists (fun (n, _) -> String.equal n table) e.e_deps
+                    then k :: acc
+                    else acc)
+                  s.tbl []
+              in
+              List.iter (Hashtbl.remove s.tbl) victims;
+              let n = List.length victims in
+              if n > 0 then begin
+                s.s_invalidations <- s.s_invalidations + n;
+                Obs.Counter.add m_invalidations n;
+                (* No lookups occurred: record the flushes so the hit-rate
+                   denominator can exclude them, and leave the gauge as is. *)
+                Obs.Counter.add m_flush_invalidations n
+              end;
+              n))
+      0 t.strs
+  in
+  if flushed > 0 then set_size t;
+  flushed
 
-let generation t name = with_lock t (fun () -> generation_unlocked t name)
+(* Every stripe's generations move in lock step under {!bump_stats}, so
+   any one stripe answers for the cache; use the key-independent first. *)
+let generation t name =
+  let s = t.strs.(0) in
+  with_stripe s (fun () -> generation_unlocked s name)
 
 let envelope t key =
-  with_lock t (fun () ->
+  let s = stripe_of t key in
+  with_stripe s (fun () ->
       Option.map
         (fun e -> Array.to_list e.e_envelope)
-        (Hashtbl.find_opt t.tbl key))
+        (Hashtbl.find_opt s.tbl key))
 
-let size t = with_lock t (fun () -> Hashtbl.length t.tbl)
+let size = size_unmerged
 
-let hits t = with_lock t (fun () -> t.hits)
+let sum_stripes t f =
+  Array.fold_left (fun acc s -> acc + with_stripe s (fun () -> f s)) 0 t.strs
 
-let misses t = with_lock t (fun () -> t.misses)
+let hits t = sum_stripes t (fun s -> s.s_hits)
 
-let invalidations t = with_lock t (fun () -> t.invalidations)
+let misses t = sum_stripes t (fun s -> s.s_misses)
 
-let evictions t = with_lock t (fun () -> t.evictions)
+let invalidations t = sum_stripes t (fun s -> s.s_invalidations)
+
+let evictions t = sum_stripes t (fun s -> s.s_evictions)

@@ -63,9 +63,23 @@ type 'a outcome =
 
 type 'a t
 
-val create : ?shared:bool -> ?config:config -> unit -> 'a t
-(** [~shared:true] guards every operation with a mutex (multi-domain
-    servers); defaults to [false]. *)
+val create : ?shared:bool -> ?stripes:int -> ?config:config -> unit -> 'a t
+(** [~shared:true] makes the cache safe for multi-domain servers.  A
+    shared cache is striped: the key hash picks one of [stripes] (default
+    8, clamped to [[1, min 64 capacity]]) independently locked
+    sub-caches, each owning its share of [capacity], its own LRU clock,
+    and its own copy of the per-table statistics generations (so lookups
+    stay single-lock; {!bump_stats} walks every stripe).  [~stripes:1]
+    recovers the old single-shared-mutex design for before/after
+    contention measurements.  Stripe locks are contention-audited
+    {!Qopt_obs.Lock}s under [lock.plan_cache.*].  LRU eviction is
+    per-stripe: the evicted entry is the least recently used {e within
+    the full stripe}, which under a uniform key hash approximates global
+    LRU while never letting total size exceed [capacity].  Defaults to
+    [false]: one stripe, no locking. *)
+
+val stripes : 'a t -> int
+(** Number of stripes (1 for an unshared cache). *)
 
 val lookup : 'a t -> ?key:string -> O.Query_block.t -> 'a outcome
 (** Revalidate and serve.  [key] defaults to

@@ -18,25 +18,50 @@ let update_hit_rate () =
       Obs.Gauge.set m_hit_rate (float_of_int h /. float_of_int (h + m) *. 100.0)
   end
 
-type t = {
+(* A shared cache is striped: the signature hash picks one of [stripes]
+   independently locked tables, so concurrent domains only serialize when
+   they touch the same stripe.  Each stripe keeps its own hit/miss tallies
+   (summed on read) — a cross-stripe total would need a second shared
+   cell, which is exactly the contention the stripes exist to remove. *)
+type stripe = {
   tbl : (string, float) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
-  lock : Mutex.t option;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  lock : Obs.Lock.t option;
 }
 
-let create ?(shared = false) () =
+type t = { stripes : stripe array }
+
+let default_stripes = 8
+
+let create ?(shared = false) ?stripes () =
+  let n =
+    if not shared then 1
+    else
+      match stripes with
+      | Some n when n >= 1 -> min n 64
+      | Some _ | None -> default_stripes
+  in
   {
-    tbl = Hashtbl.create 64;
-    hits = 0;
-    misses = 0;
-    lock = (if shared then Some (Mutex.create ()) else None);
+    stripes =
+      Array.init n (fun _ ->
+          {
+            tbl = Hashtbl.create 64;
+            s_hits = 0;
+            s_misses = 0;
+            lock = (if shared then Some (Obs.Lock.create "stmt_cache") else None);
+          });
   }
 
-let with_lock t f =
-  match t.lock with
+let stripes t = Array.length t.stripes
+
+let stripe_of t key =
+  t.stripes.(Hashtbl.hash key mod Array.length t.stripes)
+
+let with_stripe s f =
+  match s.lock with
   | None -> f ()
-  | Some m -> Mutex.protect m f
+  | Some l -> Obs.Lock.with_lock l f
 
 let pred_sig block p =
   let col (c : O.Colref.t) =
@@ -103,30 +128,44 @@ let key_of ?tag block =
   | Some tag -> tag ^ "#" ^ signature block
 
 let lookup t ?tag block =
-  (* The signature is pure over the block; compute it outside the lock so a
-     shared cache serializes only the table probe and the bookkeeping. *)
+  (* The signature is pure over the block; compute it (and the stripe
+     choice) outside the lock so concurrent lookups serialize only on
+     their stripe's table probe and bookkeeping. *)
   let key = key_of ?tag block in
-  with_lock t (fun () ->
-      match Hashtbl.find_opt t.tbl key with
+  let s = stripe_of t key in
+  with_stripe s (fun () ->
+      match Hashtbl.find_opt s.tbl key with
       | Some seconds ->
-        t.hits <- t.hits + 1;
+        s.s_hits <- s.s_hits + 1;
         Obs.Counter.incr m_hits;
         update_hit_rate ();
         Some seconds
       | None ->
-        t.misses <- t.misses + 1;
+        s.s_misses <- s.s_misses + 1;
         Obs.Counter.incr m_misses;
         update_hit_rate ();
         None)
 
+let size_unmerged t =
+  Array.fold_left
+    (fun acc s -> acc + with_stripe s (fun () -> Hashtbl.length s.tbl))
+    0 t.stripes
+
 let record t ?tag block seconds =
   let key = key_of ?tag block in
-  with_lock t (fun () ->
-      Hashtbl.replace t.tbl key seconds;
-      Obs.Gauge.set m_size (float_of_int (Hashtbl.length t.tbl)))
+  let s = stripe_of t key in
+  with_stripe s (fun () -> Hashtbl.replace s.tbl key seconds);
+  (* The size gauge sweeps every stripe; set it outside any stripe lock so
+     a record never holds two locks at once. *)
+  if !Obs.Control.on then
+    Obs.Gauge.set m_size (float_of_int (size_unmerged t))
 
-let size t = with_lock t (fun () -> Hashtbl.length t.tbl)
+let size = size_unmerged
 
-let hits t = with_lock t (fun () -> t.hits)
+let hits t =
+  Array.fold_left (fun acc s -> acc + with_stripe s (fun () -> s.s_hits)) 0 t.stripes
 
-let misses t = with_lock t (fun () -> t.misses)
+let misses t =
+  Array.fold_left
+    (fun acc s -> acc + with_stripe s (fun () -> s.s_misses))
+    0 t.stripes

@@ -14,11 +14,21 @@ module O = Qopt_optimizer
 
 type t
 
-val create : ?shared:bool -> unit -> t
-(** [~shared:true] guards every operation with a mutex so the cache can be
-    consulted and updated from multiple domains (e.g. under
-    {!Qopt_par.Batch.run_batch}).  Defaults to [false]: the unshared cache
-    has zero locking overhead. *)
+val create : ?shared:bool -> ?stripes:int -> unit -> t
+(** [~shared:true] makes the cache safe to consult and update from
+    multiple domains (e.g. under {!Qopt_par.Batch.run_batch} or the
+    compile server's worker domains).  A shared cache is {e striped}: the
+    key hash picks one of [stripes] (default 8, clamped to [1, 64])
+    independently locked tables, so concurrent domains only serialize when
+    they hash to the same stripe — [~stripes:1] recovers the old
+    single-shared-mutex design, which the contention bench uses as its
+    before measurement.  Stripe locks are contention-audited
+    {!Qopt_obs.Lock}s under the [lock.stmt_cache.*] family.  Defaults to
+    [false]: the unshared cache is one stripe with zero locking
+    overhead. *)
+
+val stripes : t -> int
+(** Number of stripes (1 for an unshared cache). *)
 
 val signature : O.Query_block.t -> string
 (** Structural signature covering the block and its children: sorted base

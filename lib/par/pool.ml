@@ -19,22 +19,38 @@ type 'a cell =
   | Ok_ of 'a
   | Exn of exn * Printexc.raw_backtrace
 
+(* Between failed steal sweeps, back off exponentially: spin [2^level]
+   pause hints while the contended window is likely shorter than a
+   scheduler quantum, then escalate to yielding the whole timeslice.  On
+   an oversubscribed box (CI: more domains than cores) the yield is what
+   lets the domain actually holding the deque run — busy relaxing would
+   spin out the quantum that victim needs to finish its pop. *)
+let yield_level = 6
+
+let backoff level =
+  if level < yield_level then
+    for _ = 1 to 1 lsl level do
+      Domain.cpu_relax ()
+    done
+  else Thread.yield ()
+
 let run_worker ~deques ~domains ~w ~run =
   let own = deques.(w) in
   (* Sweep every other deque once; Retry means a race was lost while tasks
-     may remain, so sweep again (with a relax) until the sweep is clean. *)
-  let rec try_steal k saw_retry =
+     may remain, so sweep again (after backing off) until the sweep is
+     clean.  The backoff level resets on every successful steal. *)
+  let rec try_steal k saw_retry level =
     if k = domains then
       if saw_retry then begin
-        Domain.cpu_relax ();
-        try_steal 1 false
+        backoff level;
+        try_steal 1 false (min (level + 1) yield_level)
       end
       else None
     else
       match Deque.steal deques.((w + k) mod domains) with
       | Deque.Stolen i -> Some i
-      | Deque.Retry -> try_steal (k + 1) true
-      | Deque.Empty -> try_steal (k + 1) saw_retry
+      | Deque.Retry -> try_steal (k + 1) true level
+      | Deque.Empty -> try_steal (k + 1) saw_retry level
   in
   let rec loop () =
     match Deque.pop own with
@@ -42,7 +58,7 @@ let run_worker ~deques ~domains ~w ~run =
       run i;
       loop ()
     | None -> (
-      match try_steal 1 false with
+      match try_steal 1 false 0 with
       | Some i ->
         run i;
         loop ()

@@ -1,3 +1,5 @@
+module Obs = Qopt_obs
+
 type mode = Sjf | Fifo
 
 let mode_string = function Sjf -> "sjf" | Fifo -> "fifo"
@@ -8,9 +10,10 @@ type 'a t = {
   q_mode : mode;
   mutable heap : 'a entry array;  (* binary min-heap in [0, size) *)
   mutable size : int;
+  size_a : int Atomic.t;  (* mirrors [size]; read without the lock *)
   mutable seq : int;
   mutable closed : bool;
-  lock : Mutex.t;
+  lock : Obs.Lock.t;
   nonempty : Condition.t;
 }
 
@@ -19,9 +22,10 @@ let create q_mode =
     q_mode;
     heap = [||];
     size = 0;
+    size_a = Atomic.make 0;
     seq = 0;
     closed = false;
-    lock = Mutex.create ();
+    lock = Obs.Lock.create "sched";
     nonempty = Condition.create ();
   }
 
@@ -62,11 +66,13 @@ let push_locked t entry =
        grown);
   t.heap.(t.size) <- entry;
   t.size <- t.size + 1;
+  Atomic.set t.size_a t.size;
   sift_up t (t.size - 1)
 
 let pop_locked t =
   let top = t.heap.(0) in
   t.size <- t.size - 1;
+  Atomic.set t.size_a t.size;
   if t.size > 0 then begin
     t.heap.(0) <- t.heap.(t.size);
     sift_down t 0
@@ -74,10 +80,11 @@ let pop_locked t =
   top.item
 
 let push t ~priority item =
-  Mutex.protect t.lock (fun () ->
+  (* Key selection is pure — only the heap mutation runs under the lock. *)
+  let key = match t.q_mode with Sjf -> priority | Fifo -> 0.0 in
+  Obs.Lock.with_lock t.lock (fun () ->
       if t.closed then false
       else begin
-        let key = match t.q_mode with Sjf -> priority | Fifo -> 0.0 in
         push_locked t { key; seq = t.seq; item };
         t.seq <- t.seq + 1;
         Condition.signal t.nonempty;
@@ -85,20 +92,27 @@ let push t ~priority item =
       end)
 
 let pop t =
-  Mutex.protect t.lock (fun () ->
+  (* The initial acquire is contention-audited; the re-acquires inside
+     Condition.wait are idle blocking (waiting for work, not for the
+     lock) and are deliberately not counted as lock wait. *)
+  Obs.Lock.lock t.lock;
+  let m = Obs.Lock.mutex t.lock in
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock m)
+    (fun () ->
       while t.size = 0 && not t.closed do
-        Condition.wait t.nonempty t.lock
+        Condition.wait t.nonempty m
       done;
       if t.size = 0 then None else Some (pop_locked t))
 
 let drain t =
-  Mutex.protect t.lock (fun () ->
+  Obs.Lock.with_lock t.lock (fun () ->
       let rec go acc = if t.size = 0 then List.rev acc else go (pop_locked t :: acc) in
       go [])
 
 let close t =
-  Mutex.protect t.lock (fun () ->
+  Obs.Lock.with_lock t.lock (fun () ->
       t.closed <- true;
       Condition.broadcast t.nonempty)
 
-let length t = Mutex.protect t.lock (fun () -> t.size)
+let length t = Atomic.get t.size_a

@@ -9,7 +9,12 @@
 
     Within equal keys the tiebreak is arrival order, so [Fifo] is literally
     SJF with a constant key.  [pop] blocks on a condition variable;
-    producers and consumers may live on any mix of threads and domains. *)
+    producers and consumers may live on any mix of threads and domains.
+
+    The heap lock is a contention-audited {!Qopt_obs.Lock} (family
+    [lock.sched.*]); {!length} reads an atomic mirror of the size instead
+    of taking it, so admission checks and queue-depth gauges never
+    contend with pushers and poppers. *)
 
 type mode = Sjf | Fifo
 
@@ -39,3 +44,6 @@ val close : 'a t -> unit
 (** Wakes all blocked [pop]s; subsequent pushes are refused. *)
 
 val length : 'a t -> int
+(** Lock-free: reads an atomic mirror maintained inside push/pop.  A read
+    overlapping a concurrent mutation sees the size just before or just
+    after it. *)

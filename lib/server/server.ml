@@ -113,46 +113,52 @@ type conn = {
   c_wlock : Mutex.t;
 }
 
+(* Pure event tallies live in lock-free atomics: a stat bump from a
+   connection thread or a worker domain never touches [t.lock], which now
+   guards only the coupled admission state (in_flight_s + the shutdown
+   flag, which must be read-modified together under admission) and the
+   connection list.  The lock is a contention-audited {!Qopt_obs.Lock}
+   ([lock.server_state.*]) so its residual traffic stays measured. *)
 type t = {
   cfg : config;
   sched : job Sched.t;
   cache : Cote.Stmt_cache.t;
   pcache : cached_meta Cote.Plan_cache.t option;
   recal : Cote.Recalibrate.t option;
-  lock : Mutex.t;
+  lock : Obs.Lock.t;
   mutable shutting : bool;
   mutable in_flight_s : float;
   mutable conns : (conn * Thread.t) list;
-  mutable n_requests : int;
-  mutable n_admitted : int;
-  mutable n_rejected : int;
-  mutable n_cancelled : int;
-  mutable n_compiles : int;
-  mutable n_estimates : int;
-  mutable n_errors : int;
-  mutable n_downgrades : int;
-  mutable n_plan_hits : int;
+  n_requests : int Atomic.t;
+  n_admitted : int Atomic.t;
+  n_rejected : int Atomic.t;
+  n_cancelled : int Atomic.t;
+  n_compiles : int Atomic.t;
+  n_estimates : int Atomic.t;
+  n_errors : int Atomic.t;
+  n_downgrades : int Atomic.t;
+  n_plan_hits : int Atomic.t;
 }
 
 let snapshot t =
-  Mutex.protect t.lock (fun () ->
-      {
-        st_requests = t.n_requests;
-        st_admitted = t.n_admitted;
-        st_rejected = t.n_rejected;
-        st_cancelled = t.n_cancelled;
-        st_compiles = t.n_compiles;
-        st_estimates = t.n_estimates;
-        st_errors = t.n_errors;
-        st_downgrades = t.n_downgrades;
-        st_plan_hits = t.n_plan_hits;
-        st_refits =
-          (match t.recal with
-          | None -> 0
-          | Some r -> (Cote.Recalibrate.snapshot r).Cote.Recalibrate.sn_refits);
-        st_queue_depth = Sched.length t.sched;
-        st_in_flight_s = t.in_flight_s;
-      })
+  let in_flight_s = Obs.Lock.with_lock t.lock (fun () -> t.in_flight_s) in
+  {
+    st_requests = Atomic.get t.n_requests;
+    st_admitted = Atomic.get t.n_admitted;
+    st_rejected = Atomic.get t.n_rejected;
+    st_cancelled = Atomic.get t.n_cancelled;
+    st_compiles = Atomic.get t.n_compiles;
+    st_estimates = Atomic.get t.n_estimates;
+    st_errors = Atomic.get t.n_errors;
+    st_downgrades = Atomic.get t.n_downgrades;
+    st_plan_hits = Atomic.get t.n_plan_hits;
+    st_refits =
+      (match t.recal with
+      | None -> 0
+      | Some r -> (Cote.Recalibrate.snapshot r).Cote.Recalibrate.sn_refits);
+    st_queue_depth = Sched.length t.sched;
+    st_in_flight_s = in_flight_s;
+  }
 
 let stats_json t =
   let s = snapshot t in
@@ -235,8 +241,7 @@ let evaluate_block t block =
   in
   if choice.Level.downgrades > 0 then begin
     Obs.Counter.incr m_downgrades;
-    Mutex.protect t.lock (fun () ->
-        t.n_downgrades <- t.n_downgrades + choice.Level.downgrades)
+    ignore (Atomic.fetch_and_add t.n_downgrades choice.Level.downgrades)
   end;
   let cached =
     Cote.Stmt_cache.lookup t.cache
@@ -278,13 +283,13 @@ let estimate_reply id ev =
 (* ------------------------------------------------------------------ *)
 
 let release t job =
-  Mutex.protect t.lock (fun () ->
+  Obs.Lock.with_lock t.lock (fun () ->
       t.in_flight_s <- t.in_flight_s -. job.j_predicted_s)
 
 let cancel_job t job reason =
   release t job;
   Obs.Counter.incr m_cancelled;
-  Mutex.protect t.lock (fun () -> t.n_cancelled <- t.n_cancelled + 1);
+  Atomic.incr t.n_cancelled;
   job.j_send
     (Proto.R_cancelled
        {
@@ -346,7 +351,7 @@ let run_job t job =
         Obs.Histo.observe m_est_err
           (Float.abs (job.j_model_s -. r.O.Optimizer.elapsed)
           /. r.O.Optimizer.elapsed *. 100.0);
-      Mutex.protect t.lock (fun () -> t.n_compiles <- t.n_compiles + 1);
+      Atomic.incr t.n_compiles;
       job.j_send
         (Proto.R_compile
            ( job.j_id,
@@ -377,7 +382,7 @@ let run_job t job =
     | exception e ->
       release t job;
       Obs.Counter.incr m_errors;
-      Mutex.protect t.lock (fun () -> t.n_errors <- t.n_errors + 1);
+      Atomic.incr t.n_errors;
       job.j_send
         (Proto.R_error { id = job.j_id; message = Printexc.to_string e }))
 
@@ -401,7 +406,7 @@ let worker_main t slot () =
 
 let reject t conn req_id ~estimate_s reason =
   Obs.Counter.incr m_rejected;
-  Mutex.protect t.lock (fun () -> t.n_rejected <- t.n_rejected + 1);
+  Atomic.incr t.n_rejected;
   send_reply conn
     (Proto.R_rejected
        {
@@ -416,19 +421,19 @@ let reject t conn req_id ~estimate_s reason =
    reply echoes the stored plan and counters verbatim. *)
 let serve_plan_hit t conn req_id ~arrival plan (meta : cached_meta) =
   let decision =
-    Mutex.protect t.lock (fun () ->
+    (* Sched.length is lock-free, so this critical section is just the
+       shutdown flag, the in-flight float and the ceiling arithmetic. *)
+    Obs.Lock.with_lock t.lock (fun () ->
         if t.shutting then Error Admission.Shutting_down
         else
-          match
-            Admission.decide t.cfg.admission ~in_flight_s:t.in_flight_s
-              ~queued:(Sched.length t.sched) ~estimate_s:0.0
-          with
-          | Error r -> Error r
-          | Ok () ->
-            t.n_admitted <- t.n_admitted + 1;
-            t.n_plan_hits <- t.n_plan_hits + 1;
-            Ok ())
+          Admission.decide t.cfg.admission ~in_flight_s:t.in_flight_s
+            ~queued:(Sched.length t.sched) ~estimate_s:0.0)
   in
+  (match decision with
+  | Ok () ->
+    Atomic.incr t.n_admitted;
+    Atomic.incr t.n_plan_hits
+  | Error _ -> ());
   match decision with
   | Error reason -> reject t conn req_id ~estimate_s:0.0 reason
   | Ok () ->
@@ -464,7 +469,7 @@ let compile_cold t conn req_id ~arrival ~pc_key block deadline_ms =
     | None -> t.cfg.default_deadline_s
   in
   let decision =
-    Mutex.protect t.lock (fun () ->
+    Obs.Lock.with_lock t.lock (fun () ->
         if t.shutting then Error Admission.Shutting_down
         else
           match
@@ -473,10 +478,14 @@ let compile_cold t conn req_id ~arrival ~pc_key block deadline_ms =
           with
           | Error r -> Error r
           | Ok () ->
+            (* The reservation must land inside the same critical section
+               as the decision; the pure admitted tally need not. *)
             t.in_flight_s <- t.in_flight_s +. ev.ev_predicted_s;
-            t.n_admitted <- t.n_admitted + 1;
             Ok ())
   in
+  (match decision with
+  | Ok () -> Atomic.incr t.n_admitted
+  | Error _ -> ());
   match decision with
   | Error reason -> reject t conn req_id ~estimate_s:ev.ev_predicted_s reason
   | Ok () ->
@@ -532,7 +541,7 @@ let handle_compile t conn req_id sql schema deadline_ms =
 
 let initiate_shutdown t =
   let first =
-    Mutex.protect t.lock (fun () ->
+    Obs.Lock.with_lock t.lock (fun () ->
         if t.shutting then false
         else begin
           t.shutting <- true;
@@ -548,25 +557,25 @@ let initiate_shutdown t =
   end
 
 let handle_request t conn req =
-  Mutex.protect t.lock (fun () -> t.n_requests <- t.n_requests + 1);
+  Atomic.incr t.n_requests;
   Obs.Counter.incr m_requests;
   match req with
   | Proto.Estimate { id; sql; schema } -> (
     match evaluate t ~id ~sql ~schema with
     | ev ->
       Obs.Counter.incr m_estimates;
-      Mutex.protect t.lock (fun () -> t.n_estimates <- t.n_estimates + 1);
+      Atomic.incr t.n_estimates;
       send_reply conn (estimate_reply id ev)
     | exception
         ( Failure msg
         | Qopt_sql.Parser.Error msg
         | Qopt_sql.Binder.Error msg
         | Invalid_argument msg ) ->
-      Mutex.protect t.lock (fun () -> t.n_errors <- t.n_errors + 1);
+      Atomic.incr t.n_errors;
       Obs.Counter.incr m_errors;
       send_reply conn (Proto.R_error { id; message = msg })
     | exception Qopt_sql.Lexer.Error (msg, at) ->
-      Mutex.protect t.lock (fun () -> t.n_errors <- t.n_errors + 1);
+      Atomic.incr t.n_errors;
       Obs.Counter.incr m_errors;
       send_reply conn
         (Proto.R_error { id; message = Printf.sprintf "%s (at byte %d)" msg at }))
@@ -578,11 +587,11 @@ let handle_request t conn req =
         | Qopt_sql.Parser.Error msg
         | Qopt_sql.Binder.Error msg
         | Invalid_argument msg ) ->
-      Mutex.protect t.lock (fun () -> t.n_errors <- t.n_errors + 1);
+      Atomic.incr t.n_errors;
       Obs.Counter.incr m_errors;
       send_reply conn (Proto.R_error { id; message = msg })
     | exception Qopt_sql.Lexer.Error (msg, at) ->
-      Mutex.protect t.lock (fun () -> t.n_errors <- t.n_errors + 1);
+      Atomic.incr t.n_errors;
       Obs.Counter.incr m_errors;
       send_reply conn
         (Proto.R_error { id; message = Printf.sprintf "%s (at byte %d)" msg at }))
@@ -653,19 +662,19 @@ let run ?(on_ready = fun () -> ()) cfg =
         Option.map
           (fun config -> Cote.Recalibrate.create ~config ~model:cfg.model ())
           cfg.recalibrate;
-      lock = Mutex.create ();
+      lock = Obs.Lock.create "server_state";
       shutting = false;
       in_flight_s = 0.0;
       conns = [];
-      n_requests = 0;
-      n_admitted = 0;
-      n_rejected = 0;
-      n_cancelled = 0;
-      n_compiles = 0;
-      n_estimates = 0;
-      n_errors = 0;
-      n_downgrades = 0;
-      n_plan_hits = 0;
+      n_requests = Atomic.make 0;
+      n_admitted = Atomic.make 0;
+      n_rejected = Atomic.make 0;
+      n_cancelled = Atomic.make 0;
+      n_compiles = Atomic.make 0;
+      n_estimates = Atomic.make 0;
+      n_errors = Atomic.make 0;
+      n_downgrades = Atomic.make 0;
+      n_plan_hits = Atomic.make 0;
     }
   in
   let obs_was = !Obs.Control.on in
@@ -679,7 +688,7 @@ let run ?(on_ready = fun () -> ()) cfg =
      connection thread) stops the loop within one tick — closing a
      listening fd does not reliably wake a blocked accept. *)
   let rec accept_loop () =
-    if Mutex.protect t.lock (fun () -> t.shutting) then ()
+    if Obs.Lock.with_lock t.lock (fun () -> t.shutting) then ()
     else begin
       (match Unix.select [ listen_fd ] [] [] 0.05 with
       | [], _, _ -> ()
@@ -695,7 +704,7 @@ let run ?(on_ready = fun () -> ()) cfg =
           in
           let ic = Unix.in_channel_of_descr fd in
           let thread = Thread.create (conn_main t conn ic) () in
-          Mutex.protect t.lock (fun () ->
+          Obs.Lock.with_lock t.lock (fun () ->
               t.conns <- (conn, thread) :: t.conns)
         | exception Unix.Unix_error _ -> ())
       | exception Unix.Unix_error _ -> ());
@@ -713,7 +722,7 @@ let run ?(on_ready = fun () -> ()) cfg =
       initiate_shutdown t;
       Array.iter Domain.join domains;
       (* Wake connection threads blocked mid-read, then join them. *)
-      let conns = Mutex.protect t.lock (fun () -> t.conns) in
+      let conns = Obs.Lock.with_lock t.lock (fun () -> t.conns) in
       List.iter
         (fun (conn, _) ->
           try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL

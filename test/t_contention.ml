@@ -1,0 +1,244 @@
+(* Contention stress for the striped shared caches.  Every invariant here
+   is one a torn or lost update would break: exact accounting (hits +
+   misses = lookups), no lost updates across domains, the LRU capacity
+   bound under concurrent stores, bit-for-bit equality between plans
+   served from cache under 4-domain stress and the serial compile, and
+   the lock-audit counters reconciling with the traffic that produced
+   them. *)
+
+module O = Qopt_optimizer
+module W = Qopt_workloads
+module P = Qopt_par
+module Obs = Qopt_obs
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env = O.Env.serial
+
+(* A hot set small enough that four domains collide on stripes constantly,
+   with each block's serially chosen plan as the reference answer. *)
+let material =
+  lazy
+    (let blocks =
+       Array.of_list
+         (List.concat_map
+            (fun wl ->
+              List.map
+                (fun (q : W.Workload.query) -> q.W.Workload.block)
+                (Qopt_experiments.Common.workload env wl).W.Workload.queries)
+            [ "linear"; "star" ])
+     in
+     let plans =
+       Array.map
+         (fun b ->
+           match (O.Optimizer.optimize env b).O.Optimizer.best with
+           | Some p -> p
+           | None -> Alcotest.fail "corpus block has no plan")
+         blocks
+     in
+     let keys = Array.map Cote.Stmt_cache.signature blocks in
+     (blocks, plans, keys))
+
+(* Bit-for-bit plan identity: the compact rendering plus the raw cost
+   bits (compare exact, not within epsilon). *)
+let plan_bits p =
+  Printf.sprintf "%s#%Lx"
+    (Format.asprintf "%a" O.Plan.pp_compact p)
+    (Int64.bits_of_float p.O.Plan.cost)
+
+type stress = {
+  stmt_hit : int;
+  stmt_miss : int;
+  plan_hit : int;
+  plan_miss : int;
+  plan_inv : int;
+  bad_plan : int;  (* cache hits whose plan or payload differed from serial *)
+}
+
+(* The serving-shaped op: one stmt-cache probe-or-record plus one
+   plan-cache probe-or-store, against caches shared by all domains.  The
+   plan-cache payload is the block index, so a hit can verify it was
+   served the entry stored under its own key. *)
+let stress ~domains ~stripes ~total () =
+  let blocks, plans, keys = Lazy.force material in
+  let nb = Array.length blocks in
+  let cache = Cote.Stmt_cache.create ~shared:true ~stripes () in
+  let pcache = Cote.Plan_cache.create ~shared:true ~stripes () in
+  let outcomes =
+    P.Pool.map_indexed ~domains total (fun i ->
+        let j = i mod nb in
+        let s =
+          match Cote.Stmt_cache.lookup cache blocks.(j) with
+          | Some _ -> `Hit
+          | None ->
+            Cote.Stmt_cache.record cache blocks.(j) 1e-3;
+            `Miss
+        in
+        let p =
+          match Cote.Plan_cache.lookup pcache ~key:keys.(j) blocks.(j) with
+          | Cote.Plan_cache.Hit { plan; payload } ->
+            if payload = j && String.equal (plan_bits plan) (plan_bits plans.(j))
+            then `Hit
+            else `Bad
+          | Cote.Plan_cache.Miss ->
+            Cote.Plan_cache.store pcache ~key:keys.(j) blocks.(j)
+              ~plan:plans.(j) j;
+            `Miss
+          | Cote.Plan_cache.Invalidated _ -> `Inv
+        in
+        (s, p))
+  in
+  let tally =
+    Array.fold_left
+      (fun acc (s, p) ->
+        {
+          stmt_hit = (acc.stmt_hit + match s with `Hit -> 1 | `Miss -> 0);
+          stmt_miss = (acc.stmt_miss + match s with `Hit -> 0 | `Miss -> 1);
+          plan_hit = (acc.plan_hit + match p with `Hit -> 1 | _ -> 0);
+          plan_miss = (acc.plan_miss + match p with `Miss -> 1 | _ -> 0);
+          plan_inv = (acc.plan_inv + match p with `Inv -> 1 | _ -> 0);
+          bad_plan = (acc.bad_plan + match p with `Bad -> 1 | _ -> 0);
+        })
+      {
+        stmt_hit = 0;
+        stmt_miss = 0;
+        plan_hit = 0;
+        plan_miss = 0;
+        plan_inv = 0;
+        bad_plan = 0;
+      }
+      outcomes
+  in
+  (cache, pcache, tally)
+
+let check_accounting ~domains ~stripes () =
+  let total = 2_000 in
+  let blocks, plans, keys = Lazy.force material in
+  let nb = Array.length blocks in
+  let cache, pcache, y = stress ~domains ~stripes ~total () in
+  (* Exact accounting: every lookup landed in exactly one bucket, both as
+     seen by the callers and as tallied inside the cache. *)
+  Alcotest.(check int) "stmt hits+misses = lookups" total (y.stmt_hit + y.stmt_miss);
+  Alcotest.(check int) "stmt cache tallies agree" total
+    (Cote.Stmt_cache.hits cache + Cote.Stmt_cache.misses cache);
+  Alcotest.(check int)
+    "plan hits+misses+invalidations = lookups" total
+    (y.plan_hit + y.plan_miss + y.plan_inv + y.bad_plan);
+  Alcotest.(check int) "plan cache tallies agree" total
+    (Cote.Plan_cache.hits pcache + Cote.Plan_cache.misses pcache
+    + Cote.Plan_cache.invalidations pcache);
+  (* Stable environment, no stats bumps: nothing may invalidate. *)
+  Alcotest.(check int) "no invalidations" 0 y.plan_inv;
+  (* Every served hit was the serial plan with the right payload. *)
+  Alcotest.(check int) "every hit bit-identical to serial" 0 y.bad_plan;
+  (* No lost updates: after the dust settles every key is present, and a
+     final probe serves exactly the serially chosen plan. *)
+  Array.iteri
+    (fun j b ->
+      (match Cote.Stmt_cache.lookup cache b with
+      | Some v -> Alcotest.(check (float 0.0)) "recorded time survives" 1e-3 v
+      | None -> Alcotest.failf "stmt entry %d lost" j);
+      match Cote.Plan_cache.lookup pcache ~key:keys.(j) b with
+      | Cote.Plan_cache.Hit { plan; payload } ->
+        Alcotest.(check int) "payload survives" j payload;
+        Alcotest.(check string)
+          "plan bit-for-bit" (plan_bits plans.(j)) (plan_bits plan)
+      | Cote.Plan_cache.Miss | Cote.Plan_cache.Invalidated _ ->
+        Alcotest.failf "plan entry %d lost" j)
+    blocks;
+  Alcotest.(check int) "stmt cache holds every signature" nb
+    (Cote.Stmt_cache.size cache);
+  Alcotest.(check int) "plan cache holds every key" nb
+    (Cote.Plan_cache.size pcache)
+
+let suite =
+  [
+    t "4-domain striped stress: accounting, lost updates, plan identity"
+      (check_accounting ~domains:4 ~stripes:8);
+    t "4-domain single-stripe stress: same invariants on the old design"
+      (check_accounting ~domains:4 ~stripes:1);
+    t "serial run through the striped cache is deterministic" (fun () ->
+        (* At one domain the hit/miss split is exact: first touch of each
+           key misses, every revisit hits — stripe count must not matter. *)
+        let total = 500 in
+        let blocks, _, _ = Lazy.force material in
+        let nb = Array.length blocks in
+        List.iter
+          (fun stripes ->
+            let _, _, y = stress ~domains:1 ~stripes ~total () in
+            Alcotest.(check int)
+              (Printf.sprintf "misses (stripes=%d)" stripes)
+              nb y.stmt_miss;
+            Alcotest.(check int)
+              (Printf.sprintf "hits (stripes=%d)" stripes)
+              (total - nb) y.stmt_hit;
+            Alcotest.(check int)
+              (Printf.sprintf "plan misses (stripes=%d)" stripes)
+              nb y.plan_miss)
+          [ 1; 8 ]);
+    t "concurrent stores never break the LRU capacity bound" (fun () ->
+        let blocks, plans, _ = Lazy.force material in
+        let capacity = 8 in
+        let total = 600 in
+        let pcache =
+          Cote.Plan_cache.create ~shared:true
+            ~config:{ Cote.Plan_cache.slack = 0.5; capacity }
+            ()
+        in
+        (* Distinct key per op: every lookup misses and every store lands
+           in a full stripe once warm, so eviction runs constantly under
+           four domains. *)
+        let (_ : unit array) =
+          P.Pool.map_indexed ~domains:4 total (fun i ->
+              let key = Printf.sprintf "k%d" i in
+              match Cote.Plan_cache.lookup pcache ~key blocks.(0) with
+              | Cote.Plan_cache.Hit _ -> ()
+              | Cote.Plan_cache.Miss | Cote.Plan_cache.Invalidated _ ->
+                Cote.Plan_cache.store pcache ~key blocks.(0) ~plan:plans.(0) ())
+        in
+        let size = Cote.Plan_cache.size pcache in
+        Alcotest.(check bool)
+          (Printf.sprintf "size %d <= capacity %d" size capacity)
+          true (size <= capacity);
+        (* Each stripe evicts exactly on overflow: stores - resident =
+           evictions, with no slack for double-frees or lost evictions. *)
+        Alcotest.(check int) "evictions reconcile exactly" (total - size)
+          (Cote.Plan_cache.evictions pcache);
+        Alcotest.(check int) "misses = distinct keys" total
+          (Cote.Plan_cache.misses pcache));
+    t "lock audit reconciles with the traffic that produced it" (fun () ->
+        let reg = Obs.Registry.default in
+        let acq () = Obs.Registry.counter_value reg "lock.stmt_cache.acquisitions" in
+        let contended () = Obs.Registry.counter_value reg "lock.stmt_cache.contended" in
+        let wait = Obs.Registry.histogram reg "lock.stmt_cache.wait_s" in
+        let total = 1_000 in
+        let a0 = acq () and c0 = contended () and n0 = Obs.Histo.count wait in
+        let s0 = Obs.Histo.sum wait in
+        Obs.Control.with_enabled true (fun () ->
+            let _, _, y = stress ~domains:4 ~stripes:8 ~total () in
+            ignore y);
+        let da = acq () - a0 and dc = contended () - c0 in
+        (* Every op acquires a stmt-cache stripe at least once (the
+           lookup), misses acquire again to record. *)
+        Alcotest.(check bool)
+          (Printf.sprintf "acquisitions %d >= ops %d" da total)
+          true (da >= total);
+        Alcotest.(check bool) "contended subset of acquisitions" true
+          (dc >= 0 && dc <= da);
+        (* The wait histogram records one observation per instrumented
+           acquire — zero for the uncontended ones — so count tracks
+           acquisitions and sum stays finite and non-negative. *)
+        Alcotest.(check int) "one wait observation per acquisition" da
+          (Obs.Histo.count wait - n0);
+        let dw = Obs.Histo.sum wait -. s0 in
+        Alcotest.(check bool) "wait sum sane" true (dw >= 0.0 && Float.is_finite dw));
+    t "disabled obs leaves the audit untouched" (fun () ->
+        let reg = Obs.Registry.default in
+        let acq () = Obs.Registry.counter_value reg "lock.stmt_cache.acquisitions" in
+        let before = acq () in
+        Obs.Control.with_enabled false (fun () ->
+            let _, _, y = stress ~domains:2 ~stripes:8 ~total:200 () in
+            Alcotest.(check int) "stress still correct" 200
+              (y.stmt_hit + y.stmt_miss));
+        Alcotest.(check int) "no acquisitions recorded" before (acq ()));
+  ]

@@ -630,6 +630,64 @@ let server_tests =
                   Alcotest.(check int) "compiles" 1 (field "compiles");
                   Alcotest.(check int) "rejected" 0 (field "rejected")
                 | _ -> Alcotest.fail "expected stats reply")));
+    t "stats reconcile exactly after a mixed burst" (fun () ->
+        (* The counters live in per-event atomics (not one mutex-guarded
+           block), so the reconciliation must still be exact: every request
+           lands in exactly one outcome bucket, and admitted splits into
+           cold compiles + plan hits with nothing lost or double-counted. *)
+        with_server
+          ~configure:(fun cfg ->
+            { cfg with Srv.Server.plan_cache = Some Cote.Plan_cache.default_config })
+          (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let estimate sql =
+                  ignore
+                    (request_exn c
+                       (Srv.Proto.Estimate
+                          { id = Srv.Client.fresh_id c; sql; schema = None }))
+                in
+                let compile sql =
+                  ignore
+                    (request_exn c
+                       (Srv.Proto.Compile
+                          {
+                            id = Srv.Client.fresh_id c;
+                            sql;
+                            schema = None;
+                            deadline_ms = None;
+                          }))
+                in
+                for _ = 1 to 3 do
+                  estimate small_sql
+                done;
+                estimate "SELECT x.a FROM no_such_table x";
+                estimate "SELECT ' FROM store s";
+                compile small_sql;
+                (* Structurally identical: served from the plan cache. *)
+                compile small_sql;
+                compile big_sql;
+                match request_exn c (Srv.Proto.Stats { id = Srv.Client.fresh_id c }) with
+                | Srv.Proto.R_stats (_, doc) ->
+                  let f = stat doc in
+                  Alcotest.(check int) "estimates" 3 (f "estimates");
+                  Alcotest.(check int) "errors" 2 (f "errors");
+                  Alcotest.(check int) "compiles" 2 (f "compiles");
+                  Alcotest.(check int) "plan hits" 1 (f "plan_hits");
+                  Alcotest.(check int) "admitted = compiles + plan hits"
+                    (f "compiles" + f "plan_hits")
+                    (f "admitted");
+                  Alcotest.(check int) "rejected" 0 (f "rejected");
+                  Alcotest.(check int) "cancelled" 0 (f "cancelled");
+                  (* Every request accounted for exactly once, including
+                     this stats poll itself. *)
+                  Alcotest.(check int) "requests reconcile"
+                    (f "estimates" + f "errors" + f "compiles" + f "plan_hits"
+                    + f "rejected" + f "cancelled" + 1)
+                    (f "requests")
+                | _ -> Alcotest.fail "expected stats reply")));
     t "bad SQL over the socket is a structured error reply" (fun () ->
         with_server (fun addr ->
             let c = Srv.Client.connect addr in

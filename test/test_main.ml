@@ -21,6 +21,7 @@ let () =
       ("obs", T_obs.suite);
       ("hotpath", T_hotpath.suite);
       ("par", T_par.suite);
+      ("contention", T_contention.suite);
       ("stmt-cache", T_stmt_cache.suite);
       ("recalibrate", T_recalibrate.suite);
       ("plan-cache", T_plan_cache.suite);
