@@ -653,6 +653,117 @@ let recalib_rows () =
   List.iter (fun (name, v) -> Format.printf "%-36s %16.2f@." name v) rows;
   rows
 
+(* Fleet vs one multi-worker server at equal total domains: three
+   spawned single-worker backends behind the estimate-aware router
+   against one server with three worker domains, both driven by the same
+   mixed-tenant bursty scenario (4 tenants x 3 bursts of ~24 smalls +
+   ~2 bigs).  Process isolation is the fleet's edge — a backend's
+   stop-the-world minor GC stalls only its own queue — and rendezvous
+   affinity keeps repeat templates on warm statement caches:
+
+     fleet/qps                — compiled replies per second through the
+                                router; the headline against
+                                fleet/qps-single-backend
+     fleet/p95                — p95 send-to-reply milliseconds through
+                                the router
+     fleet/affinity-hit-rate  — percent of routed compiles landing on
+                                their first-choice rendezvous backend
+     fleet/qps-single-backend — same scenario against the one 3-worker
+                                server *)
+let fleet_rows () =
+  let module Srv = Qopt_server in
+  let module F = Qopt_fleet in
+  let qopt_exe =
+    Filename.concat (Filename.dirname Sys.executable_name) "../bin/qopt.exe"
+  in
+  if not (Sys.file_exists qopt_exe) then begin
+    Format.printf "=== Fleet serving: skipped (%s not built) ===@." qopt_exe;
+    []
+  end
+  else begin
+    let base =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "qopt-bench-fleet-%d" (Unix.getpid ()))
+    in
+    let spec i =
+      let sock = Printf.sprintf "%s.b%d" base i in
+      (try Sys.remove sock with Sys_error _ -> ());
+      {
+        F.Backend.sp_addr = `Unix sock;
+        sp_launch =
+          F.Backend.Spawn
+            {
+              exe = qopt_exe;
+              argv =
+                [|
+                  "qopt"; "serve"; "--workers"; "1"; "--trust-hints"; "-s"; sock;
+                |];
+            };
+      }
+    in
+    let router_addr = `Unix (base ^ ".sock") in
+    let cfg =
+      F.Router.default_config ~listen:router_addr ~backends:(List.init 3 spec)
+        ~model:bench_model ~schemas:bench_schemas ()
+    in
+    let counter name = Obs.Registry.counter_value Obs.Registry.default name in
+    let lock = Mutex.create () and cond = Condition.create () in
+    let ready = ref false in
+    let th =
+      Thread.create
+        (fun () ->
+          F.Router.run
+            ~on_ready:(fun () ->
+              Mutex.protect lock (fun () ->
+                  ready := true;
+                  Condition.signal cond))
+            cfg)
+        ()
+    in
+    Mutex.lock lock;
+    while not !ready do
+      Condition.wait cond lock
+    done;
+    Mutex.unlock lock;
+    let scenario = F.Scenario.default_config in
+    let h0 = counter "fleet.affinity_hits"
+    and t0 = counter "fleet.affinity_total" in
+    let fleet =
+      Fun.protect
+        ~finally:(fun () ->
+          (try
+             let c = Srv.Client.connect router_addr in
+             ignore (Srv.Client.request c (Srv.Proto.Shutdown { id = 0 }));
+             Srv.Client.close c
+           with Unix.Unix_error _ | Sys_error _ -> ());
+          Thread.join th)
+        (fun () -> F.Scenario.run scenario ~addr:router_addr)
+    in
+    let hits = counter "fleet.affinity_hits" - h0
+    and total = counter "fleet.affinity_total" - t0 in
+    let single =
+      with_server
+        (fun cfg -> { cfg with Srv.Server.workers = 3 })
+        (fun addr -> F.Scenario.run scenario ~addr)
+    in
+    let rows =
+      [
+        ("fleet/qps", fleet.Srv.Loadgen.qps);
+        ( "fleet/p95",
+          1e3 *. Srv.Loadgen.percentile fleet.Srv.Loadgen.latencies_s 0.95 );
+        ( "fleet/affinity-hit-rate",
+          if total = 0 then 0.0
+          else 100.0 *. float_of_int hits /. float_of_int total );
+        ("fleet/qps-single-backend", single.Srv.Loadgen.qps);
+      ]
+    in
+    Format.printf
+      "=== Fleet serving (3 spawned 1-worker backends vs one 3-worker server) \
+       ===@.";
+    List.iter (fun (name, v) -> Format.printf "%-36s %16.2f@." name v) rows;
+    rows
+  end
+
 (* Machine-readable results for CI trend tracking: a flat benchmark-name ->
    ns/run object, one line per benchmark so diffs stay readable. *)
 let write_bench_json path rows =
@@ -707,6 +818,8 @@ let () =
   Format.printf "@.";
   let rows = rows @ plan_cache_rows () in
   let rows = rows @ recalib_rows () in
+  Format.printf "@.";
+  let rows = rows @ fleet_rows () in
   Format.printf "@.";
   let rows = if quick then rows @ scale_rows () else rows in
   if quick then begin

@@ -11,6 +11,8 @@
      list       — list workloads, their queries, and experiment ids
      serve      — run the compile-service daemon (COTE-driven admission,
                   SJF scheduling, level downgrades) on a socket
+     fleet      — spawn N backend servers and route compiles across them
+                  (estimate-aware tiering, template affinity, failover)
      client     — send one request to a running server and print the reply
      loadgen    — drive a server with a mixed workload and report latency
                   percentiles and outcome counts *)
@@ -19,6 +21,7 @@ module O = Qopt_optimizer
 module W = Qopt_workloads
 module E = Qopt_experiments
 module Obs = Qopt_obs
+module F = Qopt_fleet
 open Cmdliner
 
 let env_of_string = function
@@ -516,9 +519,17 @@ let serve_cmd =
       & info [ "recalib-min-interval" ] ~docv:"N"
           ~doc:"observations that must separate consecutive refit attempts")
   in
+  let trust_hints_term =
+    Arg.(
+      value & flag
+      & info [ "trust-hints" ]
+          ~doc:"admit compile requests on their estimate_hint_s instead of \
+                running a local COTE pass (fleet backends behind a router \
+                that estimates once); ignored when --downgrade-s is set")
+  in
   let run env socket tcp workers mode model per_request aggregate max_queue
       downgrade deadline plan_cache plan_cache_slack recalibrate recalib_window
-      recalib_drift recalib_min_interval =
+      recalib_drift recalib_min_interval trust_hints =
     wrap (fun () ->
         let mode =
           match mode with
@@ -569,6 +580,7 @@ let serve_cmd =
                      min_refit_interval = recalib_min_interval;
                    }
                else None);
+            trust_hints;
           }
         in
         let pp_addr ppf = function
@@ -593,7 +605,126 @@ let serve_cmd =
        $ mode_term $ model_term $ per_request_term $ aggregate_term
        $ max_queue_term $ downgrade_term $ deadline_term $ plan_cache_term
        $ plan_cache_slack_term $ recalibrate_term $ recalib_window_term
-       $ recalib_drift_term $ recalib_min_interval_term))
+       $ recalib_drift_term $ recalib_min_interval_term $ trust_hints_term))
+
+let fleet_cmd =
+  let backends_term =
+    Arg.(
+      value & opt int 3
+      & info [ "backends" ] ~docv:"N" ~doc:"backend server processes to spawn")
+  in
+  let latency_tier_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "latency-tier" ] ~docv:"K"
+          ~doc:"backends reserved for small queries (default all but one); \
+                the rest take the big ones")
+  in
+  let threshold_term =
+    Arg.(
+      value & opt float 0.5
+      & info [ "threshold-ms" ] ~docv:"MS"
+          ~doc:"predicted milliseconds at or under this route to the \
+                latency tier")
+  in
+  let affinity_term =
+    Arg.(
+      value & flag
+      & info [ "affinity" ]
+          ~doc:"route repeat statement templates to the same backend \
+                (rendezvous hash on the schema-qualified template key); \
+                default balances on least in-flight")
+  in
+  let workers_term =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~doc:"compile worker domains per backend")
+  in
+  let plan_cache_term =
+    Arg.(
+      value & flag
+      & info [ "plan-cache" ] ~doc:"backends serve repeats from a plan cache")
+  in
+  let model_term =
+    Arg.(
+      value & opt string "default"
+      & info [ "model" ] ~doc:"time model: default or calibrated")
+  in
+  let run env socket tcp backends latency_tier threshold_ms affinity workers
+      plan_cache model =
+    wrap (fun () ->
+        if backends < 1 then failwith "--backends must be at least 1";
+        let listen = addr_of ~socket ~tcp in
+        (* Backend addresses derive from the router's: sockets get a .bN
+           suffix, TCP backends take the next ports on loopback. *)
+        let backend_addr i : Srv.Server.addr =
+          match listen with
+          | `Unix p -> `Unix (Printf.sprintf "%s.b%d" p i)
+          | `Tcp (_, port) -> `Tcp ("127.0.0.1", port + 1 + i)
+        in
+        let spec i =
+          let addr = backend_addr i in
+          let argv =
+            [ "qopt"; "serve"; "--workers"; string_of_int workers;
+              "--trust-hints"; "--model"; model ]
+            @ (if plan_cache then [ "--plan-cache" ] else [])
+            @ (match addr with
+              | `Unix p -> [ "-s"; p ]
+              | `Tcp (h, p) -> [ "--tcp"; Printf.sprintf "%s:%d" h p ])
+          in
+          {
+            F.Backend.sp_addr = addr;
+            sp_launch =
+              F.Backend.Spawn
+                { exe = Sys.executable_name; argv = Array.of_list argv };
+          }
+        in
+        let cfg =
+          {
+            (F.Router.default_config ~listen
+               ~backends:(List.init backends spec)
+               ~model:(model_of env model)
+               ~schemas:
+                 [
+                   ("warehouse", schema_for env "warehouse");
+                   ("tpch", schema_for env "tpch");
+                 ]
+               ())
+            with
+            F.Router.latency_tier =
+              Option.value ~default:(max 1 (backends - 1)) latency_tier;
+            threshold_s = threshold_ms /. 1000.0;
+            affinity;
+            env;
+          }
+        in
+        let pp_addr ppf = function
+          | `Unix p -> Format.fprintf ppf "unix:%s" p
+          | `Tcp (h, p) -> Format.fprintf ppf "tcp:%s:%d" h p
+        in
+        F.Router.run
+          ~on_ready:(fun () ->
+            Format.printf
+              "qopt fleet: %d backend%s up (%d latency-tier), listening on \
+               %a%s@."
+              backends
+              (if backends = 1 then "" else "s")
+              (min (max 1 (Option.value ~default:(backends - 1) latency_tier)) backends)
+              pp_addr listen
+              (if affinity then ", template affinity" else ""))
+          cfg;
+        Format.printf "qopt fleet: shut down@.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Route compiles across a fleet of spawned backend servers \
+             (estimate once, tier by predicted time, fail over on death)")
+    Term.(
+      ret
+        (const run $ env_term $ socket_term $ tcp_term $ backends_term
+       $ latency_tier_term $ threshold_term $ affinity_term $ workers_term
+       $ plan_cache_term $ model_term))
 
 let client_cmd =
   let op_term =
@@ -624,7 +755,14 @@ let client_cmd =
               match op with
               | "estimate" -> Srv.Proto.Estimate { id; sql = need_sql (); schema }
               | "compile" ->
-                Srv.Proto.Compile { id; sql = need_sql (); schema; deadline_ms }
+                Srv.Proto.Compile
+                  {
+                    id;
+                    sql = need_sql ();
+                    schema;
+                    deadline_ms;
+                    estimate_hint_s = None;
+                  }
               | "stats" -> Srv.Proto.Stats { id }
               | "shutdown" -> Srv.Proto.Shutdown { id }
               | o ->
@@ -669,12 +807,53 @@ let loadgen_cmd =
       & opt (some float) None
       & info [ "deadline-ms" ] ~doc:"per-compile deadline in milliseconds")
   in
-  let run socket tcp smalls bigs burst clients deadline_ms =
+  let scenario_term =
+    Arg.(
+      value & flag
+      & info [ "scenario" ]
+          ~doc:"fleet scenario: --tenants concurrent connections each \
+                pipeline --bursts jittered bursts of the mix (smalls/bigs \
+                become per-burst bases), with optional per-tenant \
+                --slow-start-ms stagger")
+  in
+  let tenants_term =
+    Arg.(value & opt int 4 & info [ "tenants" ] ~doc:"scenario connections")
+  in
+  let bursts_term =
+    Arg.(value & opt int 3 & info [ "bursts" ] ~doc:"bursts per tenant")
+  in
+  let pause_term =
+    Arg.(
+      value & opt float 20.0
+      & info [ "pause-ms" ] ~doc:"idle gap between a tenant's bursts")
+  in
+  let slow_start_term =
+    Arg.(
+      value & opt float 0.0
+      & info [ "slow-start-ms" ] ~doc:"per-tenant connect stagger")
+  in
+  let seed_term =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"scenario jitter seed")
+  in
+  let run socket tcp smalls bigs burst clients deadline_ms scenario tenants
+      bursts pause_ms slow_start_ms seed =
     wrap (fun () ->
         let addr = addr_of ~socket ~tcp in
         let sql = Srv.Loadgen.warehouse_mix ~smalls ~bigs in
         let s =
-          if burst then Srv.Loadgen.run_burst ?deadline_ms ~addr ~sql ()
+          if scenario then
+            F.Scenario.run
+              {
+                F.Scenario.tenants;
+                bursts;
+                smalls;
+                bigs;
+                pause_s = pause_ms /. 1000.0;
+                slow_start_s = slow_start_ms /. 1000.0;
+                seed;
+              }
+              ~addr
+          else if burst then Srv.Loadgen.run_burst ?deadline_ms ~addr ~sql ()
           else Srv.Loadgen.run_closed ?deadline_ms ~clients ~addr ~sql ()
         in
         Format.printf
@@ -693,7 +872,9 @@ let loadgen_cmd =
     Term.(
       ret
         (const run $ socket_term $ tcp_term $ smalls_term $ bigs_term
-       $ burst_term $ clients_term $ deadline_term))
+       $ burst_term $ clients_term $ deadline_term $ scenario_term
+       $ tenants_term $ bursts_term $ pause_term $ slow_start_term
+       $ seed_term))
 
 let () =
   let info =
@@ -705,5 +886,6 @@ let () =
        (Cmd.group info
           [
             optimize_cmd; estimate_cmd; breakdown_cmd; batch_cmd; calibrate_cmd;
-            experiment_cmd; list_cmd; serve_cmd; client_cmd; loadgen_cmd;
+            experiment_cmd; list_cmd; serve_cmd; fleet_cmd; client_cmd;
+            loadgen_cmd;
           ]))

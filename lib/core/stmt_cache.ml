@@ -146,6 +146,16 @@ let lookup t ?tag block =
         update_hit_rate ();
         None)
 
+(* Refinement in one call: a recorded actual beats the model's estimate,
+   the model's estimate stands when the cache has never seen the shape.
+   The server's evaluation path and the fleet router's routing estimate
+   share this rule, so "estimate once, refine from observed actuals"
+   means the same thing at both layers. *)
+let refine t ?tag block ~model_s =
+  match lookup t ?tag block with
+  | Some seconds -> seconds
+  | None -> model_s
+
 let size_unmerged t =
   Array.fold_left
     (fun acc s -> acc + with_stripe s (fun () -> Hashtbl.length s.tbl))

@@ -51,6 +51,13 @@ val record : t -> ?tag:string -> O.Query_block.t -> float -> unit
 (** Store a measured compile time under the same optional [?tag]
     partition as {!lookup}. *)
 
+val refine : t -> ?tag:string -> O.Query_block.t -> model_s:float -> float
+(** [refine t block ~model_s]: the recorded actual for a structurally
+    identical query when one exists, [model_s] otherwise — the
+    estimate-refinement rule shared by the compile server's admission
+    path and the fleet router's routing estimate.  Counts as a lookup
+    for hit/miss accounting. *)
+
 val size : t -> int
 
 val hits : t -> int

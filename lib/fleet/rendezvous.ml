@@ -1,0 +1,43 @@
+(* Rendezvous (highest-random-weight) hashing: every (key, node) pair
+   gets a deterministic 64-bit score, and a key's owner is the node with
+   the highest score.  Removing a node only remaps the keys that node
+   owned — every other key keeps its owner — which is exactly the
+   stability a failover router needs: when a backend dies, only its
+   templates move, and they come home when it returns. *)
+
+let fnv_prime = 0x100000001b3L
+
+let fnv_basis = 0xcbf29ce484222325L
+
+let fnv1a64 s =
+  let h = ref fnv_basis in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+(* splitmix64 finalizer: FNV alone is too regular for adjacent node
+   indices — without a strong final mix, node i and node i+1 would get
+   correlated scores and the ownership distribution skews. *)
+let mix h =
+  let open Int64 in
+  let h = add h 0x9e3779b97f4a7c15L in
+  let h = mul (logxor h (shift_right_logical h 30)) 0xbf58476d1ce4e5b9L in
+  let h = mul (logxor h (shift_right_logical h 27)) 0x94d049bb133111ebL in
+  logxor h (shift_right_logical h 31)
+
+let score key node =
+  mix (Int64.logxor (fnv1a64 key) (mix (Int64.of_int (node + 1))))
+
+let ranked ~nodes key =
+  if nodes <= 0 then []
+  else
+    List.init nodes (fun i -> (score key i, i))
+    |> List.sort (fun (a, _) (b, _) -> Int64.unsigned_compare b a)
+    |> List.map snd
+
+let choose ~nodes key =
+  match ranked ~nodes key with
+  | best :: _ -> best
+  | [] -> invalid_arg "Qopt_fleet.Rendezvous.choose: no nodes"

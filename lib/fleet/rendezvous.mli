@@ -1,0 +1,19 @@
+(** Rendezvous (highest-random-weight) hashing for template affinity.
+
+    Each (key, node) pair is scored with a deterministic 64-bit hash
+    (FNV-1a over the key, splitmix64-mixed with the node index); a key
+    belongs to the highest-scoring node.  Unlike modulo placement,
+    removing a node remaps only that node's keys — the stability the
+    fleet router relies on to keep a statement template's compiled state
+    (statement cache, plan cache) concentrated on one backend across
+    membership changes. *)
+
+val score : string -> int -> int64
+(** Deterministic score of [key] on node [node]. *)
+
+val ranked : nodes:int -> string -> int list
+(** All node indices [0 .. nodes-1] by descending score: the head is the
+    key's owner, the tail is the failover order.  Empty iff [nodes <= 0]. *)
+
+val choose : nodes:int -> string -> int
+(** Head of {!ranked}.  Raises [Invalid_argument] when [nodes <= 0]. *)

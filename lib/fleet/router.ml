@@ -1,0 +1,603 @@
+module O = Qopt_optimizer
+module J = Qopt_util.Json
+module Timer = Qopt_util.Timer
+module Obs = Qopt_obs
+module Srv = Qopt_server
+
+type config = {
+  listen : Srv.Server.addr;
+  backends : Backend.spec list;
+  latency_tier : int;
+  threshold_s : float;
+  affinity : bool;
+  env : O.Env.t;
+  model : Cote.Time_model.t;
+  schemas : (string * Qopt_catalog.Schema.t) list;
+  levels : Cote.Multi_level.level list;
+  latency_timeout_s : float;
+  throughput_timeout_s : float;
+  backoff_cap_s : float;
+  probe_after_s : float;
+  respawn : bool;
+}
+
+let default_config ~listen ~backends ~model ~schemas () =
+  {
+    listen;
+    backends;
+    latency_tier = max 1 (List.length backends - 1);
+    threshold_s = 5e-4;
+    affinity = true;
+    env = O.Env.serial;
+    model;
+    schemas;
+    levels = Srv.Level.default_levels;
+    latency_timeout_s = 10.0;
+    throughput_timeout_s = 60.0;
+    backoff_cap_s = 0.05;
+    probe_after_s = 0.25;
+    respawn = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* fleet.* metrics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let m_requests = Obs.Registry.counter Obs.Registry.default "fleet.requests"
+
+let m_compiles = Obs.Registry.counter Obs.Registry.default "fleet.compiles"
+
+let m_rejected = Obs.Registry.counter Obs.Registry.default "fleet.rejected"
+
+let m_cancelled = Obs.Registry.counter Obs.Registry.default "fleet.cancelled"
+
+let m_errors = Obs.Registry.counter Obs.Registry.default "fleet.errors"
+
+let m_retries = Obs.Registry.counter Obs.Registry.default "fleet.retries"
+
+let m_failovers = Obs.Registry.counter Obs.Registry.default "fleet.failovers"
+
+let m_timeouts = Obs.Registry.counter Obs.Registry.default "fleet.timeouts"
+
+let m_affinity_hits =
+  Obs.Registry.counter Obs.Registry.default "fleet.affinity_hits"
+
+let m_affinity_total =
+  Obs.Registry.counter Obs.Registry.default "fleet.affinity_total"
+
+let m_readmissions =
+  Obs.Registry.counter Obs.Registry.default "fleet.readmissions"
+
+let m_routed_latency =
+  Obs.Registry.counter Obs.Registry.default "fleet.routed_latency_tier"
+
+let m_routed_throughput =
+  Obs.Registry.counter Obs.Registry.default "fleet.routed_throughput_tier"
+
+let m_latency = Obs.Registry.histogram Obs.Registry.default "fleet.latency_s"
+
+let m_backends_up = Obs.Registry.gauge Obs.Registry.default "fleet.backends_up"
+
+(* ------------------------------------------------------------------ *)
+(* State                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_oc : out_channel;
+  c_wlock : Mutex.t;
+}
+
+type t = {
+  cfg : config;
+  backends : Backend.t array;
+  cache : Cote.Stmt_cache.t;  (* router-side refinement, shared by conns *)
+  lock : Mutex.t;
+  mutable shutting : bool;
+  mutable conns : (conn * Thread.t) list;
+}
+
+let shutting t = Mutex.protect t.lock (fun () -> t.shutting)
+
+let send_reply conn reply =
+  try
+    Mutex.protect conn.c_wlock (fun () ->
+        Srv.Wire.write conn.c_oc
+          (J.to_string (Srv.Proto.reply_to_json reply)))
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Estimation (once, at the front door)                                *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_schema t name =
+  match name with
+  | None -> (
+    match t.cfg.schemas with
+    | (n, s) :: _ -> (n, s)
+    | [] -> failwith "router has no schemas configured")
+  | Some n -> (
+    match List.assoc_opt n t.cfg.schemas with
+    | Some s -> (n, s)
+    | None ->
+      failwith
+        (Printf.sprintf "unknown schema %S (known: %s)" n
+           (String.concat ", " (List.map fst t.cfg.schemas))))
+
+type routed = {
+  rt_block : O.Query_block.t;
+  rt_key : string;  (* schema-qualified template key — the affinity key *)
+  rt_choice : Srv.Level.chosen;
+  rt_predicted_s : float;  (* stmt-cache refined *)
+  rt_cache_hit : bool;
+}
+
+(* The fleet's "estimate once" point: one COTE pass here, refined by the
+   router's own statement cache (fed by elapsed times out of compile
+   replies), and the result rides to the backend as estimate_hint_s so a
+   trust-hints backend never re-estimates. *)
+let evaluate t ~id ~sql ~schema =
+  let schema_name, schema = resolve_schema t schema in
+  let ast = Qopt_sql.Parser.parse sql in
+  let block =
+    Qopt_sql.Binder.bind ~name:(Printf.sprintf "r%d" id) schema ast
+  in
+  let choice =
+    Srv.Level.select ~levels:t.cfg.levels ~downgrade_s:None
+      ~predict:(fun knobs ->
+        Cote.Predict.compile_time ~knobs ~model:t.cfg.model t.cfg.env block)
+  in
+  let level = choice.Srv.Level.level.Cote.Multi_level.level_name in
+  let cached = Cote.Stmt_cache.lookup t.cache ~tag:level block in
+  ( schema_name,
+    {
+      rt_block = block;
+      rt_key = schema_name ^ "|" ^ Qopt_sql.Template.key_of ast;
+      rt_choice = choice;
+      rt_predicted_s =
+        Option.value ~default:choice.Srv.Level.predicted_s cached;
+      rt_cache_hit = cached <> None;
+    } )
+
+let estimate_reply id rt =
+  let e = rt.rt_choice.Srv.Level.prediction.Cote.Predict.estimate in
+  Srv.Proto.R_estimate
+    ( id,
+      {
+        Srv.Proto.e_predicted_s = rt.rt_predicted_s;
+        e_level = rt.rt_choice.Srv.Level.level.Cote.Multi_level.level_name;
+        e_cache_hit = rt.rt_cache_hit;
+        e_joins = e.Cote.Estimator.joins;
+        e_nljn = e.Cote.Estimator.nljn;
+        e_mgjn = e.Cote.Estimator.mgjn;
+        e_hsjn = e.Cote.Estimator.hsjn;
+        e_entries = e.Cote.Estimator.entries;
+        e_estimation_s = e.Cote.Estimator.elapsed;
+      } )
+
+(* ------------------------------------------------------------------ *)
+(* Tiering and candidate order                                         *)
+(* ------------------------------------------------------------------ *)
+
+type tier = Latency | Throughput
+
+let tier_of t predicted_s =
+  if predicted_s <= t.cfg.threshold_s then Latency else Throughput
+
+let tier_size t =
+  min (max 1 t.cfg.latency_tier) (Array.length t.backends)
+
+(* Backends [0, k) serve the latency tier (small queries spread wide);
+   [k, n) serve the throughput tier (big queries, fewer backends, higher
+   per-request ceilings).  When k = n the split is degenerate and both
+   tiers share everyone. *)
+let tier_members t tier =
+  let n = Array.length t.backends in
+  let k = tier_size t in
+  match tier with
+  | Latency -> Array.to_list (Array.sub t.backends 0 k)
+  | Throughput ->
+    if k >= n then Array.to_list t.backends
+    else Array.to_list (Array.sub t.backends k (n - k))
+
+let order t ~key members =
+  match members with
+  | [] | [ _ ] -> members
+  | _ ->
+    if t.cfg.affinity then begin
+      (* Rendezvous over positions within the member list: stable under
+         a member dropping out (the rest keep their relative order). *)
+      let arr = Array.of_list members in
+      List.map (fun i -> arr.(i)) (Rendezvous.ranked ~nodes:(Array.length arr) key)
+    end
+    else
+      List.stable_sort
+        (fun a b -> compare (Backend.inflight a) (Backend.inflight b))
+        members
+
+(* A down backend is only dispatched to after a successful probe; the
+   probe itself is rate-limited and single-flight inside Backend. *)
+let available t b =
+  Backend.is_up b
+  || (not (shutting t))
+     && Backend.try_probe b ~probe_after_s:t.cfg.probe_after_s
+          ~respawn:t.cfg.respawn
+     && begin
+          Obs.Counter.incr m_readmissions;
+          true
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch with retry / failover                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dispatch t ~orig_id ~sql ~schema_name ~deadline_ms rt =
+  let tier = tier_of t rt.rt_predicted_s in
+  let timeout_s =
+    match tier with
+    | Latency ->
+      Obs.Counter.incr m_routed_latency;
+      t.cfg.latency_timeout_s
+    | Throughput ->
+      Obs.Counter.incr m_routed_throughput;
+      t.cfg.throughput_timeout_s
+  in
+  let primary = order t ~key:rt.rt_key (tier_members t tier) in
+  let home = List.map Backend.index primary in
+  let backup =
+    order t ~key:rt.rt_key
+      (List.filter
+         (fun b -> not (List.mem (Backend.index b) home))
+         (Array.to_list t.backends))
+  in
+  let first_choice =
+    match primary with b :: _ -> Backend.index b | [] -> -1
+  in
+  let mk id =
+    Srv.Proto.Compile
+      {
+        id;
+        sql;
+        schema = Some schema_name;
+        deadline_ms;
+        estimate_hint_s = Some rt.rt_predicted_s;
+      }
+  in
+  let finalize b reply =
+    (match reply with
+    | Srv.Proto.R_compile (_, body) ->
+      Obs.Counter.incr m_compiles;
+      (* Feed the router's statement cache from the measured elapsed so
+         the next estimate for this shape is an observed actual.  Plan
+         hits report 0 elapsed — recording those would poison estimates. *)
+      if (not body.Srv.Proto.c_plan_cached) && body.Srv.Proto.c_elapsed_s > 0.0
+      then
+        Cote.Stmt_cache.record t.cache ~tag:body.Srv.Proto.c_level rt.rt_block
+          body.Srv.Proto.c_elapsed_s;
+      if t.cfg.affinity then begin
+        Obs.Counter.incr m_affinity_total;
+        if Backend.index b = first_choice then
+          Obs.Counter.incr m_affinity_hits
+      end
+    | Srv.Proto.R_rejected _ -> Obs.Counter.incr m_rejected
+    | Srv.Proto.R_cancelled _ -> Obs.Counter.incr m_cancelled
+    | Srv.Proto.R_error _ -> Obs.Counter.incr m_errors
+    | Srv.Proto.R_estimate _ | Srv.Proto.R_stats _ | Srv.Proto.R_ok _ -> ());
+    Srv.Proto.with_reply_id reply orig_id
+  in
+  (* One rejection-retry on the same backend (after the server-advised
+     backoff), then the next candidate.  Channel loss fails over
+     immediately: a SIGKILLed backend costs an in-flight request exactly
+     one retry, never a wedge. *)
+  let rec attempt b ~may_retry =
+    match Backend.rpc b ~timeout_s mk with
+    | Backend.Reply (Srv.Proto.R_rejected { retry_after_us; _ } as reply) -> (
+      match retry_after_us with
+      | Some us when may_retry && not (shutting t) ->
+        Obs.Counter.incr m_retries;
+        Thread.delay (Float.min (us *. 1e-6) t.cfg.backoff_cap_s);
+        attempt b ~may_retry:false
+      | _ -> `Rejected reply)
+    | Backend.Reply reply -> `Served reply
+    | Backend.Timeout ->
+      Obs.Counter.incr m_timeouts;
+      `Move_on
+    | Backend.Unreachable ->
+      Backend.mark_down b;
+      Obs.Counter.incr m_failovers;
+      `Move_on
+  in
+  let rec go cands last_reject =
+    if shutting t then begin
+      Obs.Counter.incr m_cancelled;
+      Srv.Proto.R_cancelled
+        {
+          id = orig_id;
+          reason = "shutdown";
+          estimate_us = rt.rt_predicted_s *. 1e6;
+          queue_s = 0.0;
+        }
+    end
+    else
+      match cands with
+      | [] -> (
+        Obs.Counter.incr m_rejected;
+        match last_reject with
+        | Some reply -> Srv.Proto.with_reply_id reply orig_id
+        | None ->
+          Srv.Proto.R_rejected
+            {
+              id = orig_id;
+              reason = "fleet_unavailable";
+              estimate_us = rt.rt_predicted_s *. 1e6;
+              retry_after_us = None;
+            })
+      | b :: rest ->
+        if not (available t b) then go rest last_reject
+        else begin
+          Backend.note_routed b;
+          match attempt b ~may_retry:true with
+          | `Served reply -> finalize b reply
+          | `Rejected reply -> go rest (Some reply)
+          | `Move_on -> go rest last_reject
+        end
+  in
+  go (primary @ backup) None
+
+(* ------------------------------------------------------------------ *)
+(* Stats aggregation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let stats_json t =
+  let backend_doc b =
+    let live =
+      if Backend.is_up b then
+        match
+          Backend.rpc b ~timeout_s:2.0 (fun id -> Srv.Proto.Stats { id })
+        with
+        | Backend.Reply (Srv.Proto.R_stats (_, doc)) -> doc
+        | Backend.Reply _ | Backend.Timeout | Backend.Unreachable -> J.Null
+      else J.Null
+    in
+    J.Obj
+      [
+        ("index", J.int (Backend.index b));
+        ("up", J.Bool (Backend.is_up b));
+        ("pid", J.opt J.int (Backend.pid b));
+        ("routed", J.int (Backend.routed b));
+        ("inflight", J.int (Backend.inflight b));
+        ("stats", live);
+      ]
+  in
+  J.Obj
+    [
+      ("fleet", J.Bool true);
+      ("backends", J.Arr (Array.to_list (Array.map backend_doc t.backends)));
+      ("latency_tier", J.int (tier_size t));
+      ("metrics", Obs.Registry.json_value Obs.Registry.default);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let initiate_shutdown t =
+  Mutex.protect t.lock (fun () -> t.shutting <- true)
+
+let handle_compile t conn ~id ~sql ~schema ~deadline_ms =
+  let t0 = Timer.monotonic_now () in
+  match
+    let schema_name, rt = evaluate t ~id ~sql ~schema in
+    dispatch t ~orig_id:id ~sql ~schema_name ~deadline_ms rt
+  with
+  | reply ->
+    Obs.Histo.observe m_latency (Timer.monotonic_now () -. t0);
+    send_reply conn reply
+  | exception
+      ( Failure msg
+      | Qopt_sql.Parser.Error msg
+      | Qopt_sql.Binder.Error msg
+      | Invalid_argument msg ) ->
+    Obs.Counter.incr m_errors;
+    send_reply conn (Srv.Proto.R_error { id; message = msg })
+  | exception Qopt_sql.Lexer.Error (msg, at) ->
+    Obs.Counter.incr m_errors;
+    send_reply conn
+      (Srv.Proto.R_error
+         { id; message = Printf.sprintf "%s (at byte %d)" msg at })
+
+let handle_inline t conn req =
+  match req with
+  | Srv.Proto.Estimate { id; sql; schema } -> (
+    match evaluate t ~id ~sql ~schema with
+    | _, rt -> send_reply conn (estimate_reply id rt)
+    | exception
+        ( Failure msg
+        | Qopt_sql.Parser.Error msg
+        | Qopt_sql.Binder.Error msg
+        | Invalid_argument msg ) ->
+      Obs.Counter.incr m_errors;
+      send_reply conn (Srv.Proto.R_error { id; message = msg })
+    | exception Qopt_sql.Lexer.Error (msg, at) ->
+      Obs.Counter.incr m_errors;
+      send_reply conn
+        (Srv.Proto.R_error
+           { id; message = Printf.sprintf "%s (at byte %d)" msg at }))
+  | Srv.Proto.Stats { id } ->
+    send_reply conn (Srv.Proto.R_stats (id, stats_json t))
+  | Srv.Proto.Shutdown { id } ->
+    send_reply conn (Srv.Proto.R_ok id);
+    initiate_shutdown t
+  | Srv.Proto.Compile _ -> assert false (* routed through handle_compile *)
+
+let conn_main t conn ic () =
+  (* Each compile gets its own dispatcher thread: a pipelined client
+     burst fans out across backends concurrently instead of serializing
+     on this connection's read loop. *)
+  let workers = ref [] in
+  let rec loop () =
+    match Srv.Wire.read ic with
+    | None -> ()
+    | Some payload ->
+      (match Result.bind (J.parse payload) Srv.Proto.request_of_json with
+      | Error msg ->
+        send_reply conn (Srv.Proto.R_error { id = 0; message = msg })
+      | Ok req -> (
+        Obs.Counter.incr m_requests;
+        match req with
+        | Srv.Proto.Compile { id; sql; schema; deadline_ms; _ } ->
+          let th =
+            Thread.create
+              (fun () -> handle_compile t conn ~id ~sql ~schema ~deadline_ms)
+              ()
+          in
+          workers := th :: !workers
+        | req -> handle_inline t conn req));
+      loop ()
+  in
+  (try loop () with
+  | Srv.Wire.Framing_error msg ->
+    send_reply conn (Srv.Proto.R_error { id = 0; message = msg })
+  | Sys_error _ | Unix.Unix_error _ | End_of_file -> ());
+  List.iter Thread.join !workers;
+  try Unix.close conn.c_fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Watchdog                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Readmission must not depend on traffic: with only dispatch-path
+   probes an idle fleet never heals.  This loop probes every down
+   backend on a slow cadence; the single-flight claim and cool-down
+   inside [Backend.try_probe] keep it from colliding with dispatchers
+   probing the same backend. *)
+let prober t () =
+  let rec loop () =
+    if shutting t then ()
+    else begin
+      Array.iter
+        (fun b ->
+          if (not (Backend.is_up b)) && not (shutting t) then
+            if
+              Backend.try_probe b ~probe_after_s:t.cfg.probe_after_s
+                ~respawn:t.cfg.respawn
+            then Obs.Counter.incr m_readmissions)
+        t.backends;
+      Thread.delay 0.05;
+      loop ()
+    end
+  in
+  loop ()
+
+let watchdog t () =
+  let rec loop () =
+    if shutting t then ()
+    else begin
+      Array.iter Backend.tick t.backends;
+      Obs.Gauge.set m_backends_up
+        (float_of_int
+           (Array.fold_left
+              (fun acc b -> if Backend.is_up b then acc + 1 else acc)
+              0 t.backends));
+      Thread.delay 0.02;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Listener                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bind_listen addr =
+  match addr with
+  | `Unix path ->
+    if Sys.file_exists path then (
+      try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | `Tcp (host, port) ->
+    let inet =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_of_string host
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 64;
+    fd
+
+let run ?(on_ready = fun () -> ()) (cfg : config) =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  if cfg.backends = [] then
+    invalid_arg "Qopt_fleet.Router.run: no backends configured";
+  let t =
+    {
+      cfg;
+      backends = Array.of_list (List.mapi Backend.create cfg.backends);
+      cache = Cote.Stmt_cache.create ~shared:true ();
+      lock = Mutex.create ();
+      shutting = false;
+      conns = [];
+    }
+  in
+  let obs_was = !Obs.Control.on in
+  Obs.Control.set_enabled true;
+  let started_all =
+    Array.for_all (fun b -> Backend.start b) t.backends
+  in
+  if not started_all then begin
+    Array.iter (fun b -> Backend.shutdown ~timeout_s:1.0 b) t.backends;
+    Obs.Control.set_enabled obs_was;
+    failwith "qopt fleet: a backend never became reachable"
+  end;
+  let listen_fd = bind_listen cfg.listen in
+  let dog = Thread.create (watchdog t) () in
+  let heal = Thread.create (prober t) () in
+  on_ready ();
+  let rec accept_loop () =
+    if shutting t then ()
+    else begin
+      (match Unix.select [ listen_fd ] [] [] 0.05 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept listen_fd with
+        | fd, _ ->
+          let conn =
+            { c_fd = fd; c_oc = Unix.out_channel_of_descr fd; c_wlock = Mutex.create () }
+          in
+          let ic = Unix.in_channel_of_descr fd in
+          let thread = Thread.create (conn_main t conn ic) () in
+          Mutex.protect t.lock (fun () -> t.conns <- (conn, thread) :: t.conns)
+        | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ());
+      accept_loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (match cfg.listen with
+      | `Unix path -> (
+        try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+      | `Tcp _ -> ());
+      initiate_shutdown t;
+      (* The prober must be gone before backends are torn down — a probe
+         racing shutdown could respawn a process nobody would reap. *)
+      Thread.join heal;
+      (* Backends drain first: their running compiles finish and reply,
+         pending router rpcs resolve, then client connections unwind. *)
+      Array.iter Backend.shutdown t.backends;
+      let conns = Mutex.protect t.lock (fun () -> t.conns) in
+      List.iter
+        (fun (conn, _) ->
+          try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ())
+        conns;
+      List.iter (fun (_, thread) -> Thread.join thread) conns;
+      Thread.join dog;
+      Obs.Control.set_enabled obs_was)
+    accept_loop

@@ -1,0 +1,119 @@
+module Timer = Qopt_util.Timer
+module Srv = Qopt_server
+
+type config = {
+  tenants : int;
+  bursts : int;
+  smalls : int;
+  bigs : int;
+  pause_s : float;
+  slow_start_s : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    tenants = 4;
+    bursts = 3;
+    smalls = 24;
+    bigs = 2;
+    pause_s = 0.02;
+    slow_start_s = 0.0;
+    seed = 42;
+  }
+
+(* Deterministic per-tenant randomness (no global RNG: scenarios must
+   replay bit-identically under a fixed seed, and Random's global state
+   is shared across threads). *)
+let lcg state =
+  let s = ((state * 25214903917) + 11) land 0xFFFFFFFFFFFF in
+  (s, (s lsr 16) land 0x3FFFFFFF)
+
+(* A tenant's burst: the shared warehouse mix, with the small/big split
+   jittered per (tenant, burst) so tenants are mixed rather than in
+   lockstep — some bursts lean small (latency tier), some lean big
+   (throughput tier). *)
+let burst_mix cfg ~rng =
+  let rng, r1 = lcg rng in
+  let rng, r2 = lcg rng in
+  let jitter base r =
+    if base <= 1 then base else base - (base / 4) + (r mod (max 1 (base / 2)))
+  in
+  (rng, Srv.Loadgen.warehouse_mix ~smalls:(jitter cfg.smalls r1) ~bigs:(jitter cfg.bigs r2))
+
+type tally = {
+  mutable sent : int;
+  mutable outcomes : Srv.Loadgen.outcome list;
+  mutable latencies : float list;
+}
+
+let run_tenant cfg ~addr ~tenant tally =
+  if cfg.slow_start_s > 0.0 then
+    Thread.delay (float_of_int tenant *. cfg.slow_start_s);
+  (* Generous dial attempts: with slow-start the fleet may still be
+     bringing backends up when the first tenants arrive. *)
+  let c = Srv.Client.connect ~attempts:50 addr in
+  Fun.protect
+    ~finally:(fun () -> Srv.Client.close c)
+    (fun () ->
+      let rng = ref (cfg.seed + (tenant * 7919) + 1) in
+      for _burst = 1 to cfg.bursts do
+        let rng', sql = burst_mix cfg ~rng:!rng in
+        rng := rng';
+        let send_times = Hashtbl.create 64 in
+        List.iter
+          (fun q ->
+            let id = Srv.Client.fresh_id c in
+            Hashtbl.replace send_times id (Timer.monotonic_now ());
+            Srv.Client.send c
+              (Srv.Proto.Compile
+                 {
+                   id;
+                   sql = q;
+                   schema = None;
+                   deadline_ms = None;
+                   estimate_hint_s = None;
+                 }))
+          sql;
+        let n = List.length sql in
+        tally.sent <- tally.sent + n;
+        for _k = 1 to n do
+          match Srv.Client.recv c with
+          | None -> tally.outcomes <- Srv.Loadgen.Errored :: tally.outcomes
+          | Some reply ->
+            let outcome = Srv.Loadgen.classify reply in
+            (match
+               ( outcome,
+                 Hashtbl.find_opt send_times (Srv.Proto.reply_id reply) )
+             with
+            | Srv.Loadgen.Compiled, Some t0 ->
+              tally.latencies <-
+                (Timer.monotonic_now () -. t0) :: tally.latencies
+            | _ -> ());
+            tally.outcomes <- outcome :: tally.outcomes
+        done;
+        if cfg.pause_s > 0.0 then Thread.delay cfg.pause_s
+      done)
+
+let run cfg ~addr =
+  let started = Timer.monotonic_now () in
+  let tallies =
+    Array.init cfg.tenants (fun _ ->
+        { sent = 0; outcomes = []; latencies = [] })
+  in
+  let threads =
+    Array.mapi
+      (fun tenant tally ->
+        Thread.create (fun () -> run_tenant cfg ~addr ~tenant tally) ())
+      tallies
+  in
+  Array.iter Thread.join threads;
+  let wall_s = Timer.monotonic_now () -. started in
+  let outcomes =
+    Array.fold_left (fun acc t -> t.outcomes @ acc) [] tallies
+  in
+  let latencies =
+    Array.fold_left (fun acc t -> t.latencies @ acc) [] tallies
+  in
+  let sent = Array.fold_left (fun acc t -> acc + t.sent) 0 tallies in
+  Srv.Loadgen.summarize ~sent ~wall_s outcomes latencies

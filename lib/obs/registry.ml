@@ -64,6 +64,21 @@ let gauge_value t key =
   | Some (M_gauge g) -> Gauge.value g
   | Some _ | None -> 0.0
 
+let histogram_count t key =
+  match Hashtbl.find_opt t.metrics key with
+  | Some (M_histo h) -> Histo.count h
+  | Some _ | None -> 0
+
+let histogram_sum t key =
+  match Hashtbl.find_opt t.metrics key with
+  | Some (M_histo h) -> Histo.sum h
+  | Some _ | None -> 0.0
+
+let histogram_quantile t key q =
+  match Hashtbl.find_opt t.metrics key with
+  | Some (M_histo h) -> Histo.quantile h q
+  | Some _ | None -> Float.nan
+
 let reset t =
   Hashtbl.iter
     (fun _ m ->

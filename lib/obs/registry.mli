@@ -38,6 +38,15 @@ val counter_value : t -> string -> int
 
 val gauge_value : t -> string -> float
 
+val histogram_count : t -> string -> int
+(** 0 when the histogram does not exist. *)
+
+val histogram_sum : t -> string -> float
+(** 0.0 when the histogram does not exist. *)
+
+val histogram_quantile : t -> string -> float -> float
+(** [nan] when the histogram does not exist or is empty. *)
+
 val reset : t -> unit
 (** Zero every registered metric (registration is kept). *)
 

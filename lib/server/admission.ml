@@ -15,6 +15,16 @@ let reason_string = function
   | Queue_full -> "queue_full"
   | Shutting_down -> "shutting_down"
 
+(* How long a rejected client should wait before retrying.  Load-shaped
+   rejections (aggregate budget, full queue) clear as the in-flight work
+   drains, so the estimated in-flight seconds are the natural horizon; a
+   per-request or shutdown rejection is not cured by waiting at this
+   server at all, so no hint is offered. *)
+let retry_after_s reason ~in_flight_s =
+  match reason with
+  | Aggregate | Queue_full -> Some (Float.max in_flight_s 0.001)
+  | Per_request | Shutting_down -> None
+
 let decide policy ~in_flight_s ~queued ~estimate_s =
   if estimate_s > policy.per_request_s then Error Per_request
   else if

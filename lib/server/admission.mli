@@ -34,6 +34,14 @@ val reason_string : reason -> string
 (** Stable wire-protocol identifiers: ["per_request_budget"],
     ["aggregate_budget"], ["queue_full"], ["shutting_down"]. *)
 
+val retry_after_s : reason -> in_flight_s:float -> float option
+(** Back-off advice for a rejected request, derived from the same
+    admission state the decision saw: [Aggregate] and [Queue_full] clear
+    as the estimated in-flight seconds drain (floored at 1ms so an
+    instantaneously empty server still rates a nonzero wait), while
+    [Per_request] and [Shutting_down] rejections are not cured by
+    retrying here, so they carry no hint. *)
+
 val decide :
   policy ->
   in_flight_s:float ->

@@ -81,7 +81,7 @@ let summarize ~sent ~wall_s outcomes latencies =
   }
 
 let compile_req ?deadline_ms id sql =
-  Proto.Compile { id; sql; schema = None; deadline_ms }
+  Proto.Compile { id; sql; schema = None; deadline_ms; estimate_hint_s = None }
 
 let run_burst ?deadline_ms ~addr ~sql () =
   let c = Client.connect addr in

@@ -31,6 +31,16 @@ val percentile : float array -> float -> float
 (** [percentile lats 0.95]: nearest-rank percentile of a copy of the
     array (input left unsorted).  0.0 on an empty array. *)
 
+val classify : Proto.reply -> outcome
+(** Structured-outcome bucket of a reply (anything that is neither a
+    compile, a rejection, nor a cancellation counts as [Errored]). *)
+
+val summarize :
+  sent:int -> wall_s:float -> outcome list -> float list -> summary
+(** Fold a run's outcomes and per-compile latencies into a {!summary} —
+    exposed so external drivers (the fleet scenario) aggregate with the
+    same arithmetic as {!run_burst}/{!run_closed}. *)
+
 val warehouse_mix : smalls:int -> bigs:int -> string list
 (** A workload over {!Qopt_workloads}' warehouse schema: [smalls]
     single-table point queries (sub-millisecond compiles) interleaved

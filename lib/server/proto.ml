@@ -7,6 +7,7 @@ type request =
       sql : string;
       schema : string option;
       deadline_ms : float option;
+      estimate_hint_s : float option;
     }
   | Stats of { id : int }
   | Shutdown of { id : int }
@@ -41,7 +42,12 @@ type compile_body = {
 type reply =
   | R_estimate of int * estimate_body
   | R_compile of int * compile_body
-  | R_rejected of { id : int; reason : string; estimate_us : float }
+  | R_rejected of {
+      id : int;
+      reason : string;
+      estimate_us : float;
+      retry_after_us : float option;
+    }
   | R_cancelled of {
       id : int;
       reason : string;
@@ -65,6 +71,19 @@ let reply_id = function
   | R_ok id ->
     id
 
+(* The fleet router multiplexes many client connections over one channel
+   per backend, remapping request ids both ways; this rebuilds a reply
+   under the id the originating client used. *)
+let with_reply_id reply id =
+  match reply with
+  | R_estimate (_, e) -> R_estimate (id, e)
+  | R_compile (_, c) -> R_compile (id, c)
+  | R_rejected r -> R_rejected { r with id }
+  | R_cancelled r -> R_cancelled { r with id }
+  | R_error r -> R_error { r with id }
+  | R_stats (_, body) -> R_stats (id, body)
+  | R_ok _ -> R_ok id
+
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -76,13 +95,19 @@ let request_to_json = function
         ("op", J.Str "estimate"); ("id", J.int id); ("sql", J.Str sql);
         ("schema", J.opt (fun s -> J.Str s) schema);
       ]
-  | Compile { id; sql; schema; deadline_ms } ->
+  | Compile { id; sql; schema; deadline_ms; estimate_hint_s } ->
     J.Obj
-      [
-        ("op", J.Str "compile"); ("id", J.int id); ("sql", J.Str sql);
-        ("schema", J.opt (fun s -> J.Str s) schema);
-        ("deadline_ms", J.opt (fun f -> J.Num f) deadline_ms);
-      ]
+      ([
+         ("op", J.Str "compile"); ("id", J.int id); ("sql", J.Str sql);
+         ("schema", J.opt (fun s -> J.Str s) schema);
+         ("deadline_ms", J.opt (fun f -> J.Num f) deadline_ms);
+       ]
+      (* Only emitted when present, so requests from hint-less clients
+         are byte-identical to the pre-fleet wire format. *)
+      @
+      match estimate_hint_s with
+      | None -> []
+      | Some s -> [ ("estimate_hint_s", J.Num s) ])
   | Stats { id } -> J.Obj [ ("op", J.Str "stats"); ("id", J.int id) ]
   | Shutdown { id } -> J.Obj [ ("op", J.Str "shutdown"); ("id", J.int id) ]
 
@@ -109,12 +134,16 @@ let reply_to_json = function
         ("queue_s", J.Num c.c_queue_s); ("cache_hit", J.Bool c.c_cache_hit);
         ("plan_cached", J.Bool c.c_plan_cached);
       ]
-  | R_rejected { id; reason; estimate_us } ->
+  | R_rejected { id; reason; estimate_us; retry_after_us } ->
     J.Obj
-      [
-        ("op", J.Str "rejected"); ("id", J.int id); ("reason", J.Str reason);
-        ("estimate_us", J.Num estimate_us);
-      ]
+      ([
+         ("op", J.Str "rejected"); ("id", J.int id); ("reason", J.Str reason);
+         ("estimate_us", J.Num estimate_us);
+       ]
+      @
+      match retry_after_us with
+      | None -> []
+      | Some us -> [ ("retry_after_us", J.Num us) ])
   | R_cancelled { id; reason; estimate_us; queue_s } ->
     J.Obj
       [
@@ -163,6 +192,7 @@ let request_of_json j =
                sql;
                schema = field_string j "schema";
                deadline_ms = field_float j "deadline_ms";
+               estimate_hint_s = field_float j "estimate_hint_s";
              }))
     | "stats" -> Ok (Stats { id })
     | "shutdown" -> Ok (Shutdown { id })
@@ -218,6 +248,8 @@ let reply_of_json j =
                id;
                reason = req (field_string j "reason") "reason";
                estimate_us = req (field_float j "estimate_us") "estimate_us";
+               (* Absent on replies from pre-hint servers. *)
+               retry_after_us = field_float j "retry_after_us";
              })
       | "cancelled" ->
         Ok

@@ -27,6 +27,12 @@ type request =
       sql : string;
       schema : string option;
       deadline_ms : float option;  (** relative to arrival, milliseconds *)
+      estimate_hint_s : float option;
+          (** predicted compilation seconds, computed upstream (the fleet
+              router estimates once and forwards); a server started with
+              trust-hints admits on this instead of re-running its own
+              COTE pass.  Only rendered when present, so hint-less
+              requests are byte-identical to the pre-fleet format. *)
     }
   | Stats of { id : int }
   | Shutdown of { id : int }
@@ -63,7 +69,17 @@ type compile_body = {
 type reply =
   | R_estimate of int * estimate_body
   | R_compile of int * compile_body
-  | R_rejected of { id : int; reason : string; estimate_us : float }
+  | R_rejected of {
+      id : int;
+      reason : string;
+      estimate_us : float;
+      retry_after_us : float option;
+          (** server's advice on how long to back off before retrying,
+              derived from its admission state (how much estimated work
+              is in flight).  Absent for rejections that retrying cannot
+              cure (per-request ceiling, shutdown) and on replies from
+              older servers; only rendered when present. *)
+    }
   | R_cancelled of {
       id : int;
       reason : string;
@@ -77,6 +93,10 @@ type reply =
 val request_id : request -> int
 
 val reply_id : reply -> int
+
+val with_reply_id : reply -> int -> reply
+(** The same reply under a different id — the fleet router remaps ids
+    when multiplexing many client connections over one backend channel. *)
 
 val request_to_json : request -> J.t
 

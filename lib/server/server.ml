@@ -18,6 +18,11 @@ type config = {
   schemas : (string * Qopt_catalog.Schema.t) list;
   plan_cache : Cote.Plan_cache.config option;
   recalibrate : Cote.Recalibrate.config option;
+  trust_hints : bool;
+      (* admit on a request's [estimate_hint_s] instead of running a
+         local COTE pass — for fleet backends behind a router that
+         estimates once.  Only honored when no downgrade decision needs
+         a local per-level prediction. *)
 }
 
 let default_config ~listen ~model ~schemas () =
@@ -34,6 +39,7 @@ let default_config ~listen ~model ~schemas () =
     schemas;
     plan_cache = None;
     recalibrate = None;
+    trust_hints = false;
   }
 
 type stats = {
@@ -404,7 +410,11 @@ let worker_main t slot () =
 (* Connection handling (threads on the main domain)                    *)
 (* ------------------------------------------------------------------ *)
 
-let reject t conn req_id ~estimate_s reason =
+(* [in_flight_s] is the estimated in-flight seconds snapshotted inside
+   the same critical section that made the rejection decision — the
+   retry-after hint must describe the state the client was rejected
+   against, not a later reading. *)
+let reject t conn req_id ~estimate_s ~in_flight_s reason =
   Obs.Counter.incr m_rejected;
   Atomic.incr t.n_rejected;
   send_reply conn
@@ -413,6 +423,10 @@ let reject t conn req_id ~estimate_s reason =
          id = req_id;
          reason = Admission.reason_string reason;
          estimate_us = estimate_s *. 1e6;
+         retry_after_us =
+           Option.map
+             (fun s -> s *. 1e6)
+             (Admission.retry_after_s reason ~in_flight_s);
        })
 
 (* A plan-cache hit bypasses optimization entirely: no COTE pass, no
@@ -422,12 +436,17 @@ let reject t conn req_id ~estimate_s reason =
 let serve_plan_hit t conn req_id ~arrival plan (meta : cached_meta) =
   let decision =
     (* Sched.length is lock-free, so this critical section is just the
-       shutdown flag, the in-flight float and the ceiling arithmetic. *)
+       shutdown flag, the in-flight float and the ceiling arithmetic.  A
+       rejection carries the in-flight snapshot out for the retry hint. *)
     Obs.Lock.with_lock t.lock (fun () ->
-        if t.shutting then Error Admission.Shutting_down
+        if t.shutting then Error (Admission.Shutting_down, t.in_flight_s)
         else
-          Admission.decide t.cfg.admission ~in_flight_s:t.in_flight_s
-            ~queued:(Sched.length t.sched) ~estimate_s:0.0)
+          match
+            Admission.decide t.cfg.admission ~in_flight_s:t.in_flight_s
+              ~queued:(Sched.length t.sched) ~estimate_s:0.0
+          with
+          | Error r -> Error (r, t.in_flight_s)
+          | Ok () -> Ok ())
   in
   (match decision with
   | Ok () ->
@@ -435,7 +454,8 @@ let serve_plan_hit t conn req_id ~arrival plan (meta : cached_meta) =
     Atomic.incr t.n_plan_hits
   | Error _ -> ());
   match decision with
-  | Error reason -> reject t conn req_id ~estimate_s:0.0 reason
+  | Error (reason, in_flight_s) ->
+    reject t conn req_id ~estimate_s:0.0 ~in_flight_s reason
   | Ok () ->
     Obs.Counter.incr m_admitted;
     Obs.Histo.observe m_latency (Timer.monotonic_now () -. arrival);
@@ -461,8 +481,31 @@ let serve_plan_hit t conn req_id ~arrival plan (meta : cached_meta) =
              c_plan_cached = true;
            } ))
 
-let compile_cold t conn req_id ~arrival ~pc_key block deadline_ms =
-  let ev = evaluate_block t block in
+let compile_cold t conn req_id ~arrival ~pc_key ~estimate_hint_s block
+    deadline_ms =
+  let knobs, level_name, predicted_s, model_s, cache_hit =
+    match estimate_hint_s with
+    | Some hint when t.cfg.trust_hints && t.cfg.downgrade_s = None ->
+      (* The router already ran the COTE pass — once, refined against its
+         own statement cache — and with no downgrade decision to make
+         there is nothing a local per-level prediction would add, so
+         admit on the hint and skip the estimation cost entirely.  The
+         hint stands in for the model prediction too: router and backend
+         serve the same model family. *)
+      let level = List.hd t.cfg.levels in
+      ( level.Cote.Multi_level.level_knobs,
+        level.Cote.Multi_level.level_name,
+        hint,
+        hint,
+        false )
+    | Some _ | None ->
+      let ev = evaluate_block t block in
+      ( ev.ev_choice.Level.level.Cote.Multi_level.level_knobs,
+        ev.ev_choice.Level.level.Cote.Multi_level.level_name,
+        ev.ev_predicted_s,
+        ev.ev_model_s,
+        ev.ev_cache_hit )
+  in
   let deadline_s =
     match deadline_ms with
     | Some ms -> Some (ms /. 1000.0)
@@ -470,35 +513,36 @@ let compile_cold t conn req_id ~arrival ~pc_key block deadline_ms =
   in
   let decision =
     Obs.Lock.with_lock t.lock (fun () ->
-        if t.shutting then Error Admission.Shutting_down
+        if t.shutting then Error (Admission.Shutting_down, t.in_flight_s)
         else
           match
             Admission.decide t.cfg.admission ~in_flight_s:t.in_flight_s
-              ~queued:(Sched.length t.sched) ~estimate_s:ev.ev_predicted_s
+              ~queued:(Sched.length t.sched) ~estimate_s:predicted_s
           with
-          | Error r -> Error r
+          | Error r -> Error (r, t.in_flight_s)
           | Ok () ->
             (* The reservation must land inside the same critical section
                as the decision; the pure admitted tally need not. *)
-            t.in_flight_s <- t.in_flight_s +. ev.ev_predicted_s;
+            t.in_flight_s <- t.in_flight_s +. predicted_s;
             Ok ())
   in
   (match decision with
   | Ok () -> Atomic.incr t.n_admitted
   | Error _ -> ());
   match decision with
-  | Error reason -> reject t conn req_id ~estimate_s:ev.ev_predicted_s reason
+  | Error (reason, in_flight_s) ->
+    reject t conn req_id ~estimate_s:predicted_s ~in_flight_s reason
   | Ok () ->
     Obs.Counter.incr m_admitted;
     let job =
       {
         j_id = req_id;
-        j_block = ev.ev_block;
-        j_knobs = ev.ev_choice.Level.level.Cote.Multi_level.level_knobs;
-        j_level = ev.ev_choice.Level.level.Cote.Multi_level.level_name;
-        j_predicted_s = ev.ev_predicted_s;
-        j_model_s = ev.ev_model_s;
-        j_cache_hit = ev.ev_cache_hit;
+        j_block = block;
+        j_knobs = knobs;
+        j_level = level_name;
+        j_predicted_s = predicted_s;
+        j_model_s = model_s;
+        j_cache_hit = cache_hit;
         j_pc_key = pc_key;
         j_deadline = Option.map (fun d -> arrival +. d) deadline_s;
         j_enqueued = Timer.monotonic_now ();
@@ -512,7 +556,7 @@ let compile_cold t conn req_id ~arrival ~pc_key block deadline_ms =
          shutdown won the race, so account and answer like a rejection. *)
       cancel_job t job "shutdown"
 
-let handle_compile t conn req_id sql schema deadline_ms =
+let handle_compile t conn req_id sql schema deadline_ms estimate_hint_s =
   let arrival = Timer.monotonic_now () in
   let schema_name, schema = resolve_schema t schema in
   let ast = Qopt_sql.Parser.parse sql in
@@ -520,7 +564,9 @@ let handle_compile t conn req_id sql schema deadline_ms =
     Qopt_sql.Binder.bind ~name:(Printf.sprintf "q%d" req_id) schema ast
   in
   match t.pcache with
-  | None -> compile_cold t conn req_id ~arrival ~pc_key:None (bind ()) deadline_ms
+  | None ->
+    compile_cold t conn req_id ~arrival ~pc_key:None ~estimate_hint_s (bind ())
+      deadline_ms
   | Some pc -> (
     (* Key on the resolved schema name plus the parameter-abstracted
        template text, not the block signature: the template separates
@@ -537,7 +583,8 @@ let handle_compile t conn req_id sql schema deadline_ms =
     | Cote.Plan_cache.Hit { plan; payload } ->
       serve_plan_hit t conn req_id ~arrival plan payload
     | Cote.Plan_cache.Miss | Cote.Plan_cache.Invalidated _ ->
-      compile_cold t conn req_id ~arrival ~pc_key:(Some key) block deadline_ms)
+      compile_cold t conn req_id ~arrival ~pc_key:(Some key) ~estimate_hint_s
+        block deadline_ms)
 
 let initiate_shutdown t =
   let first =
@@ -579,8 +626,8 @@ let handle_request t conn req =
       Obs.Counter.incr m_errors;
       send_reply conn
         (Proto.R_error { id; message = Printf.sprintf "%s (at byte %d)" msg at }))
-  | Proto.Compile { id; sql; schema; deadline_ms } -> (
-    match handle_compile t conn id sql schema deadline_ms with
+  | Proto.Compile { id; sql; schema; deadline_ms; estimate_hint_s } -> (
+    match handle_compile t conn id sql schema deadline_ms estimate_hint_s with
     | () -> ()
     | exception
         ( Failure msg

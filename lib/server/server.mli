@@ -60,6 +60,14 @@ type config = {
           atomically — admission, SJF priorities and level selection all
           use the corrected model from the next request on.  [None] (the
           default) serves [model] unchanged forever. *)
+  trust_hints : bool;
+      (** admit compile requests on their [estimate_hint_s] (when
+          present) instead of running a local COTE pass — for fleet
+          backends behind a {!Qopt_fleet.Router} that estimates once at
+          the front door.  Only honored when [downgrade_s] is [None]:
+          a downgrade decision needs the local per-level predictions.
+          Hint-less requests estimate locally as always.  Default
+          [false]. *)
 }
 
 val default_config :

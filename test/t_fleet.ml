@@ -1,0 +1,507 @@
+(* The compile fleet: rendezvous-hash routing properties, a router on a
+   Unix socket in front of in-process backends (compile replies must
+   match a direct single server bit-for-bit on deterministic fields, and
+   repeat templates must concentrate on one backend), backend rejections
+   surfacing through the router with the original request id, and a
+   spawned fleet surviving SIGKILL of its hottest backend mid-stream
+   with zero lost requests. *)
+
+module O = Qopt_optimizer
+module W = Qopt_workloads
+module Srv = Qopt_server
+module F = Qopt_fleet
+module J = Qopt_util.Json
+module Obs = Qopt_obs
+
+let t name f = Alcotest.test_case name `Quick f
+
+let schema = W.Warehouse.schema ~partitioned:false
+
+let model = Cote.Time_model.make ~c_nljn:2e-6 ~c_mgjn:5e-6 ~c_hsjn:4e-6 ()
+
+let small_sql n =
+  Printf.sprintf "SELECT s.s_store_name FROM store s WHERE s.s_market_id = %d" n
+
+let big_sql =
+  String.concat " "
+    [
+      "SELECT d.d_year, i.i_category_id, SUM(ss.ss_quantity)";
+      "FROM store_sales ss, date_dim d, time_dim t, item i, customer c,";
+      "household_demographics hd, store s, promotion p";
+      "WHERE ss.ss_sold_date_sk = d.d_date_sk";
+      "AND ss.ss_sold_time_sk = t.t_time_sk";
+      "AND ss.ss_item_sk = i.i_item_sk";
+      "AND ss.ss_customer_sk = c.c_customer_sk";
+      "AND ss.ss_hdemo_sk = hd.hd_demo_sk";
+      "AND ss.ss_store_sk = s.s_store_sk";
+      "AND ss.ss_promo_sk = p.p_promo_sk";
+      "AND d.d_year = 2000";
+      "GROUP BY d.d_year, i.i_category_id";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Rendezvous hashing                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rendezvous_tests =
+  [
+    t "ranked is deterministic and a permutation" (fun () ->
+        List.iter
+          (fun key ->
+            let r1 = F.Rendezvous.ranked ~nodes:7 key in
+            let r2 = F.Rendezvous.ranked ~nodes:7 key in
+            Alcotest.(check (list int)) "deterministic" r1 r2;
+            Alcotest.(check (list int))
+              "permutation of 0..6"
+              [ 0; 1; 2; 3; 4; 5; 6 ]
+              (List.sort compare r1))
+          [ "a"; "warehouse|sel-1"; ""; "x|y|z" ]);
+    t "every node owns some keys" (fun () ->
+        let owned = Array.make 4 0 in
+        for i = 0 to 199 do
+          let n = F.Rendezvous.choose ~nodes:4 (Printf.sprintf "key-%d" i) in
+          owned.(n) <- owned.(n) + 1
+        done;
+        Array.iteri
+          (fun i c ->
+            Alcotest.(check bool)
+              (Printf.sprintf "node %d owns a share" i)
+              true (c > 0))
+          owned);
+    t "removing the last node remaps only its keys" (fun () ->
+        (* Scores are independent of the node count, so dropping node 4
+           must leave every other key's owner unchanged — the
+           minimal-disruption property modulo placement lacks. *)
+        for i = 0 to 99 do
+          let key = Printf.sprintf "stmt-%d" i in
+          let before = F.Rendezvous.choose ~nodes:5 key in
+          if before <> 4 then
+            Alcotest.(check int)
+              "owner survives the shrink" before
+              (F.Rendezvous.choose ~nodes:4 key)
+        done);
+    t "choose refuses an empty node set" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Qopt_fleet.Rendezvous.choose: no nodes")
+          (fun () -> ignore (F.Rendezvous.choose ~nodes:0 "k")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Harness: in-process backends behind an in-process router            *)
+(* ------------------------------------------------------------------ *)
+
+let next_sock =
+  let n = ref 0 in
+  fun tag ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qopt-fleet-%s-%d-%d.sock" tag (Unix.getpid ()) !n)
+
+let start_thread_ready start =
+  let lock = Mutex.create () and cond = Condition.create () in
+  let ready = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        start (fun () ->
+            Mutex.protect lock (fun () ->
+                ready := true;
+                Condition.signal cond)))
+      ()
+  in
+  Mutex.lock lock;
+  while not !ready do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  th
+
+let start_inproc_server ?(configure = fun c -> c) path =
+  let cfg =
+    configure
+      (Srv.Server.default_config ~listen:(`Unix path) ~model
+         ~schemas:[ ("warehouse", schema) ]
+         ())
+  in
+  start_thread_ready (fun on_ready -> Srv.Server.run ~on_ready cfg)
+
+(* [n] in-process servers as External backends behind an in-process
+   router.  Shutting the router down drains the backends too (its
+   Backend.shutdown sends each one a Shutdown request), so all threads
+   join. *)
+let with_fleet ?(backend_cfg = fun c -> c) ?(configure = fun c -> c) ~n f =
+  let bpaths = List.init n (fun i -> next_sock (Printf.sprintf "b%d" i)) in
+  let bthreads = List.map (start_inproc_server ~configure:backend_cfg) bpaths in
+  let rpath = next_sock "router" in
+  let specs =
+    List.map
+      (fun p -> { F.Backend.sp_addr = `Unix p; sp_launch = F.Backend.External })
+      bpaths
+  in
+  let cfg =
+    configure
+      (F.Router.default_config ~listen:(`Unix rpath) ~backends:specs ~model
+         ~schemas:[ ("warehouse", schema) ]
+         ())
+  in
+  let router = start_thread_ready (fun on_ready -> F.Router.run ~on_ready cfg) in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         let c = Srv.Client.connect (`Unix rpath) in
+         ignore (Srv.Client.request c (Srv.Proto.Shutdown { id = 999_999 }));
+         Srv.Client.close c
+       with Unix.Unix_error _ | Sys_error _ -> ());
+      Thread.join router;
+      List.iter Thread.join bthreads;
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        (rpath :: bpaths))
+    (fun () -> f (`Unix rpath))
+
+let request_exn c req =
+  match Srv.Client.request c req with
+  | Some reply -> reply
+  | None -> Alcotest.fail "connection closed without a reply"
+
+let compile_req id sql =
+  Srv.Proto.Compile
+    { id; sql; schema = None; deadline_ms = None; estimate_hint_s = None }
+
+let compile_exn c sql =
+  let id = Srv.Client.fresh_id c in
+  match request_exn c (compile_req id sql) with
+  | Srv.Proto.R_compile (rid, body) ->
+    Alcotest.(check int) "id echoed" id rid;
+    body
+  | r ->
+    Alcotest.failf "expected compile reply, got %s"
+      (J.to_string (Srv.Proto.reply_to_json r))
+
+let counter name = Obs.Registry.counter_value Obs.Registry.default name
+
+(* Per-backend compile counts out of the router's aggregated stats doc
+   (each backend entry nests the live server stats). *)
+let backend_compiles doc =
+  match J.member "backends" doc with
+  | Some (J.Arr bs) ->
+    List.map
+      (fun b ->
+        match J.member "stats" b with
+        | Some (J.Obj _ as s) ->
+          Option.value ~default:0 (Option.bind (J.member "compiles" s) J.get_int)
+        | _ -> 0)
+      bs
+  | _ -> Alcotest.fail "stats doc has no backends array"
+
+(* ------------------------------------------------------------------ *)
+(* Router behaviour over the socket                                    *)
+(* ------------------------------------------------------------------ *)
+
+let router_tests =
+  [
+    t "fleet compile equals a direct single server bit-for-bit" (fun () ->
+        (* Deterministic reply fields must be unchanged by the extra hop:
+           same plan, same costs, same predicted seconds (backends here
+           do not trust hints, so they run the same COTE the single
+           server runs). *)
+        let direct = ref [] in
+        let spath = next_sock "direct" in
+        let sthread = start_inproc_server spath in
+        (try
+           let c = Srv.Client.connect (`Unix spath) in
+           direct :=
+             List.map (fun sql -> compile_exn c sql) [ small_sql 5; big_sql ];
+           ignore (Srv.Client.request c (Srv.Proto.Shutdown { id = 999_998 }));
+           Srv.Client.close c
+         with e ->
+           Thread.join sthread;
+           raise e);
+        Thread.join sthread;
+        with_fleet ~n:3 (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                List.iter2
+                  (fun sql d ->
+                    let f = compile_exn c sql in
+                    Alcotest.(check (option string))
+                      "plan" d.Srv.Proto.c_plan f.Srv.Proto.c_plan;
+                    Alcotest.(check (float 0.0)) "cost" d.Srv.Proto.c_cost
+                      f.Srv.Proto.c_cost;
+                    Alcotest.(check (float 0.0)) "card" d.Srv.Proto.c_card
+                      f.Srv.Proto.c_card;
+                    Alcotest.(check int) "joins" d.Srv.Proto.c_joins
+                      f.Srv.Proto.c_joins;
+                    Alcotest.(check int) "kept" d.Srv.Proto.c_kept
+                      f.Srv.Proto.c_kept;
+                    Alcotest.(check int) "entries" d.Srv.Proto.c_entries
+                      f.Srv.Proto.c_entries;
+                    Alcotest.(check (float 0.0))
+                      "predicted_s" d.Srv.Proto.c_predicted_s
+                      f.Srv.Proto.c_predicted_s;
+                    Alcotest.(check string) "level" d.Srv.Proto.c_level
+                      f.Srv.Proto.c_level;
+                    Alcotest.(check bool) "plan_cached"
+                      d.Srv.Proto.c_plan_cached f.Srv.Proto.c_plan_cached)
+                  [ small_sql 5; big_sql ]
+                  !direct)));
+    t "router estimate equals the direct library call" (fun () ->
+        with_fleet ~n:2 (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let sql = big_sql in
+                let block = Qopt_sql.Binder.parse_and_bind schema sql in
+                let d =
+                  Cote.Predict.compile_time ~knobs:O.Knobs.default ~model
+                    O.Env.serial block
+                in
+                let id = Srv.Client.fresh_id c in
+                match
+                  request_exn c (Srv.Proto.Estimate { id; sql; schema = None })
+                with
+                | Srv.Proto.R_estimate (rid, e) ->
+                  Alcotest.(check int) "id echoed" id rid;
+                  Alcotest.(check (float 0.0)) "predicted_s"
+                    d.Cote.Predict.seconds e.Srv.Proto.e_predicted_s;
+                  Alcotest.(check int) "joins"
+                    d.Cote.Predict.estimate.Cote.Estimator.joins
+                    e.Srv.Proto.e_joins;
+                  Alcotest.(check string) "level" "dp_default"
+                    e.Srv.Proto.e_level
+                | r ->
+                  Alcotest.failf "expected estimate reply, got %s"
+                    (J.to_string (Srv.Proto.reply_to_json r)))));
+    t "template affinity concentrates repeats on one backend" (fun () ->
+        with_fleet ~n:3 (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let hits0 = counter "fleet.affinity_hits" in
+                let total0 = counter "fleet.affinity_total" in
+                (* Same template, varying literal: the statement-cache
+                   key is structural, so all 20 share one affinity key. *)
+                for i = 1 to 20 do
+                  ignore (compile_exn c (small_sql i))
+                done;
+                (match
+                   request_exn c
+                     (Srv.Proto.Stats { id = Srv.Client.fresh_id c })
+                 with
+                | Srv.Proto.R_stats (_, doc) ->
+                  let per_backend = backend_compiles doc in
+                  Alcotest.(check int) "three backends" 3
+                    (List.length per_backend);
+                  Alcotest.(check (list int))
+                    "all 20 compiles on a single backend" [ 0; 0; 20 ]
+                    (List.sort compare per_backend)
+                | _ -> Alcotest.fail "expected stats reply");
+                Alcotest.(check int)
+                  "every routed compile hit its first choice" 20
+                  (counter "fleet.affinity_hits" - hits0);
+                Alcotest.(check int) "affinity accounted" 20
+                  (counter "fleet.affinity_total" - total0))));
+    t "backend rejections surface with the original id and retry advice"
+      (fun () ->
+        with_fleet ~n:2
+          ~backend_cfg:(fun cfg ->
+            {
+              cfg with
+              Srv.Server.admission =
+                {
+                  Srv.Admission.per_request_s = 1e-12;
+                  aggregate_s = infinity;
+                  max_queue = max_int;
+                };
+            })
+          (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let id = Srv.Client.fresh_id c in
+                match request_exn c (compile_req id big_sql) with
+                | Srv.Proto.R_rejected { id = rid; reason; retry_after_us; _ }
+                  ->
+                  Alcotest.(check int) "original id" id rid;
+                  Alcotest.(check string) "reason" "per_request_budget" reason;
+                  Alcotest.(check bool)
+                    "per-request rejections carry no retry advice" true
+                    (retry_after_us = None)
+                | r ->
+                  Alcotest.failf "expected rejection, got %s"
+                    (J.to_string (Srv.Proto.reply_to_json r)))));
+    t "scenario aggregates across tenants against a fleet" (fun () ->
+        with_fleet ~n:2 (fun addr ->
+            let s =
+              F.Scenario.run
+                {
+                  F.Scenario.tenants = 2;
+                  bursts = 2;
+                  smalls = 6;
+                  bigs = 1;
+                  pause_s = 0.0;
+                  slow_start_s = 0.0;
+                  seed = 7;
+                }
+                ~addr
+            in
+            Alcotest.(check bool) "sent something" true (s.Srv.Loadgen.sent > 0);
+            Alcotest.(check int)
+              "every request compiled" s.Srv.Loadgen.sent
+              s.Srv.Loadgen.compiled;
+            Alcotest.(check int)
+              "latency per compile" s.Srv.Loadgen.compiled
+              (Array.length s.Srv.Loadgen.latencies_s)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* SIGKILL failover on a spawned fleet                                 *)
+(* ------------------------------------------------------------------ *)
+
+let qopt_exe =
+  (* _build/default/test/test_main.exe -> _build/default/bin/qopt.exe *)
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/qopt.exe"
+
+let stats_doc c =
+  match request_exn c (Srv.Proto.Stats { id = Srv.Client.fresh_id c }) with
+  | Srv.Proto.R_stats (_, doc) -> doc
+  | _ -> Alcotest.fail "expected stats reply"
+
+let backend_fields doc =
+  match J.member "backends" doc with
+  | Some (J.Arr bs) ->
+    List.map
+      (fun b ->
+        ( Option.value ~default:false
+            (Option.bind (J.member "up" b) J.get_bool),
+          Option.bind (J.member "pid" b) J.get_int,
+          Option.value ~default:0 (Option.bind (J.member "routed" b) J.get_int)
+        ))
+      bs
+  | _ -> Alcotest.fail "stats doc has no backends array"
+
+let failover_tests =
+  [
+    t "SIGKILLed backend fails over with zero lost requests, then respawns"
+      (fun () ->
+        let bpaths = List.init 3 (fun i -> next_sock (Printf.sprintf "kb%d" i)) in
+        let rpath = next_sock "krouter" in
+        let specs =
+          List.map
+            (fun p ->
+              {
+                F.Backend.sp_addr = `Unix p;
+                sp_launch =
+                  F.Backend.Spawn
+                    {
+                      exe = qopt_exe;
+                      argv =
+                        [|
+                          "qopt"; "serve"; "-s"; p; "--workers"; "1";
+                          "--trust-hints";
+                        |];
+                    };
+              })
+            bpaths
+        in
+        let cfg =
+          {
+            (F.Router.default_config ~listen:(`Unix rpath) ~backends:specs
+               ~model
+               ~schemas:[ ("warehouse", schema) ]
+               ())
+            with
+            F.Router.probe_after_s = 0.05;
+          }
+        in
+        let router =
+          start_thread_ready (fun on_ready -> F.Router.run ~on_ready cfg)
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            (try
+               let c = Srv.Client.connect (`Unix rpath) in
+               ignore
+                 (Srv.Client.request c (Srv.Proto.Shutdown { id = 999_997 }));
+               Srv.Client.close c
+             with Unix.Unix_error _ | Sys_error _ -> ());
+            Thread.join router;
+            List.iter
+              (fun p -> try Sys.remove p with Sys_error _ -> ())
+              (rpath :: bpaths))
+          (fun () ->
+            let c = Srv.Client.connect (`Unix rpath) in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let failovers0 = counter "fleet.failovers" in
+                (* Route one compile to find the template's owner. *)
+                ignore (compile_exn c (small_sql 1));
+                let owner_pid =
+                  match
+                    List.find_opt
+                      (fun (_, _, routed) -> routed > 0)
+                      (backend_fields (stats_doc c))
+                  with
+                  | Some (_, Some pid, _) -> pid
+                  | Some (_, None, _) ->
+                    Alcotest.fail "owner backend has no pid"
+                  | None -> Alcotest.fail "no backend routed the probe compile"
+                in
+                Unix.kill owner_pid Sys.sigkill;
+                (* Pipeline a burst at the now-dead owner: every request
+                   must come back compiled via failover — one retry each,
+                   never a wedge, never a lost reply. *)
+                let ids =
+                  List.init 40 (fun _ ->
+                      let id = Srv.Client.fresh_id c in
+                      Srv.Client.send c (compile_req id (small_sql (id mod 9)));
+                      id)
+                in
+                let got = Hashtbl.create 64 in
+                List.iter
+                  (fun _ ->
+                    match Srv.Client.recv c with
+                    | Some (Srv.Proto.R_compile (rid, _)) ->
+                      Hashtbl.replace got rid ()
+                    | Some r ->
+                      Alcotest.failf "expected compile reply, got %s"
+                        (J.to_string (Srv.Proto.reply_to_json r))
+                    | None -> Alcotest.fail "router closed mid-burst")
+                  ids;
+                List.iter
+                  (fun id ->
+                    Alcotest.(check bool)
+                      (Printf.sprintf "reply for id %d" id)
+                      true (Hashtbl.mem got id))
+                  ids;
+                Alcotest.(check bool) "at least one failover" true
+                  (counter "fleet.failovers" - failovers0 >= 1);
+                (* The probe respawns the killed process: all three
+                   backends must be back in rotation, the dead one under
+                   a fresh pid. *)
+                let deadline = Unix.gettimeofday () +. 10.0 in
+                let rec wait_respawn () =
+                  let fields = backend_fields (stats_doc c) in
+                  let all_up = List.for_all (fun (up, _, _) -> up) fields in
+                  let pids = List.filter_map (fun (_, pid, _) -> pid) fields in
+                  if all_up && List.length pids = 3 then
+                    Alcotest.(check bool) "killed pid replaced" false
+                      (List.mem owner_pid pids)
+                  else if Unix.gettimeofday () > deadline then
+                    Alcotest.fail "fleet did not heal within 10s"
+                  else begin
+                    Thread.delay 0.05;
+                    wait_respawn ()
+                  end
+                in
+                wait_respawn ())))
+  ]
+
+let suite = rendezvous_tests @ router_tests @ failover_tests

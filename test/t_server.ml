@@ -74,6 +74,67 @@ let wire_tests =
            Alcotest.fail "expected Framing_error"
          with Srv.Wire.Framing_error _ -> ());
         close_out oc);
+    t "partial writes across frame boundaries reassemble" (fun () ->
+        (* A slow peer dribbles two frames in arbitrary chunks — the
+           length prefix, payload, and trailing newline all split across
+           writes; the reader must still see exactly two intact frames. *)
+        let ic, oc = pipe_io () in
+        let writer =
+          Thread.create
+            (fun () ->
+              List.iter
+                (fun chunk ->
+                  output_string oc chunk;
+                  flush oc;
+                  Thread.delay 0.002)
+                [ "1"; "1\nhel"; "lo"; " world\n"; "0"; "\n"; "\n" ])
+            ()
+        in
+        Alcotest.(check (option string))
+          "first frame" (Some "hello world") (Srv.Wire.read ic);
+        Alcotest.(check (option string)) "second frame" (Some "")
+          (Srv.Wire.read ic);
+        Thread.join writer;
+        close_out oc);
+    t "frame exactly at the cap is accepted" (fun () ->
+        let ic, oc = pipe_io () in
+        let payload = String.make Srv.Wire.max_frame 'x' in
+        let writer = Thread.create (fun () -> Srv.Wire.write oc payload) () in
+        (match Srv.Wire.read ic with
+        | Some got ->
+          Alcotest.(check int) "length" Srv.Wire.max_frame (String.length got);
+          Alcotest.(check bool) "content" true (String.equal got payload)
+        | None -> Alcotest.fail "at-cap frame refused");
+        Thread.join writer;
+        close_out oc);
+    t "explicit zero-length frame" (fun () ->
+        let ic, oc = pipe_io () in
+        output_string oc "0\n\n";
+        flush oc;
+        Alcotest.(check (option string)) "empty payload" (Some "")
+          (Srv.Wire.read ic);
+        close_out oc);
+    t "torn length prefix on close is a framing error" (fun () ->
+        (* The peer died after writing only part of the length line: the
+           digits parse as a length, but the stream ends before the
+           payload — that must be a framing error, not a clean EOF. *)
+        let ic, oc = pipe_io () in
+        output_string oc "12";
+        flush oc;
+        close_out oc;
+        try
+          ignore (Srv.Wire.read ic);
+          Alcotest.fail "expected Framing_error"
+        with Srv.Wire.Framing_error _ -> ());
+    t "EOF inside the payload is a framing error" (fun () ->
+        let ic, oc = pipe_io () in
+        output_string oc "10\nonly4";
+        flush oc;
+        close_out oc;
+        try
+          ignore (Srv.Wire.read ic);
+          Alcotest.fail "expected Framing_error"
+        with Srv.Wire.Framing_error _ -> ());
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -98,9 +159,21 @@ let proto_tests =
             Srv.Proto.Estimate { id = 1; sql = small_sql; schema = None };
             Srv.Proto.Estimate { id = 2; sql = big_sql; schema = Some "warehouse" };
             Srv.Proto.Compile
-              { id = 3; sql = small_sql; schema = None; deadline_ms = Some 250.0 };
+              {
+                id = 3;
+                sql = small_sql;
+                schema = None;
+                deadline_ms = Some 250.0;
+                estimate_hint_s = None;
+              };
             Srv.Proto.Compile
-              { id = 4; sql = small_sql; schema = Some "tpch"; deadline_ms = None };
+              {
+                id = 4;
+                sql = small_sql;
+                schema = Some "tpch";
+                deadline_ms = Some 1.5;
+                estimate_hint_s = Some 0.0125;
+              };
             Srv.Proto.Stats { id = 5 };
             Srv.Proto.Shutdown { id = 6 };
           ]);
@@ -108,7 +181,19 @@ let proto_tests =
         List.iter reply_rt
           [
             Srv.Proto.R_rejected
-              { id = 7; reason = "aggregate_budget"; estimate_us = 1234.5 };
+              {
+                id = 7;
+                reason = "aggregate_budget";
+                estimate_us = 1234.5;
+                retry_after_us = None;
+              };
+            Srv.Proto.R_rejected
+              {
+                id = 12;
+                reason = "queue_full";
+                estimate_us = 99.0;
+                retry_after_us = Some 2500.0;
+              };
             Srv.Proto.R_cancelled
               { id = 8; reason = "deadline"; estimate_us = 10.0; queue_s = 0.25 };
             Srv.Proto.R_error { id = 9; message = "no such table" };
@@ -410,7 +495,7 @@ let server_tests =
                 match
                   request_exn c
                     (Srv.Proto.Compile
-                       { id; sql = small_sql; schema = None; deadline_ms = None })
+                       { id; sql = small_sql; schema = None; deadline_ms = None; estimate_hint_s = None })
                 with
                 | Srv.Proto.R_compile (rid, b) ->
                   Alcotest.(check int) "id echoed" id rid;
@@ -446,7 +531,7 @@ let server_tests =
                 let compile sql =
                   let id = Srv.Client.fresh_id c in
                   request_exn c
-                    (Srv.Proto.Compile { id; sql; schema = None; deadline_ms = None })
+                    (Srv.Proto.Compile { id; sql; schema = None; deadline_ms = None; estimate_hint_s = None })
                 in
                 (match compile small_sql with
                 | Srv.Proto.R_compile (_, b) ->
@@ -484,9 +569,9 @@ let server_tests =
                   match
                     request_exn c
                       (Srv.Proto.Compile
-                         { id; sql = big_sql; schema = None; deadline_ms = None })
+                         { id; sql = big_sql; schema = None; deadline_ms = None; estimate_hint_s = None })
                   with
-                  | Srv.Proto.R_rejected { id = rid; reason; estimate_us } ->
+                  | Srv.Proto.R_rejected { id = rid; reason; estimate_us; _ } ->
                     Alcotest.(check int) "id echoed" id rid;
                     Alcotest.(check string) "reason" "per_request_budget" reason;
                     Alcotest.(check bool) "estimate attached" true
@@ -518,7 +603,7 @@ let server_tests =
                 let big_id = Srv.Client.fresh_id c in
                 Srv.Client.send c
                   (Srv.Proto.Compile
-                     { id = big_id; sql = big_sql; schema = None; deadline_ms = None });
+                     { id = big_id; sql = big_sql; schema = None; deadline_ms = None; estimate_hint_s = None });
                 wait_for_stats probe big_is_running;
                 let small_id = Srv.Client.fresh_id c in
                 Srv.Client.send c
@@ -528,6 +613,7 @@ let server_tests =
                        sql = small_sql;
                        schema = None;
                        deadline_ms = Some 1.0;
+                       estimate_hint_s = None;
                      });
                 let got_big = ref false and got_small = ref false in
                 for _ = 1 to 2 do
@@ -559,7 +645,7 @@ let server_tests =
                 let big_id = Srv.Client.fresh_id work in
                 Srv.Client.send work
                   (Srv.Proto.Compile
-                     { id = big_id; sql = big_sql; schema = None; deadline_ms = None });
+                     { id = big_id; sql = big_sql; schema = None; deadline_ms = None; estimate_hint_s = None });
                 (* Wait for the worker to actually start the big job before
                    queueing, so the smalls cannot sneak ahead of it. *)
                 wait_for_stats c big_is_running;
@@ -568,7 +654,7 @@ let server_tests =
                       let id = Srv.Client.fresh_id work in
                       Srv.Client.send work
                         (Srv.Proto.Compile
-                           { id; sql = small_sql; schema = None; deadline_ms = None });
+                           { id; sql = small_sql; schema = None; deadline_ms = None; estimate_hint_s = None });
                       id)
                 in
                 (* All three smalls admitted and queued before the shutdown
@@ -620,6 +706,7 @@ let server_tests =
                           sql = small_sql;
                           schema = None;
                           deadline_ms = None;
+                            estimate_hint_s = None;
                         }));
                 match request_exn c (Srv.Proto.Stats { id = Srv.Client.fresh_id c }) with
                 | Srv.Proto.R_stats (_, doc) ->
@@ -658,6 +745,7 @@ let server_tests =
                             sql;
                             schema = None;
                             deadline_ms = None;
+                            estimate_hint_s = None;
                           }))
                 in
                 for _ = 1 to 3 do
@@ -750,7 +838,7 @@ let plan_cache_tests =
                 let compile sql =
                   let id = Srv.Client.fresh_id c in
                   request_exn c
-                    (Srv.Proto.Compile { id; sql; schema = None; deadline_ms = None })
+                    (Srv.Proto.Compile { id; sql; schema = None; deadline_ms = None; estimate_hint_s = None })
                 in
                 (* Cold miss: compiled by the optimizer, not from the cache. *)
                 let b0 =
@@ -870,6 +958,7 @@ let plan_cache_tests =
                            sql = sql n;
                            schema = Some schema;
                            deadline_ms = None;
+                            estimate_hint_s = None;
                          })
                   with
                   | Srv.Proto.R_compile (_, b) -> b
@@ -909,6 +998,7 @@ let plan_cache_tests =
                          sql = small_sql;
                          schema = None;
                          deadline_ms = None;
+                            estimate_hint_s = None;
                        })
                 in
                 ignore (compile ());
@@ -1007,6 +1097,7 @@ let recalibrate_tests =
                            sql;
                            schema = None;
                            deadline_ms = None;
+                            estimate_hint_s = None;
                          })
                   with
                   | Srv.Proto.R_compile (_, b) ->
@@ -1057,6 +1148,7 @@ let recalibrate_tests =
                             sql;
                             schema = None;
                             deadline_ms = None;
+                            estimate_hint_s = None;
                           })))
                   recalib_warm_sql;
                 match
@@ -1067,6 +1159,170 @@ let recalibrate_tests =
                 | _ -> Alcotest.fail "expected stats reply")));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Client resilience: reconnect with backoff, per-request timeouts,     *)
+(* and sockets dying mid-reply — against a scripted fake server.        *)
+(* ------------------------------------------------------------------ *)
+
+let fake_path () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "qopt-fake-%d-%d.sock" (Unix.getpid ()) (Random.int 100000))
+
+(* Binds [path] (after [delay_s], to exercise dial retries) and hands
+   the listening socket to [script] on a thread. *)
+let with_fake_server ?(delay_s = 0.0) ~script path f =
+  let bind_listen () =
+    let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind lfd (Unix.ADDR_UNIX path);
+    Unix.listen lfd 8;
+    lfd
+  in
+  (* Without an intentional delay, bind before [f] runs: a client dialing
+     with attempts:1 must never race the server thread to the socket —
+     losing that race raises in [f] and leaves the script wedged in
+     accept, which the joining finally below then waits on forever. *)
+  let pre_bound = if delay_s > 0.0 then None else Some (bind_listen ()) in
+  let th =
+    Thread.create
+      (fun () ->
+        let lfd =
+          match pre_bound with
+          | Some lfd -> lfd
+          | None ->
+            Thread.delay delay_s;
+            bind_listen ()
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close lfd with Unix.Unix_error _ -> ())
+          (fun () -> script lfd))
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join th;
+      try Sys.remove path with Sys_error _ -> ())
+    f
+
+let accept_io lfd =
+  let fd, _ = Unix.accept lfd in
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let echo_ok ic oc =
+  match Srv.Wire.read ic with
+  | Some payload -> (
+    match Result.bind (J.parse payload) Srv.Proto.request_of_json with
+    | Ok req ->
+      Srv.Wire.write oc
+        (J.to_string
+           (Srv.Proto.reply_to_json
+              (Srv.Proto.R_ok (Srv.Proto.request_id req))))
+    | Error _ -> Alcotest.fail "fake server got unparseable request")
+  | None -> Alcotest.fail "fake server got EOF instead of a request"
+
+let drain_until_eof ic = while Srv.Wire.read ic <> None do () done
+
+let client_tests =
+  [
+    t "connect retries with backoff until the server binds" (fun () ->
+        let path = fake_path () in
+        with_fake_server ~delay_s:0.15 path
+          ~script:(fun lfd ->
+            let fd, ic, oc = accept_io lfd in
+            echo_ok ic oc;
+            drain_until_eof ic;
+            Unix.close fd)
+          (fun () ->
+            (* One attempt would get ENOENT; the backoff schedule covers
+               the 150ms bind delay with room to spare. *)
+            let c = Srv.Client.connect ~attempts:50 (`Unix path) in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let id = Srv.Client.fresh_id c in
+                match Srv.Client.request c (Srv.Proto.Stats { id }) with
+                | Some (Srv.Proto.R_ok rid) ->
+                  Alcotest.(check int) "id echoed" id rid
+                | _ -> Alcotest.fail "expected R_ok from fake server")));
+    t "request_timeout returns Timeout when the server stalls" (fun () ->
+        let path = fake_path () in
+        with_fake_server path
+          ~script:(fun lfd ->
+            let fd, ic, _ = accept_io lfd in
+            (* Swallow the request and stall; the client dropping its end
+               unblocks the drain. *)
+            drain_until_eof ic;
+            Unix.close fd)
+          (fun () ->
+            let c = Srv.Client.connect (`Unix path) in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let t0 = Unix.gettimeofday () in
+                match
+                  Srv.Client.request_timeout ~timeout_s:0.2 c
+                    (Srv.Proto.Stats { id = Srv.Client.fresh_id c })
+                with
+                | Srv.Client.Timeout ->
+                  Alcotest.(check bool) "timed out near the deadline" true
+                    (Unix.gettimeofday () -. t0 < 2.0)
+                | Srv.Client.Reply _ -> Alcotest.fail "stalled server replied?"
+                | Srv.Client.Closed -> Alcotest.fail "expected Timeout, got Closed")));
+    t "socket closing mid-reply yields Closed, not a hang" (fun () ->
+        let path = fake_path () in
+        with_fake_server path
+          ~script:(fun lfd ->
+            let fd, ic, oc = accept_io lfd in
+            (match Srv.Wire.read ic with
+            | Some _ ->
+              (* A length prefix and half a payload, then death. *)
+              output_string oc "100\n{\"op\":\"ok\"";
+              flush oc
+            | None -> ());
+            Unix.close fd)
+          (fun () ->
+            let c = Srv.Client.connect (`Unix path) in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                match
+                  Srv.Client.request_timeout ~timeout_s:5.0 c
+                    (Srv.Proto.Stats { id = Srv.Client.fresh_id c })
+                with
+                | Srv.Client.Closed -> ()
+                | Srv.Client.Timeout ->
+                  Alcotest.fail "torn reply misread as a timeout"
+                | Srv.Client.Reply _ ->
+                  Alcotest.fail "torn reply misread as a reply")));
+    t "lazy redial: a request after the server drops reconnects" (fun () ->
+        let path = fake_path () in
+        with_fake_server path
+          ~script:(fun lfd ->
+            (* First connection is dropped unserved; the second is served
+               normally — the client must land on it transparently. *)
+            let fd1, _, _ = accept_io lfd in
+            Unix.close fd1;
+            let fd2, ic, oc = accept_io lfd in
+            echo_ok ic oc;
+            drain_until_eof ic;
+            Unix.close fd2)
+          (fun () ->
+            let c = Srv.Client.connect ~attempts:20 (`Unix path) in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                (* Observe the first connection dying... *)
+                Alcotest.(check bool) "first connection died" true
+                  (Srv.Client.recv c = None);
+                (* ...and the very next request redials and succeeds. *)
+                let id = Srv.Client.fresh_id c in
+                match Srv.Client.request c (Srv.Proto.Stats { id }) with
+                | Some (Srv.Proto.R_ok rid) ->
+                  Alcotest.(check int) "served on the redial" id rid
+                | _ -> Alcotest.fail "expected R_ok on the second connection")));
+  ]
+
 let suite =
   wire_tests @ proto_tests @ sched_tests @ admission_tests @ level_tests
-  @ server_tests @ plan_cache_tests @ recalibrate_tests
+  @ server_tests @ plan_cache_tests @ recalibrate_tests @ client_tests

@@ -28,4 +28,5 @@ let () =
       ("sql-roundtrip", T_roundtrip.suite);
       ("sql-errors", T_sqlfront_errors.suite);
       ("server", T_server.suite);
+      ("fleet", T_fleet.suite);
     ]
