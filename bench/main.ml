@@ -764,6 +764,103 @@ let fleet_rows () =
     rows
   end
 
+(* The giant-join-graph regime: the sizes where the DP MEMO explodes and
+   the spanning-tree fallback takes over.  The corpus is the 14-query
+   giant workload (chains/cycles/stars/snowflakes/cliques at 20-50
+   tables); budget and deadline mirror the server smoke settings:
+
+     giant/compile-dp-n20           — median full-DP ms on the 20-table
+                                      chain (the regime's DP-friendly end)
+     giant/compile-greedy-n50       — median spanning-tree fallback ms on
+                                      the 50-table clique (1225 edges)
+     giant/dp-n50-budget-exceeded   — 1.0 when budgeted DP on that clique
+                                      aborts with the structured
+                                      Budget_exceeded (it must: the
+                                      unbudgeted MEMO would need ~2^50
+                                      entries)
+     giant/regime-decision-accuracy — % of the corpus where Regime.decide
+                                      (budgeted COTE + greedy time model
+                                      against a 100 ms deadline) picks the
+                                      same regime as an oracle that
+                                      actually ran both and compared
+                                      measured times *)
+let giant_rows () =
+  let env = serial in
+  let budget = O.Budget.make ~max_memo_entries:5_000 ~max_kept_plans:20_000 () in
+  let deadline_s = 0.1 in
+  let chain20 = W.Giant.block W.Giant.Chain 20 in
+  let clique50 = W.Giant.block W.Giant.Clique 50 in
+  let _, dp_n20_s =
+    Qopt_util.Timer.time_median ~repeats:5 (fun () ->
+        ignore (O.Optimizer.optimize env chain20))
+  in
+  let _, greedy_n50_s =
+    Qopt_util.Timer.time_median ~repeats:5 (fun () ->
+        ignore (O.Optimizer.optimize_fallback env clique50))
+  in
+  let blown =
+    match O.Optimizer.optimize env ~budget clique50 with
+    | exception O.Budget.Exceeded _ -> 1.0
+    | _ -> 0.0
+  in
+  (* The DP time model is fitted here, on small giant shapes, because the
+     canned coefficients track a different machine; the greedy model's
+     fitted defaults suffice (its features are machine-independent counts
+     and its magnitude only matters far below the deadline). *)
+  let model =
+    Cote.Calibrate.fit
+      (List.map
+         (fun (shape, n) -> Cote.Calibrate.measure env (W.Giant.block shape n))
+         [
+           (W.Giant.Chain, 12); (W.Giant.Chain, 16); (W.Giant.Chain, 20);
+           (W.Giant.Cycle, 12); (W.Giant.Star, 12);
+         ])
+  in
+  let gm = Cote.Greedy_model.default in
+  let oracle_regime b =
+    match O.Optimizer.optimize env ~budget b with
+    | exception O.Budget.Exceeded _ -> Cote.Regime.Greedy
+    | r ->
+      if r.O.Optimizer.elapsed <= deadline_s then Cote.Regime.Dp
+      else Cote.Regime.Greedy
+  in
+  let predicted_regime b =
+    let dp_s =
+      match Cote.Predict.compile_time ~budget ~model env b with
+      | p -> Some p.Cote.Predict.seconds
+      | exception O.Budget.Exceeded _ -> None
+    in
+    let greedy_s =
+      Cote.Greedy_model.predict gm
+        ~quantifiers:(O.Query_block.n_quantifiers b)
+        ~edges:(O.Spanning_tree.edge_count b) ~restarts:0
+    in
+    (Cote.Regime.decide ~deadline_s ~dp_s ~greedy_s ()).Cote.Regime.d_regime
+  in
+  let corpus = (E.Common.workload env "giant").W.Workload.queries in
+  let correct =
+    List.fold_left
+      (fun acc (q : W.Workload.query) ->
+        let b = q.W.Workload.block in
+        if predicted_regime b = oracle_regime b then acc + 1 else acc)
+      0 corpus
+  in
+  let accuracy = 100.0 *. float_of_int correct /. float_of_int (List.length corpus) in
+  let rows =
+    [
+      ("giant/compile-dp-n20", dp_n20_s *. 1e3);
+      ("giant/compile-greedy-n50", greedy_n50_s *. 1e3);
+      ("giant/dp-n50-budget-exceeded", blown);
+      ("giant/regime-decision-accuracy", accuracy);
+    ]
+  in
+  Format.printf
+    "=== Giant join graphs (14-query corpus, budget 5k entries / 20k plans, \
+     %.0f ms deadline) ===@."
+    (deadline_s *. 1e3);
+  List.iter (fun (name, v) -> Format.printf "%-36s %16.2f@." name v) rows;
+  rows
+
 (* Machine-readable results for CI trend tracking: a flat benchmark-name ->
    ns/run object, one line per benchmark so diffs stay readable. *)
 let write_bench_json path rows =
@@ -820,6 +917,8 @@ let () =
   let rows = rows @ recalib_rows () in
   Format.printf "@.";
   let rows = rows @ fleet_rows () in
+  Format.printf "@.";
+  let rows = rows @ giant_rows () in
   Format.printf "@.";
   let rows = if quick then rows @ scale_rows () else rows in
   if quick then begin

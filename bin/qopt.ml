@@ -38,13 +38,17 @@ let env_term =
   Arg.(value & opt env_conv O.Env.serial & info [ "e"; "env" ] ~doc:"serial or parallel")
 
 let workload_names =
-  [ "linear"; "star"; "cycle"; "real1"; "real2"; "random"; "tpch"; "calibration" ]
+  [
+    "linear"; "star"; "cycle"; "real1"; "real2"; "random"; "tpch";
+    "calibration"; "giant";
+  ]
 
 let schema_for env = function
   | "tpch" -> W.Tpch.schema ~partitioned:(O.Env.is_parallel env)
   | "warehouse" | "real1" | "real2" | "random" ->
     W.Warehouse.schema ~partitioned:(O.Env.is_parallel env)
-  | s -> failwith (Printf.sprintf "unknown schema %S (tpch|warehouse)" s)
+  | "giant" -> W.Giant.schema ~partitioned:(O.Env.is_parallel env) ()
+  | s -> failwith (Printf.sprintf "unknown schema %S (tpch|warehouse|giant)" s)
 
 let resolve_block env ~workload ~query ~sql ~schema =
   match (sql, workload, query) with
@@ -69,7 +73,8 @@ let schema_term =
   Arg.(
     value
     & opt (some string) None
-    & info [ "schema" ] ~doc:"schema for --sql: warehouse (default) or tpch")
+    & info [ "schema" ]
+        ~doc:"schema for --sql: warehouse (default), tpch or giant")
 
 let wrap f = try `Ok (f ()) with Failure msg | Invalid_argument msg -> `Error (false, msg)
 
@@ -527,9 +532,33 @@ let serve_cmd =
                 running a local COTE pass (fleet backends behind a router \
                 that estimates once); ignored when --downgrade-s is set")
   in
+  let max_memo_entries_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-memo-entries" ] ~docv:"N"
+          ~doc:"abort any DP pass (estimate or compile) whose MEMO grows \
+                past N entries and serve the query with the spanning-tree \
+                regime instead")
+  in
+  let max_kept_plans_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-kept-plans" ] ~docv:"N"
+          ~doc:"abort any DP pass holding more than N pruned-surviving \
+                plans and fall back to the spanning-tree regime")
+  in
+  let greedy_restarts_term =
+    Arg.(
+      value & opt int 0
+      & info [ "greedy-restarts" ] ~docv:"N"
+          ~doc:"randomized spanning-tree restarts per fallback compile")
+  in
   let run env socket tcp workers mode model per_request aggregate max_queue
       downgrade deadline plan_cache plan_cache_slack recalibrate recalib_window
-      recalib_drift recalib_min_interval trust_hints =
+      recalib_drift recalib_min_interval trust_hints max_memo_entries
+      max_kept_plans greedy_restarts =
     wrap (fun () ->
         let mode =
           match mode with
@@ -553,6 +582,7 @@ let serve_cmd =
                  [
                    ("warehouse", schema_for env "warehouse");
                    ("tpch", schema_for env "tpch");
+                   ("giant", schema_for env "giant");
                  ]
                ())
             with
@@ -581,6 +611,9 @@ let serve_cmd =
                    }
                else None);
             trust_hints;
+            budget =
+              O.Budget.make ?max_memo_entries ?max_kept_plans ();
+            greedy_restarts;
           }
         in
         let pp_addr ppf = function
@@ -605,7 +638,8 @@ let serve_cmd =
        $ mode_term $ model_term $ per_request_term $ aggregate_term
        $ max_queue_term $ downgrade_term $ deadline_term $ plan_cache_term
        $ plan_cache_slack_term $ recalibrate_term $ recalib_window_term
-       $ recalib_drift_term $ recalib_min_interval_term $ trust_hints_term))
+       $ recalib_drift_term $ recalib_min_interval_term $ trust_hints_term
+       $ max_memo_entries_term $ max_kept_plans_term $ greedy_restarts_term))
 
 let fleet_cmd =
   let backends_term =
@@ -689,6 +723,7 @@ let fleet_cmd =
                  [
                    ("warehouse", schema_for env "warehouse");
                    ("tpch", schema_for env "tpch");
+                   ("giant", schema_for env "giant");
                  ]
                ())
             with

@@ -73,11 +73,34 @@ let add a b =
     mv_tests = a.mv_tests + b.mv_tests;
   }
 
-let run_block ?options ~knobs env block =
+let run_block ?options ?budget ~knobs env block =
   let memo = O.Memo.create block in
   let acc = Accumulate.create ?options env memo in
-  O.Enumerator.run ~knobs ~card_of:(Accumulate.card_of acc) memo
-    (Accumulate.consumer acc);
+  let consumer = Accumulate.consumer acc in
+  let consumer =
+    (* The estimate pass enumerates the same joins the optimizer would, so
+       on a giant graph it explodes just like the real compile; cap it the
+       same way.  The estimate-mode analogue of kept plans is the memory
+       model's plan count. *)
+    match budget with
+    | Some b when not (O.Budget.is_unlimited b) ->
+      let check () =
+        O.Budget.check b ~entries:(O.Memo.n_entries memo)
+          ~kept:(int_of_float (Accumulate.est_memo_plans acc))
+      in
+      {
+        O.Enumerator.on_entry =
+          (fun e ->
+            consumer.O.Enumerator.on_entry e;
+            check ());
+        on_join =
+          (fun ev ->
+            consumer.O.Enumerator.on_join ev;
+            check ());
+      }
+    | Some _ | None -> consumer
+  in
+  O.Enumerator.run ~knobs ~card_of:(Accumulate.card_of acc) memo consumer;
   (memo, acc)
 
 let of_pass ~n_views (memo, acc) =
@@ -95,10 +118,10 @@ let of_pass ~n_views (memo, acc) =
     mv_tests = O.Memo.n_entries memo * n_views;
   }
 
-let estimate_block ?options ~knobs ~n_views env block =
+let estimate_block ?options ?budget ~knobs ~n_views env block =
   let passes, elapsed =
     Timer.time (fun () ->
-        let first = run_block ?options ~knobs env block in
+        let first = run_block ?options ?budget ~knobs env block in
         (* Mirror the optimizer's permissive fallback when the knobs leave
            the top table set unreachable. *)
         let memo, _ = first in
@@ -106,7 +129,11 @@ let estimate_block ?options ~knobs ~n_views env block =
           O.Memo.find_opt memo (O.Query_block.all_tables block) = None
           && O.Query_block.n_quantifiers block > 1
         then
-          [ first; run_block ?options ~knobs:(O.Knobs.permissive knobs) env block ]
+          [
+            first;
+            run_block ?options ?budget ~knobs:(O.Knobs.permissive knobs) env
+              block;
+          ]
         else [ first ])
   in
   (* Work counters fold across both passes — the optimizer does both passes'
@@ -122,11 +149,13 @@ let estimate_block ?options ~knobs ~n_views env block =
   in
   { r with elapsed }
 
-let estimate ?options ?(knobs = O.Knobs.default) ?(views = []) env block =
+let estimate ?options ?budget ?(knobs = O.Knobs.default) ?(views = []) env
+    block =
   let n_views = List.length views in
   let result = ref zero in
   O.Query_block.iter_blocks
-    (fun b -> result := add !result (estimate_block ?options ~knobs ~n_views env b))
+    (fun b ->
+      result := add !result (estimate_block ?options ?budget ~knobs ~n_views env b))
     block;
   let r = !result in
   Obs.Counter.incr m_runs;

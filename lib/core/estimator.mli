@@ -29,10 +29,16 @@ val get : estimate -> O.Join_method.t -> int
 
 val estimate :
   ?options:Accumulate.options ->
+  ?budget:O.Budget.t ->
   ?knobs:O.Knobs.t ->
   ?views:O.Mat_view.t list ->
   O.Env.t ->
   O.Query_block.t ->
   estimate
 (** Estimates the query (the block and all its children, like
-    {!O.Optimizer.optimize}).  [knobs] defaults to {!O.Knobs.default}. *)
+    {!O.Optimizer.optimize}).  [knobs] defaults to {!O.Knobs.default}.
+    [budget] (default unlimited) caps the estimate pass the same way it
+    caps a real compile: the estimate-mode enumerator builds the same MEMO
+    entries the optimizer would, so a giant clique explodes here too.
+    Crossing a cap raises {!O.Budget.Exceeded} — which doubles as the
+    cheapest possible "DP is infeasible" signal for regime selection. *)

@@ -5,6 +5,6 @@ type prediction = {
   estimate : Estimator.estimate;
 }
 
-let compile_time ?options ?knobs ~model env block =
-  let estimate = Estimator.estimate ?options ?knobs env block in
+let compile_time ?options ?budget ?knobs ~model env block =
+  let estimate = Estimator.estimate ?options ?budget ?knobs env block in
   { seconds = Time_model.predict model estimate; estimate }

@@ -12,6 +12,7 @@ type prediction = {
 
 val compile_time :
   ?options:Accumulate.options ->
+  ?budget:O.Budget.t ->
   ?knobs:O.Knobs.t ->
   model:Time_model.t ->
   O.Env.t ->
@@ -19,4 +20,6 @@ val compile_time :
   prediction
 (** Predicted time to optimize the query at the given level (knobs) in the
     given environment, using a model fitted by {!Calibrate} for that same
-    environment. *)
+    environment.  [budget] caps the underlying estimate pass
+    ({!Estimator.estimate}); crossing a cap raises {!O.Budget.Exceeded},
+    meaning the DP regime itself is infeasible under that budget. *)

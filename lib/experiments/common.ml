@@ -32,6 +32,7 @@ let workload env name =
       | "random" ->
         W.Random_gen.generate ~schema:(W.Warehouse.schema ~partitioned) ()
       | "tpch" -> W.Tpch.all ~partitioned
+      | "giant" -> W.Giant.workload ~partitioned ()
       | "tpch7" -> W.Tpch.longest ~env ~partitioned ()
       | other -> invalid_arg (Printf.sprintf "Common.workload: unknown %s" other)
     in

@@ -1,0 +1,34 @@
+type t = {
+  max_memo_entries : int option;
+  max_kept_plans : int option;
+  max_predicted_s : float option;
+}
+
+type blown = {
+  b_what : string;
+  b_limit : int;
+  b_reached : int;
+}
+
+exception Exceeded of blown
+
+let unlimited =
+  { max_memo_entries = None; max_kept_plans = None; max_predicted_s = None }
+
+let make ?max_memo_entries ?max_kept_plans ?max_predicted_s () =
+  { max_memo_entries; max_kept_plans; max_predicted_s }
+
+let is_unlimited b = b.max_memo_entries = None && b.max_kept_plans = None
+
+let check b ~entries ~kept =
+  (match b.max_memo_entries with
+  | Some limit when entries > limit ->
+    raise (Exceeded { b_what = "memo_entries"; b_limit = limit; b_reached = entries })
+  | Some _ | None -> ());
+  match b.max_kept_plans with
+  | Some limit when kept > limit ->
+    raise (Exceeded { b_what = "kept_plans"; b_limit = limit; b_reached = kept })
+  | Some _ | None -> ()
+
+let pp_blown ppf b =
+  Format.fprintf ppf "budget exceeded: %s %d > %d" b.b_what b.b_reached b.b_limit

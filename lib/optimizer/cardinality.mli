@@ -29,6 +29,11 @@ val local_selectivity : mode -> Query_block.t -> Pred.t -> float
 val join_selectivity : mode -> Query_block.t -> Pred.t -> float
 (** Selectivity of an equality join predicate. *)
 
+val combined_join_selectivity : mode -> Query_block.t -> Pred.t list -> float
+(** Combined selectivity of a set of join predicates with the per-pair
+    correlation back-off applied (the i-th most selective predicate between
+    the same quantifier pair contributes [sel^(1/2^i)]). *)
+
 val of_set : mode -> Query_block.t -> Bitset.t -> float
 (** Estimated output cardinality of the table set with all internal
     predicates applied.  Always positive. *)

@@ -12,3 +12,19 @@
 val optimize : Env.t -> Query_block.t -> Plan.t option
 (** Best-effort greedy plan for the block (children blocks are ignored —
     drive them through {!Optimizer}).  [None] only for empty blocks. *)
+
+val scan_plan : Env.t -> Cost_model.params -> Query_block.t -> int -> Plan.t
+(** Cheapest access path for one quantifier: a sequential scan or a
+    filtered index probe, with the parallel environment's partition
+    property attached.  Shared with {!Spanning_tree}. *)
+
+val cheapest_join :
+  Cost_model.params ->
+  Query_block.t ->
+  outer:Plan.t ->
+  inner:Plan.t ->
+  preds:Pred.t list ->
+  out_card:float ->
+  Plan.t
+(** The cheapest of NLJN/MGJN/HSJN for one (outer, inner) direction.
+    Shared with {!Spanning_tree}. *)

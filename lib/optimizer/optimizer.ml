@@ -106,11 +106,36 @@ let best_for_block env block entry =
     (Memo.plans entry);
   Option.map fst !best
 
-let run_block ?views env knobs block =
+(* The budget check rides the consumer callbacks: entries grow in on_entry,
+   kept plans in on_join, and both reads are O(1) counters — so a capped
+   pass costs two int compares per event and an uncapped pass (the common
+   case) is never wrapped at all, keeping the hot path and the differential
+   suites bit-for-bit unchanged. *)
+let budgeted_consumer budget memo (consumer : Enumerator.consumer) =
+  let check () =
+    Budget.check budget ~entries:(Memo.n_entries memo) ~kept:(Memo.kept_plans memo)
+  in
+  {
+    Enumerator.on_entry =
+      (fun e ->
+        consumer.Enumerator.on_entry e;
+        check ());
+    on_join =
+      (fun ev ->
+        consumer.Enumerator.on_join ev;
+        check ());
+  }
+
+let run_block ?budget ?views env knobs block =
   let memo = Memo.create block in
   let instr = Instrument.create () in
   let gen = Plan_gen.create ?views env memo instr in
   let consumer = Plan_gen.consumer gen in
+  let consumer =
+    match budget with
+    | Some b when not (Budget.is_unlimited b) -> budgeted_consumer b memo consumer
+    | Some _ | None -> consumer
+  in
   let alloc0 = if !Obs.Control.on then Gc.allocated_bytes () else 0.0 in
   let (), elapsed =
     Timer.time (fun () ->
@@ -160,16 +185,16 @@ let no_interrupt () = false
 
 let check_interrupt interrupt = if interrupt () then raise Interrupted
 
-let optimize_block ?(interrupt = no_interrupt) ?views env knobs block =
+let optimize_block ?(interrupt = no_interrupt) ?budget ?views env knobs block =
   check_interrupt interrupt;
-  let result, reached_top = run_block ?views env knobs block in
+  let result, reached_top = run_block ?budget ?views env knobs block in
   if reached_top || Query_block.n_quantifiers block <= 1 then result
   else begin
     (* The knobs left the query unplannable (disconnected graph without
        Cartesian products, or an over-tight inner limit): retry permissively. *)
     Obs.Counter.incr m_retries;
     check_interrupt interrupt;
-    let retry, _ = run_block ?views env (Knobs.permissive knobs) block in
+    let retry, _ = run_block ?budget ?views env (Knobs.permissive knobs) block in
     (* The failed pass is real compile time — Estimator.estimate_block times
        both passes, and COTE accuracy depends on actuals doing the same.
        Fold the first pass's elapsed and work counters into the retry
@@ -189,12 +214,13 @@ let optimize_block ?(interrupt = no_interrupt) ?views env knobs block =
     }
   end
 
-let optimize env ?(interrupt = no_interrupt) ?(knobs = Knobs.default) ?views
-    block =
+let optimize env ?(interrupt = no_interrupt) ?budget ?(knobs = Knobs.default)
+    ?views block =
   Obs.Counter.incr m_queries;
   let results = ref [] in
   Query_block.iter_blocks
-    (fun b -> results := optimize_block ~interrupt ?views env knobs b :: !results)
+    (fun b ->
+      results := optimize_block ~interrupt ?budget ?views env knobs b :: !results)
     block;
   let result =
     match !results with
@@ -222,3 +248,48 @@ let optimize env ?(interrupt = no_interrupt) ?(knobs = Knobs.default) ?views
   in
   Obs.Gauge.set m_memo_bytes result.memo_bytes;
   result
+
+type fallback = {
+  fb_best : Plan.t option;
+  fb_elapsed : float;
+  fb_quantifiers : int;
+  fb_edges : int;
+  fb_restarts : int;
+  fb_joins : int;
+}
+
+let optimize_fallback env ?(interrupt = no_interrupt) ?(seed = 0) ?(restarts = 0)
+    block =
+  Obs.Counter.incr m_queries;
+  let last = ref None in
+  let elapsed = ref 0.0 in
+  let edges = ref 0 in
+  let joins = ref 0 in
+  let quants = ref 0 in
+  Query_block.iter_blocks
+    (fun b ->
+      check_interrupt interrupt;
+      let r = Spanning_tree.optimize ~seed ~restarts env b in
+      elapsed := !elapsed +. r.Spanning_tree.st_elapsed;
+      edges := !edges + r.Spanning_tree.st_edges;
+      joins := !joins + r.Spanning_tree.st_joins;
+      quants := !quants + Query_block.n_quantifiers b;
+      last := Some (b, r.Spanning_tree.st_plan))
+    block;
+  Obs.Histo.observe m_compile_s !elapsed;
+  let best =
+    (* [iter_blocks] visits children first: the last block is the top one,
+       and its plan gets the same final SORT / GROUP BY treatment the DP
+       path applies in [best_for_block]. *)
+    match !last with
+    | Some (top, Some plan) -> Some (finish env top plan)
+    | Some (_, None) | None -> None
+  in
+  {
+    fb_best = best;
+    fb_elapsed = !elapsed;
+    fb_quantifiers = !quants;
+    fb_edges = !edges;
+    fb_restarts = restarts;
+    fb_joins = !joins;
+  }

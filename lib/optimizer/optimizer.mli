@@ -27,6 +27,7 @@ exception Interrupted
 
 val optimize_block :
   ?interrupt:(unit -> bool) ->
+  ?budget:Budget.t ->
   ?views:Mat_view.t list ->
   Env.t ->
   Knobs.t ->
@@ -37,11 +38,15 @@ val optimize_block :
     products), the block is retried with Cartesian products enabled, as a
     real system would.  [interrupt] is polled between optimizer passes
     (before the first pass and before the permissive retry); when it
-    returns [true], {!Interrupted} is raised. *)
+    returns [true], {!Interrupted} is raised.  [budget] (default
+    unlimited) caps the MEMO mid-pass: crossing a cap raises
+    {!Budget.Exceeded} from inside the enumeration, before the MEMO can
+    grow past the limit — the giant-join-graph guardrail. *)
 
 val optimize :
   Env.t ->
   ?interrupt:(unit -> bool) ->
+  ?budget:Budget.t ->
   ?knobs:Knobs.t ->
   ?views:Mat_view.t list ->
   Query_block.t ->
@@ -52,4 +57,31 @@ val optimize :
     (default: never) is polled between optimizer passes — before each
     block's enumeration and before any permissive retry — and raises
     {!Interrupted} when it returns [true]; a request past its deadline is
-    cancelled at the next pass boundary rather than hanging to completion. *)
+    cancelled at the next pass boundary rather than hanging to completion.
+    [budget] (default unlimited) additionally caps MEMO entries / kept
+    plans {e inside} each pass, raising {!Budget.Exceeded} the moment a
+    cap is crossed; callers fall back to {!optimize_fallback}. *)
+
+type fallback = {
+  fb_best : Plan.t option;
+      (** top block's spanning-tree plan, with final SORT / GROUP BY *)
+  fb_elapsed : float;  (** wall-clock seconds, all blocks *)
+  fb_quantifiers : int;  (** summed over blocks (a time-model feature) *)
+  fb_edges : int;  (** join-graph edges, summed (a time-model feature) *)
+  fb_restarts : int;  (** randomized restarts per block *)
+  fb_joins : int;  (** join operators costed *)
+}
+
+val optimize_fallback :
+  Env.t ->
+  ?interrupt:(unit -> bool) ->
+  ?seed:int ->
+  ?restarts:int ->
+  Query_block.t ->
+  fallback
+(** The polynomial fallback regime: every block is planned by
+    {!Spanning_tree.optimize} (MST over the join graph by estimated
+    intermediate cardinality, cheapest-method joins, [restarts] seeded
+    perturbed retries) instead of DP enumeration — no MEMO, no budget to
+    exceed.  Deterministic for a given [(seed, restarts)].  [interrupt] is
+    polled before each block. *)

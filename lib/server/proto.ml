@@ -37,6 +37,7 @@ type compile_body = {
   c_queue_s : float;
   c_cache_hit : bool;
   c_plan_cached : bool;
+  c_regime : string;
 }
 
 type reply =
@@ -133,6 +134,7 @@ let reply_to_json = function
         ("predicted_s", J.Num c.c_predicted_s); ("level", J.Str c.c_level);
         ("queue_s", J.Num c.c_queue_s); ("cache_hit", J.Bool c.c_cache_hit);
         ("plan_cached", J.Bool c.c_plan_cached);
+        ("regime", J.Str c.c_regime);
       ]
   | R_rejected { id; reason; estimate_us; retry_after_us } ->
     J.Obj
@@ -240,6 +242,8 @@ let reply_of_json j =
                  c_cache_hit = req (field_bool j "cache_hit") "cache_hit";
                  c_plan_cached =
                    Option.value ~default:false (field_bool j "plan_cached");
+                 c_regime =
+                   Option.value ~default:"dp" (field_string j "regime");
                } ))
       | "rejected" ->
         Ok

@@ -64,6 +64,10 @@ type compile_body = {
   c_plan_cached : bool;
       (** served from the plan cache — no optimizer pass ran at all
           (parsed with a [false] default, so older servers interoperate) *)
+  c_regime : string;
+      (** which compile regime produced the plan: ["dp"], ["greedy"], or
+          ["dp_budget_fallback"] ({!Cote.Regime}) — parsed with a ["dp"]
+          default, so older servers interoperate *)
 }
 
 type reply =

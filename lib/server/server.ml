@@ -23,6 +23,14 @@ type config = {
          local COTE pass — for fleet backends behind a router that
          estimates once.  Only honored when no downgrade decision needs
          a local per-level prediction. *)
+  budget : O.Budget.t;
+      (* resource caps on every DP pass, estimate and compile alike: a
+         giant join graph aborts with [Budget.Exceeded] instead of
+         OOMing, and the compile is served by the greedy regime. *)
+  greedy_model : Cote.Greedy_model.t;
+      (* fitted time model for the spanning-tree fallback: its prediction
+         competes with the DP prediction in regime selection. *)
+  greedy_restarts : int;  (* randomized restarts per fallback compile *)
 }
 
 let default_config ~listen ~model ~schemas () =
@@ -40,6 +48,9 @@ let default_config ~listen ~model ~schemas () =
     plan_cache = None;
     recalibrate = None;
     trust_hints = false;
+    budget = O.Budget.unlimited;
+    greedy_model = Cote.Greedy_model.default;
+    greedy_restarts = 0;
   }
 
 type stats = {
@@ -53,6 +64,9 @@ type stats = {
   st_downgrades : int;
   st_plan_hits : int;
   st_refits : int;
+  st_regime_dp : int;
+  st_regime_greedy : int;
+  st_regime_fallbacks : int;
   st_queue_depth : int;
   st_in_flight_s : float;
 }
@@ -99,6 +113,7 @@ type job = {
   j_predicted_s : float;  (* cache-refined; drives admission + SJF *)
   j_model_s : float;  (* the pure model prediction; drives drift *)
   j_cache_hit : bool;
+  j_regime : Cote.Regime.t;  (* which compile path the decision picked *)
   j_pc_key : string option;  (* plan-cache key to store the result under *)
   j_deadline : float option;  (* absolute, monotonic clock *)
   j_enqueued : float;  (* monotonic *)
@@ -111,6 +126,7 @@ type cached_meta = {
   pm_kept : int;
   pm_entries : int;
   pm_level : string;
+  pm_regime : string;
 }
 
 type conn = {
@@ -144,6 +160,9 @@ type t = {
   n_errors : int Atomic.t;
   n_downgrades : int Atomic.t;
   n_plan_hits : int Atomic.t;
+  n_regime_dp : int Atomic.t;
+  n_regime_greedy : int Atomic.t;
+  n_regime_fallbacks : int Atomic.t;
 }
 
 let snapshot t =
@@ -158,6 +177,9 @@ let snapshot t =
     st_errors = Atomic.get t.n_errors;
     st_downgrades = Atomic.get t.n_downgrades;
     st_plan_hits = Atomic.get t.n_plan_hits;
+    st_regime_dp = Atomic.get t.n_regime_dp;
+    st_regime_greedy = Atomic.get t.n_regime_greedy;
+    st_regime_fallbacks = Atomic.get t.n_regime_fallbacks;
     st_refits =
       (match t.recal with
       | None -> 0
@@ -180,6 +202,9 @@ let stats_json t =
       ("downgrades", J.int s.st_downgrades);
       ("plan_hits", J.int s.st_plan_hits);
       ("refits", J.int s.st_refits);
+      ("regime_dp", J.int s.st_regime_dp);
+      ("regime_greedy", J.int s.st_regime_greedy);
+      ("regime_fallbacks", J.int s.st_regime_fallbacks);
       ("queue_depth", J.int s.st_queue_depth);
       ("in_flight_s", J.Num s.st_in_flight_s);
       ("mode", J.Str (Sched.mode_string (Sched.mode t.sched)));
@@ -243,7 +268,8 @@ let evaluate_block t block =
   let choice =
     Level.select ~levels:t.cfg.levels ~downgrade_s:t.cfg.downgrade_s
       ~predict:(fun knobs ->
-        Cote.Predict.compile_time ~knobs ~model t.cfg.env block)
+        Cote.Predict.compile_time ~budget:t.cfg.budget ~knobs ~model t.cfg.env
+          block)
   in
   if choice.Level.downgrades > 0 then begin
     Obs.Counter.incr m_downgrades;
@@ -305,7 +331,73 @@ let cancel_job t job reason =
          queue_s = Timer.monotonic_now () -. job.j_enqueued;
        })
 
-let run_job t job =
+(* A compile served by the spanning-tree regime — chosen up front (Greedy)
+   or as the mid-compile rescue of a DP pass that blew its budget
+   (Dp_budget_fallback).  Actuals are recorded under the "greedy" statement
+   -cache tag (whatever the admission level was, the measured work is
+   greedy work) and never feed the recalibrator: its features are DP
+   generated-plan counts, which a fallback compile does not have. *)
+let run_fallback t job ~now ~interrupt regime =
+  let fb =
+    O.Optimizer.optimize_fallback t.cfg.env ~interrupt
+      ~restarts:t.cfg.greedy_restarts job.j_block
+  in
+  release t job;
+  Cote.Stmt_cache.record t.cache ~tag:"greedy" job.j_block
+    fb.O.Optimizer.fb_elapsed;
+  (match (t.pcache, job.j_pc_key, fb.O.Optimizer.fb_best) with
+  | Some pc, Some key, Some plan ->
+    Cote.Plan_cache.store pc ~key job.j_block ~plan
+      {
+        pm_joins = fb.O.Optimizer.fb_joins;
+        pm_kept = 0;
+        pm_entries = 0;
+        pm_level = job.j_level;
+        pm_regime = Cote.Regime.to_string regime;
+      }
+  | _ -> ());
+  Obs.Counter.incr m_compiles;
+  Obs.Histo.observe m_latency (Timer.monotonic_now () -. job.j_enqueued);
+  if fb.O.Optimizer.fb_elapsed > 0.0 then
+    Obs.Histo.observe m_est_err
+      (Float.abs (job.j_model_s -. fb.O.Optimizer.fb_elapsed)
+      /. fb.O.Optimizer.fb_elapsed *. 100.0);
+  Atomic.incr t.n_compiles;
+  job.j_send
+    (Proto.R_compile
+       ( job.j_id,
+         {
+           Proto.c_plan =
+             Option.map
+               (Format.asprintf "%a" O.Plan.pp_compact)
+               fb.O.Optimizer.fb_best;
+           c_cost =
+             (match fb.O.Optimizer.fb_best with
+             | Some p -> p.O.Plan.cost
+             | None -> 0.0);
+           c_card =
+             (match fb.O.Optimizer.fb_best with
+             | Some p -> p.O.Plan.card
+             | None -> 0.0);
+           c_joins = fb.O.Optimizer.fb_joins;
+           c_kept = 0;
+           c_entries = 0;
+           c_elapsed_s = fb.O.Optimizer.fb_elapsed;
+           c_predicted_s = job.j_predicted_s;
+           c_level = job.j_level;
+           c_queue_s = now -. job.j_enqueued;
+           c_cache_hit = job.j_cache_hit;
+           c_plan_cached = false;
+           c_regime = Cote.Regime.to_string regime;
+         } ))
+
+let job_error t job e =
+  release t job;
+  Obs.Counter.incr m_errors;
+  Atomic.incr t.n_errors;
+  job.j_send (Proto.R_error { id = job.j_id; message = Printexc.to_string e })
+
+let rec run_job t job =
   let now = Timer.monotonic_now () in
   Obs.Histo.observe m_queue_wait (now -. job.j_enqueued);
   Obs.Gauge.set m_queue_depth (float_of_int (Sched.length t.sched));
@@ -317,9 +409,19 @@ let run_job t job =
       | None -> fun () -> false
       | Some d -> fun () -> Timer.monotonic_now () > d
     in
-    match
-      O.Optimizer.optimize t.cfg.env ~interrupt ~knobs:job.j_knobs job.j_block
-    with
+    match job.j_regime with
+    | Cote.Regime.Greedy | Cote.Regime.Dp_budget_fallback -> (
+      match run_fallback t job ~now ~interrupt job.j_regime with
+      | () -> ()
+      | exception O.Optimizer.Interrupted -> cancel_job t job "deadline"
+      | exception e -> job_error t job e)
+    | Cote.Regime.Dp -> run_dp t job ~now ~interrupt)
+
+and run_dp t job ~now ~interrupt =
+  match
+    O.Optimizer.optimize t.cfg.env ~interrupt ~budget:t.cfg.budget
+      ~knobs:job.j_knobs job.j_block
+  with
     | r ->
       release t job;
       Cote.Stmt_cache.record t.cache ~tag:job.j_level job.j_block
@@ -347,6 +449,7 @@ let run_job t job =
             pm_kept = r.O.Optimizer.kept;
             pm_entries = r.O.Optimizer.entries;
             pm_level = job.j_level;
+            pm_regime = Cote.Regime.to_string Cote.Regime.Dp;
           }
       | _ -> ());
       Obs.Counter.incr m_compiles;
@@ -383,14 +486,19 @@ let run_job t job =
                c_queue_s = now -. job.j_enqueued;
                c_cache_hit = job.j_cache_hit;
                c_plan_cached = false;
+               c_regime = Cote.Regime.to_string Cote.Regime.Dp;
              } ))
+  | exception O.Optimizer.Interrupted -> cancel_job t job "deadline"
+  | exception O.Budget.Exceeded _ -> (
+    (* The estimate said DP fits, the MEMO said otherwise: rescue the
+       compile with the polynomial regime instead of failing it. *)
+    Cote.Regime.record_fallback ();
+    Atomic.incr t.n_regime_fallbacks;
+    match run_fallback t job ~now ~interrupt Cote.Regime.Dp_budget_fallback with
+    | () -> ()
     | exception O.Optimizer.Interrupted -> cancel_job t job "deadline"
-    | exception e ->
-      release t job;
-      Obs.Counter.incr m_errors;
-      Atomic.incr t.n_errors;
-      job.j_send
-        (Proto.R_error { id = job.j_id; message = Printexc.to_string e }))
+    | exception e -> job_error t job e)
+  | exception e -> job_error t job e
 
 let worker_main t slot () =
   (* Claim a distinct obs shard slot (the Qopt_par.Pool contract) so
@@ -479,11 +587,33 @@ let serve_plan_hit t conn req_id ~arrival plan (meta : cached_meta) =
                 is the hit signal. *)
              c_cache_hit = false;
              c_plan_cached = true;
+             c_regime = meta.pm_regime;
            } ))
+
+(* The greedy regime's prediction needs nothing but the join graph: both
+   features are summed over all blocks, matching what
+   [Optimizer.optimize_fallback] will report. *)
+let greedy_predicted t block =
+  let quantifiers = ref 0 and edges = ref 0 in
+  O.Query_block.iter_blocks
+    (fun b ->
+      quantifiers := !quantifiers + O.Query_block.n_quantifiers b;
+      edges := !edges + O.Spanning_tree.edge_count b)
+    block;
+  Cote.Greedy_model.predict t.cfg.greedy_model ~quantifiers:!quantifiers
+    ~edges:!edges ~restarts:t.cfg.greedy_restarts
 
 let compile_cold t conn req_id ~arrival ~pc_key ~estimate_hint_s block
     deadline_ms =
-  let knobs, level_name, predicted_s, model_s, cache_hit =
+  let deadline_s =
+    match deadline_ms with
+    | Some ms -> Some (ms /. 1000.0)
+    | None -> t.cfg.default_deadline_s
+  in
+  (* The DP side of the regime decision.  The estimate pass runs under the
+     same budget as the compile, so on a giant graph it aborts (cheaply)
+     instead of exploding — [None] here means DP is infeasible outright. *)
+  let dp_choice =
     match estimate_hint_s with
     | Some hint when t.cfg.trust_hints && t.cfg.downgrade_s = None ->
       (* The router already ran the COTE pass — once, refined against its
@@ -493,23 +623,47 @@ let compile_cold t conn req_id ~arrival ~pc_key ~estimate_hint_s block
          hint stands in for the model prediction too: router and backend
          serve the same model family. *)
       let level = List.hd t.cfg.levels in
-      ( level.Cote.Multi_level.level_knobs,
-        level.Cote.Multi_level.level_name,
-        hint,
-        hint,
-        false )
-    | Some _ | None ->
-      let ev = evaluate_block t block in
-      ( ev.ev_choice.Level.level.Cote.Multi_level.level_knobs,
-        ev.ev_choice.Level.level.Cote.Multi_level.level_name,
-        ev.ev_predicted_s,
-        ev.ev_model_s,
-        ev.ev_cache_hit )
+      Some
+        ( level.Cote.Multi_level.level_knobs,
+          level.Cote.Multi_level.level_name,
+          hint,
+          hint,
+          false )
+    | Some _ | None -> (
+      match evaluate_block t block with
+      | ev ->
+        Some
+          ( ev.ev_choice.Level.level.Cote.Multi_level.level_knobs,
+            ev.ev_choice.Level.level.Cote.Multi_level.level_name,
+            ev.ev_predicted_s,
+            ev.ev_model_s,
+            ev.ev_cache_hit )
+      | exception O.Budget.Exceeded _ -> None)
   in
-  let deadline_s =
-    match deadline_ms with
-    | Some ms -> Some (ms /. 1000.0)
-    | None -> t.cfg.default_deadline_s
+  let greedy_s = greedy_predicted t block in
+  let decision =
+    Cote.Regime.decide ?deadline_s
+      ~dp_s:(Option.map (fun (_, _, p, _, _) -> p) dp_choice)
+      ~greedy_s ()
+  in
+  Cote.Regime.record decision;
+  let knobs, level_name, predicted_s, model_s, cache_hit, regime =
+    match (decision.Cote.Regime.d_regime, dp_choice) with
+    | Cote.Regime.Dp, Some (k, n, p, m, c) ->
+      Atomic.incr t.n_regime_dp;
+      (k, n, p, m, c, Cote.Regime.Dp)
+    | _ ->
+      (* Greedy admission gets the same statement-cache refinement as DP,
+         keyed under its own tag: a recorded greedy actual beats the
+         greedy model. *)
+      Atomic.incr t.n_regime_greedy;
+      let cached = Cote.Stmt_cache.lookup t.cache ~tag:"greedy" block in
+      ( O.Knobs.default,
+        "greedy",
+        Option.value ~default:greedy_s cached,
+        greedy_s,
+        cached <> None,
+        Cote.Regime.Greedy )
   in
   let decision =
     Obs.Lock.with_lock t.lock (fun () ->
@@ -543,6 +697,7 @@ let compile_cold t conn req_id ~arrival ~pc_key ~estimate_hint_s block
         j_predicted_s = predicted_s;
         j_model_s = model_s;
         j_cache_hit = cache_hit;
+        j_regime = regime;
         j_pc_key = pc_key;
         j_deadline = Option.map (fun d -> arrival +. d) deadline_s;
         j_enqueued = Timer.monotonic_now ();
@@ -613,6 +768,12 @@ let handle_request t conn req =
       Obs.Counter.incr m_estimates;
       Atomic.incr t.n_estimates;
       send_reply conn (estimate_reply id ev)
+    | exception O.Budget.Exceeded b ->
+      Atomic.incr t.n_errors;
+      Obs.Counter.incr m_errors;
+      send_reply conn
+        (Proto.R_error
+           { id; message = Format.asprintf "%a" O.Budget.pp_blown b })
     | exception
         ( Failure msg
         | Qopt_sql.Parser.Error msg
@@ -722,6 +883,9 @@ let run ?(on_ready = fun () -> ()) cfg =
       n_errors = Atomic.make 0;
       n_downgrades = Atomic.make 0;
       n_plan_hits = Atomic.make 0;
+      n_regime_dp = Atomic.make 0;
+      n_regime_greedy = Atomic.make 0;
+      n_regime_fallbacks = Atomic.make 0;
     }
   in
   let obs_was = !Obs.Control.on in

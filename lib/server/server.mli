@@ -68,6 +68,20 @@ type config = {
           a downgrade decision needs the local per-level predictions.
           Hint-less requests estimate locally as always.  Default
           [false]. *)
+  budget : O.Budget.t;
+      (** resource caps applied to every DP pass — the budgeted estimate
+          at admission and the real compile in the worker alike.  A giant
+          join graph aborts with {!O.Budget.Exceeded} instead of growing
+          the MEMO without bound; the compile is then served by the
+          spanning-tree regime ({!Cote.Regime}).  Default
+          {!O.Budget.unlimited}. *)
+  greedy_model : Cote.Greedy_model.t;
+      (** fitted time model for the spanning-tree fallback; its prediction
+          competes with the DP prediction against the deadline in regime
+          selection.  Default {!Cote.Greedy_model.default}. *)
+  greedy_restarts : int;
+      (** randomized restarts per fallback compile (seed-deterministic).
+          Default 0. *)
 }
 
 val default_config :
@@ -77,7 +91,8 @@ val default_config :
   unit ->
   config
 (** Serial env, 1 worker, SJF, unlimited admission, {!Level.default_levels},
-    no downgrade threshold, no default deadline. *)
+    no downgrade threshold, no default deadline, unlimited budget, default
+    greedy model, 0 restarts. *)
 
 type stats = {
   st_requests : int;
@@ -90,6 +105,11 @@ type stats = {
   st_downgrades : int;
   st_plan_hits : int;  (** compile replies served from the plan cache *)
   st_refits : int;  (** recalibration refits that swapped the model *)
+  st_regime_dp : int;  (** admissions that chose the DP regime *)
+  st_regime_greedy : int;  (** admissions that chose the greedy regime *)
+  st_regime_fallbacks : int;
+      (** DP compiles that blew the budget mid-flight and were rescued by
+          the spanning-tree fallback *)
   st_queue_depth : int;
   st_in_flight_s : float;  (** summed predicted seconds of admitted work *)
 }

@@ -1,0 +1,132 @@
+module C = Qopt_catalog
+module O = Qopt_optimizer
+module Rng = Qopt_util.Rng
+
+type shape =
+  | Chain
+  | Clique
+  | Cycle
+  | Star
+  | Snowflake of int
+
+let max_tables = Qopt_util.Bitset.max_elt + 1
+
+let shape_name = function
+  | Chain -> "chain"
+  | Clique -> "clique"
+  | Cycle -> "cycle"
+  | Star -> "star"
+  | Snowflake b -> Printf.sprintf "snowflake%d" b
+
+let validate shape n =
+  let floor = match shape with Cycle -> 3 | _ -> 2 in
+  if n < floor then
+    invalid_arg
+      (Printf.sprintf "Giant.block: %s needs at least %d tables (got %d)"
+         (shape_name shape) floor n);
+  if n > max_tables then
+    invalid_arg
+      (Printf.sprintf
+         "Giant.block: %d tables exceeds the %d-table bitset limit \
+          (Qopt_util.Bitset is a single word; see ROADMAP wide-bitset item)"
+         n max_tables);
+  match shape with
+  | Snowflake b when b < 1 ->
+    invalid_arg (Printf.sprintf "Giant.block: snowflake arity %d < 1" b)
+  | _ -> ()
+
+(* Join-graph edges as quantifier index pairs (i < j). *)
+let edges shape n =
+  match shape with
+  | Chain -> List.init (n - 1) (fun i -> (i, i + 1))
+  | Cycle -> (0, n - 1) :: List.init (n - 1) (fun i -> (i, i + 1))
+  | Star -> List.init (n - 1) (fun i -> (0, i + 1))
+  | Snowflake b ->
+    (* Satellites 1..n-1 fill b branches round-robin: satellite m extends
+       the branch of m-b, and the first b satellites attach to the center. *)
+    List.init (n - 1) (fun i ->
+        let m = i + 1 in
+        if m <= b then (0, m) else (m - b, m))
+  | Clique ->
+    List.concat
+      (List.init n (fun i -> List.init (n - 1 - i) (fun k -> (i, i + 1 + k))))
+
+let edge_count shape n =
+  validate shape n;
+  match shape with
+  | Chain | Star | Snowflake _ -> n - 1
+  | Cycle -> n
+  | Clique -> n * (n - 1) / 2
+
+(* Secondary join columns mirror the synthetic workloads: low, decreasing
+   distinct counts so extra predicates thin intermediate results without
+   collapsing them below the Cartesian threshold. *)
+let join_cols = [| "j1"; "j2"; "j3"; "j4"; "j5" |]
+
+let secondary_distinct = [| 200.0; 100.0; 50.0; 20.0 |]
+
+let rows i = 4_000.0 *. float_of_int (1 + (i mod 8))
+
+let giant_table ~partitioned i =
+  let rows = rows i in
+  let cols =
+    C.Column.make ~rows ~distinct:rows "pk"
+    :: C.Column.make ~rows ~distinct:rows "j1"
+    :: List.init 4 (fun k ->
+           C.Column.make ~rows ~distinct:secondary_distinct.(k)
+             (Printf.sprintf "j%d" (k + 2)))
+    @ [
+        C.Column.make ~rows ~distinct:1000.0 "v1";
+        C.Column.make ~rows ~distinct:10.0 "v2";
+      ]
+  in
+  let partition = if partitioned then Some (C.Partition_spec.hash [ "j1" ]) else None in
+  C.Table.make ~rows ~name:(Printf.sprintf "g%d" i) ~primary_key:[ "pk" ]
+    ?partition cols
+
+let schema ?(partitioned = false) () =
+  C.Schema.of_tables (List.init max_tables (giant_table ~partitioned))
+
+let block ?(seed = 0) ?(partitioned = false) shape n =
+  validate shape n;
+  let rng = Rng.create seed in
+  (* Which n of the 62 catalog tables participate is itself seeded. *)
+  let pool = Array.init max_tables (giant_table ~partitioned) in
+  Rng.shuffle rng pool;
+  let quantifiers = List.init n (fun i -> O.Quantifier.make i pool.(i)) in
+  let preds =
+    List.map
+      (fun (i, j) ->
+        let col = Rng.pick rng join_cols in
+        O.Pred.Eq_join (O.Colref.make i col, O.Colref.make j col))
+      (edges shape n)
+    @ [
+        O.Pred.Local_cmp
+          ( O.Colref.make 0 "v2",
+            O.Pred.Eq,
+            float_of_int (1 + Rng.int rng 9) );
+      ]
+  in
+  let name = Printf.sprintf "giant_%s_%d" (shape_name shape) n in
+  let b =
+    O.Query_block.make ~name
+      ~order_by:[ O.Colref.make 0 "v1" ]
+      ~quantifiers ~preds ()
+  in
+  if not (O.Query_block.is_connected b) then
+    invalid_arg (Printf.sprintf "Giant.block: %s is not connected" name);
+  b
+
+let workload ?(partitioned = false) ?(seed = 0) () =
+  let q shape n =
+    let b = block ~seed ~partitioned shape n in
+    Workload.query b.O.Query_block.name b
+  in
+  let queries =
+    List.map (q Chain) [ 20; 30; 40; 50 ]
+    @ List.map (q Cycle) [ 20; 30 ]
+    @ List.map (q Star) [ 20; 30 ]
+    @ List.map (q (Snowflake 4)) [ 24; 36 ]
+    @ List.map (q Clique) [ 20; 30; 40; 50 ]
+  in
+  Workload.make ~name:"giant" ~schema:(schema ~partitioned ()) queries

@@ -1,0 +1,53 @@
+(** Giant join-graph generators: the 20–62-table regime.
+
+    BI tools and ORMs routinely emit queries far past the paper's ~14-table
+    scale; these generators produce the canonical giant shapes — chains,
+    cliques, cycles, stars and many-branch snowflakes — at sizes where the
+    DP MEMO explodes and the spanning-tree fallback regime
+    ({!Qopt_optimizer.Spanning_tree}) becomes the only way to compile at
+    all.  Every generator is seed-deterministic (table selection, join
+    columns and filter constants come from {!Qopt_util.Rng}) and
+    connectivity-checked at construction.
+
+    Sizes are capped at {!max_tables} (= 62): the optimizer's table sets
+    are single-word bitsets ({!Qopt_util.Bitset}), so wider graphs need the
+    wide-bitset follow-up tracked in ROADMAP.md.  All regime-crossover
+    behaviour of interest — DP feasible near 20, budget-exceeded by 50 —
+    fits comfortably below the cap. *)
+
+type shape =
+  | Chain  (** t0–t1–…–t(n-1): n-1 edges, DP-friendly (O(n²) entries) *)
+  | Clique  (** every pair joined: n(n-1)/2 edges, 2ⁿ MEMO entries *)
+  | Cycle  (** chain plus a closing edge: n edges; needs n ≥ 3 *)
+  | Star  (** center 0 joined to every satellite: n-1 edges *)
+  | Snowflake of int
+      (** [Snowflake b]: center 0 with [b] chain branches filled
+          round-robin — n-1 edges, center degree min(b, n-1); needs b ≥ 1 *)
+
+val max_tables : int
+(** 62 — [Qopt_util.Bitset.max_elt + 1], the widest representable graph. *)
+
+val shape_name : shape -> string
+
+val edge_count : shape -> int -> int
+(** Closed-form join-graph edge count of [shape] at [n] tables: chain and
+    star and snowflake n-1, cycle n, clique n(n-1)/2. *)
+
+val block : ?seed:int -> ?partitioned:bool -> shape -> int -> Qopt_optimizer.Query_block.t
+(** [block shape n] builds one connected [n]-table query block of the given
+    shape over the {!schema} tables: [seed] (default 0) picks which tables,
+    which join column each edge uses, and the local-filter constant.
+    Deterministic for a given [(seed, shape, n)].  Raises
+    [Invalid_argument] when [n < 2] (or [< 3] for [Cycle]), when
+    [n > max_tables], or when a [Snowflake] arity is [< 1]. *)
+
+val schema : ?partitioned:bool -> unit -> Qopt_catalog.Schema.t
+(** The shared giant catalog: {!max_tables} tables [g0]…[g61], each with a
+    primary key, join columns [j1]…[j5] of decreasing distinct counts, and
+    value columns [v1]/[v2] — the pool every generated block (and ad-hoc
+    SQL against the ["giant"] server schema) draws from. *)
+
+val workload : ?partitioned:bool -> ?seed:int -> unit -> Workload.t
+(** The ["giant"] workload: chains at 20/30/40/50, cycles at 20/30, stars
+    at 20/30, 4-branch snowflakes at 24/36 and cliques at 20/30/40/50,
+    named [giant_<shape>_<n>]. *)

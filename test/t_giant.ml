@@ -1,0 +1,371 @@
+(* The giant-join-graph regime: shape generators, the spanning-tree
+   fallback, hard DP resource budgets, the greedy time model and regime
+   selection.  Everything here is deterministic — seeds are fixed and the
+   budget/regime checks are structural, not timing-based. *)
+
+module O = Qopt_optimizer
+module W = Qopt_workloads
+module C = Qopt_catalog
+module Bitset = Qopt_util.Bitset
+
+let t name f = Alcotest.test_case name `Quick f
+
+let env = O.Env.serial
+
+let prop name ?(count = 60) gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen f)
+
+(* Structural identity of a generated block: which catalog tables were
+   drawn, in what order, and the exact predicate list (join columns and
+   the seeded filter constant). *)
+let fingerprint (b : O.Query_block.t) =
+  ( b.O.Query_block.name,
+    Array.to_list b.O.Query_block.quantifiers
+    |> List.map (fun q -> q.O.Quantifier.table.C.Table.name),
+    b.O.Query_block.preds )
+
+let shapes =
+  [
+    (W.Giant.Chain, 20);
+    (W.Giant.Chain, 50);
+    (W.Giant.Cycle, 20);
+    (W.Giant.Star, 30);
+    (W.Giant.Snowflake 4, 24);
+    (W.Giant.Clique, 20);
+    (W.Giant.Clique, 50);
+  ]
+
+let raises_invalid what f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let generator_tests =
+  [
+    t "same seed, same block — different seed, different block" (fun () ->
+        List.iter
+          (fun (shape, n) ->
+            let a = W.Giant.block ~seed:7 shape n in
+            let b = W.Giant.block ~seed:7 shape n in
+            Alcotest.(check bool)
+              (W.Giant.shape_name shape ^ " deterministic")
+              true
+              (fingerprint a = fingerprint b))
+          shapes;
+        let a = W.Giant.block ~seed:0 W.Giant.Clique 20 in
+        let b = W.Giant.block ~seed:1 W.Giant.Clique 20 in
+        Alcotest.(check bool) "seed reaches the output" false
+          (fingerprint a = fingerprint b));
+    t "every shape is connected at every size" (fun () ->
+        List.iter
+          (fun (shape, n) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%d" (W.Giant.shape_name shape) n)
+              true
+              (O.Query_block.is_connected (W.Giant.block shape n)))
+          shapes);
+    t "edge counts match the closed forms" (fun () ->
+        List.iter
+          (fun (shape, n, expect) ->
+            let b = W.Giant.block shape n in
+            Alcotest.(check int)
+              (Printf.sprintf "%s/%d closed form" (W.Giant.shape_name shape) n)
+              expect
+              (W.Giant.edge_count shape n);
+            Alcotest.(check int)
+              (Printf.sprintf "%s/%d graph" (W.Giant.shape_name shape) n)
+              expect
+              (O.Spanning_tree.edge_count b))
+          [
+            (W.Giant.Chain, 40, 39);
+            (W.Giant.Clique, 30, 435);
+            (W.Giant.Clique, 50, 1225);
+            (W.Giant.Cycle, 25, 25);
+            (W.Giant.Star, 30, 29);
+            (W.Giant.Snowflake 4, 36, 35);
+          ]);
+    t "snowflake center degree is min(branches, n-1)" (fun () ->
+        let degree b n =
+          Bitset.cardinal
+            (O.Query_block.neighbors (W.Giant.block (W.Giant.Snowflake b) n) 0)
+        in
+        Alcotest.(check int) "4 branches, 24 tables" 4 (degree 4 24);
+        Alcotest.(check int) "6 branches, 5 tables" 4 (degree 6 5);
+        Alcotest.(check int) "1 branch is a chain" 1 (degree 1 20));
+    t "invalid sizes raise" (fun () ->
+        raises_invalid "n < 2" (fun () -> W.Giant.block W.Giant.Chain 1);
+        raises_invalid "cycle needs 3" (fun () -> W.Giant.block W.Giant.Cycle 2);
+        raises_invalid "snowflake arity 0" (fun () ->
+            W.Giant.block (W.Giant.Snowflake 0) 10);
+        raises_invalid "past the bitset width" (fun () ->
+            W.Giant.block W.Giant.Chain (W.Giant.max_tables + 1)));
+    t "the giant workload: 14 uniquely named connected queries" (fun () ->
+        let wl = W.Giant.workload () in
+        let names =
+          List.map (fun (q : W.Workload.query) -> q.W.Workload.q_name)
+            wl.W.Workload.queries
+        in
+        Alcotest.(check int) "size" 14 (List.length names);
+        Alcotest.(check int) "unique names" 14
+          (List.length (List.sort_uniq compare names));
+        Alcotest.(check bool) "giant_chain_20 present" true
+          (List.mem "giant_chain_20" names);
+        Alcotest.(check bool) "giant_clique_50 present" true
+          (List.mem "giant_clique_50" names);
+        List.iter
+          (fun (q : W.Workload.query) ->
+            Alcotest.(check bool) q.W.Workload.q_name true
+              (O.Query_block.is_connected q.W.Workload.block))
+          wl.W.Workload.queries);
+    (let gen =
+       QCheck2.Gen.(
+         triple
+           (oneof
+              [
+                return W.Giant.Chain;
+                return W.Giant.Clique;
+                return W.Giant.Cycle;
+                return W.Giant.Star;
+                map (fun b -> W.Giant.Snowflake b) (int_range 1 6);
+              ])
+           (int_range 3 40) (int_range 0 1000))
+     in
+     prop "any (shape, n, seed): n tables, connected, closed-form edges" gen
+       (fun (shape, n, seed) ->
+         let b = W.Giant.block ~seed shape n in
+         O.Query_block.n_quantifiers b = n
+         && O.Query_block.is_connected b
+         && O.Spanning_tree.edge_count b = W.Giant.edge_count shape n
+         && fingerprint b = fingerprint (W.Giant.block ~seed shape n)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Spanning-tree fallback                                              *)
+(* ------------------------------------------------------------------ *)
+
+let plan_of (fb : O.Optimizer.fallback) =
+  match fb.O.Optimizer.fb_best with
+  | Some p -> p
+  | None -> Alcotest.fail "fallback produced no plan"
+
+let fallback_tests =
+  [
+    t "fallback plans cover every quantifier with n-1 joins" (fun () ->
+        List.iter
+          (fun (shape, n) ->
+            let b = W.Giant.block shape n in
+            let p = plan_of (O.Optimizer.optimize_fallback env b) in
+            Alcotest.(check bool)
+              (W.Giant.shape_name shape ^ " covers all tables")
+              true
+              (Bitset.equal p.O.Plan.tables (O.Query_block.all_tables b));
+            Alcotest.(check int)
+              (W.Giant.shape_name shape ^ " spanning joins")
+              (n - 1) (O.Plan.join_count p);
+            Alcotest.(check bool) "positive cost" true (p.O.Plan.cost > 0.0);
+            Alcotest.(check bool) "positive card" true (p.O.Plan.card > 0.0))
+          shapes);
+    t "fallback is seed-deterministic, restarts included" (fun () ->
+        let b = W.Giant.block W.Giant.Clique 30 in
+        let one () =
+          plan_of (O.Optimizer.optimize_fallback env ~seed:3 ~restarts:4 b)
+        in
+        let p1 = one () and p2 = one () in
+        Alcotest.(check string) "same plan"
+          (Format.asprintf "%a" O.Plan.pp_compact p1)
+          (Format.asprintf "%a" O.Plan.pp_compact p2);
+        Alcotest.(check (float 0.0)) "same cost" p1.O.Plan.cost p2.O.Plan.cost);
+    t "restarts never worsen the plan" (fun () ->
+        List.iter
+          (fun (shape, n) ->
+            let b = W.Giant.block shape n in
+            let base = plan_of (O.Optimizer.optimize_fallback env b) in
+            let jittered =
+              plan_of (O.Optimizer.optimize_fallback env ~restarts:8 b)
+            in
+            Alcotest.(check bool)
+              (W.Giant.shape_name shape ^ " restarts only improve")
+              true
+              (jittered.O.Plan.cost <= base.O.Plan.cost))
+          [ (W.Giant.Clique, 20); (W.Giant.Cycle, 20); (W.Giant.Snowflake 4, 24) ]);
+    t "fallback never beats DP where DP is feasible" (fun () ->
+        let b = W.Giant.block W.Giant.Chain 20 in
+        let dp = O.Optimizer.optimize env b in
+        let fb = plan_of (O.Optimizer.optimize_fallback env b) in
+        match dp.O.Optimizer.best with
+        | None -> Alcotest.fail "DP produced no plan"
+        | Some best ->
+          Alcotest.(check bool) "DP optimal" true
+            (fb.O.Plan.cost >= best.O.Plan.cost *. (1.0 -. 1e-9)));
+    t "fallback features are what the greedy model predicts from" (fun () ->
+        let b = W.Giant.block W.Giant.Clique 30 in
+        let fb = O.Optimizer.optimize_fallback env ~restarts:2 b in
+        Alcotest.(check int) "quantifiers" 30 fb.O.Optimizer.fb_quantifiers;
+        Alcotest.(check int) "edges" 435 fb.O.Optimizer.fb_edges;
+        Alcotest.(check int) "restarts" 2 fb.O.Optimizer.fb_restarts;
+        Alcotest.(check bool) "joins counted" true (fb.O.Optimizer.fb_joins > 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Budgets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let budget_tests =
+  [
+    t "a tight MEMO-entry cap aborts a clique compile, structurally" (fun () ->
+        let b = W.Giant.block W.Giant.Clique 20 in
+        let budget = O.Budget.make ~max_memo_entries:200 () in
+        match O.Optimizer.optimize env ~budget b with
+        | exception O.Budget.Exceeded blown ->
+          Alcotest.(check string) "what" "memo_entries" blown.O.Budget.b_what;
+          Alcotest.(check int) "limit" 200 blown.O.Budget.b_limit;
+          Alcotest.(check bool) "reached past the limit" true
+            (blown.O.Budget.b_reached > 200)
+        | _ -> Alcotest.fail "expected Budget.Exceeded");
+    t "a tight kept-plan cap aborts too" (fun () ->
+        let b = W.Giant.block W.Giant.Clique 20 in
+        let budget = O.Budget.make ~max_kept_plans:300 () in
+        match O.Optimizer.optimize env ~budget b with
+        | exception O.Budget.Exceeded blown ->
+          Alcotest.(check string) "what" "kept_plans" blown.O.Budget.b_what
+        | _ -> Alcotest.fail "expected Budget.Exceeded");
+    t "a roomy budget changes nothing" (fun () ->
+        let b = W.Giant.block W.Giant.Chain 20 in
+        let budget =
+          O.Budget.make ~max_memo_entries:10_000_000
+            ~max_kept_plans:10_000_000 ()
+        in
+        let plain = O.Optimizer.optimize env b in
+        let budgeted = O.Optimizer.optimize env ~budget b in
+        Alcotest.(check int) "entries" plain.O.Optimizer.entries
+          budgeted.O.Optimizer.entries;
+        Alcotest.(check int) "kept" plain.O.Optimizer.kept
+          budgeted.O.Optimizer.kept;
+        Alcotest.(check int) "joins" plain.O.Optimizer.joins
+          budgeted.O.Optimizer.joins;
+        match (plain.O.Optimizer.best, budgeted.O.Optimizer.best) with
+        | Some a, Some b ->
+          Alcotest.(check (float 0.0)) "cost bit-for-bit" a.O.Plan.cost
+            b.O.Plan.cost
+        | _ -> Alcotest.fail "both should produce plans");
+    t "the estimate pass honors the same budget" (fun () ->
+        let big = W.Giant.block W.Giant.Clique 30 in
+        let tight = O.Budget.make ~max_memo_entries:1_000 () in
+        (match Cote.Estimator.estimate env ~budget:tight big with
+        | exception O.Budget.Exceeded _ -> ()
+        | _ -> Alcotest.fail "expected Budget.Exceeded from the estimator");
+        let small = W.Giant.block W.Giant.Chain 20 in
+        let roomy = O.Budget.make ~max_memo_entries:10_000_000 () in
+        let plain = Cote.Estimator.estimate env small in
+        let budgeted = Cote.Estimator.estimate env ~budget:roomy small in
+        Alcotest.(check int) "entries" plain.Cote.Estimator.entries
+          budgeted.Cote.Estimator.entries;
+        Alcotest.(check int) "joins" plain.Cote.Estimator.joins
+          budgeted.Cote.Estimator.joins);
+    t "unlimited budgets are recognized and free" (fun () ->
+        Alcotest.(check bool) "unlimited" true
+          (O.Budget.is_unlimited O.Budget.unlimited);
+        Alcotest.(check bool) "make () is unlimited" true
+          (O.Budget.is_unlimited (O.Budget.make ()));
+        Alcotest.(check bool) "predicted-s alone doesn't bound a pass" true
+          (O.Budget.is_unlimited (O.Budget.make ~max_predicted_s:0.5 ()));
+        Alcotest.(check bool) "an entry cap does" false
+          (O.Budget.is_unlimited (O.Budget.make ~max_memo_entries:1 ()));
+        (* far under any cap: check is a no-op *)
+        O.Budget.check
+          (O.Budget.make ~max_memo_entries:10 ~max_kept_plans:10 ())
+          ~entries:5 ~kept:5);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Greedy time model and regime selection                              *)
+(* ------------------------------------------------------------------ *)
+
+let regime_tests =
+  [
+    t "fit recovers exact coefficients from noiseless observations" (fun () ->
+        let truth =
+          Cote.Greedy_model.make ~g_quant:1e-4 ~g_edge:2e-5 ~g_restart:5e-3 ()
+        in
+        let obs =
+          List.concat_map
+            (fun (q, e) ->
+              List.map
+                (fun r ->
+                  {
+                    Cote.Greedy_model.gob_quant = float_of_int q;
+                    gob_edges = float_of_int e;
+                    gob_restarts = float_of_int r;
+                    gob_seconds =
+                      Cote.Greedy_model.predict truth ~quantifiers:q ~edges:e
+                        ~restarts:r;
+                  })
+                [ 0; 2; 4 ])
+            [ (20, 19); (30, 435); (50, 1225); (24, 23) ]
+        in
+        let fitted = Cote.Greedy_model.fit obs in
+        let close name a b =
+          Alcotest.(check bool) name true (Float.abs (a -. b) <= 1e-9 *. (1.0 +. Float.abs a))
+        in
+        close "g_quant" truth.Cote.Greedy_model.g_quant
+          fitted.Cote.Greedy_model.g_quant;
+        close "g_edge" truth.Cote.Greedy_model.g_edge
+          fitted.Cote.Greedy_model.g_edge;
+        close "g_restart" truth.Cote.Greedy_model.g_restart
+          fitted.Cote.Greedy_model.g_restart);
+    t "predict_fallback reads the recorded features" (fun () ->
+        let b = W.Giant.block W.Giant.Star 20 in
+        let fb = O.Optimizer.optimize_fallback env ~restarts:3 b in
+        let m = Cote.Greedy_model.default in
+        Alcotest.(check (float 0.0)) "same prediction"
+          (Cote.Greedy_model.predict m ~quantifiers:20 ~edges:19 ~restarts:3)
+          (Cote.Greedy_model.predict_fallback m fb));
+    t "decide: DP whenever its prediction fits the deadline" (fun () ->
+        let d =
+          Cote.Regime.decide ~deadline_s:1.0 ~dp_s:(Some 0.5) ~greedy_s:0.01 ()
+        in
+        Alcotest.(check string) "regime" "dp"
+          (Cote.Regime.to_string d.Cote.Regime.d_regime);
+        Alcotest.(check (float 1e-12)) "margin = deadline slack" 0.5
+          d.Cote.Regime.d_margin_s;
+        Alcotest.(check (float 0.0)) "predicted_s is DP's" 0.5
+          (Cote.Regime.predicted_s d));
+    t "decide: greedy when DP misses the deadline" (fun () ->
+        let d =
+          Cote.Regime.decide ~deadline_s:1.0 ~dp_s:(Some 2.0) ~greedy_s:0.01 ()
+        in
+        Alcotest.(check string) "regime" "greedy"
+          (Cote.Regime.to_string d.Cote.Regime.d_regime);
+        Alcotest.(check (float 1e-12)) "margin = greedy slack" 0.99
+          d.Cote.Regime.d_margin_s;
+        Alcotest.(check (float 0.0)) "predicted_s is greedy's" 0.01
+          (Cote.Regime.predicted_s d));
+    t "decide: greedy when the budgeted estimate itself blew up" (fun () ->
+        let d = Cote.Regime.decide ~deadline_s:1.0 ~dp_s:None ~greedy_s:0.02 () in
+        Alcotest.(check string) "regime" "greedy"
+          (Cote.Regime.to_string d.Cote.Regime.d_regime);
+        let d' = Cote.Regime.decide ~dp_s:None ~greedy_s:0.02 () in
+        Alcotest.(check string) "no deadline: still greedy" "greedy"
+          (Cote.Regime.to_string d'.Cote.Regime.d_regime));
+    t "decide: no deadline prefers DP quality when feasible" (fun () ->
+        let d = Cote.Regime.decide ~dp_s:(Some 0.5) ~greedy_s:0.01 () in
+        Alcotest.(check string) "regime" "dp"
+          (Cote.Regime.to_string d.Cote.Regime.d_regime);
+        Alcotest.(check (float 1e-12)) "margin = DP's slowdown over greedy" 0.49
+          d.Cote.Regime.d_margin_s);
+    t "regime strings round trip" (fun () ->
+        List.iter
+          (fun r ->
+            Alcotest.(check bool) (Cote.Regime.to_string r) true
+              (Cote.Regime.of_string (Cote.Regime.to_string r) = Some r))
+          [ Cote.Regime.Dp; Cote.Regime.Greedy; Cote.Regime.Dp_budget_fallback ];
+        Alcotest.(check bool) "unknown regime rejected" true
+          (Cote.Regime.of_string "bogus" = None));
+  ]
+
+let suite =
+  generator_tests @ fallback_tests @ budget_tests @ regime_tests

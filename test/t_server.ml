@@ -1323,6 +1323,178 @@ let client_tests =
                 | _ -> Alcotest.fail "expected R_ok on the second connection")));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Giant join graphs: budget guardrail and regime selection            *)
+(* ------------------------------------------------------------------ *)
+
+let giant_schema = W.Giant.schema ()
+
+(* Ad-hoc SQL against the server's "giant" schema: a chain of [n] tables
+   joined on j1, or the all-pairs clique. *)
+let giant_chain_sql n =
+  let tables = List.init n (fun i -> Printf.sprintf "g%d" i) in
+  let joins =
+    List.init (n - 1) (fun i -> Printf.sprintf "g%d.j1 = g%d.j1" i (i + 1))
+  in
+  "SELECT g0.v1 FROM " ^ String.concat ", " tables ^ " WHERE "
+  ^ String.concat " AND " joins
+
+let giant_clique_sql n =
+  let tables = List.init n (fun i -> Printf.sprintf "g%d" i) in
+  let joins = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      joins := Printf.sprintf "g%d.j1 = g%d.j1" i j :: !joins
+    done
+  done;
+  "SELECT g0.v1 FROM " ^ String.concat ", " tables ^ " WHERE "
+  ^ String.concat " AND " !joins
+
+let with_budgeted_server ?(trust_hints = false) f =
+  with_server
+    ~configure:(fun c ->
+      {
+        c with
+        Srv.Server.schemas =
+          c.Srv.Server.schemas @ [ ("giant", giant_schema) ];
+        budget = O.Budget.make ~max_memo_entries:500 ();
+        trust_hints;
+      })
+    f
+
+let compile_regime c ?hint sql =
+  let id = Srv.Client.fresh_id c in
+  match
+    request_exn c
+      (Srv.Proto.Compile
+         {
+           id;
+           sql;
+           schema = Some "giant";
+           deadline_ms = None;
+           estimate_hint_s = hint;
+         })
+  with
+  | Srv.Proto.R_compile (_, b) -> b
+  | r ->
+    Alcotest.failf "expected compile reply, got %s"
+      (J.to_string (Srv.Proto.reply_to_json r))
+
+let giant_regime_tests =
+  [
+    t "compile replies parse as DP when the regime field is absent" (fun () ->
+        (* Replies from pre-regime servers carry no "regime" key; the
+           fleet router must still parse them. *)
+        let body =
+          {
+            Srv.Proto.c_plan = Some "NLJN(Q0,Q1)";
+            c_cost = 10.0;
+            c_card = 5.0;
+            c_joins = 2;
+            c_kept = 3;
+            c_entries = 3;
+            c_elapsed_s = 0.001;
+            c_predicted_s = 0.002;
+            c_level = "full";
+            c_queue_s = 0.0;
+            c_cache_hit = false;
+            c_plan_cached = false;
+            c_regime = "dp";
+          }
+        in
+        let stripped =
+          match Srv.Proto.reply_to_json (Srv.Proto.R_compile (5, body)) with
+          | J.Obj fields ->
+            J.Obj (List.filter (fun (k, _) -> k <> "regime") fields)
+          | _ -> Alcotest.fail "compile reply should be an object"
+        in
+        match Srv.Proto.reply_of_json stripped with
+        | Ok (Srv.Proto.R_compile (_, b)) ->
+          Alcotest.(check string) "defaults to dp" "dp" b.Srv.Proto.c_regime
+        | Ok _ | Error _ -> Alcotest.fail "expected a compile reply");
+    t "a 40-table chain over budget is served by the greedy regime" (fun () ->
+        with_budgeted_server (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let b = compile_regime c (giant_chain_sql 40) in
+                Alcotest.(check string) "regime" "greedy" b.Srv.Proto.c_regime;
+                Alcotest.(check bool) "a plan came back" true
+                  (b.Srv.Proto.c_plan <> None);
+                Alcotest.(check int) "no MEMO was built" 0
+                  b.Srv.Proto.c_entries;
+                (* A query DP handles within budget still runs DP. *)
+                let id = Srv.Client.fresh_id c in
+                (match
+                   request_exn c
+                     (Srv.Proto.Compile
+                        {
+                          id;
+                          sql = small_sql;
+                          schema = None;
+                          deadline_ms = None;
+                          estimate_hint_s = None;
+                        })
+                 with
+                | Srv.Proto.R_compile (_, b) ->
+                  Alcotest.(check string) "small query stays dp" "dp"
+                    b.Srv.Proto.c_regime
+                | _ -> Alcotest.fail "expected compile reply");
+                match
+                  request_exn c (Srv.Proto.Stats { id = Srv.Client.fresh_id c })
+                with
+                | Srv.Proto.R_stats (_, doc) ->
+                  Alcotest.(check int) "regime_greedy counted" 1
+                    (stat doc "regime_greedy");
+                  Alcotest.(check int) "regime_dp counted" 1
+                    (stat doc "regime_dp");
+                  Alcotest.(check int) "no mid-compile fallbacks" 0
+                    (stat doc "regime_fallbacks")
+                | _ -> Alcotest.fail "expected stats reply")));
+    t "guardrail: a 30-table clique cannot run DP unbounded" (fun () ->
+        (* The regression this budget exists for: without caps, the MEMO
+           of a 30-table clique grows ~2^30 entries and the server OOMs
+           long before any deadline check.  With the cap, the budgeted
+           estimate aborts in milliseconds and the compile is served by
+           the spanning-tree regime. *)
+        with_budgeted_server (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let b = compile_regime c (giant_clique_sql 30) in
+                Alcotest.(check string) "regime" "greedy" b.Srv.Proto.c_regime;
+                Alcotest.(check bool) "a plan came back" true
+                  (b.Srv.Proto.c_plan <> None);
+                Alcotest.(check bool) "cost is finite" true
+                  (Float.is_finite b.Srv.Proto.c_cost))));
+    t "a trusted hint that blows the budget mid-compile is rescued" (fun () ->
+        (* --trust-hints skips the local budgeted estimate, so the job
+           enters as DP and hits the cap inside the worker: the reply must
+           come from the fallback, labelled dp_budget_fallback. *)
+        with_budgeted_server ~trust_hints:true (fun addr ->
+            let c = Srv.Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Srv.Client.close c)
+              (fun () ->
+                let b =
+                  compile_regime c ~hint:1e-4 (giant_chain_sql 40)
+                in
+                Alcotest.(check string) "regime" "dp_budget_fallback"
+                  b.Srv.Proto.c_regime;
+                Alcotest.(check bool) "a plan came back" true
+                  (b.Srv.Proto.c_plan <> None);
+                match
+                  request_exn c (Srv.Proto.Stats { id = Srv.Client.fresh_id c })
+                with
+                | Srv.Proto.R_stats (_, doc) ->
+                  Alcotest.(check int) "rescue counted" 1
+                    (stat doc "regime_fallbacks")
+                | _ -> Alcotest.fail "expected stats reply")));
+  ]
+
 let suite =
   wire_tests @ proto_tests @ sched_tests @ admission_tests @ level_tests
   @ server_tests @ plan_cache_tests @ recalibrate_tests @ client_tests
+  @ giant_regime_tests

@@ -29,4 +29,5 @@ let () =
       ("sql-errors", T_sqlfront_errors.suite);
       ("server", T_server.suite);
       ("fleet", T_fleet.suite);
+      ("giant", T_giant.suite);
     ]
